@@ -1,0 +1,125 @@
+// Ablation benchmarks: quantify each design choice the scenario encodes by
+// re-running a small single-trial HTTP study with one behaviour disabled or
+// one scanning mitigation enabled, and reporting the coverage delta. These
+// back DESIGN.md's "ablation benches for the design choices" item and the
+// paper's §7 mitigation recommendations.
+package scanorigin
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+	"repro/internal/scenario"
+	"repro/internal/world"
+)
+
+// ablationRun executes a one-trial HTTP study with the given tweaks and
+// returns mean single-origin coverage across the study origins.
+func ablationRun(b *testing.B, mutate func(*experiment.Config)) float64 {
+	b.Helper()
+	cfg := experiment.Config{
+		WorldSpec: world.Spec{Seed: 99, Scale: 0.00005},
+		Trials:    1,
+		Protocols: []proto.Protocol{proto.HTTP},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	st, err := experiment.NewStudy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := st.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return meanCoverage(ds)
+}
+
+func meanCoverage(ds *results.Dataset) float64 {
+	var sum float64
+	n := 0
+	for _, o := range origin.StudySet() {
+		sum += ds.Coverage(o, proto.HTTP, 0, false)
+		n++
+	}
+	return sum / float64(n)
+}
+
+// BenchmarkAblationBaseline is the reference configuration.
+func BenchmarkAblationBaseline(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = ablationRun(b, nil)
+	}
+	b.ReportMetric(100*cov, "mean-cov-%")
+}
+
+// BenchmarkAblationNoBlocking removes every blocking policy: what coverage
+// would look like if loss were the only cause (isolates §4 from §5).
+func BenchmarkAblationNoBlocking(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = ablationRun(b, func(c *experiment.Config) {
+			c.ScenarioConfig = scenario.Config{DisableBlocking: true}
+		})
+	}
+	b.ReportMetric(100*cov, "mean-cov-%")
+}
+
+// BenchmarkAblationNoOutages removes burst outages (isolates §5.3's
+// contribution to transient loss).
+func BenchmarkAblationNoOutages(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = ablationRun(b, func(c *experiment.Config) {
+			c.ScenarioConfig = scenario.Config{DisableOutages: true}
+		})
+	}
+	b.ReportMetric(100*cov, "mean-cov-%")
+}
+
+// BenchmarkAblationNoLossOverrides removes the pathological named paths
+// (Germany→Telecom Italia, China, Australia→Russia).
+func BenchmarkAblationNoLossOverrides(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = ablationRun(b, func(c *experiment.Config) {
+			c.ScenarioConfig = scenario.Config{DisableLossOverrides: true}
+		})
+	}
+	b.ReportMetric(100*cov, "mean-cov-%")
+}
+
+// BenchmarkAblationSingleProbe sends 1 SYN per target instead of 2.
+func BenchmarkAblationSingleProbe(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = ablationRun(b, func(c *experiment.Config) { c.Probes = 1 })
+	}
+	b.ReportMetric(100*cov, "mean-cov-%")
+}
+
+// BenchmarkAblationDelayedProbes spaces the two probes five minutes apart —
+// the §7 mitigation (after Bano et al.) that decorrelates probe loss.
+func BenchmarkAblationDelayedProbes(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = ablationRun(b, func(c *experiment.Config) { c.ProbeDelay = 5 * time.Minute })
+	}
+	b.ReportMetric(100*cov, "mean-cov-%")
+}
+
+// BenchmarkAblationGrabRetries gives ZGrab three connection retries — the
+// §6 mitigation for probabilistic SSH blocking, applied study-wide.
+func BenchmarkAblationGrabRetries(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = ablationRun(b, func(c *experiment.Config) { c.Retries = 3 })
+	}
+	b.ReportMetric(100*cov, "mean-cov-%")
+}

@@ -1,0 +1,176 @@
+// Command originscan runs the full reproduction of "On the Origin of
+// Scanning": three synchronized trials of HTTP, HTTPS, and SSH scans from
+// the seven study origins over a synthetic Internet, followed by the SSH
+// retry sub-experiment and the co-located Tier-1 follow-up, and prints
+// every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	originscan [-seed N] [-scale F] [-trials N] [-dataset out.json] [-skip-followup]
+//
+// The default scale (0.001) generates ≈58k HTTP hosts, mirroring the
+// paper's 58M at 1/1000; a full run takes a few minutes on one core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/report"
+	"repro/internal/world"
+)
+
+func main() {
+	var (
+		seed         = flag.Uint64("seed", 2020, "study seed (drives world, scenario, and scans)")
+		scale        = flag.Float64("scale", 0.001, "world scale relative to the paper's Internet")
+		trials       = flag.Int("trials", 3, "number of trials")
+		datasetPath  = flag.String("dataset", "", "write the raw scan dataset to this JSON file")
+		skipFollowUp = flag.Bool("skip-followup", false, "skip the co-located Tier-1 follow-up experiment")
+		carinet      = flag.Bool("carinet", true, "include the Carinet origin in trial 1")
+		csvDir       = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		blocklist    = flag.String("blocklist", "", "ZMap-style blocklist file applied to every scan")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{
+		WorldSpec:      world.Spec{Seed: *seed, Scale: *scale},
+		Trials:         *trials,
+		IncludeCarinet: *carinet,
+	}
+	if *blocklist != "" {
+		f, err := os.Open(*blocklist)
+		if err != nil {
+			fatalf("opening blocklist: %v", err)
+		}
+		set, err := ip.ParseBlocklist(f)
+		f.Close()
+		if err != nil {
+			fatalf("parsing blocklist: %v", err)
+		}
+		cfg.Blocklist = set
+		fmt.Printf("blocklist: excluding %d addresses\n", set.NumAddrs())
+	}
+	study, err := core.New(cfg)
+	if err != nil {
+		fatalf("preparing study: %v", err)
+	}
+	w := study.World()
+	fmt.Printf("world: %d hosts (HTTP %d, HTTPS %d, SSH %d), %d ASes, scan space 2^%d\n",
+		w.NumHosts(), w.HostCount(proto.HTTP), w.HostCount(proto.HTTPS),
+		w.HostCount(proto.SSH), w.Routes.Len(), w.SpaceBits)
+
+	start := time.Now()
+	fmt.Printf("running %d trials × 3 protocols × %d origins...\n", *trials, len(origin.StudySet()))
+	if err := study.Run(); err != nil {
+		fatalf("running study: %v", err)
+	}
+	fmt.Printf("scans complete in %v\n", time.Since(start).Round(time.Second))
+
+	if *datasetPath != "" {
+		f, err := os.Create(*datasetPath)
+		if err != nil {
+			fatalf("creating dataset file: %v", err)
+		}
+		if err := study.DS.WriteJSON(f); err != nil {
+			fatalf("writing dataset: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing dataset: %v", err)
+		}
+		fmt.Printf("dataset written to %s\n", *datasetPath)
+	}
+
+	report.All(os.Stdout, study)
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, study); err != nil {
+			fatalf("writing CSVs: %v", err)
+		}
+		fmt.Printf("CSV figure data written to %s\n", *csvDir)
+	}
+
+	if !*skipFollowUp {
+		runFollowUp(world.Spec{Seed: *seed, Scale: *scale})
+	}
+}
+
+// runFollowUp executes and prints the §7 follow-up experiment (Table 4b,
+// Figure 18).
+func runFollowUp(spec world.Spec) {
+	fmt.Println("\nFollow-up experiment: co-located Tier-1 transits @ Equinix CHI4 (Table 4b, Figure 18)")
+	fmt.Println("=====================================================================================")
+	_, ds, err := experiment.FollowUp(spec)
+	if err != nil {
+		fatalf("follow-up: %v", err)
+	}
+	tab := analysis.Coverage(ds, proto.HTTP)
+	fmt.Printf("%-7s", "origin")
+	for _, o := range origin.FollowUpSet() {
+		fmt.Printf("%9s", o)
+	}
+	fmt.Println()
+	fmt.Printf("%-7s", "mean")
+	for _, o := range origin.FollowUpSet() {
+		fmt.Printf("%8.2f%%", 100*tab.Mean(o, false))
+	}
+	fmt.Println()
+
+	levels := analysis.MultiOrigin(ds, proto.HTTP, origin.FollowUpSet(), false)
+	triad := analysis.CoverageOfCombo(ds, proto.HTTP,
+		origin.Set{origin.HE, origin.NTTC, origin.TELIA}, false)
+	if len(levels) >= 3 {
+		k3 := levels[2]
+		fmt.Printf("3-origin coverage: median %.2f%%, min %.2f%% (%v), max %.2f%% (%v)\n",
+			100*k3.Median, 100*k3.Min, k3.Worst.Origins, 100*k3.Max, k3.Best.Origins)
+		fmt.Printf("co-located HE-NTT-TELIA triad: %.2f%% (Δ vs median %.2f pts)\n",
+			100*triad, 100*(k3.Median-triad))
+	}
+}
+
+// writeCSVs dumps each figure's data as a CSV file for external plotting.
+func writeCSVs(dir string, study *core.Study) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writers := []struct {
+		name string
+		fn   func(*os.File) error
+	}{
+		{"coverage.csv", func(f *os.File) error { return report.CSVCoverage(f, study) }},
+		{"missing_breakdown.csv", func(f *os.File) error { return report.CSVMissingBreakdown(f, study) }},
+		{"loss_spread_cdf.csv", func(f *os.File) error { return report.CSVSpreadCDF(f, study) }},
+		{"multi_origin.csv", func(f *os.File) error { return report.CSVMultiOrigin(f, study) }},
+		{"alibaba_timeline.csv", func(f *os.File) error {
+			return report.CSVTimeline(f, study, []origin.ID{origin.US1, origin.US64, origin.AU, origin.CEN}, 0)
+		}},
+		{"countries.csv", func(f *os.File) error { return report.CSVCountryTable(f, study) }},
+	}
+	for _, wr := range writers {
+		f, err := os.Create(dir + "/" + wr.name)
+		if err != nil {
+			return err
+		}
+		if err := wr.fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "originscan: "+format+"\n", args...)
+	os.Exit(1)
+}

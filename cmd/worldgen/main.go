@@ -1,0 +1,88 @@
+// Command worldgen generates and inspects the synthetic Internet: country
+// populations, AS size distribution, and the paper's named profile
+// networks.
+//
+// Usage:
+//
+//	worldgen [-seed N] [-scale F] [-top N] [-countries] [-profiles]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/proto"
+	"repro/internal/world"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 2020, "world seed")
+		scale     = flag.Float64("scale", 0.001, "world scale")
+		top       = flag.Int("top", 15, "number of top ASes to list")
+		countries = flag.Bool("countries", true, "print country populations")
+		profiles  = flag.Bool("profiles", true, "print the paper's profile networks")
+	)
+	flag.Parse()
+
+	w, err := world.Build(world.Spec{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("seed %d, scale %g → %d hosts over 2^%d addresses, %d ASes\n",
+		*seed, *scale, w.NumHosts(), w.SpaceBits, w.Routes.Len())
+	for _, p := range proto.All() {
+		fmt.Printf("  %-6s %d hosts\n", p, w.HostCount(p))
+	}
+
+	if *countries {
+		fmt.Println("\ncountry populations (HTTP hosts):")
+		type row struct {
+			c geo.Country
+			n int
+		}
+		var rows []row
+		for _, ci := range w.Countries.Countries() {
+			if n := w.CountryHostCount(ci.Code, proto.HTTP); n > 0 {
+				rows = append(rows, row{ci.Code, n})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+		for _, r := range rows {
+			fmt.Printf("  %-3s %7d\n", r.c, r.n)
+		}
+	}
+
+	fmt.Printf("\ntop %d ASes by host count:\n", *top)
+	type asRow struct {
+		name  string
+		num   uint32
+		hosts int
+	}
+	var ases []asRow
+	for _, a := range w.Routes.All() {
+		ases = append(ases, asRow{a.Name, uint32(a.Number), len(w.HostsInAS(a.Number))})
+	}
+	sort.Slice(ases, func(i, j int) bool { return ases[i].hosts > ases[j].hosts })
+	for i, a := range ases {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  AS%-7d %-40s %7d hosts\n", a.num, a.name, a.hosts)
+	}
+
+	if *profiles {
+		fmt.Println("\npaper profile networks:")
+		for _, name := range w.ProfileNames() {
+			n := w.MustProfileASN(name)
+			a, _ := w.Routes.Get(n)
+			fmt.Printf("  AS%-7d %-40s %-3s %-11s %6d hosts\n",
+				n, name, a.Country, a.Kind, len(w.HostsInAS(n)))
+		}
+	}
+}

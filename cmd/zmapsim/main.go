@@ -1,0 +1,204 @@
+// Command zmapsim runs a single-origin ZMap+ZGrab scan against a generated
+// synthetic Internet — the building block of the study, exposed as a
+// standalone tool with ZMap-flavoured output.
+//
+// Usage:
+//
+//	zmapsim [-seed N] [-scale F] [-origin AU|BR|DE|JP|US1|US64|CEN]
+//	        [-proto http|https|ssh] [-trial N] [-probes N] [-retries N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/pcap"
+	"repro/internal/proto"
+	"repro/internal/results"
+	"repro/internal/world"
+	"repro/internal/zgrab"
+	"repro/internal/zmap"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 2020, "study seed")
+		scale     = flag.Float64("scale", 0.0002, "world scale")
+		originStr = flag.String("origin", "US1", "scan origin (AU, BR, DE, JP, US1, US64, CEN)")
+		protoStr  = flag.String("proto", "http", "protocol (http, https, ssh)")
+		trial     = flag.Int("trial", 0, "trial index (0-based)")
+		probes    = flag.Int("probes", 2, "SYN probes per target")
+		retries   = flag.Int("retries", 0, "application-handshake retry budget")
+		verbose   = flag.Bool("v", false, "print every responsive host")
+		pcapPath  = flag.String("pcap", "", "write probe/response packets to this pcap file")
+		blocklist = flag.String("blocklist", "", "ZMap-style blocklist file (CIDRs, # comments)")
+		banners   = flag.Bool("banners", false, "print the top captured banners")
+		shard     = flag.Int("shard", 0, "this scanner's shard index (0-based)")
+		shards    = flag.Int("shards", 1, "total cooperating shards")
+	)
+	flag.Parse()
+
+	o, ok := parseOrigin(*originStr)
+	if !ok {
+		fatalf("unknown origin %q", *originStr)
+	}
+	p, ok := parseProto(*protoStr)
+	if !ok {
+		fatalf("unknown protocol %q", *protoStr)
+	}
+
+	cfg := experiment.Config{
+		WorldSpec: world.Spec{Seed: *seed, Scale: *scale},
+		Trials:    *trial + 1,
+		Probes:    *probes,
+		Retries:   *retries,
+		Shard:     *shard,
+		Shards:    *shards,
+	}
+	if *blocklist != "" {
+		f, err := os.Open(*blocklist)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		set, err := ip.ParseBlocklist(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Blocklist = set
+		fmt.Printf("blocklist: %d prefixes covering %d addresses\n", set.Len(), set.NumAddrs())
+	}
+	var capture *pcap.Writer
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		capture, err = pcap.NewWriter(f, pcap.LinkTypeRaw)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.SinkWrapper = func(inner zmap.PacketSink) zmap.PacketSink {
+			return pcap.NewSink(inner, capture)
+		}
+	}
+	st, err := experiment.NewStudy(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	w := st.World
+	fmt.Printf("zmapsim: scanning %s (port %d) from %s over 2^%d addresses\n",
+		p, p.Port(), w.Origins.Get(o).Name, w.SpaceBits)
+
+	res, err := st.ScanOne(o, p, *trial)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printScan(res, w, *verbose)
+	if capture != nil {
+		fmt.Printf("pcap: %d packets written to %s\n", capture.Count(), *pcapPath)
+	}
+	if *banners {
+		printBanners(res)
+	}
+}
+
+// printBanners tallies the captured banners of one scan.
+func printBanners(res *results.ScanResult) {
+	counts := map[string]int{}
+	res.Each(func(r results.HostRecord) {
+		if r.L7 && r.Banner != "" {
+			counts[r.Banner]++
+		}
+	})
+	type kv struct {
+		b string
+		n int
+	}
+	var kvs []kv
+	for b, n := range counts {
+		kvs = append(kvs, kv{b, n})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].n > kvs[j].n })
+	fmt.Println("top banners:")
+	for i, e := range kvs {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %-40s %6d\n", e.b, e.n)
+	}
+}
+
+func parseOrigin(s string) (origin.ID, bool) {
+	for _, o := range append(origin.StudySet(), origin.CARINET) {
+		if strings.EqualFold(o.String(), s) {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+func parseProto(s string) (proto.Protocol, bool) {
+	for _, p := range proto.All() {
+		if strings.EqualFold(p.String(), s) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func printScan(res *results.ScanResult, w *world.World, verbose bool) {
+	l4, l7, rstOnly := 0, 0, 0
+	failCounts := map[zgrab.FailMode]int{}
+	res.Each(func(r results.HostRecord) {
+		if r.L4() {
+			l4++
+		} else if r.RST {
+			rstOnly++
+		}
+		if r.L7 {
+			l7++
+		} else if r.L4() {
+			failCounts[r.Fail]++
+		}
+		if verbose && r.L4() {
+			status := "ok"
+			if !r.L7 {
+				status = r.Fail.String()
+			}
+			as := "?"
+			if a, okAS := w.ASOf(r.Addr); okAS {
+				as = fmt.Sprintf("AS%d %s", a.Number, a.Name)
+			}
+			fmt.Printf("  %-15s probes=%02b %-8s %s\n", r.Addr, r.ProbeMask, status, as)
+		}
+	})
+	fmt.Printf("targets probed:    %d\n", res.Targets)
+	fmt.Printf("probes sent:       %d\n", res.ProbesSent)
+	fmt.Printf("SYN-ACKs (valid):  %d\n", res.SynAcks)
+	fmt.Printf("RSTs (valid):      %d\n", res.Rsts)
+	fmt.Printf("invalid responses: %d\n", res.Invalid)
+	fmt.Printf("hosts L4-alive:    %d\n", l4)
+	fmt.Printf("hosts RST-only:    %d\n", rstOnly)
+	fmt.Printf("handshakes OK:     %d\n", l7)
+	for mode, n := range failCounts {
+		fmt.Printf("  grab failed (%s): %d\n", mode, n)
+	}
+	hitRate := 0.0
+	if res.Targets > 0 {
+		hitRate = float64(l7) / float64(res.Targets)
+	}
+	fmt.Printf("hit rate:          %.4f%%\n", 100*hitRate)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "zmapsim: "+format+"\n", args...)
+	os.Exit(1)
+}

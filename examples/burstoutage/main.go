@@ -1,0 +1,61 @@
+// Burstoutage: the paper's §5.3 machinery — classify missing hosts as
+// transient vs long-term, build hourly loss series per (origin, AS), and
+// detect short-lived burst outages with the 4-hour rolling window and 2σ
+// threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/experiment"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/world"
+)
+
+func main() {
+	study, err := experiment.NewStudy(experiment.Config{
+		WorldSpec: world.TestSpec(23),
+		Protocols: []proto.Protocol{proto.HTTP},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := analysis.NewClassifier(ds, proto.HTTP)
+	topo := analysis.WorldTopo{W: study.World}
+
+	fmt.Println("missing-host classification (trial 1, % of ground truth):")
+	for _, b := range analysis.MissingBreakdown(c) {
+		if b.Trial != 0 {
+			continue
+		}
+		fmt.Printf("  %-5s transient=%5.2f%% long-term=%5.2f%% unknown=%5.2f%%\n",
+			b.Origin,
+			100*(b.Frac(analysis.CatTransientHost)+b.Frac(analysis.CatTransientNet)),
+			100*(b.Frac(analysis.CatLongTermHost)+b.Frac(analysis.CatLongTermNet)),
+			100*b.Frac(analysis.CatUnknown))
+	}
+
+	rep := analysis.Bursts(c, topo, 21)
+	fmt.Printf("\nburst outages detected (hourly series, 4h rolling mean, 2σ):\n")
+	fmt.Printf("  destination ASes with ≥1 burst: %.1f%%\n", 100*rep.ASesWithBurst)
+	fmt.Printf("  bursts hitting a single origin: %.1f%%\n", 100*rep.SingleOriginBursts)
+	fmt.Printf("  bursts within three origins:    %.1f%%\n", 100*rep.WithinThree)
+	fmt.Println("\nshare of each origin's transient loss that coincides with a burst:")
+	for _, o := range origin.StudySet() {
+		fmt.Printf("  %-5s", o)
+		for _, f := range rep.PerOriginTrial[o] {
+			fmt.Printf(" %5.1f%%", 100*f)
+		}
+		fmt.Println("   (per trial)")
+	}
+	fmt.Println("\nThe paper attributes 14-36% of transient loss to short, localized")
+	fmt.Println("outages that usually affect a single scan origin at a time.")
+}

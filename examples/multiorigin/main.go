@@ -1,0 +1,45 @@
+// Multiorigin: the paper's headline recommendation quantified — run the
+// full three-trial HTTP study and show how coverage and its variance change
+// as scans combine 1, 2, 3, ... origins (IMC'20 §7, Figure 15).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/experiment"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/world"
+)
+
+func main() {
+	study, err := experiment.NewStudy(experiment.Config{
+		WorldSpec: world.TestSpec(7),
+		Protocols: []proto.Protocol{proto.HTTP},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("multi-origin HTTP coverage across all origin combinations")
+	fmt.Println("(median over C(7,k) subsets, averaged over 3 trials)")
+	fmt.Println()
+	fmt.Printf("%-3s%12s%12s%12s%10s\n", "k", "median", "min", "max", "sigma")
+	levels := analysis.MultiOrigin(ds, proto.HTTP, origin.StudySet(), false)
+	for _, lvl := range levels {
+		fmt.Printf("%-3d%11.2f%%%11.2f%%%11.2f%%%9.3f%%\n",
+			lvl.K, 100*lvl.Median, 100*lvl.Min, 100*lvl.Max, 100*lvl.Sigma)
+	}
+	best := levels[2].Best
+	worst := levels[2].Worst
+	fmt.Printf("\nbest triad:  %v at %.2f%%\n", best.Origins, 100*best.Coverage)
+	fmt.Printf("worst triad: %v at %.2f%%\n", worst.Origins, 100*worst.Coverage)
+	fmt.Println("\nTwo to three sufficiently diverse origins recover most transient")
+	fmt.Println("loss and collapse the variance — the exact choice barely matters.")
+}

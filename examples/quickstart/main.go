@@ -1,0 +1,41 @@
+// Quickstart: generate a small synthetic Internet, run one synchronized
+// HTTP trial from all seven origins, and print each origin's coverage of
+// the ground-truth hosts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiment"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/world"
+)
+
+func main() {
+	study, err := experiment.NewStudy(experiment.Config{
+		WorldSpec: world.TestSpec(1),
+		Trials:    1,
+		Protocols: []proto.Protocol{proto.HTTP},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gt := ds.GroundTruth(proto.HTTP, 0)
+	fmt.Printf("ground truth: %d live HTTP hosts (world has %d)\n\n",
+		len(gt), study.World.HostCount(proto.HTTP))
+	fmt.Println("coverage by origin (2 probes / 1 probe):")
+	for _, o := range origin.StudySet() {
+		fmt.Printf("  %-5s %6.2f%% / %6.2f%%\n", o,
+			100*ds.Coverage(o, proto.HTTP, 0, false),
+			100*ds.Coverage(o, proto.HTTP, 0, true))
+	}
+	fmt.Println("\nEvery origin sees a different slice of the Internet — no")
+	fmt.Println("single vantage point reaches every live host (IMC'20, Fig. 1).")
+}

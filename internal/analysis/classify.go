@@ -1,0 +1,176 @@
+// Package analysis implements the paper's analyses over a study dataset:
+// accessibility classification (transient vs long-term, host vs /24
+// network), coverage tables, exclusivity, per-AS and per-country
+// aggregation, packet-loss estimation, best/worst-origin stability, burst
+// attribution, SSH cause breakdown, and multi-origin coverage.
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+)
+
+// Topology resolves hosts to networks and countries. *world.World
+// satisfies it via WorldTopo; analyses of real scan data would plug a
+// routing-table snapshot and geolocation database here instead.
+type Topology interface {
+	ASOf(a ip.Addr) (asn.ASN, bool)
+	ASName(n asn.ASN) string
+	CountryOf(a ip.Addr) (geo.Country, bool)
+}
+
+// Class is a host's accessibility classification from one origin (§3).
+type Class uint8
+
+const (
+	// ClassAccessible: the origin completed a handshake in every trial
+	// where the host was live.
+	ClassAccessible Class = iota
+	// ClassTransient: missed in some trials, seen in others.
+	ClassTransient
+	// ClassLongTerm: missed in every trial the host was live in (and it
+	// was live in more than one).
+	ClassLongTerm
+	// ClassUnknown: the host appeared in only one trial, so transient
+	// and long-term cannot be distinguished.
+	ClassUnknown
+)
+
+var classNames = [...]string{"accessible", "transient", "long-term", "unknown"}
+
+// String returns the class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class(?)"
+}
+
+// Classifier computes and caches per-host classifications for one protocol
+// across all trials of a dataset.
+type Classifier struct {
+	DS    *results.Dataset
+	Proto proto.Protocol
+
+	// union is every host live in at least one trial, sorted.
+	union []ip.Addr
+	// presence[h] is a bitmask of trials the host was live in.
+	presence map[ip.Addr]uint8
+	// class[origin][h] is the classification.
+	class map[origin.ID]map[ip.Addr]Class
+}
+
+// NewClassifier classifies the dataset's hosts for one protocol.
+func NewClassifier(ds *results.Dataset, p proto.Protocol) *Classifier {
+	c := &Classifier{
+		DS: ds, Proto: p,
+		presence: make(map[ip.Addr]uint8),
+		class:    make(map[origin.ID]map[ip.Addr]Class),
+	}
+	for t := 0; t < ds.Trials; t++ {
+		for _, a := range ds.GroundTruth(p, t) {
+			c.presence[a] |= 1 << t
+		}
+	}
+	c.union = make([]ip.Addr, 0, len(c.presence))
+	for a := range c.presence {
+		c.union = append(c.union, a)
+	}
+	sort.Slice(c.union, func(i, j int) bool { return c.union[i] < c.union[j] })
+
+	for _, o := range ds.Origins {
+		m := make(map[ip.Addr]Class, len(c.union))
+		for _, a := range c.union {
+			m[a] = c.classify(o, a)
+		}
+		c.class[o] = m
+	}
+	return c
+}
+
+func (c *Classifier) classify(o origin.ID, a ip.Addr) Class {
+	present := 0
+	missed := 0
+	for t := 0; t < c.DS.Trials; t++ {
+		if c.presence[a]&(1<<t) == 0 {
+			continue
+		}
+		s := c.DS.Scan(o, c.Proto, t)
+		if s == nil {
+			// Origin did not scan this trial (Carinet): only its
+			// scanned trials count.
+			continue
+		}
+		present++
+		if !s.Success(a, false) {
+			missed++
+		}
+	}
+	switch {
+	case present == 0:
+		return ClassUnknown
+	case missed == 0:
+		return ClassAccessible
+	case present == 1:
+		return ClassUnknown
+	case missed == present:
+		return ClassLongTerm
+	default:
+		return ClassTransient
+	}
+}
+
+// Union returns every host live in at least one trial, sorted by address.
+func (c *Classifier) Union() []ip.Addr { return c.union }
+
+// PresentIn reports whether the host was live in the trial.
+func (c *Classifier) PresentIn(a ip.Addr, trial int) bool {
+	return c.presence[a]&(1<<trial) != 0
+}
+
+// TrialsPresent returns the number of trials the host was live in.
+func (c *Classifier) TrialsPresent(a ip.Addr) int {
+	n := 0
+	for t := 0; t < c.DS.Trials; t++ {
+		if c.presence[a]&(1<<t) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Of returns the host's classification from the origin.
+func (c *Classifier) Of(o origin.ID, a ip.Addr) Class { return c.class[o][a] }
+
+// HostsOfClass returns the hosts with the given class from the origin.
+func (c *Classifier) HostsOfClass(o origin.ID, cl Class) []ip.Addr {
+	var out []ip.Addr
+	for _, a := range c.union {
+		if c.class[o][a] == cl {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// MissedInTrial returns the hosts live in the trial that the origin failed
+// to handshake with.
+func (c *Classifier) MissedInTrial(o origin.ID, trial int) []ip.Addr {
+	s := c.DS.Scan(o, c.Proto, trial)
+	if s == nil {
+		return nil
+	}
+	var out []ip.Addr
+	for _, a := range c.DS.GroundTruth(c.Proto, trial) {
+		if !s.Success(a, false) {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+	"repro/internal/stats"
+)
+
+// CoverageCell is one (origin, trial) entry of Table 4a.
+type CoverageCell struct {
+	Origin   origin.ID
+	Trial    int
+	Coverage float64 // 2-probe
+	Single   float64 // 1-probe simulation
+}
+
+// CoverageTable is Table 4a for one protocol: per-origin per-trial coverage
+// plus the all-origin intersection and the ground-truth union size.
+type CoverageTable struct {
+	Proto proto.Protocol
+	Cells []CoverageCell
+	// Intersection[t] is the fraction of trial t's ground truth that
+	// every origin saw; Union[t] is the ground-truth host count.
+	Intersection []float64
+	Union        []int
+}
+
+// Coverage computes Table 4a for one protocol.
+func Coverage(ds *results.Dataset, p proto.Protocol) CoverageTable {
+	t := CoverageTable{Proto: p}
+	for trial := 0; trial < ds.Trials; trial++ {
+		gt := ds.GroundTruth(p, trial)
+		t.Union = append(t.Union, len(gt))
+		inter := ds.Intersection(p, trial)
+		if len(gt) > 0 {
+			t.Intersection = append(t.Intersection, float64(inter)/float64(len(gt)))
+		} else {
+			t.Intersection = append(t.Intersection, 0)
+		}
+		for _, o := range ds.Origins {
+			if ds.Scan(o, p, trial) == nil {
+				continue
+			}
+			t.Cells = append(t.Cells, CoverageCell{
+				Origin:   o,
+				Trial:    trial,
+				Coverage: ds.Coverage(o, p, trial, false),
+				Single:   ds.Coverage(o, p, trial, true),
+			})
+		}
+	}
+	return t
+}
+
+// Mean returns the origin's mean coverage across its trials.
+func (t *CoverageTable) Mean(o origin.ID, singleProbe bool) float64 {
+	var vals []float64
+	for _, c := range t.Cells {
+		if c.Origin != o {
+			continue
+		}
+		if singleProbe {
+			vals = append(vals, c.Single)
+		} else {
+			vals = append(vals, c.Coverage)
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// PairwiseMcNemar runs McNemar's test between every pair of origins for
+// one protocol and trial over the ground-truth hosts, Bonferroni-corrected
+// for the number of pairs (§3).
+type McNemarPair struct {
+	OrigA, OrigB origin.ID
+	stats.McNemarResult
+	PAdjusted float64
+}
+
+// PairwiseMcNemar computes the §3 significance matrix.
+func PairwiseMcNemar(ds *results.Dataset, p proto.Protocol, trial int) []McNemarPair {
+	gt := ds.GroundTruth(p, trial)
+	var origins origin.Set
+	for _, o := range ds.Origins {
+		if ds.Scan(o, p, trial) != nil {
+			origins = append(origins, o)
+		}
+	}
+	nPairs := len(origins) * (len(origins) - 1) / 2
+	var out []McNemarPair
+	for i := 0; i < len(origins); i++ {
+		for j := i + 1; j < len(origins); j++ {
+			a, b := origins[i], origins[j]
+			sa, sb := ds.MustScan(a, p, trial), ds.MustScan(b, p, trial)
+			var onlyA, onlyB uint64
+			for _, h := range gt {
+				va, vb := sa.Success(h, false), sb.Success(h, false)
+				if va && !vb {
+					onlyA++
+				} else if vb && !va {
+					onlyB++
+				}
+			}
+			r := stats.McNemar(onlyA, onlyB)
+			out = append(out, McNemarPair{
+				OrigA: a, OrigB: b, McNemarResult: r,
+				PAdjusted: stats.Bonferroni(r.P, nPairs),
+			})
+		}
+	}
+	return out
+}
+
+// CochranQ runs Cochran's Q across all origins for one protocol and trial
+// (§3 notes why pairwise McNemar is preferred; provided for completeness).
+func CochranQ(ds *results.Dataset, p proto.Protocol, trial int) (q float64, df int, pval float64) {
+	gt := ds.GroundTruth(p, trial)
+	var origins origin.Set
+	for _, o := range ds.Origins {
+		if ds.Scan(o, p, trial) != nil {
+			origins = append(origins, o)
+		}
+	}
+	rows := make([][]bool, 0, len(gt))
+	for _, h := range gt {
+		row := make([]bool, len(origins))
+		for i, o := range origins {
+			row[i] = ds.MustScan(o, p, trial).Success(h, false)
+		}
+		rows = append(rows, row)
+	}
+	return stats.CochranQ(rows)
+}
+
+// ProbeStats quantifies the §7 probe-level findings for one origin,
+// protocol, and trial: 1- vs 2-probe coverage and the both-probes-lost
+// conditional probability (the paper finds ≥93%, i.e. loss is correlated).
+type ProbeStats struct {
+	Origin          origin.ID
+	Trial           int
+	Coverage2Probe  float64
+	Coverage1Probe  float64
+	LostAtLeastOne  int
+	LostBoth        int
+	BothLostPortion float64
+}
+
+// Probes computes ProbeStats over the trial's ground truth.
+func Probes(ds *results.Dataset, p proto.Protocol, o origin.ID, trial int) ProbeStats {
+	ps := ProbeStats{Origin: o, Trial: trial}
+	ps.Coverage2Probe = ds.Coverage(o, p, trial, false)
+	ps.Coverage1Probe = ds.Coverage(o, p, trial, true)
+	s := ds.Scan(o, p, trial)
+	if s == nil {
+		return ps
+	}
+	for _, h := range ds.GroundTruth(p, trial) {
+		r, ok := s.Get(h)
+		mask := uint8(0)
+		if ok {
+			mask = r.ProbeMask
+		}
+		switch {
+		case mask == 0b11:
+			// both probes answered
+		case mask == 0:
+			ps.LostAtLeastOne++
+			ps.LostBoth++
+		default:
+			ps.LostAtLeastOne++
+		}
+	}
+	if ps.LostAtLeastOne > 0 {
+		ps.BothLostPortion = float64(ps.LostBoth) / float64(ps.LostAtLeastOne)
+	}
+	return ps
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/ip"
+	"repro/internal/origin"
+)
+
+// Exclusivity captures §4's exclusive-access analysis: hosts reachable from
+// only one origin (exclusively accessible) and hosts unreachable from only
+// one origin (exclusively inaccessible), across all trials.
+type Exclusivity struct {
+	// Accessible[o] lists hosts only origin o could ever handshake with.
+	Accessible map[origin.ID][]ip.Addr
+	// Inaccessible[o] lists hosts only origin o persistently missed
+	// (long-term inaccessible from o, accessible from every other).
+	Inaccessible map[origin.ID][]ip.Addr
+}
+
+// Exclusive computes the exclusivity sets from a classifier. A host is
+// exclusively accessible from o when o is the only origin that completed a
+// handshake in any trial; exclusively inaccessible when o is the only
+// origin classified long-term for it.
+func Exclusive(c *Classifier) Exclusivity {
+	ex := Exclusivity{
+		Accessible:   map[origin.ID][]ip.Addr{},
+		Inaccessible: map[origin.ID][]ip.Addr{},
+	}
+	for _, a := range c.Union() {
+		var accessibleFrom, longTermFrom origin.Set
+		for _, o := range c.DS.Origins {
+			switch c.Of(o, a) {
+			case ClassAccessible, ClassTransient:
+				accessibleFrom = append(accessibleFrom, o)
+			case ClassLongTerm:
+				longTermFrom = append(longTermFrom, o)
+			case ClassUnknown:
+				// A host seen in one trial still counts as
+				// accessible from origins that saw it then.
+				if sawEver(c, o, a) {
+					accessibleFrom = append(accessibleFrom, o)
+				}
+			}
+		}
+		if len(accessibleFrom) == 1 {
+			o := accessibleFrom[0]
+			ex.Accessible[o] = append(ex.Accessible[o], a)
+		}
+		if len(longTermFrom) == 1 && len(accessibleFrom) == len(c.DS.Origins)-1 {
+			o := longTermFrom[0]
+			ex.Inaccessible[o] = append(ex.Inaccessible[o], a)
+		}
+	}
+	return ex
+}
+
+func sawEver(c *Classifier, o origin.ID, a ip.Addr) bool {
+	for t := 0; t < c.DS.Trials; t++ {
+		if s := c.DS.Scan(o, c.Proto, t); s != nil && s.Success(a, false) {
+			return true
+		}
+	}
+	return false
+}
+
+// ShareRow is one origin's column of Table 1: its share of all exclusively
+// accessible and exclusively inaccessible hosts.
+type ShareRow struct {
+	Origin          origin.ID
+	AccessibleN     int
+	InaccessibleN   int
+	AccessiblePct   float64
+	InaccessiblePct float64
+}
+
+// ExclusiveShare computes Table 1's row pair for one protocol.
+func ExclusiveShare(ex Exclusivity, origins origin.Set) []ShareRow {
+	totalAcc, totalInacc := 0, 0
+	for _, o := range origins {
+		totalAcc += len(ex.Accessible[o])
+		totalInacc += len(ex.Inaccessible[o])
+	}
+	rows := make([]ShareRow, 0, len(origins))
+	for _, o := range origins {
+		r := ShareRow{
+			Origin:        o,
+			AccessibleN:   len(ex.Accessible[o]),
+			InaccessibleN: len(ex.Inaccessible[o]),
+		}
+		if totalAcc > 0 {
+			r.AccessiblePct = 100 * float64(r.AccessibleN) / float64(totalAcc)
+		}
+		if totalInacc > 0 {
+			r.InaccessiblePct = 100 * float64(r.InaccessibleN) / float64(totalInacc)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// CountryCell is one cell of Figure 6/16: hosts in DestCountry exclusively
+// accessible from Origin, with the same-country flag highlighted.
+type CountryCell struct {
+	Origin      origin.ID
+	DestCountry geo.Country
+	Hosts       int
+	// InCountry marks the dark-green diagonal: origin scanning its own
+	// country.
+	InCountry bool
+	// CountryFrac is Hosts as a fraction of the destination country's
+	// live hosts.
+	CountryFrac float64
+}
+
+// ExclusiveByCountry computes Figure 6/16 for one protocol. originCountry
+// maps each origin to its location; countryHosts counts each country's
+// ground-truth hosts.
+func ExclusiveByCountry(c *Classifier, topo Topology, originCountry map[origin.ID]geo.Country) []CountryCell {
+	ex := Exclusive(c)
+	countryHosts := map[geo.Country]int{}
+	for _, a := range c.Union() {
+		if cc, ok := topo.CountryOf(a); ok {
+			countryHosts[cc]++
+		}
+	}
+	var cells []CountryCell
+	for _, o := range c.DS.Origins {
+		counts := map[geo.Country]int{}
+		for _, a := range ex.Accessible[o] {
+			if cc, ok := topo.CountryOf(a); ok {
+				counts[cc]++
+			}
+		}
+		for cc, n := range counts {
+			cell := CountryCell{
+				Origin: o, DestCountry: cc, Hosts: n,
+				InCountry: originCountry[o] == cc,
+			}
+			if th := countryHosts[cc]; th > 0 {
+				cell.CountryFrac = float64(n) / float64(th)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Origin != cells[j].Origin {
+			return cells[i].Origin < cells[j].Origin
+		}
+		return cells[i].Hosts > cells[j].Hosts
+	})
+	return cells
+}
+
+// ASShare is one bar of Figure 7: an AS's share of the hosts exclusively
+// accessible from one origin.
+type ASShare struct {
+	Origin origin.ID
+	AS     asn.ASN
+	ASName string
+	Hosts  int
+	Share  float64
+}
+
+// ExclusiveByAS computes Figure 7: the ASes holding the largest share of
+// each origin's exclusively accessible hosts (top n per origin).
+func ExclusiveByAS(c *Classifier, topo Topology, topN int) []ASShare {
+	ex := Exclusive(c)
+	var out []ASShare
+	for _, o := range c.DS.Origins {
+		hosts := ex.Accessible[o]
+		if len(hosts) == 0 {
+			continue
+		}
+		counts := map[asn.ASN]int{}
+		for _, a := range hosts {
+			if n, ok := topo.ASOf(a); ok {
+				counts[n]++
+			}
+		}
+		shares := make([]ASShare, 0, len(counts))
+		for n, cnt := range counts {
+			shares = append(shares, ASShare{
+				Origin: o, AS: n, ASName: topo.ASName(n),
+				Hosts: cnt, Share: float64(cnt) / float64(len(hosts)),
+			})
+		}
+		sort.Slice(shares, func(i, j int) bool { return shares[i].Hosts > shares[j].Hosts })
+		if len(shares) > topN {
+			shares = shares[:topN]
+		}
+		out = append(out, shares...)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+	"repro/internal/stats"
+)
+
+// ComboCoverage is one origin-combination's coverage.
+type ComboCoverage struct {
+	Origins  origin.Set
+	Coverage float64
+}
+
+// MultiOriginLevel summarizes all k-origin combinations for Figure 15/17:
+// the box-plot statistics of coverage at each k.
+type MultiOriginLevel struct {
+	K      int
+	Median float64
+	Mean   float64
+	Min    float64
+	Max    float64
+	Sigma  float64
+	// Best is the combination with the highest coverage.
+	Best ComboCoverage
+	// Worst is the combination with the lowest coverage.
+	Worst ComboCoverage
+	// All lists every combination, sorted descending by coverage.
+	All []ComboCoverage
+}
+
+// MultiOrigin computes coverage for every subset of origins of every size,
+// averaged across trials, for one protocol (Figures 15, 17, 18).
+// singleProbe selects the 1-probe simulation.
+func MultiOrigin(ds *results.Dataset, p proto.Protocol, origins origin.Set, singleProbe bool) []MultiOriginLevel {
+	n := len(origins)
+	var levels []MultiOriginLevel
+	for k := 1; k <= n; k++ {
+		lvl := MultiOriginLevel{K: k, Min: 2, Max: -1}
+		var vals []float64
+		forEachCombo(n, k, func(idx []int) {
+			combo := make(origin.Set, k)
+			for i, j := range idx {
+				combo[i] = origins[j]
+			}
+			var sum float64
+			trials := 0
+			for t := 0; t < ds.Trials; t++ {
+				if ds.Scan(combo[0], p, t) == nil {
+					continue
+				}
+				sum += ds.CoverageOfSet(combo, p, t, singleProbe)
+				trials++
+			}
+			if trials == 0 {
+				return
+			}
+			cov := sum / float64(trials)
+			cc := ComboCoverage{Origins: combo, Coverage: cov}
+			lvl.All = append(lvl.All, cc)
+			vals = append(vals, cov)
+			if cov < lvl.Min {
+				lvl.Min, lvl.Worst = cov, cc
+			}
+			if cov > lvl.Max {
+				lvl.Max, lvl.Best = cov, cc
+			}
+		})
+		lvl.Median = stats.Median(vals)
+		lvl.Mean = stats.Mean(vals)
+		lvl.Sigma = stats.StdDev(vals)
+		sort.Slice(lvl.All, func(i, j int) bool { return lvl.All[i].Coverage > lvl.All[j].Coverage })
+		levels = append(levels, lvl)
+	}
+	return levels
+}
+
+// CoverageOfCombo returns the trial-averaged coverage of one specific
+// origin combination (used to pull out named combos like HE-NTT-TELIA).
+func CoverageOfCombo(ds *results.Dataset, p proto.Protocol, combo origin.Set, singleProbe bool) float64 {
+	var sum float64
+	trials := 0
+	for t := 0; t < ds.Trials; t++ {
+		if ds.Scan(combo[0], p, t) == nil {
+			continue
+		}
+		sum += ds.CoverageOfSet(combo, p, t, singleProbe)
+		trials++
+	}
+	if trials == 0 {
+		return 0
+	}
+	return sum / float64(trials)
+}
+
+// forEachCombo enumerates k-subsets of [0, n) in lexicographic order.
+func forEachCombo(n, k int, fn func(idx []int)) {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		// Advance.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

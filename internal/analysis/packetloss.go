@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+	"repro/internal/stats"
+)
+
+// PacketLossEstimate is the §5.2 estimator output for one (origin, trial):
+// the fraction of responsive hosts that answered exactly one of the two
+// probes — a lower bound on random packet drop. RST-only hosts and
+// duplicate responses are excluded, and the analysis is restricted to
+// ground-truth (L7-confirmed) hosts, as in the paper.
+type PacketLossEstimate struct {
+	Origin origin.ID
+	Trial  int
+	// Global estimate.
+	Rate float64
+	// PerAS estimates (ASes with ≥ minHosts responsive hosts only).
+	PerAS map[asn.ASN]float64
+}
+
+// PacketLoss computes the estimator for one (origin, protocol, trial).
+func PacketLoss(ds *results.Dataset, topo Topology, p proto.Protocol, o origin.ID, trial int, minHosts int) PacketLossEstimate {
+	if minHosts < 1 {
+		minHosts = 5
+	}
+	est := PacketLossEstimate{Origin: o, Trial: trial, PerAS: map[asn.ASN]float64{}}
+	s := ds.Scan(o, p, trial)
+	if s == nil {
+		return est
+	}
+	type counts struct{ one, responding int }
+	perAS := map[asn.ASN]*counts{}
+	var one, responding int
+	for _, h := range ds.GroundTruth(p, trial) {
+		r, ok := s.Get(h)
+		if !ok || r.ProbeMask == 0 || r.RST {
+			continue // unresponsive or RST: excluded per §5.2
+		}
+		responding++
+		isOne := r.ProbeMask != 0b11
+		if isOne {
+			one++
+		}
+		if as, okAS := topo.ASOf(h); okAS {
+			c := perAS[as]
+			if c == nil {
+				c = &counts{}
+				perAS[as] = c
+			}
+			c.responding++
+			if isOne {
+				c.one++
+			}
+		}
+	}
+	if responding > 0 {
+		est.Rate = float64(one) / float64(responding)
+	}
+	for as, c := range perAS {
+		if c.responding >= minHosts {
+			est.PerAS[as] = float64(c.one) / float64(c.responding)
+		}
+	}
+	return est
+}
+
+// DropVsTransient correlates, per AS, the origin's packet-loss estimate
+// with its transient host-loss rate (§5.2 reports only weak correlation,
+// ρ = 0.40–0.52: loss is not simply random drop).
+func DropVsTransient(c *Classifier, topo Topology, minHosts int) map[origin.ID]stats.SpearmanResult {
+	out := map[origin.ID]stats.SpearmanResult{}
+	spreads := TransientLossSpread(c, topo, minHosts)
+	for _, o := range c.DS.Origins {
+		// Average the per-trial drop estimates per AS.
+		acc := map[asn.ASN]float64{}
+		n := 0
+		for t := 0; t < c.DS.Trials; t++ {
+			if c.DS.Scan(o, c.Proto, t) == nil {
+				continue
+			}
+			est := PacketLoss(c.DS, topo, c.Proto, o, t, minHosts)
+			for as, r := range est.PerAS {
+				acc[as] += r
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		var xs, ys []float64
+		for _, sp := range spreads {
+			drop, ok := acc[sp.AS]
+			if !ok {
+				continue
+			}
+			xs = append(xs, drop/float64(n))
+			ys = append(ys, sp.Rate[o])
+		}
+		out[o] = stats.Spearman(xs, ys)
+	}
+	return out
+}
+
+// OriginASPoint is one point of Figure 10: one origin's view of one AS.
+type OriginASPoint struct {
+	Origin    origin.ID
+	Transient float64 // transient host-loss rate in the AS
+	Drop      float64 // mean packet-loss estimate across trials
+}
+
+// LossVsDropForAS extracts Figure 10's per-origin points for one AS.
+func LossVsDropForAS(c *Classifier, topo Topology, as asn.ASN) []OriginASPoint {
+	var hosts []ip.Addr
+	for _, a := range c.Union() {
+		if n, ok := topo.ASOf(a); ok && n == as {
+			hosts = append(hosts, a)
+		}
+	}
+	if len(hosts) == 0 {
+		return nil
+	}
+	var pts []OriginASPoint
+	for _, o := range c.DS.Origins {
+		tr := 0
+		for _, a := range hosts {
+			if c.Of(o, a) == ClassTransient {
+				tr++
+			}
+		}
+		var dropSum float64
+		n := 0
+		for t := 0; t < c.DS.Trials; t++ {
+			if c.DS.Scan(o, c.Proto, t) == nil {
+				continue
+			}
+			est := PacketLoss(c.DS, topo, c.Proto, o, t, 2)
+			if r, ok := est.PerAS[as]; ok {
+				dropSum += r
+				n++
+			}
+		}
+		pt := OriginASPoint{Origin: o, Transient: float64(tr) / float64(len(hosts))}
+		if n > 0 {
+			pt.Drop = dropSum / float64(n)
+		}
+		pts = append(pts, pt)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Origin < pts[j].Origin })
+	return pts
+}

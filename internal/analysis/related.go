@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+)
+
+// Slash24Agreement reproduces the paper's §8 comparison with Heidemann et
+// al. (2008): for each pair of origins, the fraction of /24 blocks whose
+// response rates from the two origins agree within the tolerance. Heidemann
+// found 96% of /24s within 5% between two U.S. origins; the paper finds 87%
+// averaged over its more diverse origin pairs.
+type Slash24Agreement struct {
+	// PerPair[i] is one origin pair's agreement fraction.
+	PerPair []PairAgreement
+	// Mean is the average agreement across pairs.
+	Mean float64
+	// Blocks is the number of /24s with enough hosts to compare.
+	Blocks int
+}
+
+// PairAgreement is one origin pair's agreement.
+type PairAgreement struct {
+	A, B      origin.ID
+	Agreement float64
+}
+
+// AgreementWithin computes the /24 response-rate agreement for one protocol
+// and trial. Blocks need at least minHosts live hosts; tolerance is the
+// absolute response-rate difference treated as agreement (0.05 in both
+// papers).
+func AgreementWithin(ds *results.Dataset, p proto.Protocol, trial int, minHosts int, tolerance float64) Slash24Agreement {
+	if minHosts < 1 {
+		minHosts = 2
+	}
+	gt := ds.GroundTruth(p, trial)
+	blocks := map[ip.Addr][]ip.Addr{}
+	for _, a := range gt {
+		k := a &^ 0xff
+		blocks[k] = append(blocks[k], a)
+	}
+	var usable []([]ip.Addr)
+	for _, hosts := range blocks {
+		if len(hosts) >= minHosts {
+			usable = append(usable, hosts)
+		}
+	}
+
+	var origins origin.Set
+	for _, o := range ds.Origins {
+		if ds.Scan(o, p, trial) != nil {
+			origins = append(origins, o)
+		}
+	}
+	// Response rate per (origin, block).
+	rate := func(o origin.ID, hosts []ip.Addr) float64 {
+		s := ds.MustScan(o, p, trial)
+		n := 0
+		for _, a := range hosts {
+			if s.Success(a, false) {
+				n++
+			}
+		}
+		return float64(n) / float64(len(hosts))
+	}
+
+	out := Slash24Agreement{Blocks: len(usable)}
+	if len(usable) == 0 {
+		return out
+	}
+	var sum float64
+	for i := 0; i < len(origins); i++ {
+		for j := i + 1; j < len(origins); j++ {
+			agree := 0
+			for _, hosts := range usable {
+				ra, rb := rate(origins[i], hosts), rate(origins[j], hosts)
+				d := ra - rb
+				if d < 0 {
+					d = -d
+				}
+				if d <= tolerance {
+					agree++
+				}
+			}
+			pa := PairAgreement{
+				A: origins[i], B: origins[j],
+				Agreement: float64(agree) / float64(len(usable)),
+			}
+			out.PerPair = append(out.PerPair, pa)
+			sum += pa.Agreement
+		}
+	}
+	out.Mean = sum / float64(len(out.PerPair))
+	return out
+}

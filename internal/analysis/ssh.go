@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"time"
+
+	"repro/internal/asn"
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+	"repro/internal/zgrab"
+)
+
+// SSHCause attributes why an SSH host was missed (§6, Figure 14).
+type SSHCause uint8
+
+const (
+	// CauseAlibabaTemporal: the host is in a temporally-blocking network
+	// and reset the connection after the TCP handshake.
+	CauseAlibabaTemporal SSHCause = iota
+	// CauseProbabilistic: MaxStartups-style — the host closed/reset on
+	// this origin but completed an SSH handshake with another origin in
+	// the same trial.
+	CauseProbabilistic
+	// CauseOther: transient path loss, blocking, or anything else.
+	CauseOther
+	numSSHCauses
+)
+
+var sshCauseNames = [...]string{"alibaba-temporal", "probabilistic-maxstartups", "other"}
+
+// String returns the cause name.
+func (c SSHCause) String() string {
+	if int(c) < len(sshCauseNames) {
+		return sshCauseNames[c]
+	}
+	return "cause(?)"
+}
+
+// SSHBreakdown is Figure 14 for one origin: missing SSH hosts by cause,
+// summed over trials.
+type SSHBreakdown struct {
+	Origin origin.ID
+	Counts [numSSHCauses]int
+	// Missing is the total missing host-trials for the origin.
+	Missing int
+}
+
+// SSHCauses computes Figure 14. temporalASes lists the Alibaba-style
+// networks (from the scenario).
+func SSHCauses(c *Classifier, topo Topology, temporalASes []asn.ASN) []SSHBreakdown {
+	ds := c.DS
+	isTemporal := map[asn.ASN]bool{}
+	for _, a := range temporalASes {
+		isTemporal[a] = true
+	}
+	var out []SSHBreakdown
+	for _, o := range ds.Origins {
+		b := SSHBreakdown{Origin: o}
+		for t := 0; t < ds.Trials; t++ {
+			s := ds.Scan(o, proto.SSH, t)
+			if s == nil {
+				continue
+			}
+			for _, a := range c.MissedInTrial(o, t) {
+				b.Missing++
+				r, ok := s.Get(a)
+				as, _ := topo.ASOf(a)
+				switch {
+				case isTemporal[as] && ok && r.Fail == zgrab.FailReset:
+					b.Counts[CauseAlibabaTemporal]++
+				case ok && (r.Fail == zgrab.FailClosed || r.Fail == zgrab.FailReset) && seenByOther(ds, o, a, t):
+					// §6: "any IP that closes the connection after a
+					// TCP handshake with at least one origin and
+					// successfully completes an SSH handshake with
+					// another" is probabilistic temporary blocking.
+					b.Counts[CauseProbabilistic]++
+				default:
+					b.Counts[CauseOther]++
+				}
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func seenByOther(ds *results.Dataset, self origin.ID, a ip.Addr, trial int) bool {
+	for _, o := range ds.Origins {
+		if o == self {
+			continue
+		}
+		if s := ds.Scan(o, proto.SSH, trial); s != nil && s.Success(a, false) {
+			return true
+		}
+	}
+	return false
+}
+
+// CloseVsDrop computes §6's observation that transiently missed SSH hosts
+// explicitly close connections (RST/FIN after the TCP handshake) more often
+// than HTTP(S) hosts, which mostly drop. Returns the fraction of
+// transiently missed hosts (with an L4 response) that explicitly closed.
+func CloseVsDrop(c *Classifier, excludeASes []asn.ASN, topo Topology) float64 {
+	skip := map[asn.ASN]bool{}
+	for _, a := range excludeASes {
+		skip[a] = true
+	}
+	closed, total := 0, 0
+	for _, o := range c.DS.Origins {
+		for t := 0; t < c.DS.Trials; t++ {
+			s := c.DS.Scan(o, c.Proto, t)
+			if s == nil {
+				continue
+			}
+			for _, a := range c.MissedInTrial(o, t) {
+				if c.Of(o, a) != ClassTransient {
+					continue
+				}
+				if as, ok := topo.ASOf(a); ok && skip[as] {
+					continue
+				}
+				r, ok := s.Get(a)
+				if !ok || r.ProbeMask == 0 {
+					continue // no TCP handshake at all
+				}
+				total++
+				if r.Fail == zgrab.FailClosed || r.Fail == zgrab.FailReset {
+					closed++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(closed) / float64(total)
+}
+
+// HourlyOutcome is one bucket of Figure 12's Alibaba timeline.
+type HourlyOutcome struct {
+	Hour int
+	// Attempted is how many hosts in the network were grabbed this hour.
+	Attempted int
+	// Reset counts connections reset after the TCP handshake.
+	Reset int
+}
+
+// TemporalTimeline builds Figure 12 for one origin and trial: the hourly
+// fraction of hosts in the given ASes whose SSH connections were reset.
+func TemporalTimeline(ds *results.Dataset, topo Topology, ases []asn.ASN, o origin.ID, trial int, scanHours int) []HourlyOutcome {
+	if scanHours <= 0 {
+		scanHours = 21
+	}
+	want := map[asn.ASN]bool{}
+	for _, a := range ases {
+		want[a] = true
+	}
+	out := make([]HourlyOutcome, scanHours)
+	for i := range out {
+		out[i].Hour = i
+	}
+	s := ds.Scan(o, proto.SSH, trial)
+	if s == nil {
+		return out
+	}
+	s.Each(func(r results.HostRecord) {
+		as, ok := topo.ASOf(r.Addr)
+		if !ok || !want[as] || r.ProbeMask == 0 {
+			return
+		}
+		h := int(r.T / time.Hour)
+		if h >= scanHours {
+			h = scanHours - 1
+		}
+		out[h].Attempted++
+		if r.Fail == zgrab.FailReset {
+			out[h].Reset++
+		}
+	})
+	return out
+}

@@ -1,0 +1,128 @@
+// Package asn provides the autonomous-system registry and the announced-
+// prefix routing table. The paper snapshots a routing table from the U.S.
+// origin at the start of each trial to map destination IPs to origin ASes;
+// Table here plays that role via longest-prefix match.
+package asn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/ip"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Kind categorizes an AS; the paper's blocking analysis distinguishes
+// hosting providers, ISPs, CDNs, cloud, government, and enterprise
+// (financial/health/media) networks.
+type Kind uint8
+
+const (
+	KindHosting Kind = iota
+	KindISP
+	KindCloud
+	KindCDN
+	KindAcademic
+	KindGovernment
+	KindFinancial
+	KindHealthcare
+	KindMedia
+	KindConsumer
+	KindUtility
+)
+
+var kindNames = [...]string{
+	"hosting", "isp", "cloud", "cdn", "academic", "government",
+	"financial", "healthcare", "media", "consumer", "utility",
+}
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// AS describes one autonomous system in the world.
+type AS struct {
+	Number   ASN
+	Name     string
+	Country  geo.Country
+	Kind     Kind
+	Prefixes []ip.Prefix
+}
+
+// NumAddrs returns the total announced address space of the AS.
+func (a *AS) NumAddrs() uint64 {
+	var n uint64
+	for _, p := range a.Prefixes {
+		n += p.NumAddrs()
+	}
+	return n
+}
+
+// Table is a routing-table snapshot: announced prefixes mapped to origin AS.
+type Table struct {
+	byNumber map[ASN]*AS
+	ordered  []*AS
+	routes   *ip.RadixTree[ASN]
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table {
+	return &Table{
+		byNumber: make(map[ASN]*AS),
+		routes:   ip.NewRadixTree[ASN](),
+	}
+}
+
+// Register adds an AS and announces its prefixes. Registering the same ASN
+// twice or announcing an overlapping more-general route is an error: the
+// synthetic world allocates disjoint prefixes, so overlap means a generator
+// bug.
+func (t *Table) Register(a *AS) error {
+	if _, dup := t.byNumber[a.Number]; dup {
+		return fmt.Errorf("asn: duplicate AS%d", a.Number)
+	}
+	for _, p := range a.Prefixes {
+		if owner, ok := t.routes.Lookup(p.First()); ok {
+			return fmt.Errorf("asn: AS%d prefix %v overlaps AS%d", a.Number, p, owner)
+		}
+	}
+	t.byNumber[a.Number] = a
+	t.ordered = append(t.ordered, a)
+	for _, p := range a.Prefixes {
+		t.routes.Insert(p, a.Number)
+	}
+	return nil
+}
+
+// Lookup returns the origin AS for an address.
+func (t *Table) Lookup(a ip.Addr) (*AS, bool) {
+	n, ok := t.routes.Lookup(a)
+	if !ok {
+		return nil, false
+	}
+	return t.byNumber[n], true
+}
+
+// Get returns the AS with the given number.
+func (t *Table) Get(n ASN) (*AS, bool) {
+	a, ok := t.byNumber[n]
+	return a, ok
+}
+
+// All returns every registered AS sorted by number.
+func (t *Table) All() []*AS {
+	out := make([]*AS, len(t.ordered))
+	copy(out, t.ordered)
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// Len returns the number of registered ASes.
+func (t *Table) Len() int { return len(t.byNumber) }

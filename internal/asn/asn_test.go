@@ -1,0 +1,87 @@
+package asn
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+)
+
+func mkAS(n ASN, name string, prefixes ...string) *AS {
+	a := &AS{Number: n, Name: name, Country: "US", Kind: KindHosting}
+	for _, p := range prefixes {
+		a.Prefixes = append(a.Prefixes, ip.MustParsePrefix(p))
+	}
+	return a
+}
+
+func TestTableRegisterLookup(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Register(mkAS(100, "Alpha", "10.0.0.0/16", "10.2.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Register(mkAS(200, "Beta", "10.1.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := tab.Lookup(ip.MustParseAddr("10.2.99.1"))
+	if !ok || a.Number != 100 {
+		t.Errorf("Lookup = %v,%v", a, ok)
+	}
+	b, ok := tab.Lookup(ip.MustParseAddr("10.1.0.1"))
+	if !ok || b.Number != 200 {
+		t.Errorf("Lookup = %v,%v", b, ok)
+	}
+	if _, ok := tab.Lookup(ip.MustParseAddr("11.0.0.1")); ok {
+		t.Error("Lookup found unannounced space")
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestTableRejectsDuplicates(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Register(mkAS(100, "Alpha", "10.0.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Register(mkAS(100, "AlphaAgain", "11.0.0.0/16")); err == nil {
+		t.Error("Register accepted duplicate ASN")
+	}
+	if err := tab.Register(mkAS(300, "Nested", "10.0.5.0/24")); err == nil {
+		t.Error("Register accepted overlapping prefix")
+	}
+}
+
+func TestTableGetAndAll(t *testing.T) {
+	tab := NewTable()
+	for _, n := range []ASN{300, 100, 200} {
+		if err := tab.Register(mkAS(n, "X", ip.MakePrefix(ip.MakeAddr(byte(n/100), 0, 0, 0), 16).String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, ok := tab.Get(200); !ok || a.Number != 200 {
+		t.Errorf("Get(200) = %v,%v", a, ok)
+	}
+	if _, ok := tab.Get(999); ok {
+		t.Error("Get(999) found missing AS")
+	}
+	all := tab.All()
+	if len(all) != 3 || all[0].Number != 100 || all[2].Number != 300 {
+		t.Errorf("All() = %v", all)
+	}
+}
+
+func TestASNumAddrs(t *testing.T) {
+	a := mkAS(1, "A", "10.0.0.0/24", "10.1.0.0/23")
+	if got := a.NumAddrs(); got != 256+512 {
+		t.Errorf("NumAddrs = %d", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindHosting.String() != "hosting" || KindFinancial.String() != "financial" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("out-of-range kind should still format")
+	}
+}

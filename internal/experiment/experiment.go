@@ -1,0 +1,240 @@
+// Package experiment orchestrates the paper's measurements: synchronized
+// multi-origin ZMap+ZGrab scans over the synthetic Internet (the nine main
+// scans: 3 trials × {HTTP, HTTPS, SSH}), the SSH retry sub-experiment
+// (Figure 13), and the co-located Tier-1 follow-up (Table 4b, Figure 18).
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/world"
+	"repro/internal/zgrab"
+	"repro/internal/zmap"
+)
+
+// Config configures a study run.
+type Config struct {
+	// WorldSpec generates the synthetic Internet.
+	WorldSpec world.Spec
+	// Trials is the number of repetitions (the paper runs 3).
+	Trials int
+	// Origins scan in every trial.
+	Origins origin.Set
+	// Protocols to scan (default: all three).
+	Protocols []proto.Protocol
+	// Probes per target (the paper sends 2 back-to-back SYNs).
+	Probes int
+	// ProbeDelay spaces probes to the same target apart in time (§7's
+	// recommended mitigation; 0 = back-to-back as in the main study).
+	ProbeDelay time.Duration
+	// Retries is the ZGrab connection retry budget (0 in the main study).
+	Retries int
+	// GrabWorkers sizes the L7 worker pool (default 16).
+	GrabWorkers int
+	// IncludeCarinet adds the Carinet origin in trial 0 only, as in the
+	// paper.
+	IncludeCarinet bool
+	// Blocklist addresses are excluded from scanning from every origin
+	// (the paper's synchronized opt-out list).
+	Blocklist *ip.Set
+	// Shard/Shards split each scan across cooperating scanner processes
+	// (ZMap sharding); shard k of n probes a disjoint 1/n of the space.
+	Shard, Shards int
+	// FreshCensysIP models the follow-up experiment's Censys IP change:
+	// Censys scans with a fresh, unblocked identity.
+	FreshCensysIP bool
+	// SinkWrapper, when set, wraps the packet sink of every scan — the
+	// seam for packet capture (pcap tee) or custom instrumentation.
+	SinkWrapper func(zmap.PacketSink) zmap.PacketSink
+	// ScenarioConfig tweaks behaviour models (ablations).
+	ScenarioConfig scenario.Config
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Trials == 0 {
+		out.Trials = 3
+	}
+	if len(out.Origins) == 0 {
+		out.Origins = origin.StudySet()
+	}
+	if len(out.Protocols) == 0 {
+		out.Protocols = proto.All()
+	}
+	if out.Probes == 0 {
+		out.Probes = 2
+	}
+	if out.GrabWorkers == 0 {
+		out.GrabWorkers = 16
+	}
+	return out
+}
+
+// Study is a prepared experiment: world plus behaviour models.
+type Study struct {
+	Config   Config
+	World    *world.World
+	Scenario *scenario.Scenario
+}
+
+// NewStudy builds the world and scenario for a config.
+func NewStudy(cfg Config) (*Study, error) {
+	cfg = cfg.withDefaults()
+	w, err := world.Build(cfg.WorldSpec)
+	if err != nil {
+		return nil, err
+	}
+	scfg := cfg.ScenarioConfig
+	scfg.Trials = cfg.Trials
+	if scfg.NumOrigins == 0 {
+		scfg.NumOrigins = len(cfg.Origins)
+	}
+	sc := scenario.New(w, scfg)
+	return &Study{Config: cfg, World: w, Scenario: sc}, nil
+}
+
+// Run executes all trials and returns the dataset.
+func (st *Study) Run() (*results.Dataset, error) {
+	cfg := st.Config
+	origins := cfg.Origins
+	dsOrigins := origins
+	if cfg.IncludeCarinet && !origins.Contains(origin.CARINET) {
+		dsOrigins = append(append(origin.Set{}, origins...), origin.CARINET)
+	}
+	ds := results.NewDataset(dsOrigins, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for _, p := range cfg.Protocols {
+			for _, o := range dsOrigins {
+				if o == origin.CARINET && trial != 0 {
+					continue
+				}
+				res, err := st.ScanOne(o, p, trial)
+				if err != nil {
+					return nil, err
+				}
+				ds.Put(res)
+			}
+		}
+	}
+	return ds, nil
+}
+
+// originRecord resolves the origin, applying the follow-up Censys IP swap.
+func (st *Study) originRecord(o origin.ID) *origin.Origin {
+	org := st.World.Origins.Get(o)
+	if o == origin.CEN && st.Config.FreshCensysIP {
+		fresh := *org
+		fresh.ScanReputation = origin.RepFresh
+		// The reserved source block has spare addresses beyond the
+		// directory's allocations; take the last one.
+		fresh.SourceIPs = []ip.Addr{org.SourceIPs[0] + 50}
+		return &fresh
+	}
+	return org
+}
+
+// ScanOne runs a single origin's ZMap+ZGrab scan of one protocol in one
+// trial: the building block of the study.
+func (st *Study) ScanOne(o origin.ID, p proto.Protocol, trial int) (*results.ScanResult, error) {
+	cfg := st.Config
+	org := st.originRecord(o)
+	fab := fabric.New(&fabric.Config{
+		World:      st.World,
+		Engine:     st.Scenario.Engine,
+		IDSes:      st.Scenario.IDSes,
+		Loss:       st.Scenario.Loss,
+		Outages:    st.Scenario.Outages[p],
+		Churn:      st.Scenario.Churn,
+		NumOrigins: len(cfg.Origins),
+		Hosts:      st.Scenario.Hosts,
+	}, org, trial)
+
+	// All origins share the scan seed per (protocol, trial): the paper
+	// starts every origin's ZMap with the same seed so scanners probe
+	// the same addresses at approximately the same time.
+	scanSeed := rng.NewKey(st.World.Spec.Seed).Derive("scan-seed").Uint64(uint64(p), uint64(trial))
+	sc, err := zmap.NewScanner(zmap.Config{
+		SourceIPs:    org.SourceIPs,
+		TargetPort:   p.Port(),
+		Probes:       cfg.Probes,
+		ProbeDelay:   cfg.ProbeDelay,
+		SpaceBits:    st.World.SpaceBits,
+		Seed:         scanSeed,
+		Shard:        cfg.Shard,
+		Shards:       cfg.Shards,
+		ScanDuration: scenario.ScanDuration,
+		Blocklist:    cfg.Blocklist,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %v/%v/trial %d: %w", o, p, trial, err)
+	}
+
+	res := results.NewScanResult(o, p, trial)
+
+	// L4 sweep: collect replies, then grab concurrently.
+	var sink zmap.PacketSink = fab
+	if cfg.SinkWrapper != nil {
+		sink = cfg.SinkWrapper(fab)
+	}
+	var replies []zmap.Reply
+	stats := sc.Run(sink, func(r zmap.Reply) { replies = append(replies, r) })
+	res.Targets = stats.Targets
+	res.ProbesSent = stats.ProbesSent
+	res.SynAcks = stats.SynAcks
+	res.Rsts = stats.Rsts
+	res.Invalid = stats.Invalid
+
+	grabber := &zgrab.Grabber{
+		Dialer:    fab,
+		Retries:   cfg.Retries,
+		Key:       rng.NewKey(st.World.Spec.Seed).Derive("grab").DeriveN("origin", uint64(o)),
+		IOTimeout: 10 * time.Second,
+	}
+
+	type grabOut struct {
+		rec results.HostRecord
+	}
+	in := make(chan zmap.Reply, cfg.GrabWorkers)
+	out := make(chan grabOut, cfg.GrabWorkers)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.GrabWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range in {
+				rec := results.HostRecord{
+					Addr: r.Dst, ProbeMask: r.ProbeMask, RST: r.RST, T: r.T,
+				}
+				if r.ProbeMask != 0 {
+					g := grabber.Grab(p, r.Dst, r.T)
+					rec.L7 = g.Success
+					rec.Fail = g.Fail
+					rec.Attempts = g.Attempts
+					rec.Banner = g.Banner
+				}
+				out <- grabOut{rec: rec}
+			}
+		}()
+	}
+	go func() {
+		for _, r := range replies {
+			in <- r
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+	for g := range out {
+		res.Add(g.rec)
+	}
+	return res, nil
+}

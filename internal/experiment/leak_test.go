@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/world"
+)
+
+// TestNoGoroutineLeak verifies that a complete study — thousands of virtual
+// connections served by per-connection goroutines — leaves no goroutines
+// behind: every hostsim server must terminate when its grab closes or
+// aborts the pipe.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	st, err := NewStudy(Config{
+		WorldSpec: world.Spec{Seed: 6, Scale: 0.00005}, Trials: 1,
+		Protocols: []proto.Protocol{proto.HTTP, proto.SSH},
+		Origins:   origin.Set{origin.US1, origin.CEN},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Errorf("goroutines before=%d after=%d: leaked servers", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+)
+
+// ProbeSweepPoint is one point of the multi-probe coverage curve.
+type ProbeSweepPoint struct {
+	Probes   int
+	Delay    time.Duration
+	Coverage float64
+}
+
+// MultiProbeSweep reproduces the single-origin multi-probe estimate of
+// Durumeric et al. (2012) that the paper revisits in §7/§8: coverage of one
+// origin as a function of probes per target, optionally with a delay
+// between probes (the Bano et al. mitigation). Ground truth is the main
+// dataset's union for the trial; each sweep point re-scans with the
+// modified probe configuration.
+func (st *Study) MultiProbeSweep(ds *results.Dataset, o origin.ID, p proto.Protocol, trial int, maxProbes int, delay time.Duration) ([]ProbeSweepPoint, error) {
+	gt := ds.GroundTruth(p, trial)
+	if len(gt) == 0 {
+		return nil, nil
+	}
+	var points []ProbeSweepPoint
+	saved := st.Config
+	defer func() { st.Config = saved }()
+	for n := 1; n <= maxProbes; n++ {
+		st.Config.Probes = n
+		st.Config.ProbeDelay = delay
+		res, err := st.ScanOne(o, p, trial)
+		if err != nil {
+			return nil, err
+		}
+		seen := 0
+		for _, a := range gt {
+			if res.Success(a, false) {
+				seen++
+			}
+		}
+		points = append(points, ProbeSweepPoint{
+			Probes:   n,
+			Delay:    delay,
+			Coverage: float64(seen) / float64(len(gt)),
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/asn"
+	"repro/internal/fabric"
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+	"repro/internal/rng"
+	"repro/internal/world"
+	"repro/internal/zgrab"
+)
+
+// RetryCurve is Figure 13's output for one AS: the fraction of responding
+// IPs that completed an SSH handshake within each retry budget.
+type RetryCurve struct {
+	AS      asn.ASN
+	ASName  string
+	Hosts   int
+	Success []float64 // Success[r]: success fraction with r retries allowed
+}
+
+// SSHRetry reproduces the §6 retry experiment: from US1, iteratively grab
+// all SSH hosts in a candidate sub-network of each of the top ASes by
+// transiently missed SSH hosts, increasing the retry budget each pass.
+func (st *Study) SSHRetry(ds *results.Dataset, topASes int, maxRetries int) []RetryCurve {
+	cls := analysis.NewClassifier(ds, proto.SSH)
+	topo := analysis.WorldTopo{W: st.World}
+	spreads := analysis.TransientLossSpread(cls, topo, 3)
+	// Rank ASes by transiently missed SSH hosts from US1.
+	sort.Slice(spreads, func(i, j int) bool {
+		ti := spreads[i].Rate[origin.US1] * float64(spreads[i].Hosts)
+		tj := spreads[j].Rate[origin.US1] * float64(spreads[j].Hosts)
+		return ti > tj
+	})
+	if topASes > len(spreads) {
+		topASes = len(spreads)
+	}
+
+	org := st.World.Origins.Get(origin.US1)
+	// The sub-experiment runs after the main study; use a fresh trial
+	// index past the main trials so the draws are independent.
+	trial := st.Config.Trials
+	fab := fabric.New(&fabric.Config{
+		World:      st.World,
+		Engine:     st.Scenario.Engine,
+		IDSes:      st.Scenario.IDSes,
+		Loss:       st.Scenario.Loss,
+		Outages:    st.Scenario.Outages[proto.SSH],
+		NumOrigins: 1, // the retry experiment scans alone
+		Hosts:      st.Scenario.Hosts,
+	}, org, trial)
+
+	var curves []RetryCurve
+	for _, sp := range spreads[:topASes] {
+		// Candidate sub-network: the AS's busiest /24 by SSH hosts.
+		hosts := st.sshHostsOfBusiest24(sp.AS)
+		if len(hosts) == 0 {
+			continue
+		}
+		curve := RetryCurve{AS: sp.AS, ASName: sp.ASName, Hosts: len(hosts)}
+		for r := 0; r <= maxRetries; r++ {
+			grabber := &zgrab.Grabber{
+				Dialer:  fab,
+				Retries: r,
+				Key:     rng.NewKey(st.World.Spec.Seed).Derive("ssh-retry").DeriveN("r", uint64(r)),
+			}
+			succ := 0
+			for _, h := range hosts {
+				// Mid-scan probe time, away from temporal-blocking
+				// windows' detection edges.
+				if g := grabber.Grab(proto.SSH, h, 5*time.Hour); g.Success {
+					succ++
+				}
+			}
+			curve.Success = append(curve.Success, float64(succ)/float64(len(hosts)))
+		}
+		curves = append(curves, curve)
+	}
+	return curves
+}
+
+// sshHostsOfBusiest24 returns the SSH hosts of the AS's /24 with the most
+// SSH hosts.
+func (st *Study) sshHostsOfBusiest24(as asn.ASN) []ip.Addr {
+	by24 := map[ip.Addr][]ip.Addr{}
+	for _, idx := range st.World.HostsInAS(as) {
+		h := st.World.Hosts()[idx]
+		if !h.Services.Has(proto.SSH) {
+			continue
+		}
+		k := h.Addr &^ 0xff
+		by24[k] = append(by24[k], h.Addr)
+	}
+	var best []ip.Addr
+	var bestKey ip.Addr
+	for k, hs := range by24 {
+		if len(hs) > len(best) || (len(hs) == len(best) && k < bestKey) {
+			best, bestKey = hs, k
+		}
+	}
+	return best
+}
+
+// FollowUp runs the September 2020 follow-up experiment (§7, Table 4b,
+// Figure 18): two HTTP trials from AU, DE, JP, US1, Censys (with a fresh
+// IP), and three co-located Tier-1 transits at Equinix CHI4.
+func FollowUp(spec world.Spec) (*Study, *results.Dataset, error) {
+	st, err := NewStudy(Config{
+		WorldSpec:     spec,
+		Trials:        2,
+		Origins:       origin.FollowUpSet(),
+		Protocols:     []proto.Protocol{proto.HTTP},
+		Probes:        2,
+		FreshCensysIP: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := st.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, ds, nil
+}

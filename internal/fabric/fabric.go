@@ -1,0 +1,210 @@
+// Package fabric is the simulated network connecting scanners to the
+// synthetic Internet. It implements zmap.PacketSink (L4: evaluates real SYN
+// packet bytes against routing, policy, outages, and loss, answering with
+// real SYN-ACK/RST bytes) and zgrab.Dialer (L7: hands out virtual
+// connections served by hostsim, subject to the same path conditions).
+//
+// Every probabilistic decision is a keyed hash of the event coordinates, so
+// a scan through the fabric is deterministic and independent of goroutine
+// scheduling.
+package fabric
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/asn"
+	"repro/internal/hostsim"
+	"repro/internal/ip"
+	"repro/internal/loss"
+	"repro/internal/origin"
+	"repro/internal/outage"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/proto"
+	"repro/internal/vconn"
+	"repro/internal/world"
+	"repro/internal/zgrab"
+)
+
+// Config assembles a fabric for one study.
+type Config struct {
+	World   *world.World
+	Engine  *policy.Engine
+	IDSes   []*policy.IDS
+	Loss    *loss.Matrix
+	Outages *outage.Schedule
+	// Churn marks hosts offline for whole trials (nil = no churn).
+	Churn *world.Churn
+	// NumOrigins is how many origins scan simultaneously (drives
+	// MaxStartups concurrency).
+	NumOrigins int
+	// Host server personalities.
+	Hosts *hostsim.Server
+}
+
+// Fabric carries packets between one origin's scanner and the world during
+// one trial. Create one per (origin, trial); fabrics share the underlying
+// Config (including stateful IDSes).
+type Fabric struct {
+	cfg   *Config
+	org   *origin.Origin
+	trial int
+}
+
+// New returns a fabric for one (origin, trial) scan.
+func New(cfg *Config, org *origin.Origin, trial int) *Fabric {
+	return &Fabric{cfg: cfg, org: org, trial: trial}
+}
+
+// query assembles the policy query for a destination.
+func (f *Fabric) query(srcIP, dst ip.Addr, as *asn.AS, p proto.Protocol, t time.Duration, attempt int) *policy.Query {
+	dstCountry, _ := f.cfg.World.CountryOf(dst)
+	return &policy.Query{
+		Origin:            f.org.ID,
+		SrcIP:             srcIP,
+		SrcCountry:        f.org.Country,
+		NumSrcIPs:         len(f.org.SourceIPs),
+		Rep:               f.org.ScanReputation,
+		Dst:               dst,
+		DstAS:             as.Number,
+		DstCountry:        dstCountry,
+		Proto:             p,
+		Trial:             f.trial,
+		Time:              t,
+		Attempt:           attempt,
+		ConcurrentOrigins: f.cfg.NumOrigins,
+	}
+}
+
+// pathDown reports whether the origin→dst path is unusable at time t due to
+// a burst outage or a correlated loss episode. Both probes of a target and
+// the follow-up connection share this state — loss is not independent.
+func (f *Fabric) pathDown(dst ip.Addr, as *asn.AS, t time.Duration) bool {
+	if f.cfg.Outages != nil && f.cfg.Outages.Affected(f.trial, f.org.ID, as.Number, uint32(dst), t) {
+		return true
+	}
+	return f.cfg.Loss.EpisodeActive(f.org.ID, dst, as.Number, f.trial)
+}
+
+// Send implements zmap.PacketSink: evaluate one SYN probe.
+func (f *Fabric) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
+	iph, tcph, _, err := packet.DecodeTCP4(pkt)
+	if err != nil || !tcph.HasFlag(packet.FlagSYN) || tcph.HasFlag(packet.FlagACK) {
+		return nil // the network silently eats malformed probes
+	}
+	dst := iph.Dst
+	as, routed := f.cfg.World.ASOf(dst)
+	if !routed {
+		return nil // unannounced space: no route, no answer
+	}
+	p, isProto := proto.FromPort(tcph.DstPort)
+	if !isProto {
+		return nil
+	}
+	probeIdx := uint64(iph.ID) // scanner stamps the probe index in IP ID
+
+	services, isHost := f.cfg.World.Lookup(dst)
+	if isHost && f.cfg.Churn.Offline(dst, f.trial) {
+		// The machine is down this trial: silence, from every origin.
+		return nil
+	}
+
+	q := f.query(src, dst, as, p, t, 0)
+
+	// IDSes observe every probe that reaches their AS, even ones that
+	// will go unanswered; a blocked source gets silence.
+	for _, ids := range f.cfg.IDSes {
+		if ids.RecordProbe(q) {
+			return nil
+		}
+	}
+
+	verdict, _ := f.cfg.Engine.Evaluate(q)
+	if verdict == policy.Silent {
+		return nil
+	}
+
+	// Path conditions apply to everything beyond policy drops.
+	if f.pathDown(dst, as, t) {
+		return nil
+	}
+	// Independent per-packet loss: the probe (direction 0) and its
+	// response (direction 1) can each be dropped.
+	if f.cfg.Loss.PacketLost(f.org.ID, dst, as.Number, f.trial, probeIdx*2, t) ||
+		f.cfg.Loss.PacketLost(f.org.ID, dst, as.Number, f.trial, probeIdx*2+1, t) {
+		return nil
+	}
+
+	if verdict == policy.RefuseTCP {
+		return packet.MakeRST(dst, src, tcph.DstPort, tcph.SrcPort, 0, tcph.Seq+1)
+	}
+	if !isHost || !services.Has(p) {
+		// Live networks answer closed ports with RST only when a
+		// machine owns the address; empty space stays silent.
+		if isHost {
+			return packet.MakeRST(dst, src, tcph.DstPort, tcph.SrcPort, 0, tcph.Seq+1)
+		}
+		return nil
+	}
+
+	// Host answers. ResetAfterAccept/CloseAfterAccept hosts still
+	// SYN-ACK (they kill the connection later, as Alibaba's SSH hosts
+	// do).
+	seq := f.cfg.World.Key.Derive("isn").Uint64(uint64(dst), uint64(t))
+	return packet.MakeSYNACK(dst, src, tcph.DstPort, tcph.SrcPort, uint32(seq), tcph.Seq+1)
+}
+
+// Dial implements zgrab.Dialer: attempt a full TCP connection for an
+// application-layer grab.
+func (f *Fabric) Dial(dst ip.Addr, port uint16, t time.Duration, attempt int) (net.Conn, error) {
+	as, routed := f.cfg.World.ASOf(dst)
+	if !routed {
+		return nil, zgrab.ErrTimeout
+	}
+	p, isProto := proto.FromPort(port)
+	if !isProto {
+		return nil, zgrab.ErrRefused
+	}
+	services, isHost := f.cfg.World.Lookup(dst)
+	if isHost && f.cfg.Churn.Offline(dst, f.trial) {
+		return nil, zgrab.ErrTimeout
+	}
+	src := f.org.SourceIPs[uint32(dst)%uint32(len(f.org.SourceIPs))]
+	q := f.query(src, dst, as, p, t, attempt)
+
+	verdict, _ := f.cfg.Engine.Evaluate(q)
+	for _, ids := range f.cfg.IDSes {
+		if v, ok := ids.Evaluate(q); ok && v == policy.Silent {
+			return nil, zgrab.ErrTimeout
+		}
+	}
+	switch verdict {
+	case policy.Silent:
+		return nil, zgrab.ErrTimeout
+	case policy.RefuseTCP:
+		return nil, zgrab.ErrRefused
+	}
+	if f.pathDown(dst, as, t) {
+		return nil, zgrab.ErrTimeout
+	}
+	if !isHost || !services.Has(p) {
+		return nil, zgrab.ErrRefused
+	}
+	// Per-packet loss over the whole handshake exchange: on loss the
+	// connection times out mid-handshake.
+	if f.cfg.Loss.HandshakeFailed(f.org.ID, dst, as.Number, f.trial, attempt) {
+		return nil, zgrab.ErrTimeout
+	}
+
+	client, server := vconn.Pipe(src.String(), dst.String())
+	switch verdict {
+	case policy.ResetAfterAccept:
+		go server.Abort()
+	case policy.CloseAfterAccept:
+		go server.Close()
+	default:
+		go f.cfg.Hosts.Serve(server, dst, p)
+	}
+	return client, nil
+}

@@ -1,0 +1,279 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/hostsim"
+	"repro/internal/ip"
+	"repro/internal/loss"
+	"repro/internal/origin"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/world"
+	"repro/internal/zgrab"
+)
+
+// quietConfig builds a fabric config over a tiny world with negligible loss
+// and no blocking, so tests can layer behaviours explicitly.
+func quietConfig(t *testing.T, rules ...policy.Rule) (*Config, *world.World) {
+	t.Helper()
+	w, err := world.Build(world.Spec{Seed: 5, Scale: 0.00002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{
+		World:  w,
+		Engine: policy.NewEngine(rules...),
+		Loss: loss.NewMatrix(rng.NewKey(1).Derive("t"), loss.Config{
+			BasePacketDrop: 1e-9, VolatileMax: 1e-9,
+			VolatileSpreadFrac: 1e-9, VolatileModerateFrac: 1e-9,
+		}),
+		NumOrigins: 1,
+		Hosts:      hostsim.NewServer(rng.NewKey(2)),
+	}
+	return cfg, w
+}
+
+// pickHost returns a host running p and one not running p.
+func pickHost(t *testing.T, w *world.World, p proto.Protocol) (with ip.Addr, without ip.Addr) {
+	t.Helper()
+	var gotWith, gotWithout bool
+	for _, h := range w.Hosts() {
+		if h.Services.Has(p) && !gotWith {
+			with, gotWith = h.Addr, true
+		}
+		if !h.Services.Has(p) && !gotWithout {
+			without, gotWithout = h.Addr, true
+		}
+		if gotWith && gotWithout {
+			return with, without
+		}
+	}
+	t.Fatal("world lacks required hosts")
+	return 0, 0
+}
+
+func synTo(w *world.World, o origin.ID, dst ip.Addr, port uint16) (src ip.Addr, pkt []byte, seq uint32) {
+	src = w.Origins.Get(o).SourceIPs[0]
+	seq = 0xdead0000
+	return src, packet.MakeSYN(src, dst, 40000, port, seq, 0), seq
+}
+
+func TestSendSYNACKForLiveHost(t *testing.T) {
+	cfg, w := quietConfig(t)
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	host, _ := pickHost(t, w, proto.HTTP)
+	src, syn, seq := synTo(w, origin.US1, host, 80)
+	resp := fab.Send(src, syn, time.Hour)
+	if resp == nil {
+		t.Fatal("live host did not answer")
+	}
+	iph, tcph, _, err := packet.DecodeTCP4(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iph.Src != host || iph.Dst != src {
+		t.Errorf("response addressing: %v -> %v", iph.Src, iph.Dst)
+	}
+	if !tcph.HasFlag(packet.FlagSYN|packet.FlagACK) || tcph.Ack != seq+1 {
+		t.Errorf("response not a valid SYN-ACK: flags=%#x ack=%d", tcph.Flags, tcph.Ack)
+	}
+}
+
+func TestSendRSTForClosedPort(t *testing.T) {
+	cfg, w := quietConfig(t)
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	_, hostWithoutSSH := pickHost(t, w, proto.SSH)
+	src, syn, _ := synTo(w, origin.US1, hostWithoutSSH, 22)
+	resp := fab.Send(src, syn, time.Hour)
+	if resp == nil {
+		t.Fatal("live host with closed port must RST")
+	}
+	_, tcph, _, err := packet.DecodeTCP4(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tcph.HasFlag(packet.FlagRST) {
+		t.Errorf("expected RST, got flags %#x", tcph.Flags)
+	}
+}
+
+func TestSendSilenceForEmptySpaceAndUnrouted(t *testing.T) {
+	cfg, w := quietConfig(t)
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	// An address inside the space but (very likely) not announced:
+	// scanner source addresses are outside announced prefixes.
+	src := w.Origins.Get(origin.US1).SourceIPs[0]
+	syn := packet.MakeSYN(src, src+1, 40000, 80, 1, 0)
+	if resp := fab.Send(src, syn, 0); resp != nil {
+		t.Error("unrouted space answered")
+	}
+	// Unannounced empty space inside a prefix: pick an address in an AS
+	// prefix that is not a host.
+	for _, a := range w.Routes.All() {
+		pfx := a.Prefixes[0]
+		for i := uint64(0); i < pfx.NumAddrs(); i++ {
+			addr := pfx.Nth(i)
+			if _, isHost := w.Lookup(addr); !isHost {
+				syn := packet.MakeSYN(src, addr, 40000, 80, 1, 0)
+				if resp := fab.Send(src, syn, 0); resp != nil {
+					t.Fatal("empty routed address answered")
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestSendIgnoresGarbageAndNonSYN(t *testing.T) {
+	cfg, w := quietConfig(t)
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	if fab.Send(1, []byte{1, 2, 3}, 0) != nil {
+		t.Error("garbage packet answered")
+	}
+	host, _ := pickHost(t, w, proto.HTTP)
+	src := w.Origins.Get(origin.US1).SourceIPs[0]
+	ack := packet.SerializeTCP4(
+		&packet.IPv4Header{Src: src, Dst: host, TTL: 64},
+		&packet.TCPHeader{SrcPort: 40000, DstPort: 80, Flags: packet.FlagACK},
+		nil,
+	)
+	if fab.Send(src, ack, 0) != nil {
+		t.Error("non-SYN packet answered")
+	}
+}
+
+func TestSendSilentPolicy(t *testing.T) {
+	cfg, w := quietConfig(t, &policy.StaticBlock{
+		RuleName: "block-all", Action: policy.Silent,
+	})
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	host, _ := pickHost(t, w, proto.HTTP)
+	src, syn, _ := synTo(w, origin.US1, host, 80)
+	if fab.Send(src, syn, time.Hour) != nil {
+		t.Error("silently blocked host answered")
+	}
+}
+
+func TestDialAndGrabThroughFabric(t *testing.T) {
+	cfg, w := quietConfig(t)
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	host, _ := pickHost(t, w, proto.HTTP)
+	g := &zgrab.Grabber{Dialer: fab, Key: rng.NewKey(3), IOTimeout: 5 * time.Second}
+	res := g.Grab(proto.HTTP, host, time.Hour)
+	if !res.Success {
+		t.Fatalf("grab failed: %+v", res)
+	}
+	if res.Banner == "" {
+		t.Error("no banner")
+	}
+}
+
+func TestDialRefusedForClosedPort(t *testing.T) {
+	cfg, w := quietConfig(t)
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	_, hostWithoutSSH := pickHost(t, w, proto.SSH)
+	_, err := fab.Dial(hostWithoutSSH, 22, time.Hour, 0)
+	if !errors.Is(err, zgrab.ErrRefused) {
+		t.Errorf("err = %v, want ErrRefused", err)
+	}
+}
+
+func TestDialResetAfterAcceptBehaviour(t *testing.T) {
+	cfg, w := quietConfig(t, &policy.StaticBlock{
+		RuleName: "alibaba-like", Action: policy.ResetAfterAccept,
+	})
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	host, _ := pickHost(t, w, proto.SSH)
+	// L4 still answers (the paper: Alibaba hosts SYN-ACK then reset).
+	src, syn, _ := synTo(w, origin.US1, host, 22)
+	if fab.Send(src, syn, time.Hour) == nil {
+		t.Fatal("ResetAfterAccept host must still SYN-ACK")
+	}
+	g := &zgrab.Grabber{Dialer: fab, Key: rng.NewKey(4), IOTimeout: 5 * time.Second}
+	res := g.Grab(proto.SSH, host, time.Hour)
+	if res.Success || res.Fail != zgrab.FailReset {
+		t.Errorf("grab = %+v, want FailReset", res)
+	}
+}
+
+func TestDialCloseAfterAcceptBehaviour(t *testing.T) {
+	cfg, w := quietConfig(t, &policy.StaticBlock{
+		RuleName: "maxstartups-like", Action: policy.CloseAfterAccept,
+	})
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	host, _ := pickHost(t, w, proto.SSH)
+	g := &zgrab.Grabber{Dialer: fab, Key: rng.NewKey(5), IOTimeout: 5 * time.Second}
+	res := g.Grab(proto.SSH, host, time.Hour)
+	if res.Success || res.Fail != zgrab.FailClosed {
+		t.Errorf("grab = %+v, want FailClosed", res)
+	}
+}
+
+func TestIDSBlocksAfterProbeVolume(t *testing.T) {
+	cfg, w := quietConfig(t)
+	host, _ := pickHost(t, w, proto.HTTP)
+	as, _ := w.ASOf(host)
+	ids := &policy.IDS{RuleName: "ids", AS: as.Number, Threshold: 5, Action: policy.Silent}
+	cfg.IDSes = []*policy.IDS{ids}
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	src, syn, _ := synTo(w, origin.US1, host, 80)
+	// First probes answered; after threshold, silence.
+	answered, silent := 0, 0
+	for i := 0; i < 10; i++ {
+		if fab.Send(src, syn, time.Hour) != nil {
+			answered++
+		} else {
+			silent++
+		}
+	}
+	if answered == 0 || silent == 0 {
+		t.Fatalf("IDS transition not observed: answered=%d silent=%d", answered, silent)
+	}
+	// Once detected, dialing also fails.
+	if _, err := fab.Dial(host, 80, time.Hour, 0); !errors.Is(err, zgrab.ErrTimeout) {
+		t.Errorf("dial after detection = %v, want timeout", err)
+	}
+}
+
+func TestEpisodeKillsProbesAndDial(t *testing.T) {
+	cfg, w := quietConfig(t)
+	// Rebuild loss with a certain episode everywhere.
+	cfg.Loss = loss.NewMatrix(rng.NewKey(9).Derive("t"), loss.Config{
+		BasePacketDrop: 1e-9, VolatileMax: 1e-9,
+		VolatileSpreadFrac: 1e-9, VolatileModerateFrac: 1e-9,
+		StableAlpha: 1,
+	})
+	host, _ := pickHost(t, w, proto.HTTP)
+	as, _ := w.ASOf(host)
+	cfg.Loss.Override(origin.US1, as.Number, loss.Params{PacketDrop: 1e-9, EpisodeRate: 0})
+	// Force the episode via a 100% episode rate.
+	cfg.Loss.Override(origin.US1, as.Number, loss.Params{PacketDrop: 1e-9, EpisodeRate: 0.9999999})
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	src, syn, _ := synTo(w, origin.US1, host, 80)
+	if fab.Send(src, syn, time.Hour) != nil {
+		t.Error("probe survived a full-loss episode")
+	}
+	if _, err := fab.Dial(host, 80, time.Hour, 0); !errors.Is(err, zgrab.ErrTimeout) {
+		t.Errorf("dial during episode = %v, want timeout", err)
+	}
+}
+
+func TestFabricDeterministic(t *testing.T) {
+	cfg, w := quietConfig(t)
+	host, _ := pickHost(t, w, proto.HTTP)
+	src, syn, _ := synTo(w, origin.AU, host, 80)
+	fab1 := New(cfg, w.Origins.Get(origin.AU), 1)
+	fab2 := New(cfg, w.Origins.Get(origin.AU), 1)
+	for i := 0; i < 50; i++ {
+		r1 := fab1.Send(src, syn, time.Duration(i)*time.Minute)
+		r2 := fab2.Send(src, syn, time.Duration(i)*time.Minute)
+		if (r1 == nil) != (r2 == nil) {
+			t.Fatal("fabric behaviour not deterministic")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package geo
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+)
+
+func TestRegistryAssignLookup(t *testing.T) {
+	r := NewRegistry(DefaultCountries())
+	if err := r.Assign(ip.MustParsePrefix("1.0.0.0/16"), "JP"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Assign(ip.MustParsePrefix("1.0.128.0/17"), "US"); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := r.Lookup(ip.MustParseAddr("1.0.0.1")); !ok || c != "JP" {
+		t.Errorf("Lookup = %v,%v", c, ok)
+	}
+	// More specific assignment wins (anycast-style reassignment).
+	if c, ok := r.Lookup(ip.MustParseAddr("1.0.200.1")); !ok || c != "US" {
+		t.Errorf("Lookup = %v,%v", c, ok)
+	}
+	if _, ok := r.Lookup(ip.MustParseAddr("9.9.9.9")); ok {
+		t.Error("Lookup found unassigned address")
+	}
+}
+
+func TestRegistryRejectsUnknownCountry(t *testing.T) {
+	r := NewRegistry(DefaultCountries())
+	if err := r.Assign(ip.MustParsePrefix("10.0.0.0/8"), "XX"); err == nil {
+		t.Error("Assign accepted unknown country")
+	}
+}
+
+func TestDefaultCountriesContainPaperCountries(t *testing.T) {
+	// Every country named in the paper's Table 2 / Table 5 must exist.
+	paper := []Country{
+		"HK", "US", "GB", "CN", "RU", "ZA", "AR", "IT", "AT", "VE",
+		"BD", "EC", "AM", "EE", "AL", "BF", "LY", "MN", "MW", "SD",
+		"KR", "PL", "AU", "PT", "CO", "PE", "ZW", "TN", "SN", "GU",
+		"FR", "NL", "RO", "BO", "GR", "JP", "BR", "DE", "KZ", "UA",
+	}
+	r := NewRegistry(DefaultCountries())
+	for _, c := range paper {
+		if _, ok := r.Info(c); !ok {
+			t.Errorf("paper country %s missing from DefaultCountries", c)
+		}
+	}
+}
+
+func TestDefaultCountryWeights(t *testing.T) {
+	r := NewRegistry(DefaultCountries())
+	total := r.TotalWeight()
+	if total <= 0.5 || total > 1.2 {
+		t.Errorf("total weight %v outside sane range", total)
+	}
+	us, _ := r.Info("US")
+	mw, _ := r.Info("MW")
+	if us.Weight <= mw.Weight {
+		t.Error("US should vastly outweigh Malawi")
+	}
+	for _, c := range r.Countries() {
+		if c.Weight <= 0 {
+			t.Errorf("country %s has non-positive weight", c.Code)
+		}
+	}
+}
+
+func TestCountriesSortedAndCopied(t *testing.T) {
+	r := NewRegistry(DefaultCountries())
+	cs := r.Countries()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Code >= cs[i].Code {
+			t.Fatal("Countries() not sorted by code")
+		}
+	}
+	cs[0].Weight = 99
+	if r.Countries()[0].Weight == 99 {
+		t.Error("Countries() exposes internal slice")
+	}
+}

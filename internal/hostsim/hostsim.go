@@ -1,0 +1,148 @@
+// Package hostsim implements the simulated edge hosts: small servers that
+// speak genuine HTTP/1.1, TLS 1.2, and SSH transport bytes over a net.Conn.
+// The simulation fabric spawns one of these per accepted connection; the
+// ZGrab grabbers on the other end of the pipe cannot tell them from real
+// servers, which is the point — the grab code path is fully exercised.
+package hostsim
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"repro/internal/httpwire"
+	"repro/internal/ip"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/sshwire"
+	"repro/internal/tlslite"
+)
+
+// Server serves host personalities derived from a key: server software
+// banners, certificate blobs, and SSH versions vary per host but are stable
+// across trials, as real hosts are.
+type Server struct {
+	key rng.Key
+}
+
+// NewServer returns a host simulator deriving personalities from key.
+func NewServer(key rng.Key) *Server {
+	return &Server{key: key.Derive("hostsim")}
+}
+
+// Serve handles one accepted connection to host for the given protocol and
+// closes conn when done. It is designed to run in its own goroutine.
+func (s *Server) Serve(conn net.Conn, host ip.Addr, p proto.Protocol) {
+	defer conn.Close()
+	switch p {
+	case proto.HTTP:
+		s.serveHTTP(conn, host)
+	case proto.HTTPS:
+		s.serveTLS(conn, host)
+	case proto.SSH:
+		s.serveSSH(conn, host)
+	}
+}
+
+var httpServers = []string{
+	"nginx", "nginx/1.14.0", "Apache", "Apache/2.4.29 (Ubuntu)",
+	"Microsoft-IIS/10.0", "lighttpd/1.4.45", "openresty",
+}
+
+// serveHTTP answers one GET with a small page.
+func (s *Server) serveHTTP(conn net.Conn, host ip.Addr) {
+	br := bufio.NewReader(conn)
+	req, err := httpwire.ReadRequest(br)
+	if err != nil {
+		return
+	}
+	software := httpServers[int(s.key.Uint64(uint64(host), 1)%uint64(len(httpServers)))]
+	body := fmt.Sprintf("<html><head><title>%s</title></head><body>host %s says hello to %s %s</body></html>",
+		host, host, req.Method, req.Target)
+	_ = httpwire.WriteResponse(conn, 200, "OK",
+		[]httpwire.Header{
+			{Name: "Server", Value: software},
+			{Name: "Content-Type", Value: "text/html"},
+		}, []byte(body))
+}
+
+// serveTLS completes the server's first handshake flight: ServerHello,
+// Certificate, ServerHelloDone. The grab terminates there, as the paper's
+// TLS handshake capture does.
+func (s *Server) serveTLS(conn net.Conn, host ip.Addr) {
+	hr := tlslite.NewHandshakeReader(conn)
+	typ, body, err := hr.Next()
+	if err != nil || typ != tlslite.TypeClientHello {
+		return
+	}
+	ch, err := tlslite.ParseClientHello(body)
+	if err != nil || len(ch.CipherSuites) == 0 {
+		_ = tlslite.WriteAlert(conn, 2, 40) // fatal handshake_failure
+		return
+	}
+	// Pick the client's highest-preference suite we "support": first
+	// offered, like a server honoring client preference.
+	sh := &tlslite.ServerHello{
+		Version:     tlslite.VersionTLS12,
+		CipherSuite: ch.CipherSuites[0],
+	}
+	stream := s.key.Stream(uint64(host), 2)
+	for i := 0; i < 32; i += 8 {
+		v := stream.Uint64()
+		for j := 0; j < 8; j++ {
+			sh.Random[i+j] = byte(v >> (8 * uint(j)))
+		}
+	}
+	if err := sh.Write(conn); err != nil {
+		return
+	}
+	cert := &tlslite.Certificate{Chain: [][]byte{s.certBlob(host)}}
+	if err := cert.Write(conn); err != nil {
+		return
+	}
+	_ = tlslite.WriteServerHelloDone(conn)
+}
+
+// certBlob synthesizes a stable pseudo-DER certificate for the host. It is
+// opaque bytes with a DER-ish SEQUENCE framing, unique per host.
+func (s *Server) certBlob(host ip.Addr) []byte {
+	stream := s.key.Stream(uint64(host), 3)
+	n := 600 + int(stream.Uint64()%400)
+	blob := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := stream.Uint64()
+		for j := 0; j < 8 && i+j < n; j++ {
+			blob[i+j] = byte(v >> (8 * uint(j)))
+		}
+	}
+	blob[0] = 0x30 // SEQUENCE
+	blob[1] = 0x82 // long form, 2 length bytes
+	blob[2] = byte((n - 4) >> 8)
+	blob[3] = byte(n - 4)
+	return blob
+}
+
+var sshVersions = []string{
+	"OpenSSH_7.4", "OpenSSH_7.9p1", "OpenSSH_8.2p1", "dropbear_2019.78",
+	"OpenSSH_6.6.1", "OpenSSH_8.0",
+}
+
+// serveSSH performs the identification exchange and sends KEXINIT, then
+// reads the client's ID and KEXINIT before closing. The grab terminates
+// after the version exchange per the paper's methodology.
+func (s *Server) serveSSH(conn net.Conn, host ip.Addr) {
+	version := sshVersions[int(s.key.Uint64(uint64(host), 4)%uint64(len(sshVersions)))]
+	if err := sshwire.WriteID(conn, sshwire.ID{ProtoVersion: "2.0", SoftwareVersion: version}); err != nil {
+		return
+	}
+	kex := sshwire.DefaultKexInit(s.key.Derive("kex").DeriveN("host", uint64(host)))
+	if err := sshwire.WritePacket(conn, kex.Marshal()); err != nil {
+		return
+	}
+	br := bufio.NewReader(conn)
+	if _, err := sshwire.ReadID(br); err != nil {
+		return
+	}
+	// Client may send its KEXINIT; read and discard if so.
+	_, _ = sshwire.ReadPacket(br)
+}

@@ -1,0 +1,188 @@
+package hostsim
+
+import (
+	"bufio"
+	"sync"
+	"testing"
+
+	"repro/internal/httpwire"
+	"repro/internal/ip"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/sshwire"
+	"repro/internal/tlslite"
+	"repro/internal/vconn"
+)
+
+// serve runs the host end of a pipe and returns the client side plus a
+// waiter for server completion.
+func serve(s *Server, host ip.Addr, p proto.Protocol) (client *vconn.Conn, wait func()) {
+	client, server := vconn.Pipe("client", host.String())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Serve(server, host, p)
+	}()
+	return client, wg.Wait
+}
+
+func TestServeHTTPAnswersGet(t *testing.T) {
+	s := NewServer(rng.NewKey(1))
+	client, wait := serve(s, ip.MustParseAddr("10.0.0.1"), proto.HTTP)
+	defer client.Close()
+	if err := httpwire.WriteRequest(client, "GET", "/", "10.0.0.1", "test"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(client), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if sv, ok := resp.Get("Server"); !ok || sv == "" {
+		t.Error("no Server header")
+	}
+	if len(resp.Body) == 0 {
+		t.Error("empty body")
+	}
+	wait()
+}
+
+func TestServeHTTPIgnoresGarbage(t *testing.T) {
+	s := NewServer(rng.NewKey(2))
+	client, wait := serve(s, ip.MustParseAddr("10.0.0.2"), proto.HTTP)
+	client.Write([]byte("NONSENSE\r\n\r\n"))
+	client.Close()
+	wait() // must terminate without hanging or panicking
+}
+
+func TestServeTLSFlight(t *testing.T) {
+	s := NewServer(rng.NewKey(3))
+	host := ip.MustParseAddr("10.0.0.3")
+	client, wait := serve(s, host, proto.HTTPS)
+	defer client.Close()
+	ch := tlslite.NewClientHello(rng.NewKey(4), host.String())
+	if err := ch.Write(client); err != nil {
+		t.Fatal(err)
+	}
+	hr := tlslite.NewHandshakeReader(client)
+	typ, body, err := hr.Next()
+	if err != nil || typ != tlslite.TypeServerHello {
+		t.Fatalf("first message: %d, %v", typ, err)
+	}
+	sh, err := tlslite.ParseServerHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.CipherSuite != ch.CipherSuites[0] {
+		t.Errorf("server picked %#x, want client's first preference %#x", sh.CipherSuite, ch.CipherSuites[0])
+	}
+	typ, body, err = hr.Next()
+	if err != nil || typ != tlslite.TypeCertificate {
+		t.Fatalf("second message: %d, %v", typ, err)
+	}
+	cert, err := tlslite.ParseCertificate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Chain) != 1 || cert.Chain[0][0] != 0x30 {
+		t.Error("certificate blob not DER-framed")
+	}
+	if typ, _, err = hr.Next(); err != nil || typ != tlslite.TypeServerHelloDone {
+		t.Fatalf("third message: %d, %v", typ, err)
+	}
+	wait()
+}
+
+func TestServeTLSAlertsOnEmptySuites(t *testing.T) {
+	s := NewServer(rng.NewKey(5))
+	host := ip.MustParseAddr("10.0.0.4")
+	client, wait := serve(s, host, proto.HTTPS)
+	defer client.Close()
+	ch := tlslite.NewClientHello(rng.NewKey(6), "")
+	ch.CipherSuites = nil
+	if err := ch.Write(client); err != nil {
+		t.Fatal(err)
+	}
+	hr := tlslite.NewHandshakeReader(client)
+	if _, _, err := hr.Next(); err != tlslite.ErrAlert {
+		t.Errorf("err = %v, want ErrAlert", err)
+	}
+	wait()
+}
+
+func TestServeSSHVersionExchange(t *testing.T) {
+	s := NewServer(rng.NewKey(7))
+	host := ip.MustParseAddr("10.0.0.5")
+	client, wait := serve(s, host, proto.SSH)
+	defer client.Close()
+	br := bufio.NewReader(client)
+	id, err := sshwire.ReadID(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.ProtoVersion != "2.0" || id.SoftwareVersion == "" {
+		t.Errorf("server id = %+v", id)
+	}
+	// Server's KEXINIT follows.
+	payload, err := sshwire.ReadPacket(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kex, err := sshwire.ParseKexInit(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kex.KexAlgorithms) == 0 {
+		t.Error("empty kex algorithm list")
+	}
+	// Complete our side so the server returns cleanly.
+	sshwire.WriteID(client, sshwire.ID{ProtoVersion: "2.0", SoftwareVersion: "test"})
+	sshwire.WritePacket(client, sshwire.DefaultKexInit(rng.NewKey(8)).Marshal())
+	wait()
+}
+
+func TestPersonalitiesStableAndDiverse(t *testing.T) {
+	s := NewServer(rng.NewKey(9))
+	banner := func(host ip.Addr) string {
+		client, wait := serve(s, host, proto.SSH)
+		defer client.Close()
+		id, err := sshwire.ReadID(bufio.NewReader(client))
+		if err != nil {
+			t.Fatal(err)
+		}
+		client.Close()
+		wait()
+		return id.SoftwareVersion
+	}
+	a1 := banner(ip.MustParseAddr("10.1.0.1"))
+	a2 := banner(ip.MustParseAddr("10.1.0.1"))
+	if a1 != a2 {
+		t.Error("same host changed SSH version across connections")
+	}
+	versions := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		versions[banner(ip.Addr(0x0a020000+uint32(i)))] = true
+	}
+	if len(versions) < 2 {
+		t.Error("SSH versions not diverse across hosts")
+	}
+}
+
+func TestCertBlobStablePerHost(t *testing.T) {
+	s := NewServer(rng.NewKey(10))
+	a := s.certBlob(ip.MustParseAddr("10.0.0.9"))
+	b := s.certBlob(ip.MustParseAddr("10.0.0.9"))
+	if string(a) != string(b) {
+		t.Error("certificate changed between handshakes")
+	}
+	c := s.certBlob(ip.MustParseAddr("10.0.0.10"))
+	if string(a) == string(c) {
+		t.Error("different hosts share a certificate")
+	}
+	if len(a) < 500 {
+		t.Errorf("cert suspiciously small: %d bytes", len(a))
+	}
+}

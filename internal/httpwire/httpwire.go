@@ -1,0 +1,239 @@
+// Package httpwire implements the minimal HTTP/1.1 client and server wire
+// exchange used by the study's HTTP grabs: the client sends GET / and reads
+// the status line, headers, and a bounded body; the server parses a request
+// and writes a response. It deliberately implements the wire format directly
+// (rather than net/http) so the grab works over any net.Conn — including the
+// simulation fabric's virtual connections — with strict bounds on what is
+// read from untrusted peers.
+package httpwire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Limits on untrusted input.
+const (
+	MaxLineLen     = 8 << 10  // max request/status/header line
+	MaxHeaderLen   = 32 << 10 // max total header block
+	MaxHeaders     = 100
+	DefaultMaxBody = 64 << 10
+)
+
+// Errors.
+var (
+	ErrLineTooLong    = errors.New("httpwire: line too long")
+	ErrTooManyHeaders = errors.New("httpwire: too many headers")
+	ErrMalformed      = errors.New("httpwire: malformed message")
+)
+
+// Request is a parsed HTTP request (server side).
+type Request struct {
+	Method  string
+	Target  string
+	Proto   string
+	Headers []Header
+}
+
+// Response is a parsed HTTP response (client side).
+type Response struct {
+	Proto      string
+	StatusCode int
+	Status     string
+	Headers    []Header
+	Body       []byte // bounded; may be truncated at the configured cap
+}
+
+// Header is one header field.
+type Header struct {
+	Name, Value string
+}
+
+// Get returns the first header with the given name, case-insensitively.
+func getHeader(hs []Header, name string) (string, bool) {
+	for _, h := range hs {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// Get returns the first value of a response header.
+func (r *Response) Get(name string) (string, bool) { return getHeader(r.Headers, name) }
+
+// Get returns the first value of a request header.
+func (r *Request) Get(name string) (string, bool) { return getHeader(r.Headers, name) }
+
+// WriteRequest sends a GET-style request. host appears in the Host header,
+// as ZGrab sends the target IP.
+func WriteRequest(w io.Writer, method, target, host, userAgent string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, target)
+	fmt.Fprintf(&b, "Host: %s\r\n", host)
+	if userAgent != "" {
+		fmt.Fprintf(&b, "User-Agent: %s\r\n", userAgent)
+	}
+	b.WriteString("Accept: */*\r\nConnection: close\r\n\r\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadRequest parses a request head from r (server side).
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, ErrMalformed
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
+	req.Headers, err = readHeaders(br)
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// WriteResponse sends a complete response with the given body and headers.
+func WriteResponse(w io.Writer, statusCode int, status string, headers []Header, body []byte) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", statusCode, status)
+	hasLen := false
+	for _, h := range headers {
+		if strings.EqualFold(h.Name, "Content-Length") {
+			hasLen = true
+		}
+		fmt.Fprintf(&b, "%s: %s\r\n", h.Name, h.Value)
+	}
+	if !hasLen {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
+	}
+	b.WriteString("Connection: close\r\n\r\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadResponse parses a response from r, reading at most maxBody bytes of
+// body (0 means DefaultMaxBody).
+func ReadResponse(br *bufio.Reader, maxBody int) (*Response, error) {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBody
+	}
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, ErrMalformed
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil || code < 100 || code > 999 {
+		return nil, ErrMalformed
+	}
+	resp := &Response{Proto: parts[0], StatusCode: code}
+	if len(parts) == 3 {
+		resp.Status = parts[2]
+	}
+	resp.Headers, err = readHeaders(br)
+	if err != nil {
+		return nil, err
+	}
+
+	// Body: honor Content-Length if present and sane, else read to EOF,
+	// always bounded by maxBody.
+	limit := maxBody
+	if v, ok := resp.Get("Content-Length"); ok {
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n >= 0 && n < limit {
+			limit = n
+		}
+	}
+	body := make([]byte, 0, min(limit, 4096))
+	buf := make([]byte, 4096)
+	for len(body) < limit {
+		n, err := br.Read(buf[:min(len(buf), limit-len(body))])
+		body = append(body, buf[:n]...)
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			// Connection errors after the head still yield the
+			// head: a grab that got the status line succeeded.
+			if isConnError(err) {
+				break
+			}
+			return nil, err
+		}
+	}
+	resp.Body = body
+	return resp, nil
+}
+
+func isConnError(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	var b strings.Builder
+	for {
+		chunk, isPrefix, err := br.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		if b.Len()+len(chunk) > MaxLineLen {
+			return "", ErrLineTooLong
+		}
+		b.Write(chunk)
+		if !isPrefix {
+			return b.String(), nil
+		}
+	}
+}
+
+func readHeaders(br *bufio.Reader) ([]Header, error) {
+	var hs []Header
+	total := 0
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return hs, nil
+		}
+		total += len(line)
+		if total > MaxHeaderLen {
+			return nil, ErrTooManyHeaders
+		}
+		if len(hs) >= MaxHeaders {
+			return nil, ErrTooManyHeaders
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 {
+			return nil, ErrMalformed
+		}
+		hs = append(hs, Header{
+			Name:  strings.TrimSpace(line[:colon]),
+			Value: strings.TrimSpace(line[colon+1:]),
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package httpwire
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, "GET", "/", "192.0.2.7", "Mozilla/5.0 zgrab/0.x"); err != nil {
+		t.Fatal(err)
+	}
+	req, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "GET" || req.Target != "/" || req.Proto != "HTTP/1.1" {
+		t.Errorf("request line: %+v", req)
+	}
+	if host, ok := req.Get("host"); !ok || host != "192.0.2.7" {
+		t.Errorf("Host = %q,%v", host, ok)
+	}
+	if ua, ok := req.Get("User-Agent"); !ok || !strings.Contains(ua, "zgrab") {
+		t.Errorf("User-Agent = %q,%v", ua, ok)
+	}
+	if _, ok := req.Get("Connection"); !ok {
+		t.Error("Connection header missing")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("<html><title>Index</title></html>")
+	err := WriteResponse(&buf, 200, "OK", []Header{{"Server", "nginx"}, {"Content-Type", "text/html"}}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadResponse(bufio.NewReader(&buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || resp.Status != "OK" {
+		t.Errorf("status: %d %q", resp.StatusCode, resp.Status)
+	}
+	if sv, _ := resp.Get("server"); sv != "nginx" {
+		t.Errorf("Server = %q", sv)
+	}
+	if !bytes.Equal(resp.Body, body) {
+		t.Errorf("body = %q", resp.Body)
+	}
+}
+
+func TestResponseBodyCapped(t *testing.T) {
+	var buf bytes.Buffer
+	big := bytes.Repeat([]byte("x"), 100<<10)
+	if err := WriteResponse(&buf, 200, "OK", nil, big); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadResponse(bufio.NewReader(&buf), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Body) != 1024 {
+		t.Errorf("body len = %d, want capped at 1024", len(resp.Body))
+	}
+}
+
+func TestResponseWithoutContentLengthReadsToEOF(t *testing.T) {
+	raw := "HTTP/1.1 301 Moved Permanently\r\nLocation: https://example.org/\r\n\r\nmoved"
+	resp, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 301 {
+		t.Errorf("code = %d", resp.StatusCode)
+	}
+	if string(resp.Body) != "moved" {
+		t.Errorf("body = %q", resp.Body)
+	}
+}
+
+func TestMalformedResponses(t *testing.T) {
+	bad := []string{
+		"",                          // empty
+		"garbage\r\n\r\n",           // no HTTP/
+		"HTTP/1.1\r\n\r\n",          // no status code
+		"HTTP/1.1 abc Oops\r\n\r\n", // non-numeric code
+		"HTTP/1.1 99 Tiny\r\n\r\n",  // out-of-range code
+		"HTTP/1.1 200 OK\r\nBadHeaderNoColon\r\n\r\n",
+	}
+	for _, raw := range bad {
+		if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)), 0); err == nil {
+			t.Errorf("ReadResponse(%q) succeeded", raw)
+		}
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	bad := []string{
+		"GET /\r\n\r\n",               // missing proto
+		"GET / FTP/1.0\r\n\r\n",       // wrong proto
+		"GET / HTTP/1.1\r\nX\r\n\r\n", // header without colon
+	}
+	for _, raw := range bad {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(raw))); err == nil {
+			t.Errorf("ReadRequest(%q) succeeded", raw)
+		}
+	}
+}
+
+func TestHeaderLimits(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("HTTP/1.1 200 OK\r\n")
+	for i := 0; i < MaxHeaders+10; i++ {
+		b.WriteString("X-H: v\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(b.String())), 0); err == nil {
+		t.Error("unbounded header count accepted")
+	}
+
+	long := "HTTP/1.1 200 OK\r\nX-Long: " + strings.Repeat("a", MaxLineLen+10) + "\r\n\r\n"
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(long)), 0); err == nil {
+		t.Error("oversized header line accepted")
+	}
+}
+
+func TestContentLengthIgnoredWhenInsane(t *testing.T) {
+	raw := "HTTP/1.1 200 OK\r\nContent-Length: -5\r\n\r\nbody"
+	resp, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "body" {
+		t.Errorf("body = %q", resp.Body)
+	}
+}

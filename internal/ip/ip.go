@@ -1,0 +1,175 @@
+// Package ip provides compact IPv4 address and prefix types plus a binary
+// radix (patricia) tree for CIDR allow/deny lookups, the representation used
+// throughout the scanner and the synthetic Internet.
+//
+// Addresses are plain uint32 wrappers: the whole study manipulates hundreds
+// of millions of them, so they must be word-sized map keys with no heap
+// footprint (net.IP / netip.Addr are deliberately not used on hot paths).
+package ip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order (a.b.c.d == a<<24 | ... | d).
+type Addr uint32
+
+// MakeAddr assembles an Addr from its four octets.
+func MakeAddr(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseAddr parses dotted-quad notation.
+func ParseAddr(s string) (Addr, error) {
+	var parts [4]uint64
+	rest := s
+	for i := 0; i < 4; i++ {
+		var tok string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("ip: invalid address %q", s)
+			}
+			tok, rest = rest[:dot], rest[dot+1:]
+		} else {
+			tok = rest
+		}
+		v, err := strconv.ParseUint(tok, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("ip: invalid address %q", s)
+		}
+		parts[i] = v
+	}
+	return Addr(parts[0]<<24 | parts[1]<<16 | parts[2]<<8 | parts[3]), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error, for constants in tests
+// and world profiles.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String returns dotted-quad notation.
+func (a Addr) String() string {
+	var b [15]byte
+	buf := strconv.AppendUint(b[:0], uint64(a>>24), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>16&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>8&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a&0xff), 10)
+	return string(buf)
+}
+
+// Octets returns the four octets of the address.
+func (a Addr) Octets() (byte, byte, byte, byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// Slash24 returns the /24 network containing a, the unit of network-level
+// analysis in the paper.
+func (a Addr) Slash24() Prefix {
+	return Prefix{Base: a &^ 0xff, Bits: 24}
+}
+
+// Prefix is a CIDR prefix. Base must have its host bits zero; use Canonical
+// to normalize.
+type Prefix struct {
+	Base Addr
+	Bits uint8
+}
+
+// MakePrefix returns the canonical prefix of the given base and length.
+func MakePrefix(base Addr, bits uint8) Prefix {
+	return Prefix{Base: base & Mask(bits), Bits: bits}
+}
+
+// ParsePrefix parses "a.b.c.d/len" notation. A bare address parses as a /32.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return Prefix{}, err
+		}
+		return Prefix{Base: a, Bits: 32}, nil
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.ParseUint(s[slash+1:], 10, 8)
+	if err != nil || bits > 32 {
+		return Prefix{}, fmt.Errorf("ip: invalid prefix %q", s)
+	}
+	return MakePrefix(a, uint8(bits)), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the network mask for a prefix length.
+func Mask(bits uint8) Addr {
+	if bits == 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - bits))
+}
+
+// String returns CIDR notation.
+func (p Prefix) String() string {
+	return p.Base.String() + "/" + strconv.Itoa(int(p.Bits))
+}
+
+// Contains reports whether a is within the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return a&Mask(p.Bits) == p.Base
+}
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.Bits > q.Bits {
+		p, q = q, p
+	}
+	return q.Base&Mask(p.Bits) == p.Base
+}
+
+// Canonical returns p with host bits cleared.
+func (p Prefix) Canonical() Prefix {
+	return Prefix{Base: p.Base & Mask(p.Bits), Bits: p.Bits}
+}
+
+// NumAddrs returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddrs() uint64 {
+	return uint64(1) << (32 - p.Bits)
+}
+
+// First returns the first (network) address of the prefix.
+func (p Prefix) First() Addr { return p.Base }
+
+// Last returns the last (broadcast) address of the prefix.
+func (p Prefix) Last() Addr {
+	return p.Base | ^Mask(p.Bits)
+}
+
+// Nth returns the i-th address within the prefix. It panics if i is out of
+// range.
+func (p Prefix) Nth(i uint64) Addr {
+	if i >= p.NumAddrs() {
+		panic("ip: Nth out of range")
+	}
+	return p.Base + Addr(i)
+}

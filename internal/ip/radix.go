@@ -1,0 +1,210 @@
+package ip
+
+// RadixTree is a binary radix (patricia-style) tree mapping CIDR prefixes to
+// values, with longest-prefix-match lookup. It backs the scanner's
+// block/allowlists, the routing-table snapshot, and the geolocation database.
+//
+// The implementation is a simple bit-trie: one node per prefix bit. Inserts
+// of the address space in use (tens of thousands of prefixes) build trees of
+// a few hundred thousand nodes, and Lookup walks at most 32 nodes, so this is
+// both compact and fast without path compression.
+type RadixTree[V any] struct {
+	root *radixNode[V]
+	size int
+}
+
+type radixNode[V any] struct {
+	child [2]*radixNode[V]
+	val   V
+	set   bool
+}
+
+// NewRadixTree returns an empty tree.
+func NewRadixTree[V any]() *RadixTree[V] {
+	return &RadixTree[V]{root: &radixNode[V]{}}
+}
+
+// Len returns the number of distinct prefixes stored.
+func (t *RadixTree[V]) Len() int { return t.size }
+
+// Insert associates val with the prefix, replacing any existing value for
+// exactly that prefix.
+func (t *RadixTree[V]) Insert(p Prefix, val V) {
+	p = p.Canonical()
+	n := t.root
+	for i := uint8(0); i < p.Bits; i++ {
+		b := (p.Base >> (31 - i)) & 1
+		if n.child[b] == nil {
+			n.child[b] = &radixNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val = val
+	n.set = true
+}
+
+// Lookup returns the value of the longest prefix containing a.
+func (t *RadixTree[V]) Lookup(a Addr) (val V, ok bool) {
+	n := t.root
+	if n.set {
+		val, ok = n.val, true
+	}
+	for i := uint8(0); i < 32; i++ {
+		b := (a >> (31 - i)) & 1
+		n = n.child[b]
+		if n == nil {
+			return val, ok
+		}
+		if n.set {
+			val, ok = n.val, true
+		}
+	}
+	return val, ok
+}
+
+// LookupPrefix returns the value and the matched prefix of the longest
+// prefix containing a.
+func (t *RadixTree[V]) LookupPrefix(a Addr) (p Prefix, val V, ok bool) {
+	n := t.root
+	if n.set {
+		p, val, ok = Prefix{}, n.val, true
+	}
+	for i := uint8(0); i < 32; i++ {
+		b := (a >> (31 - i)) & 1
+		n = n.child[b]
+		if n == nil {
+			return p, val, ok
+		}
+		if n.set {
+			p = MakePrefix(a, i+1)
+			val, ok = n.val, true
+		}
+	}
+	return p, val, ok
+}
+
+// Get returns the value stored for exactly the given prefix.
+func (t *RadixTree[V]) Get(p Prefix) (val V, ok bool) {
+	p = p.Canonical()
+	n := t.root
+	for i := uint8(0); i < p.Bits; i++ {
+		b := (p.Base >> (31 - i)) & 1
+		n = n.child[b]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	if !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes the value stored for exactly the given prefix and reports
+// whether it was present. Interior nodes are left in place (deletion is rare
+// in this codebase; trees are built once).
+func (t *RadixTree[V]) Delete(p Prefix) bool {
+	p = p.Canonical()
+	n := t.root
+	for i := uint8(0); i < p.Bits; i++ {
+		b := (p.Base >> (31 - i)) & 1
+		n = n.child[b]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Walk visits every stored prefix in address order, shortest prefix first at
+// equal bases. It stops early if fn returns false.
+func (t *RadixTree[V]) Walk(fn func(p Prefix, val V) bool) {
+	var rec func(n *radixNode[V], base Addr, depth uint8) bool
+	rec = func(n *radixNode[V], base Addr, depth uint8) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			if !fn(Prefix{Base: base, Bits: depth}, n.val) {
+				return false
+			}
+		}
+		if depth == 32 {
+			return true
+		}
+		if !rec(n.child[0], base, depth+1) {
+			return false
+		}
+		return rec(n.child[1], base|1<<(31-depth), depth+1)
+	}
+	rec(t.root, 0, 0)
+}
+
+// Set is a prefix set with membership-by-containment semantics, used for
+// scanner blocklists and allowlists.
+type Set struct {
+	t *RadixTree[struct{}]
+}
+
+// NewSet returns an empty prefix set.
+func NewSet() *Set {
+	return &Set{t: NewRadixTree[struct{}]()}
+}
+
+// Add inserts a prefix into the set.
+func (s *Set) Add(p Prefix) { s.t.Insert(p, struct{}{}) }
+
+// AddString parses and inserts a CIDR string, returning any parse error.
+func (s *Set) AddString(cidr string) error {
+	p, err := ParsePrefix(cidr)
+	if err != nil {
+		return err
+	}
+	s.Add(p)
+	return nil
+}
+
+// Contains reports whether a falls inside any prefix in the set.
+func (s *Set) Contains(a Addr) bool {
+	_, ok := s.t.Lookup(a)
+	return ok
+}
+
+// Len returns the number of prefixes in the set.
+func (s *Set) Len() int { return s.t.Len() }
+
+// NumAddrs returns the total number of addresses covered, counting
+// overlapping prefixes once. It walks covering prefixes in order and skips
+// nested ones.
+func (s *Set) NumAddrs() uint64 {
+	var total uint64
+	var haveLast bool
+	var last Prefix
+	s.t.Walk(func(p Prefix, _ struct{}) bool {
+		if haveLast && last.Overlaps(p) {
+			// p is nested inside last (walk order guarantees the
+			// shorter, earlier prefix comes first).
+			return true
+		}
+		total += p.NumAddrs()
+		last, haveLast = p, true
+		return true
+	})
+	return total
+}
+
+// Walk visits each prefix in the set in address order.
+func (s *Set) Walk(fn func(p Prefix) bool) {
+	s.t.Walk(func(p Prefix, _ struct{}) bool { return fn(p) })
+}

@@ -1,0 +1,280 @@
+package ip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRadixInsertLookup(t *testing.T) {
+	tr := NewRadixTree[string]()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "ten")
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), "ten-one")
+	tr.Insert(MustParsePrefix("192.0.2.0/24"), "doc")
+
+	cases := []struct {
+		addr string
+		want string
+		ok   bool
+	}{
+		{"10.2.3.4", "ten", true},
+		{"10.1.3.4", "ten-one", true}, // longest match wins
+		{"192.0.2.9", "doc", true},
+		{"11.0.0.1", "", false},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(MustParseAddr(c.addr))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q,%v want %q,%v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestRadixDefaultRoute(t *testing.T) {
+	tr := NewRadixTree[int]()
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), 1)
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 2)
+	if v, ok := tr.Lookup(MustParseAddr("1.1.1.1")); !ok || v != 1 {
+		t.Errorf("default route lookup = %d,%v", v, ok)
+	}
+	if v, ok := tr.Lookup(MustParseAddr("10.0.0.1")); !ok || v != 2 {
+		t.Errorf("more-specific lookup = %d,%v", v, ok)
+	}
+}
+
+func TestRadixLookupPrefix(t *testing.T) {
+	tr := NewRadixTree[string]()
+	tr.Insert(MustParsePrefix("172.16.0.0/12"), "a")
+	tr.Insert(MustParsePrefix("172.16.5.0/24"), "b")
+	p, v, ok := tr.LookupPrefix(MustParseAddr("172.16.5.200"))
+	if !ok || v != "b" || p != MustParsePrefix("172.16.5.0/24") {
+		t.Errorf("LookupPrefix = %v,%q,%v", p, v, ok)
+	}
+	p, v, ok = tr.LookupPrefix(MustParseAddr("172.17.0.1"))
+	if !ok || v != "a" || p != MustParsePrefix("172.16.0.0/12") {
+		t.Errorf("LookupPrefix = %v,%q,%v", p, v, ok)
+	}
+}
+
+func TestRadixGetExact(t *testing.T) {
+	tr := NewRadixTree[int]()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 7)
+	if _, ok := tr.Get(MustParsePrefix("10.0.0.0/9")); ok {
+		t.Error("Get matched a prefix that was never inserted")
+	}
+	if v, ok := tr.Get(MustParsePrefix("10.0.0.0/8")); !ok || v != 7 {
+		t.Errorf("Get = %d,%v", v, ok)
+	}
+}
+
+func TestRadixReplaceAndDelete(t *testing.T) {
+	tr := NewRadixTree[int]()
+	p := MustParsePrefix("198.18.0.0/15")
+	tr.Insert(p, 1)
+	tr.Insert(p, 2)
+	if tr.Len() != 1 {
+		t.Errorf("Len after replace = %d", tr.Len())
+	}
+	if v, _ := tr.Get(p); v != 2 {
+		t.Errorf("value after replace = %d", v)
+	}
+	if !tr.Delete(p) {
+		t.Error("Delete returned false for present prefix")
+	}
+	if tr.Delete(p) {
+		t.Error("Delete returned true for absent prefix")
+	}
+	if _, ok := tr.Lookup(p.First()); ok {
+		t.Error("Lookup found deleted prefix")
+	}
+}
+
+func TestRadixWalkOrder(t *testing.T) {
+	tr := NewRadixTree[int]()
+	ins := []string{"10.0.0.0/8", "10.0.0.0/16", "9.0.0.0/8", "10.128.0.0/9", "0.0.0.0/0"}
+	for i, s := range ins {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"0.0.0.0/0", "9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16", "10.128.0.0/9"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRadixWalkEarlyStop(t *testing.T) {
+	tr := NewRadixTree[int]()
+	for i := 0; i < 10; i++ {
+		tr.Insert(MakePrefix(MakeAddr(byte(i), 0, 0, 0), 8), i)
+	}
+	n := 0
+	tr.Walk(func(Prefix, int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("Walk visited %d nodes after early stop", n)
+	}
+}
+
+// TestRadixAgainstLinearScan cross-checks longest-prefix match against a
+// brute-force scan over random prefixes and addresses.
+func TestRadixAgainstLinearScan(t *testing.T) {
+	s := rng.NewSplitMix64(42)
+	tr := NewRadixTree[int]()
+	var prefixes []Prefix
+	for i := 0; i < 500; i++ {
+		p := MakePrefix(Addr(s.Uint32()), uint8(s.Intn(33)))
+		tr.Insert(p, i)
+		prefixes = append(prefixes, p)
+	}
+	// Re-inserting a duplicate prefix replaces; track final values.
+	final := map[Prefix]int{}
+	for i, p := range prefixes {
+		final[p] = i
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := Addr(s.Uint32())
+		bestBits := -1
+		bestVal := 0
+		for p, v := range final {
+			if p.Contains(a) && int(p.Bits) > bestBits {
+				bestBits, bestVal = int(p.Bits), v
+			}
+		}
+		got, ok := tr.Lookup(a)
+		if bestBits < 0 {
+			if ok {
+				t.Fatalf("Lookup(%v) = %d, want miss", a, got)
+			}
+			continue
+		}
+		if !ok || got != bestVal {
+			t.Fatalf("Lookup(%v) = %d,%v, want %d", a, got, ok, bestVal)
+		}
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet()
+	if err := s.AddString("10.0.0.0/8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddString("192.0.2.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(MustParseAddr("10.200.1.1")) {
+		t.Error("set should contain 10.200.1.1")
+	}
+	if s.Contains(MustParseAddr("11.0.0.1")) {
+		t.Error("set should not contain 11.0.0.1")
+	}
+	if err := s.AddString("not-a-cidr"); err == nil {
+		t.Error("AddString accepted garbage")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSetNumAddrs(t *testing.T) {
+	s := NewSet()
+	s.Add(MustParsePrefix("10.0.0.0/8"))
+	s.Add(MustParsePrefix("10.1.0.0/16")) // nested: must not double count
+	s.Add(MustParsePrefix("192.0.2.0/24"))
+	want := uint64(1<<24 + 1<<8)
+	if got := s.NumAddrs(); got != want {
+		t.Errorf("NumAddrs = %d, want %d", got, want)
+	}
+}
+
+func TestSetNumAddrsDisjoint(t *testing.T) {
+	s := NewSet()
+	s.Add(MustParsePrefix("1.0.0.0/24"))
+	s.Add(MustParsePrefix("2.0.0.0/24"))
+	s.Add(MustParsePrefix("3.0.0.0/32"))
+	if got := s.NumAddrs(); got != 513 {
+		t.Errorf("NumAddrs = %d, want 513", got)
+	}
+}
+
+func TestRadixPropertyInsertedAlwaysFound(t *testing.T) {
+	f := func(base uint32, bits uint8) bool {
+		p := MakePrefix(Addr(base), bits%33)
+		tr := NewRadixTree[bool]()
+		tr.Insert(p, true)
+		v, ok := tr.Lookup(p.First())
+		return ok && v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRadixLookup(b *testing.B) {
+	s := rng.NewSplitMix64(1)
+	tr := NewRadixTree[int]()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(MakePrefix(Addr(s.Uint32()), uint8(8+s.Intn(17))), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(Addr(uint32(i) * 2654435761))
+	}
+}
+
+func TestSetNumAddrsProperty(t *testing.T) {
+	// NumAddrs never exceeds the naive sum and never undercounts any
+	// single member prefix.
+	f := func(bases []uint32, lens []uint8) bool {
+		s := NewSet()
+		var sum uint64
+		maxSingle := uint64(0)
+		n := len(bases)
+		if len(lens) < n {
+			n = len(lens)
+		}
+		if n == 0 {
+			return s.NumAddrs() == 0
+		}
+		for i := 0; i < n; i++ {
+			p := MakePrefix(Addr(bases[i]), 8+lens[i]%25)
+			s.Add(p)
+			sum += p.NumAddrs()
+			if p.NumAddrs() > maxSingle {
+				maxSingle = p.NumAddrs()
+			}
+		}
+		got := s.NumAddrs()
+		return got <= sum && got >= maxSingle
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetContainsMatchesMembersProperty(t *testing.T) {
+	// Any address inside an added prefix is contained.
+	f := func(base uint32, bits uint8, off uint64) bool {
+		p := MakePrefix(Addr(base), bits%33)
+		s := NewSet()
+		s.Add(p)
+		return s.Contains(p.Nth(off % p.NumAddrs()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package loss models packet loss on origin→destination paths.
+//
+// The paper's central finding about transient loss is that it is *not*
+// uniform random packet drop: in >93% of cases where one ZMap probe is lost,
+// the second back-to-back probe is lost too, and the follow-up application
+// handshake fails as well. We therefore model two distinct processes per
+// (origin, destination-AS) path:
+//
+//   - a per-packet independent drop probability ("PacketDrop"), which
+//     produces the hosts that answer exactly one of two probes — the signal
+//     the paper's §5.2 estimator measures — and which, when extreme (40%+ on
+//     Germany→Telecom Italia paths), makes hosts effectively unreachable
+//     long-term; and
+//
+//   - a correlated loss *episode* probability ("EpisodeRate"): short windows
+//     in which every packet between the origin and the host is dropped, so
+//     both probes and any retry are lost together. Episodes are the dominant
+//     cause of transiently missed hosts.
+//
+// Episode rates have a stable component proportional to the path's packet
+// drop (this creates the paper's consistently-worst origins, e.g. Australia
+// to Russia/Kazakhstan, where drop is 10× the second-worst origin) and a
+// volatile component redrawn every trial (this makes the best origin in one
+// trial the worst in the next for ~23% of ASes, as the paper observes even
+// for Amazon and Google).
+package loss
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/asn"
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/rng"
+)
+
+// Params are the loss parameters of one (origin, AS, trial) path.
+type Params struct {
+	// PacketDrop is the independent one-way per-packet drop probability.
+	PacketDrop float64
+	// EpisodeRate is the probability that a given host's probe window
+	// falls inside a full-loss episode.
+	EpisodeRate float64
+	// BadPrefixFrac marks a stable fraction of the AS's /24s whose
+	// paths from this origin are pathologically lossy (BadDrop replaces
+	// PacketDrop there). This models Germany's persistent lack of
+	// connectivity to 36–46% of Telecom Italia (Sparkle): loss so high
+	// that even retransmitting TCP rarely completes a handshake.
+	BadPrefixFrac float64
+	BadDrop       float64
+}
+
+// Config tunes the loss matrix. Zero values take defaults.
+type Config struct {
+	// BasePacketDrop is the median per-packet one-way drop probability
+	// for an ordinary path (default 0.004).
+	BasePacketDrop float64
+	// PairCorrelation is the fraction of per-packet drop realized as
+	// micro-bursts spanning a host's whole probe window (both
+	// back-to-back probes and their responses), the remainder being
+	// independent per packet. The paper finds that when one probe is
+	// lost, the second is lost too in >93% of cases — consecutive
+	// probes share fate. Default 0.85.
+	PairCorrelation float64
+	// OriginFactor scales packet drop per origin (default 1.0).
+	// Australia, with the worst connectivity in the paper, gets >1.
+	OriginFactor map[origin.ID]float64
+	// StableAlpha is the stable episode component as a multiple of the
+	// path's packet drop (default 2.0).
+	StableAlpha float64
+	// VolatileSpreadFrac is the fraction of ASes whose per-origin
+	// transient loss is volatile and widely spread (default 0.20; the
+	// paper finds loss-rate differences >10% for 16–25% of ASes).
+	VolatileSpreadFrac float64
+	// VolatileModerateFrac is the fraction of ASes with moderate
+	// volatile spread (default 0.30). The remainder (~half of ASes) see
+	// near-identical loss from all origins, matching Figure 9.
+	VolatileModerateFrac float64
+	// VolatileMax is the maximum volatile episode rate for high-spread
+	// ASes (default 0.30).
+	VolatileMax float64
+	// TrialMultiplier scales the volatile episode component per
+	// (origin, trial); models Australia's +275% HTTPS swing between
+	// trials. Default 1.0.
+	TrialMultiplier map[origin.ID][]float64
+	// SiteAlias maps co-located origins to a shared site identity: most
+	// of their volatile loss is drawn from the site key, so transient
+	// losses correlate strongly — the paper's follow-up finds three
+	// Tier-1 transits in one data center form the worst triad because
+	// their paths converge.
+	SiteAlias map[origin.ID]origin.ID
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.BasePacketDrop == 0 {
+		out.BasePacketDrop = 0.004
+	}
+	if out.PairCorrelation == 0 {
+		out.PairCorrelation = 0.85
+	}
+	if out.StableAlpha == 0 {
+		out.StableAlpha = 1.0
+	}
+	if out.VolatileSpreadFrac == 0 {
+		out.VolatileSpreadFrac = 0.18
+	}
+	if out.VolatileModerateFrac == 0 {
+		out.VolatileModerateFrac = 0.30
+	}
+	if out.VolatileMax == 0 {
+		out.VolatileMax = 0.30
+	}
+	return out
+}
+
+// Matrix derives loss parameters for every (origin, AS, trial) path from a
+// key, with explicit overrides for the pathological paths the paper names.
+// All methods are safe for concurrent use.
+type Matrix struct {
+	key rng.Key
+	cfg Config
+
+	mu        sync.RWMutex
+	overrides map[pairKey]Params
+}
+
+type pairKey struct {
+	o  origin.ID
+	as asn.ASN
+}
+
+// NewMatrix returns a loss matrix deriving from key with the given config.
+func NewMatrix(key rng.Key, cfg Config) *Matrix {
+	return &Matrix{
+		key:       key,
+		cfg:       cfg.withDefaults(),
+		overrides: make(map[pairKey]Params),
+	}
+}
+
+// Override pins the stable parameters of one path, e.g. Germany→Telecom
+// Italia at 40% packet drop. Overridden paths still receive the volatile
+// per-trial episode component.
+func (m *Matrix) Override(o origin.ID, as asn.ASN, p Params) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.overrides[pairKey{o, as}] = p
+}
+
+// originFactor returns the per-origin packet-drop scale.
+func (m *Matrix) originFactor(o origin.ID) float64 {
+	if f, ok := m.cfg.OriginFactor[o]; ok {
+		return f
+	}
+	return 1.0
+}
+
+func (m *Matrix) trialMultiplier(o origin.ID, trial int) float64 {
+	if ms, ok := m.cfg.TrialMultiplier[o]; ok && trial >= 0 && trial < len(ms) && ms[trial] > 0 {
+		return ms[trial]
+	}
+	return 1.0
+}
+
+// Params returns the loss parameters of the (origin, AS) path in a trial.
+func (m *Matrix) Params(o origin.ID, as asn.ASN, trial int) Params {
+	m.mu.RLock()
+	ov, hasOverride := m.overrides[pairKey{o, as}]
+	m.mu.RUnlock()
+
+	var p Params
+	if hasOverride {
+		p = ov
+	} else {
+		// Stable per-path packet drop: lognormal-ish around the base,
+		// scaled by the origin's connectivity factor.
+		k := m.key.Derive("packet")
+		u := k.Float64(uint64(o), uint64(as))
+		// Map u through a heavy-ish tail: most paths near base, a few
+		// paths several times worse.
+		mult := 0.25 + 4*u*u*u
+		p.PacketDrop = m.cfg.BasePacketDrop * mult * m.originFactor(o)
+		if p.PacketDrop > 0.20 {
+			p.PacketDrop = 0.20
+		}
+	}
+
+	// Episode rate: stable component + volatile per-trial component.
+	p.EpisodeRate += m.cfg.StableAlpha * p.PacketDrop
+	p.EpisodeRate += m.volatileEpisode(o, as, trial) * m.trialMultiplier(o, trial)
+	if p.EpisodeRate > 0.95 {
+		p.EpisodeRate = 0.95
+	}
+	return p
+}
+
+// volatileEpisode draws the per-trial volatile episode component. The AS's
+// spread class is stable; the per-origin rate within the class is redrawn
+// each trial.
+func (m *Matrix) volatileEpisode(o origin.ID, as asn.ASN, trial int) float64 {
+	classKey := m.key.Derive("class")
+	u := classKey.Float64(uint64(as))
+	rateKey := m.key.Derive("volatile")
+	draw := rateKey.Float64(uint64(o), uint64(as), uint64(trial))
+	if site, ok := m.cfg.SiteAlias[o]; ok {
+		// Co-located origins share most of their volatile loss.
+		siteDraw := rateKey.Float64(uint64(site)+1000, uint64(as), uint64(trial))
+		draw = 0.85*siteDraw + 0.15*draw
+	}
+	switch {
+	case u < m.cfg.VolatileSpreadFrac:
+		// High-spread AS: a minority of origins see large episode
+		// rates this trial; most see little. The fifth power
+		// concentrates mass near zero with a heavy tail.
+		d2 := draw * draw
+		return m.cfg.VolatileMax * d2 * d2 * draw
+	case u < m.cfg.VolatileSpreadFrac+m.cfg.VolatileModerateFrac:
+		// Moderate-spread AS.
+		return 0.015 * draw * draw
+	default:
+		// Quiet AS: all origins see the same negligible rate
+		// (keyed only by AS and trial, not origin, so pairwise
+		// differences are exactly zero — the left half of Fig 9).
+		return 0.002 * rateKey.Float64(uint64(as), uint64(trial), 7)
+	}
+}
+
+// DropFor returns the effective per-packet drop probability for a specific
+// destination, accounting for pathological /24 subsets.
+func (m *Matrix) DropFor(o origin.ID, dst ip.Addr, as asn.ASN, trial int) float64 {
+	p := m.Params(o, as, trial)
+	if p.BadPrefixFrac > 0 {
+		s24 := dst.Slash24()
+		if m.key.Derive("badnet").Bool(p.BadPrefixFrac, uint64(o), uint64(s24.Base)) {
+			return p.BadDrop
+		}
+	}
+	return p.PacketDrop
+}
+
+// MicroBurstWindow is the duration of a correlated micro-burst: packets to
+// the same host within one window share fate. Back-to-back ZMap probes land
+// in the same window; probes delayed beyond it draw independently — which
+// is why the paper (§7, citing Bano et al.) recommends delaying the time
+// between probes to the same host.
+const MicroBurstWindow = 30 * time.Second
+
+// alias returns the origin's loss-sharing site identity (itself unless
+// co-located with others).
+func (m *Matrix) alias(o origin.ID) origin.ID {
+	if site, ok := m.cfg.SiteAlias[o]; ok {
+		return site
+	}
+	return o
+}
+
+// PacketLost reports whether one specific packet is dropped, keyed by the
+// full event coordinates (direction/sequence discriminator included by the
+// caller via pktIdx; t locates the packet's micro-burst window). This
+// applies to unretransmitted packets: ZMap probes and their responses. A
+// PairCorrelation share of the drop probability is realized as micro-bursts
+// covering whole windows, so consecutive probes are usually lost together.
+// Micro-bursts are keyed by the origin's site: co-located origins share the
+// paths that carry the burst.
+func (m *Matrix) PacketLost(o origin.ID, dst ip.Addr, as asn.ASN, trial int, pktIdx uint64, t time.Duration) bool {
+	q := m.DropFor(o, dst, as, trial)
+	c := m.cfg.PairCorrelation
+	window := uint64(t / MicroBurstWindow)
+	if m.key.Derive("micro").Bool(q*c, uint64(m.alias(o))+siteKeyOffset, uint64(dst), uint64(trial), window) {
+		return true
+	}
+	return m.key.Derive("pkt").Bool(q*(1-c), uint64(o), uint64(dst), uint64(trial), pktIdx)
+}
+
+// siteKeyOffset separates site-keyed draws from origin-keyed draws so a
+// non-aliased origin's two loss components stay independent.
+const siteKeyOffset = 4096
+
+// EpisodeActive reports whether the (origin → dst) path is inside a
+// full-loss episode during this host's probe window. The draw is keyed per
+// host and trial: both probes and the follow-up connection share the window,
+// which is what makes loss correlated. Most of the episode mass is keyed by
+// the origin's site, so co-located origins miss largely the same hosts —
+// the paper's follow-up finds the co-located Tier-1 triad recovers the
+// least coverage of any three origins.
+func (m *Matrix) EpisodeActive(o origin.ID, dst ip.Addr, as asn.ASN, trial int) bool {
+	p := m.Params(o, as, trial)
+	if m.key.Derive("episode").Bool(p.EpisodeRate*0.85, uint64(m.alias(o))+siteKeyOffset, uint64(dst), uint64(trial)) {
+		return true
+	}
+	return m.key.Derive("episode").Bool(p.EpisodeRate*0.15, uint64(o), uint64(dst), uint64(trial))
+}
+
+// ConnFailProb returns the probability a full TCP connection plus
+// application handshake fails under per-packet drop q. Unlike raw probes,
+// connections retransmit: the kernel retries the SYN (~3 times within a
+// grab timeout) and TCP retransmits lost segments, so moderate uniform loss
+// (≤20%) rarely kills a handshake — which is why the paper's lossy
+// Telecom Italia paths mostly show up as ZMap probe loss (transient), while
+// only the catastrophic Germany paths (40%+) become long-term inaccessible.
+//
+//	failSYN  = (1-(1-q)²)³   — three SYN attempts, each a round trip
+//	failData = (1-(1-q)²)²   — banner exchange with one retransmission
+func ConnFailProb(q float64) float64 {
+	rt := 1 - (1-q)*(1-q) // round-trip loss probability
+	failSYN := rt * rt * rt
+	failData := rt * rt
+	return 1 - (1-failSYN)*(1-failData)
+}
+
+// HandshakeFailed reports whether a connection attempt fails due to
+// per-packet loss (distinct from episodes), keyed per attempt so retries
+// draw independently.
+func (m *Matrix) HandshakeFailed(o origin.ID, dst ip.Addr, as asn.ASN, trial int, attempt int) bool {
+	q := m.DropFor(o, dst, as, trial)
+	return m.key.Derive("hs").Bool(ConnFailProb(q), uint64(o), uint64(dst), uint64(trial), uint64(attempt))
+}

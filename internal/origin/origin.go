@@ -1,0 +1,158 @@
+// Package origin defines the scan vantage points of the study: the five
+// academic origins, Censys, the optional Carinet cloud origin, the 64-IP
+// U.S. origin, and the three co-located Tier-1 transit origins from the
+// paper's follow-up experiment.
+package origin
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/ip"
+)
+
+// ID identifies a scan origin.
+type ID uint8
+
+// The study's origins, in the order the paper reports them.
+const (
+	AU      ID = iota // University of Sydney, Australia
+	BR                // Universidade Federal de Minas Gerais, Brazil
+	DE                // Max Planck Institute for Informatics, Germany
+	JP                // Yokohama National University, Japan
+	US1               // Stanford University, 1 source IP
+	US64              // Stanford University, 64 source IPs
+	CEN               // Censys
+	CARINET           // Carinet (cloud; one trial only, excluded from aggregates)
+	HE                // Hurricane Electric @ Equinix CHI4 (follow-up)
+	NTTC              // NTT @ Equinix CHI4 (follow-up)
+	TELIA             // Telia Carrier @ Equinix CHI4 (follow-up)
+	numIDs
+)
+
+var names = [...]string{"AU", "BR", "DE", "JP", "US1", "US64", "CEN", "CARINET", "HE", "NTT", "TELIA"}
+
+// String returns the origin's short name as used in the paper's tables.
+func (id ID) String() string {
+	if int(id) < len(names) {
+		return names[id]
+	}
+	return fmt.Sprintf("origin(%d)", uint8(id))
+}
+
+// Origin describes one vantage point.
+type Origin struct {
+	ID      ID
+	Name    string      // institution, as in the paper
+	Country geo.Country // geographic location of the vantage point
+
+	// SourceIPs are the scanner's source addresses. All origins use one
+	// except US64 (a contiguous /26). The fabric treats each source IP
+	// as an independently detectable scanner identity.
+	SourceIPs []ip.Addr
+
+	// Academic marks the five university origins; aggregate statistics
+	// in the paper often group these.
+	Academic bool
+
+	// ScanReputation models the prior scanning history of the origin's
+	// address space, which §4 shows drives long-term blocking:
+	// Censys ≫ (AU, US) > (DE) > (BR, JP, fresh follow-up IPs).
+	ScanReputation Reputation
+}
+
+// Reputation buckets prior scanning history of the origin's IP range.
+type Reputation uint8
+
+const (
+	// RepFresh: never used for scanning, nor its /24 (BR, JP, HE, NTT,
+	// TELIA). Fresh IPs still get blocked by regional/edge policies.
+	RepFresh Reputation = iota
+	// RepSubnet: the IP is fresh but its /24 commonly scans (US1, US64).
+	RepSubnet
+	// RepUsed: the IP itself has performed individual scans (AU, DE).
+	RepUsed
+	// RepHeavy: continuous industrial scanning (Censys: ≥106× more scans
+	// in the prior 6 months than any other origin).
+	RepHeavy
+)
+
+// Set is an ordered list of distinct origins.
+type Set []ID
+
+// Contains reports whether the set includes id.
+func (s Set) Contains(id ID) bool {
+	for _, o := range s {
+		if o == id {
+			return true
+		}
+	}
+	return false
+}
+
+// StudySet returns the seven origins used in the paper's aggregate analyses
+// (Carinet excluded, as in the paper).
+func StudySet() Set { return Set{AU, BR, DE, JP, US1, US64, CEN} }
+
+// FollowUpSet returns the origins of the September 2020 follow-up
+// experiment: AU, DE, JP, US1, Censys, plus the three co-located Tier-1s.
+func FollowUpSet() Set { return Set{AU, DE, JP, US1, CEN, HE, NTTC, TELIA} }
+
+// Directory holds the Origin records for a study. Source IPs are allocated
+// outside the scanned address space so scanners never probe each other.
+type Directory struct {
+	byID map[ID]*Origin
+}
+
+// NewDirectory builds the canonical directory. srcBase is the first address
+// of a reserved block (at least 128 addresses) for scanner source IPs.
+func NewDirectory(srcBase ip.Addr) *Directory {
+	d := &Directory{byID: make(map[ID]*Origin)}
+	next := srcBase
+	alloc := func(n int) []ip.Addr {
+		ips := make([]ip.Addr, n)
+		for i := range ips {
+			ips[i] = next
+			next++
+		}
+		return ips
+	}
+	add := func(id ID, name string, c geo.Country, nIPs int, academic bool, rep Reputation) {
+		d.byID[id] = &Origin{
+			ID: id, Name: name, Country: c,
+			SourceIPs: alloc(nIPs), Academic: academic, ScanReputation: rep,
+		}
+	}
+	add(AU, "University of Sydney", "AU", 1, true, RepUsed)
+	add(BR, "Universidade Federal de Minas Gerais", "BR", 1, true, RepFresh)
+	add(DE, "Max Planck Institute for Informatics", "DE", 1, true, RepUsed)
+	add(JP, "Yokohama National University", "JP", 1, true, RepFresh)
+	add(US1, "Stanford University (1 IP)", "US", 1, true, RepSubnet)
+	add(US64, "Stanford University (64 IPs)", "US", 64, true, RepSubnet)
+	add(CEN, "Censys", "US", 1, false, RepHeavy)
+	add(CARINET, "Carinet", "US", 1, false, RepFresh)
+	add(HE, "Hurricane Electric @ CHI4", "US", 1, false, RepFresh)
+	add(NTTC, "NTT @ CHI4", "US", 1, false, RepFresh)
+	add(TELIA, "Telia Carrier @ CHI4", "US", 1, false, RepFresh)
+	return d
+}
+
+// Get returns the origin record for id.
+func (d *Directory) Get(id ID) *Origin {
+	o, ok := d.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("origin: unknown id %d", id))
+	}
+	return o
+}
+
+// All returns all origins in ID order.
+func (d *Directory) All() []*Origin {
+	out := make([]*Origin, 0, len(d.byID))
+	for id := ID(0); id < numIDs; id++ {
+		if o, ok := d.byID[id]; ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}

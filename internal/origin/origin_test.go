@@ -1,0 +1,80 @@
+package origin
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+)
+
+func TestDirectoryShape(t *testing.T) {
+	d := NewDirectory(ip.MustParseAddr("10.255.0.0"))
+	us64 := d.Get(US64)
+	if len(us64.SourceIPs) != 64 {
+		t.Errorf("US64 has %d source IPs", len(us64.SourceIPs))
+	}
+	for _, o := range d.All() {
+		if o != us64 && len(d.Get(o.ID).SourceIPs) != 1 {
+			t.Errorf("%v has %d source IPs, want 1", o.ID, len(o.SourceIPs))
+		}
+	}
+	// Source IPs are globally distinct.
+	seen := map[ip.Addr]bool{}
+	for _, o := range d.All() {
+		for _, src := range o.SourceIPs {
+			if seen[src] {
+				t.Fatalf("source IP %v assigned twice", src)
+			}
+			seen[src] = true
+		}
+	}
+	if len(seen) > 128 {
+		t.Errorf("%d source IPs exceed the reserved /25", len(seen))
+	}
+}
+
+func TestReputations(t *testing.T) {
+	d := NewDirectory(0)
+	cases := map[ID]Reputation{
+		CEN: RepHeavy, AU: RepUsed, DE: RepUsed,
+		BR: RepFresh, JP: RepFresh, US1: RepSubnet, US64: RepSubnet,
+		HE: RepFresh, NTTC: RepFresh, TELIA: RepFresh,
+	}
+	for id, want := range cases {
+		if got := d.Get(id).ScanReputation; got != want {
+			t.Errorf("%v reputation = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestSets(t *testing.T) {
+	if len(StudySet()) != 7 || StudySet().Contains(CARINET) {
+		t.Error("study set wrong")
+	}
+	if !StudySet().Contains(CEN) {
+		t.Error("study set must include Censys")
+	}
+	fu := FollowUpSet()
+	if len(fu) != 8 || !fu.Contains(HE) || !fu.Contains(TELIA) || fu.Contains(BR) {
+		t.Errorf("follow-up set = %v", fu)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for id, want := range map[ID]string{AU: "AU", US64: "US64", CEN: "CEN", NTTC: "NTT"} {
+		if id.String() != want {
+			t.Errorf("%d.String() = %q, want %q", id, id.String(), want)
+		}
+	}
+	if ID(200).String() == "" {
+		t.Error("out-of-range ID should still format")
+	}
+}
+
+func TestGetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(unknown) did not panic")
+		}
+	}()
+	NewDirectory(0).Get(ID(99))
+}

@@ -1,0 +1,216 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ip"
+)
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Classic example from RFC 1071 materials:
+	// 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data, 0); got != 0x220d {
+		t.Errorf("Checksum = %#x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	data := []byte{0x01, 0x02, 0x03}
+	got := Checksum(data, 0)
+	// Manually: 0x0102 + 0x0300 = 0x0402 -> ^0x0402 = 0xfbfd.
+	if got != 0xfbfd {
+		t.Errorf("Checksum = %#x, want 0xfbfd", got)
+	}
+}
+
+func TestSerializeDecodeRoundTrip(t *testing.T) {
+	src, dst := ip.MustParseAddr("192.0.2.1"), ip.MustParseAddr("198.51.100.2")
+	pkt := SerializeTCP4(
+		&IPv4Header{Src: src, Dst: dst, ID: 4321, TTL: 64},
+		&TCPHeader{
+			SrcPort: 54321, DstPort: 443,
+			Seq: 0xdeadbeef, Ack: 0x12345678,
+			Flags: FlagSYN | FlagACK, Window: 29200,
+			Options: []byte{2, 4, 5, 180},
+		},
+		[]byte("hello"),
+	)
+	iph, tcph, payload, err := DecodeTCP4(pkt)
+	if err != nil {
+		t.Fatalf("DecodeTCP4: %v", err)
+	}
+	if iph.Src != src || iph.Dst != dst || iph.ID != 4321 {
+		t.Errorf("IP header mismatch: %+v", iph)
+	}
+	if tcph.SrcPort != 54321 || tcph.DstPort != 443 || tcph.Seq != 0xdeadbeef || tcph.Ack != 0x12345678 {
+		t.Errorf("TCP header mismatch: %+v", tcph)
+	}
+	if !tcph.HasFlag(FlagSYN) || !tcph.HasFlag(FlagACK) || tcph.HasFlag(FlagRST) {
+		t.Errorf("flags mismatch: %#x", tcph.Flags)
+	}
+	if string(payload) != "hello" {
+		t.Errorf("payload = %q", payload)
+	}
+	if len(tcph.Options) != 4 || tcph.Options[0] != 2 {
+		t.Errorf("options = %v", tcph.Options)
+	}
+}
+
+func TestDecodeRejectsCorruptedIPChecksum(t *testing.T) {
+	pkt := MakeSYN(1, 2, 1000, 80, 42, 7)
+	pkt[12] ^= 0xff // corrupt src address without fixing checksum
+	if _, _, _, err := DecodeTCP4(pkt); err != ErrBadChecksum {
+		t.Errorf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecodeRejectsCorruptedTCPChecksum(t *testing.T) {
+	pkt := MakeSYN(1, 2, 1000, 80, 42, 7)
+	pkt[len(pkt)-1] ^= 0xff // corrupt last TCP option byte
+	if _, _, _, err := DecodeTCP4(pkt); err != ErrBadChecksum {
+		t.Errorf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	pkt := MakeSYN(1, 2, 1000, 80, 42, 7)
+	for _, n := range []int{0, 10, 19, 25, len(pkt) - 1} {
+		if _, _, _, err := DecodeTCP4(pkt[:n]); err == nil {
+			t.Errorf("decode of %d bytes succeeded", n)
+		}
+	}
+}
+
+func TestDecodeRejectsNonIPv4(t *testing.T) {
+	pkt := MakeSYN(1, 2, 1000, 80, 42, 7)
+	pkt[0] = 0x65 // version 6
+	if _, _, _, err := DecodeTCP4(pkt); err != ErrBadVersion {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeRejectsNonTCP(t *testing.T) {
+	pkt := MakeSYN(1, 2, 1000, 80, 42, 7)
+	pkt[9] = 17 // UDP
+	// Fix the IP checksum so the protocol check is reached.
+	pkt[10], pkt[11] = 0, 0
+	ck := Checksum(pkt[:20], 0)
+	pkt[10], pkt[11] = byte(ck>>8), byte(ck)
+	if _, _, _, err := DecodeTCP4(pkt); err != ErrNotTCP {
+		t.Errorf("err = %v, want ErrNotTCP", err)
+	}
+}
+
+func TestMakeSYNShape(t *testing.T) {
+	src, dst := ip.MustParseAddr("10.0.0.1"), ip.MustParseAddr("10.0.0.2")
+	pkt := MakeSYN(src, dst, 40000, 80, 0xcafebabe, 99)
+	iph, tcph, payload, err := DecodeTCP4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tcph.HasFlag(FlagSYN) || tcph.HasFlag(FlagACK) {
+		t.Error("SYN probe must be SYN-only")
+	}
+	if tcph.Seq != 0xcafebabe {
+		t.Errorf("seq = %#x", tcph.Seq)
+	}
+	if iph.ID != 99 || iph.TTL == 0 {
+		t.Errorf("ip header: %+v", iph)
+	}
+	if len(payload) != 0 {
+		t.Error("SYN probe must carry no payload")
+	}
+	// MSS option present.
+	if len(tcph.Options) != 4 || tcph.Options[0] != 2 || tcph.Options[1] != 4 {
+		t.Errorf("MSS option missing: %v", tcph.Options)
+	}
+}
+
+func TestMakeSYNACKAcksSeqPlusOne(t *testing.T) {
+	probe := MakeSYN(1, 2, 40000, 443, 1000, 0)
+	_, p, _, _ := DecodeTCP4(probe)
+	resp := MakeSYNACK(2, 1, 443, 40000, 77, p.Seq+1)
+	_, r, _, err := DecodeTCP4(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasFlag(FlagSYN | FlagACK) {
+		t.Error("response must be SYN+ACK")
+	}
+	if r.Ack != 1001 {
+		t.Errorf("ack = %d, want 1001", r.Ack)
+	}
+}
+
+func TestMakeRSTFlags(t *testing.T) {
+	pkt := MakeRST(2, 1, 22, 40000, 0, 1001)
+	_, tcph, _, err := DecodeTCP4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tcph.HasFlag(FlagRST) || tcph.HasFlag(FlagSYN) {
+		t.Errorf("flags = %#x", tcph.Flags)
+	}
+}
+
+func TestSerializeDecodePropertyRoundTrip(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, seq, ack uint32, flags uint8, payload []byte) bool {
+		pkt := SerializeTCP4(
+			&IPv4Header{Src: ip.Addr(src), Dst: ip.Addr(dst), TTL: 64},
+			&TCPHeader{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: flags},
+			payload,
+		)
+		iph, tcph, pl, err := DecodeTCP4(pkt)
+		if err != nil {
+			return false
+		}
+		return iph.Src == ip.Addr(src) && iph.Dst == ip.Addr(dst) &&
+			tcph.SrcPort == sp && tcph.DstPort == dp &&
+			tcph.Seq == seq && tcph.Ack == ack && tcph.Flags == flags &&
+			string(pl) == string(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	pkt := MakeSYN(ip.MustParseAddr("1.2.3.4"), ip.MustParseAddr("5.6.7.8"), 40000, 80, 7, 0)
+	s := Summary(pkt)
+	for _, want := range []string{"1.2.3.4:40000", "5.6.7.8:80", "[S]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary %q missing %q", s, want)
+		}
+	}
+	if s := Summary([]byte{1, 2, 3}); !strings.Contains(s, "invalid") {
+		t.Errorf("Summary of garbage = %q", s)
+	}
+}
+
+func TestSerializePanicsOnUnpaddedOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unpadded options did not panic")
+		}
+	}()
+	SerializeTCP4(&IPv4Header{}, &TCPHeader{Options: []byte{1, 2, 3}}, nil)
+}
+
+func BenchmarkMakeSYN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MakeSYN(ip.Addr(i), ip.Addr(i*7), 40000, 80, uint32(i), uint16(i))
+	}
+}
+
+func BenchmarkDecodeTCP4(b *testing.B) {
+	pkt := MakeSYNACK(1, 2, 80, 40000, 5, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := DecodeTCP4(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package pcap implements the classic libpcap capture file format
+// (pcap-savefile(5)): enough to write the scanner's probe and response
+// packets to a file that Wireshark/tcpdump open directly, and to read such
+// files back. The scanner records raw IPv4 packets, so captures use the
+// LINKTYPE_RAW link layer.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers and format constants.
+const (
+	magicMicros = 0xa1b2c3d4 // microsecond-resolution, native byte order
+	versionMaj  = 2
+	versionMin  = 4
+	// LinkTypeRaw is LINKTYPE_RAW: packets begin with the IPv4/IPv6
+	// header.
+	LinkTypeRaw = 101
+	// MaxSnapLen is the capture length written to the global header.
+	MaxSnapLen = 65535
+)
+
+// Errors.
+var (
+	ErrBadMagic  = errors.New("pcap: not a pcap file (bad magic)")
+	ErrTruncated = errors.New("pcap: truncated file")
+)
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w     io.Writer
+	count int
+}
+
+// NewWriter writes the global header and returns a packet writer.
+func NewWriter(w io.Writer, linkType uint32) (*Writer, error) {
+	var hdr [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], magicMicros)
+	le.PutUint16(hdr[4:], versionMaj)
+	le.PutUint16(hdr[6:], versionMin)
+	// thiszone, sigfigs zero.
+	le.PutUint32(hdr[16:], MaxSnapLen)
+	le.PutUint32(hdr[20:], linkType)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w}, nil
+}
+
+// WritePacket appends one packet captured at ts.
+func (pw *Writer) WritePacket(ts time.Duration, data []byte) error {
+	if len(data) > MaxSnapLen {
+		data = data[:MaxSnapLen]
+	}
+	var hdr [16]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], uint32(ts/time.Second))
+	le.PutUint32(hdr[4:], uint32(ts%time.Second/time.Microsecond))
+	le.PutUint32(hdr[8:], uint32(len(data)))
+	le.PutUint32(hdr[12:], uint32(len(data)))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := pw.w.Write(data); err != nil {
+		return err
+	}
+	pw.count++
+	return nil
+}
+
+// Count returns the number of packets written.
+func (pw *Writer) Count() int { return pw.count }
+
+// Packet is one record read from a capture.
+type Packet struct {
+	TS   time.Duration
+	Data []byte
+}
+
+// Reader parses a pcap stream written by Writer (little-endian microsecond
+// format only, which is what we emit).
+type Reader struct {
+	r        io.Reader
+	LinkType uint32
+}
+
+// NewReader validates the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, ErrTruncated
+	}
+	le := binary.LittleEndian
+	if le.Uint32(hdr[0:]) != magicMicros {
+		return nil, ErrBadMagic
+	}
+	if maj := le.Uint16(hdr[4:]); maj != versionMaj {
+		return nil, fmt.Errorf("pcap: unsupported version %d", maj)
+	}
+	return &Reader{r: r, LinkType: le.Uint32(hdr[20:])}, nil
+}
+
+// Next returns the next packet, or io.EOF at the end of the capture.
+func (pr *Reader) Next() (Packet, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, ErrTruncated
+	}
+	le := binary.LittleEndian
+	caplen := le.Uint32(hdr[8:])
+	if caplen > MaxSnapLen {
+		return Packet{}, fmt.Errorf("pcap: implausible caplen %d", caplen)
+	}
+	data := make([]byte, caplen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return Packet{}, ErrTruncated
+	}
+	ts := time.Duration(le.Uint32(hdr[0:]))*time.Second +
+		time.Duration(le.Uint32(hdr[4:]))*time.Microsecond
+	return Packet{TS: ts, Data: data}, nil
+}

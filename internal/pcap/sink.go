@@ -1,0 +1,38 @@
+package pcap
+
+import (
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/zmap"
+)
+
+// Sink wraps a zmap.PacketSink and records every probe and response into a
+// pcap stream, so a simulated scan's traffic can be inspected with
+// tcpdump/Wireshark exactly like a real one's.
+type Sink struct {
+	inner zmap.PacketSink
+	w     *Writer
+	err   error
+}
+
+// NewSink returns a tee around inner writing LINKTYPE_RAW packets to pw.
+func NewSink(inner zmap.PacketSink, pw *Writer) *Sink {
+	return &Sink{inner: inner, w: pw}
+}
+
+// Send implements zmap.PacketSink.
+func (s *Sink) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
+	if s.err == nil {
+		s.err = s.w.WritePacket(t, pkt)
+	}
+	resp := s.inner.Send(src, pkt, t)
+	if resp != nil && s.err == nil {
+		s.err = s.w.WritePacket(t, resp)
+	}
+	return resp
+}
+
+// Err returns the first write error encountered (the tee keeps the scan
+// going regardless; capture loss must not abort a scan).
+func (s *Sink) Err() error { return s.err }

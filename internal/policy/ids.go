@@ -1,0 +1,110 @@
+package policy
+
+import (
+	"sync"
+
+	"repro/internal/asn"
+	"repro/internal/ip"
+)
+
+// IDS models a destination network's intrusion detection system that counts
+// probes per scanner source IP and, once a source crosses the detection
+// threshold, blocks that source for the remainder of the study (the paper
+// confirms Ruhr-Universität Bochum blocked all single-IP origins two hours
+// into the first HTTPS scan and kept them blocked in all later scans).
+//
+// Detection is per source IP, which is exactly why 64-IP scanning evades it:
+// each of US64's addresses sends 1/64th of the probes and stays under the
+// threshold.
+//
+// The IDS is stateful; RecordProbe must be called for every probe reaching
+// the protected AS (the fabric does this). State is shared across trials
+// when Persistent is true.
+type IDS struct {
+	RuleName string
+	// AS is the protected network.
+	AS asn.ASN
+	// Threshold is the number of probes from a single source IP that
+	// triggers detection.
+	Threshold int
+	// Protos restricts which scans trigger and are blocked (zero = all).
+	Protos DestMatch
+	// Persistent keeps a detected source blocked in subsequent trials.
+	Persistent bool
+	// Action is the treatment of blocked sources (typically Silent).
+	Action Verdict
+
+	mu      sync.Mutex
+	counts  map[idsKey]int
+	blocked map[idsBlockKey]bool
+}
+
+type idsKey struct {
+	src   ip.Addr
+	trial int
+}
+
+type idsBlockKey struct {
+	src   ip.Addr
+	trial int // -1 when Persistent
+}
+
+// Name implements Rule.
+func (d *IDS) Name() string { return d.RuleName }
+
+func (d *IDS) blockKey(src ip.Addr, trial int) idsBlockKey {
+	if d.Persistent {
+		return idsBlockKey{src: src, trial: -1}
+	}
+	return idsBlockKey{src: src, trial: trial}
+}
+
+// RecordProbe counts a probe from src toward the protected AS and returns
+// true if the source is (now) blocked. The triggering probe itself is
+// already dropped: real IDSes fire mid-scan, and the paper observes
+// networks going dark partway into a trial.
+func (d *IDS) RecordProbe(q *Query) bool {
+	if q.DstAS != d.AS || !d.Protos.Matches(q) {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.counts == nil {
+		d.counts = make(map[idsKey]int)
+		d.blocked = make(map[idsBlockKey]bool)
+	}
+	bk := d.blockKey(q.SrcIP, q.Trial)
+	if d.blocked[bk] {
+		return true
+	}
+	k := idsKey{src: q.SrcIP, trial: q.Trial}
+	d.counts[k]++
+	if d.counts[k] >= d.Threshold {
+		d.blocked[bk] = true
+		return true
+	}
+	return false
+}
+
+// Evaluate implements Rule: it reports the verdict for already-detected
+// sources. It does not count the probe; the fabric calls RecordProbe for
+// that on the L4 path.
+func (d *IDS) Evaluate(q *Query) (Verdict, bool) {
+	if q.DstAS != d.AS || !d.Protos.Matches(q) {
+		return 0, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.blocked[d.blockKey(q.SrcIP, q.Trial)] {
+		return d.Action, true
+	}
+	return 0, false
+}
+
+// Reset clears all detection state (between independent experiments).
+func (d *IDS) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.counts = nil
+	d.blocked = nil
+}

@@ -1,0 +1,126 @@
+// Package policy implements the destination-side filtering behaviours that
+// the paper identifies as root causes of missing hosts: static per-origin
+// blocking (Censys's blockers), geographic allow/deny fences, rate-triggered
+// intrusion-detection blocking (evaded by 64-IP scanning), Alibaba-style
+// temporal network-wide SSH resets, and OpenSSH MaxStartups probabilistic
+// connection refusal.
+//
+// Each behaviour is an independent Rule; an Engine composes them in priority
+// order. All probabilistic decisions are keyed hashes of the query
+// coordinates, so evaluation is deterministic, order-independent, and safe
+// for concurrent use (except the IDS, which is inherently stateful and
+// synchronizes internally).
+package policy
+
+import (
+	"time"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// Verdict is the destination's treatment of a connection attempt.
+type Verdict uint8
+
+const (
+	// Allow lets the connection proceed normally.
+	Allow Verdict = iota
+	// Silent drops all packets (firewall DROP): no SYN-ACK, L4-dead.
+	Silent
+	// RefuseTCP answers the SYN with a RST: L4 explicitly refused.
+	RefuseTCP
+	// ResetAfterAccept completes the TCP handshake, then resets the
+	// connection before any application data (Alibaba's SSH behaviour).
+	ResetAfterAccept
+	// CloseAfterAccept completes the TCP handshake, then closes with
+	// FIN before the application banner (MaxStartups-style refusal).
+	CloseAfterAccept
+)
+
+var verdictNames = [...]string{"allow", "silent", "refuse-tcp", "reset-after-accept", "close-after-accept"}
+
+// String returns a short verdict name.
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return "verdict(?)"
+}
+
+// L4Responsive reports whether a ZMap SYN probe elicits a SYN-ACK under
+// this verdict. ResetAfterAccept and CloseAfterAccept hosts are L4-alive;
+// the paper notes Alibaba's blocked SSH hosts still complete TCP handshakes.
+func (v Verdict) L4Responsive() bool {
+	return v == Allow || v == ResetAfterAccept || v == CloseAfterAccept
+}
+
+// Query carries the coordinates of one connection attempt.
+type Query struct {
+	Origin     origin.ID
+	SrcIP      ip.Addr
+	SrcCountry geo.Country
+	NumSrcIPs  int // how many source IPs the origin scans with
+	Rep        origin.Reputation
+
+	Dst        ip.Addr
+	DstAS      asn.ASN
+	DstCountry geo.Country
+	Proto      proto.Protocol
+
+	Trial   int           // 0-based trial index
+	Time    time.Duration // virtual time since trial start
+	Attempt int           // 0-based L7 retry number
+
+	// ConcurrentOrigins is how many origins are attempting an L7
+	// handshake with this host at approximately the same time
+	// (synchronized scans probe the same target simultaneously), which
+	// drives MaxStartups refusal probability.
+	ConcurrentOrigins int
+}
+
+// Rule is one destination-side behaviour. Evaluate returns (verdict, true)
+// when the rule has an opinion about the query, or (_, false) to defer.
+type Rule interface {
+	// Name identifies the rule in diagnostics and cause attribution.
+	Name() string
+	Evaluate(q *Query) (Verdict, bool)
+}
+
+// Engine composes rules; the first rule with an opinion wins.
+type Engine struct {
+	rules []Rule
+}
+
+// NewEngine returns an engine evaluating the given rules in order.
+func NewEngine(rules ...Rule) *Engine {
+	return &Engine{rules: rules}
+}
+
+// Add appends a rule at the lowest priority.
+func (e *Engine) Add(r Rule) { e.rules = append(e.rules, r) }
+
+// Evaluate returns the effective verdict and the deciding rule's name
+// ("" when allowed by default).
+func (e *Engine) Evaluate(q *Query) (Verdict, string) {
+	for _, r := range e.rules {
+		if v, ok := r.Evaluate(q); ok {
+			return v, r.Name()
+		}
+	}
+	return Allow, ""
+}
+
+// Rules returns the engine's rules in priority order.
+func (e *Engine) Rules() []Rule { return e.rules }
+
+// hostFraction deterministically selects a stable fraction of destination
+// hosts: host dst is "selected" iff a keyed hash of (dst) falls below frac.
+// The same host is selected for every origin, trial, and probe, which is
+// what makes the resulting inaccessibility long-term.
+func hostFraction(key rng.Key, dst ip.Addr, frac float64) bool {
+	return key.Bool(frac, uint64(dst))
+}

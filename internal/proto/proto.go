@@ -1,0 +1,76 @@
+// Package proto enumerates the application protocols scanned in the study.
+package proto
+
+import "fmt"
+
+// Protocol is one of the three scanned protocols.
+type Protocol uint8
+
+const (
+	HTTP  Protocol = iota // TCP/80, GET /
+	HTTPS                 // TCP/443, TLS 1.2 handshake
+	SSH                   // TCP/22, version exchange
+	numProtocols
+)
+
+// All lists the protocols in the paper's reporting order.
+func All() []Protocol { return []Protocol{HTTP, HTTPS, SSH} }
+
+// N is the number of protocols.
+const N = int(numProtocols)
+
+var names = [...]string{"HTTP", "HTTPS", "SSH"}
+var ports = [...]uint16{80, 443, 22}
+
+// String returns the protocol name as used in the paper.
+func (p Protocol) String() string {
+	if int(p) < len(names) {
+		return names[p]
+	}
+	return fmt.Sprintf("proto(%d)", uint8(p))
+}
+
+// Port returns the protocol's well-known TCP port.
+func (p Protocol) Port() uint16 {
+	if int(p) < len(ports) {
+		return ports[p]
+	}
+	return 0
+}
+
+// FromPort returns the protocol scanned on a TCP port.
+func FromPort(port uint16) (Protocol, bool) {
+	switch port {
+	case 80:
+		return HTTP, true
+	case 443:
+		return HTTPS, true
+	case 22:
+		return SSH, true
+	}
+	return 0, false
+}
+
+// Mask is a bitmask of protocols, used to describe which services a host
+// runs.
+type Mask uint8
+
+// Bit returns the mask bit for a protocol.
+func Bit(p Protocol) Mask { return 1 << p }
+
+// Has reports whether the mask includes p.
+func (m Mask) Has(p Protocol) bool { return m&Bit(p) != 0 }
+
+// With returns the mask with p added.
+func (m Mask) With(p Protocol) Mask { return m | Bit(p) }
+
+// Count returns the number of protocols in the mask.
+func (m Mask) Count() int {
+	n := 0
+	for _, p := range All() {
+		if m.Has(p) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+package proto
+
+import "testing"
+
+func TestPortsAndNames(t *testing.T) {
+	cases := []struct {
+		p    Protocol
+		name string
+		port uint16
+	}{
+		{HTTP, "HTTP", 80},
+		{HTTPS, "HTTPS", 443},
+		{SSH, "SSH", 22},
+	}
+	for _, c := range cases {
+		if c.p.String() != c.name || c.p.Port() != c.port {
+			t.Errorf("%v: name %q port %d", c.p, c.p.String(), c.p.Port())
+		}
+		got, ok := FromPort(c.port)
+		if !ok || got != c.p {
+			t.Errorf("FromPort(%d) = %v,%v", c.port, got, ok)
+		}
+	}
+	if _, ok := FromPort(8080); ok {
+		t.Error("FromPort(8080) should miss")
+	}
+	if Protocol(9).String() == "" || Protocol(9).Port() != 0 {
+		t.Error("out-of-range protocol should still format")
+	}
+	if len(All()) != N {
+		t.Errorf("All() has %d entries, N = %d", len(All()), N)
+	}
+}
+
+func TestMask(t *testing.T) {
+	var m Mask
+	if m.Has(HTTP) || m.Count() != 0 {
+		t.Error("zero mask should be empty")
+	}
+	m = m.With(HTTP).With(SSH)
+	if !m.Has(HTTP) || !m.Has(SSH) || m.Has(HTTPS) {
+		t.Errorf("mask = %b", m)
+	}
+	if m.Count() != 2 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if Bit(HTTPS) == Bit(SSH) {
+		t.Error("bits collide")
+	}
+	// With is idempotent.
+	if m.With(HTTP) != m {
+		t.Error("With not idempotent")
+	}
+}

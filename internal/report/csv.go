@@ -1,0 +1,155 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/origin"
+	"repro/internal/proto"
+)
+
+// CSV writers: each figure/table as machine-readable rows, so the study's
+// outputs can be plotted or diffed outside Go. Column layouts mirror the
+// data the paper's figures plot.
+
+// CSVCoverage writes Figure 1 / Table 4a rows:
+// protocol,origin,trial,coverage2probe,coverage1probe.
+func CSVCoverage(w io.Writer, s *core.Study) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"protocol", "origin", "trial", "coverage_2probe", "coverage_1probe"}); err != nil {
+		return err
+	}
+	for _, p := range proto.All() {
+		tab := s.Fig1Coverage(p)
+		for _, c := range tab.Cells {
+			if err := cw.Write([]string{
+				p.String(), c.Origin.String(), strconv.Itoa(c.Trial + 1),
+				f(c.Coverage), f(c.Single),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.Error()
+}
+
+// CSVMissingBreakdown writes Figure 2 rows:
+// protocol,origin,trial,category,count,fraction.
+func CSVMissingBreakdown(w io.Writer, s *core.Study) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"protocol", "origin", "trial", "category", "count", "fraction"}); err != nil {
+		return err
+	}
+	for _, p := range proto.All() {
+		for _, b := range s.Fig2MissingBreakdown(p) {
+			for cat := analysis.Category(0); int(cat) < len(b.Counts); cat++ {
+				if err := cw.Write([]string{
+					p.String(), b.Origin.String(), strconv.Itoa(b.Trial + 1),
+					cat.String(), strconv.Itoa(b.Counts[cat]), f(b.Frac(cat)),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return cw.Error()
+}
+
+// CSVSpreadCDF writes Figure 9 rows: protocol,series,x,f.
+func CSVSpreadCDF(w io.Writer, s *core.Study) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"protocol", "series", "delta", "cdf"}); err != nil {
+		return err
+	}
+	for _, p := range proto.All() {
+		_, plain, weighted := s.Fig9LossSpread(p)
+		for _, pt := range plain {
+			if err := cw.Write([]string{p.String(), "plain", f(pt.X), f(pt.F)}); err != nil {
+				return err
+			}
+		}
+		for _, pt := range weighted {
+			if err := cw.Write([]string{p.String(), "weighted", f(pt.X), f(pt.F)}); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.Error()
+}
+
+// CSVMultiOrigin writes Figure 15/17 rows:
+// protocol,probes,k,median,mean,min,max,sigma.
+func CSVMultiOrigin(w io.Writer, s *core.Study) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"protocol", "probes", "k", "median", "mean", "min", "max", "sigma"}); err != nil {
+		return err
+	}
+	for _, p := range proto.All() {
+		for _, single := range []bool{true, false} {
+			probes := "2"
+			if single {
+				probes = "1"
+			}
+			for _, lvl := range s.Fig15MultiOrigin(p, single) {
+				if err := cw.Write([]string{
+					p.String(), probes, strconv.Itoa(lvl.K),
+					f(lvl.Median), f(lvl.Mean), f(lvl.Min), f(lvl.Max), f(lvl.Sigma),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return cw.Error()
+}
+
+// CSVTimeline writes Figure 12 rows: origin,trial,hour,attempted,reset.
+func CSVTimeline(w io.Writer, s *core.Study, origins []origin.ID, trial int) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"origin", "trial", "hour", "attempted", "reset"}); err != nil {
+		return err
+	}
+	for _, o := range origins {
+		for _, h := range s.Fig12AlibabaTimeline(o, trial) {
+			if err := cw.Write([]string{
+				o.String(), strconv.Itoa(trial + 1), strconv.Itoa(h.Hour),
+				strconv.Itoa(h.Attempted), strconv.Itoa(h.Reset),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.Error()
+}
+
+// CSVCountryTable writes Table 2/5 rows:
+// protocol,origin,country,pct,country_hosts,dominant_ases.
+func CSVCountryTable(w io.Writer, s *core.Study) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"protocol", "origin", "country", "pct_inaccessible", "country_hosts", "dominant_ases"}); err != nil {
+		return err
+	}
+	for _, p := range proto.All() {
+		for _, r := range s.Tab2Countries(p) {
+			if err := cw.Write([]string{
+				p.String(), r.Origin.String(), string(r.Country),
+				fmt.Sprintf("%.3f", r.Pct), strconv.Itoa(r.CountryHosts), strconv.Itoa(r.DominantASes),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }

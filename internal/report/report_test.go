@@ -1,0 +1,155 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/origin"
+	"repro/internal/world"
+)
+
+var (
+	repOnce sync.Once
+	repStu  *core.Study
+	repErr  error
+)
+
+func study(t *testing.T) *core.Study {
+	t.Helper()
+	repOnce.Do(func() {
+		repStu, repErr = core.New(experiment.Config{WorldSpec: world.TestSpec(42)})
+		if repErr == nil {
+			repErr = repStu.Run()
+		}
+	})
+	if repErr != nil {
+		t.Fatal(repErr)
+	}
+	return repStu
+}
+
+func TestAllRendersEverySection(t *testing.T) {
+	var b strings.Builder
+	All(&b, study(t))
+	out := b.String()
+	for _, want := range []string{
+		"Table 4a", "Figure 1", "Figure 2", "Figure 3", "Figure 4",
+		"Figure 5", "Figure 6", "Figure 7", "Figure 8", "Figure 9",
+		"Figure 10", "Figure 11", "Figure 12", "Figure 13", "Figure 14",
+		"Figure 15", "Table 1", "Table 2", "Table 3",
+		"§3", "§4.4", "§5.2", "§5.3", "§7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+	// Every study origin appears somewhere.
+	for _, o := range origin.StudySet() {
+		if !strings.Contains(out, o.String()) {
+			t.Errorf("report never mentions origin %v", o)
+		}
+	}
+	// The report carries real percentages, not stubs.
+	if strings.Count(out, "%") < 200 {
+		t.Error("report suspiciously empty of numbers")
+	}
+}
+
+func TestCoverageTableHasAllTrials(t *testing.T) {
+	var b strings.Builder
+	Tab4Coverage(&b, study(t))
+	out := b.String()
+	for _, p := range []string{"[HTTP]", "[HTTPS]", "[SSH]"} {
+		if !strings.Contains(out, p) {
+			t.Errorf("coverage table missing %s", p)
+		}
+	}
+	if !strings.Contains(out, "mean") {
+		t.Error("coverage table missing the mean row")
+	}
+}
+
+func TestFig12TimelineShape(t *testing.T) {
+	var b strings.Builder
+	Fig12(&b, study(t))
+	out := b.String()
+	// US1's timeline line should contain late-scan blocking marks.
+	lines := strings.Split(out, "\n")
+	var us1 string
+	for _, l := range lines {
+		if strings.Contains(l, "US1") {
+			us1 = l
+		}
+	}
+	if us1 == "" {
+		t.Fatal("no US1 timeline")
+	}
+	if !strings.ContainsAny(us1, "#+-") {
+		t.Errorf("US1 timeline shows no blocking: %q", us1)
+	}
+}
+
+func TestFig13RetrySection(t *testing.T) {
+	var b strings.Builder
+	Fig13(&b, study(t))
+	if !strings.Contains(b.String(), "success by retries") {
+		t.Error("retry curves missing")
+	}
+}
+
+func TestCSVExporters(t *testing.T) {
+	s := study(t)
+	cases := []struct {
+		name string
+		fn   func() (string, error)
+	}{
+		{"coverage", func() (string, error) {
+			var b strings.Builder
+			err := CSVCoverage(&b, s)
+			return b.String(), err
+		}},
+		{"breakdown", func() (string, error) {
+			var b strings.Builder
+			err := CSVMissingBreakdown(&b, s)
+			return b.String(), err
+		}},
+		{"spread", func() (string, error) {
+			var b strings.Builder
+			err := CSVSpreadCDF(&b, s)
+			return b.String(), err
+		}},
+		{"multiorigin", func() (string, error) {
+			var b strings.Builder
+			err := CSVMultiOrigin(&b, s)
+			return b.String(), err
+		}},
+		{"timeline", func() (string, error) {
+			var b strings.Builder
+			err := CSVTimeline(&b, s, []origin.ID{origin.US1, origin.US64}, 0)
+			return b.String(), err
+		}},
+		{"countries", func() (string, error) {
+			var b strings.Builder
+			err := CSVCountryTable(&b, s)
+			return b.String(), err
+		}},
+	}
+	for _, c := range cases {
+		out, err := c.fn()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		lines := strings.Count(out, "\n")
+		if lines < 3 {
+			t.Errorf("%s: only %d rows", c.name, lines)
+		}
+		header := out[:strings.IndexByte(out, '\n')]
+		if !strings.Contains(header, ",") {
+			t.Errorf("%s: no CSV header: %q", c.name, header)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/zgrab"
+)
+
+// The JSON wire format is compact: one record array per scan, host records
+// as fixed-order tuples. It exists so cmd/originscan can persist a study's
+// raw results and cmd/report can re-run analyses without re-scanning.
+
+type datasetJSON struct {
+	Origins []uint8    `json:"origins"`
+	Trials  int        `json:"trials"`
+	Scans   []scanJSON `json:"scans"`
+}
+
+type scanJSON struct {
+	Origin  uint8       `json:"origin"`
+	Proto   uint8       `json:"proto"`
+	Trial   int         `json:"trial"`
+	Targets uint64      `json:"targets"`
+	Probes  uint64      `json:"probes"`
+	SynAcks uint64      `json:"synacks"`
+	Rsts    uint64      `json:"rsts"`
+	Invalid uint64      `json:"invalid"`
+	Records [][6]uint64 `json:"records"`
+	// Banners[i] is the banner of Records[i] ("" omitted collectively
+	// when no scan captured banners).
+	Banners []string `json:"banners,omitempty"`
+}
+
+// record tuple layout: [addr, probeMask, flags(rst|l7), fail, attempts, tNanos]
+
+const (
+	flagRST = 1 << 0
+	flagL7  = 1 << 1
+)
+
+// WriteJSON serializes the dataset.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	dj := datasetJSON{Trials: d.Trials}
+	for _, o := range d.Origins {
+		dj.Origins = append(dj.Origins, uint8(o))
+	}
+	for _, o := range d.Origins {
+		for _, p := range proto.All() {
+			for t := 0; t < d.Trials; t++ {
+				s := d.Scan(o, p, t)
+				if s == nil {
+					continue
+				}
+				sj := scanJSON{
+					Origin: uint8(o), Proto: uint8(p), Trial: t,
+					Targets: s.Targets, Probes: s.ProbesSent,
+					SynAcks: s.SynAcks, Rsts: s.Rsts, Invalid: s.Invalid,
+				}
+				hasBanner := false
+				s.Each(func(r HostRecord) {
+					var flags uint64
+					if r.RST {
+						flags |= flagRST
+					}
+					if r.L7 {
+						flags |= flagL7
+					}
+					sj.Records = append(sj.Records, [6]uint64{
+						uint64(r.Addr), uint64(r.ProbeMask), flags,
+						uint64(r.Fail), uint64(r.Attempts), uint64(r.T),
+					})
+					sj.Banners = append(sj.Banners, r.Banner)
+					if r.Banner != "" {
+						hasBanner = true
+					}
+				})
+				if !hasBanner {
+					sj.Banners = nil
+				}
+				dj.Scans = append(dj.Scans, sj)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&dj)
+}
+
+// ReadJSON deserializes a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var dj datasetJSON
+	if err := json.NewDecoder(r).Decode(&dj); err != nil {
+		return nil, fmt.Errorf("results: decoding dataset: %w", err)
+	}
+	if dj.Trials <= 0 || dj.Trials > 64 {
+		return nil, fmt.Errorf("results: implausible trial count %d", dj.Trials)
+	}
+	var origins origin.Set
+	for _, o := range dj.Origins {
+		origins = append(origins, origin.ID(o))
+	}
+	d := NewDataset(origins, dj.Trials)
+	for _, sj := range dj.Scans {
+		s := NewScanResult(origin.ID(sj.Origin), proto.Protocol(sj.Proto), sj.Trial)
+		s.Targets, s.ProbesSent = sj.Targets, sj.Probes
+		s.SynAcks, s.Rsts, s.Invalid = sj.SynAcks, sj.Rsts, sj.Invalid
+		for i, rec := range sj.Records {
+			hr := HostRecord{
+				Addr:      ip.Addr(rec[0]),
+				ProbeMask: uint8(rec[1]),
+				RST:       rec[2]&flagRST != 0,
+				L7:        rec[2]&flagL7 != 0,
+				Fail:      zgrab.FailMode(rec[3]),
+				Attempts:  int(rec[4]),
+				T:         time.Duration(rec[5]),
+			}
+			if i < len(sj.Banners) {
+				hr.Banner = sj.Banners[i]
+			}
+			s.Add(hr)
+		}
+		d.Put(s)
+	}
+	return d, nil
+}

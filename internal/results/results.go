@@ -1,0 +1,254 @@
+// Package results holds the measurement data a study produces: for every
+// (origin, protocol, trial), the per-host probe and handshake outcomes, plus
+// the set algebra the paper's analyses run on top (ground-truth unions,
+// per-origin misses, intersections).
+package results
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/zgrab"
+)
+
+// HostRecord is one host's outcome in one scan.
+type HostRecord struct {
+	Addr ip.Addr
+	// ProbeMask has bit i set when ZMap probe i elicited a valid SYN-ACK.
+	ProbeMask uint8
+	// RST is set when the host answered probes with RST.
+	RST bool
+	// L7 is set when the application-layer handshake succeeded.
+	L7 bool
+	// Fail records why the L7 grab failed (FailNone when L7).
+	Fail zgrab.FailMode
+	// Banner is the captured application banner: HTTP Server header,
+	// negotiated TLS cipher suite, or SSH software version.
+	Banner string
+	// Attempts is the number of connection attempts the grab used.
+	Attempts int
+	// T is the virtual time the host was probed.
+	T time.Duration
+}
+
+// L4 reports whether the host was L4-responsive (any SYN-ACK).
+func (r *HostRecord) L4() bool { return r.ProbeMask != 0 }
+
+// ScanResult is one origin's scan of one protocol in one trial.
+type ScanResult struct {
+	Origin origin.ID
+	Proto  proto.Protocol
+	Trial  int
+
+	// Scan statistics from the scanner.
+	Targets, ProbesSent, SynAcks, Rsts, Invalid uint64
+
+	records map[ip.Addr]HostRecord
+}
+
+// NewScanResult returns an empty result set.
+func NewScanResult(o origin.ID, p proto.Protocol, trial int) *ScanResult {
+	return &ScanResult{
+		Origin: o, Proto: p, Trial: trial,
+		records: make(map[ip.Addr]HostRecord),
+	}
+}
+
+// Add records a host outcome, replacing any existing record for the host.
+func (s *ScanResult) Add(r HostRecord) { s.records[r.Addr] = r }
+
+// Get returns the record for addr.
+func (s *ScanResult) Get(addr ip.Addr) (HostRecord, bool) {
+	r, ok := s.records[addr]
+	return r, ok
+}
+
+// Len returns the number of recorded hosts.
+func (s *ScanResult) Len() int { return len(s.records) }
+
+// L7Count returns the number of hosts with successful handshakes.
+func (s *ScanResult) L7Count() int {
+	n := 0
+	for _, r := range s.records {
+		if r.L7 {
+			n++
+		}
+	}
+	return n
+}
+
+// Success reports whether the scan completed an L7 handshake with addr,
+// optionally requiring a response to probe 0 (the single-probe simulation
+// the paper uses: "we simulate scanning with one probe by requiring
+// successful responses to both of our ZMap probes" — in our direction,
+// requiring probe 0's response).
+func (s *ScanResult) Success(addr ip.Addr, singleProbe bool) bool {
+	r, ok := s.records[addr]
+	if !ok || !r.L7 {
+		return false
+	}
+	if singleProbe && r.ProbeMask&1 == 0 {
+		return false
+	}
+	return true
+}
+
+// Each visits every record in address order.
+func (s *ScanResult) Each(fn func(HostRecord)) {
+	addrs := make([]ip.Addr, 0, len(s.records))
+	for a := range s.records {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fn(s.records[a])
+	}
+}
+
+// Dataset is the full study output: results indexed by origin, protocol,
+// and trial.
+type Dataset struct {
+	Origins origin.Set
+	Trials  int
+	scans   map[key]*ScanResult
+
+	gtCache map[gtKey][]ip.Addr
+}
+
+type key struct {
+	o origin.ID
+	p proto.Protocol
+	t int
+}
+
+type gtKey struct {
+	p proto.Protocol
+	t int
+}
+
+// NewDataset returns an empty dataset for the given origins and trials.
+func NewDataset(origins origin.Set, trials int) *Dataset {
+	return &Dataset{
+		Origins: origins,
+		Trials:  trials,
+		scans:   make(map[key]*ScanResult),
+		gtCache: make(map[gtKey][]ip.Addr),
+	}
+}
+
+// Put stores a completed scan.
+func (d *Dataset) Put(s *ScanResult) {
+	d.scans[key{s.Origin, s.Proto, s.Trial}] = s
+	delete(d.gtCache, gtKey{s.Proto, s.Trial})
+}
+
+// Scan returns the result for (origin, proto, trial), or nil when absent.
+func (d *Dataset) Scan(o origin.ID, p proto.Protocol, trial int) *ScanResult {
+	return d.scans[key{o, p, trial}]
+}
+
+// MustScan is Scan that panics on absence (programming error in analyses).
+func (d *Dataset) MustScan(o origin.ID, p proto.Protocol, trial int) *ScanResult {
+	s := d.Scan(o, p, trial)
+	if s == nil {
+		panic(fmt.Sprintf("results: no scan for %v/%v/trial %d", o, p, trial))
+	}
+	return s
+}
+
+// GroundTruth returns the sorted set of hosts that completed an L7
+// handshake with at least one origin in the trial — the paper's working
+// definition of live hosts.
+func (d *Dataset) GroundTruth(p proto.Protocol, trial int) []ip.Addr {
+	gk := gtKey{p, trial}
+	if gt, ok := d.gtCache[gk]; ok {
+		return gt
+	}
+	set := make(map[ip.Addr]bool)
+	for _, o := range d.Origins {
+		s := d.Scan(o, p, trial)
+		if s == nil {
+			continue
+		}
+		for a, r := range s.records {
+			if r.L7 {
+				set[a] = true
+			}
+		}
+	}
+	gt := make([]ip.Addr, 0, len(set))
+	for a := range set {
+		gt = append(gt, a)
+	}
+	sort.Slice(gt, func(i, j int) bool { return gt[i] < gt[j] })
+	d.gtCache[gk] = gt
+	return gt
+}
+
+// Intersection returns the number of ground-truth hosts every origin saw in
+// the trial (the ∩ column of Table 4a). Origins that did not scan the trial
+// (Carinet outside trial 1) are skipped, as in the paper.
+func (d *Dataset) Intersection(p proto.Protocol, trial int) int {
+	var scans []*ScanResult
+	for _, o := range d.Origins {
+		if s := d.Scan(o, p, trial); s != nil {
+			scans = append(scans, s)
+		}
+	}
+	n := 0
+	for _, a := range d.GroundTruth(p, trial) {
+		all := true
+		for _, s := range scans {
+			if !s.Success(a, false) {
+				all = false
+				break
+			}
+		}
+		if all {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns the fraction of the trial's ground truth the origin saw.
+func (d *Dataset) Coverage(o origin.ID, p proto.Protocol, trial int, singleProbe bool) float64 {
+	gt := d.GroundTruth(p, trial)
+	if len(gt) == 0 {
+		return 0
+	}
+	s := d.Scan(o, p, trial)
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, a := range gt {
+		if s.Success(a, singleProbe) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(gt))
+}
+
+// CoverageOfSet returns the fraction of the trial's ground truth seen by
+// any origin in the set — multi-origin coverage (§7, Figure 15).
+func (d *Dataset) CoverageOfSet(origins origin.Set, p proto.Protocol, trial int, singleProbe bool) float64 {
+	gt := d.GroundTruth(p, trial)
+	if len(gt) == 0 {
+		return 0
+	}
+	n := 0
+	for _, a := range gt {
+		for _, o := range origins {
+			if s := d.Scan(o, p, trial); s != nil && s.Success(a, singleProbe) {
+				n++
+				break
+			}
+		}
+	}
+	return float64(n) / float64(len(gt))
+}

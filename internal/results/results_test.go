@@ -1,0 +1,154 @@
+package results
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/zgrab"
+)
+
+func sample() *Dataset {
+	ds := NewDataset(origin.Set{origin.AU, origin.BR}, 2)
+	for _, o := range []origin.ID{origin.AU, origin.BR} {
+		for t := 0; t < 2; t++ {
+			s := NewScanResult(o, proto.HTTP, t)
+			s.Targets, s.ProbesSent = 100, 200
+			s.Add(HostRecord{Addr: 10, ProbeMask: 0b11, L7: true, T: time.Hour})
+			s.Add(HostRecord{Addr: 20, ProbeMask: 0b01, L7: o == origin.AU, Fail: zgrab.FailTimeout, Attempts: 1, T: 2 * time.Hour})
+			s.Add(HostRecord{Addr: 30, RST: true})
+			ds.Put(s)
+		}
+	}
+	return ds
+}
+
+func TestScanResultBasics(t *testing.T) {
+	s := NewScanResult(origin.AU, proto.HTTP, 0)
+	s.Add(HostRecord{Addr: 5, ProbeMask: 0b10, L7: true})
+	if s.Len() != 1 || s.L7Count() != 1 {
+		t.Errorf("len=%d l7=%d", s.Len(), s.L7Count())
+	}
+	r, ok := s.Get(5)
+	if !ok || !r.L4() {
+		t.Error("Get/L4 wrong")
+	}
+	if !s.Success(5, false) {
+		t.Error("2-probe success wrong")
+	}
+	// Probe 0 was lost: single-probe simulation excludes this host.
+	if s.Success(5, true) {
+		t.Error("1-probe success should require probe 0")
+	}
+	if s.Success(6, false) {
+		t.Error("missing host reported successful")
+	}
+}
+
+func TestGroundTruthAndCoverage(t *testing.T) {
+	ds := sample()
+	gt := ds.GroundTruth(proto.HTTP, 0)
+	if len(gt) != 2 || gt[0] != 10 || gt[1] != 20 {
+		t.Fatalf("ground truth = %v", gt)
+	}
+	if got := ds.Coverage(origin.AU, proto.HTTP, 0, false); got != 1.0 {
+		t.Errorf("AU coverage = %v", got)
+	}
+	if got := ds.Coverage(origin.BR, proto.HTTP, 0, false); got != 0.5 {
+		t.Errorf("BR coverage = %v", got)
+	}
+	if n := ds.Intersection(proto.HTTP, 0); n != 1 {
+		t.Errorf("intersection = %d", n)
+	}
+	if got := ds.CoverageOfSet(origin.Set{origin.AU, origin.BR}, proto.HTTP, 0, false); got != 1.0 {
+		t.Errorf("set coverage = %v", got)
+	}
+}
+
+func TestEachIsSorted(t *testing.T) {
+	s := NewScanResult(origin.AU, proto.HTTP, 0)
+	for _, a := range []ip.Addr{30, 10, 20} {
+		s.Add(HostRecord{Addr: a})
+	}
+	var order []ip.Addr
+	s.Each(func(r HostRecord) { order = append(order, r.Addr) })
+	if order[0] != 10 || order[1] != 20 || order[2] != 30 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestMustScanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustScan on missing scan did not panic")
+		}
+	}()
+	sample().MustScan(origin.CEN, proto.SSH, 0)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ds := sample()
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trials != 2 || len(got.Origins) != 2 {
+		t.Fatalf("shape: trials=%d origins=%v", got.Trials, got.Origins)
+	}
+	for _, o := range ds.Origins {
+		for tr := 0; tr < 2; tr++ {
+			a := ds.MustScan(o, proto.HTTP, tr)
+			b := got.MustScan(o, proto.HTTP, tr)
+			if a.Len() != b.Len() || a.Targets != b.Targets {
+				t.Fatalf("scan %v/%d mismatch", o, tr)
+			}
+			a.Each(func(r HostRecord) {
+				r2, ok := b.Get(r.Addr)
+				if !ok || r2 != r {
+					t.Fatalf("record mismatch: %+v vs %+v", r, r2)
+				}
+			})
+		}
+	}
+	// Analyses behave identically on the round-tripped dataset.
+	if ds.Coverage(origin.BR, proto.HTTP, 0, false) != got.Coverage(origin.BR, proto.HTTP, 0, false) {
+		t.Error("coverage differs after round trip")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"trials":0}`)); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"trials":1000}`)); err == nil {
+		t.Error("huge trials accepted")
+	}
+}
+
+func TestGroundTruthCacheInvalidation(t *testing.T) {
+	ds := NewDataset(origin.Set{origin.AU}, 1)
+	s := NewScanResult(origin.AU, proto.HTTP, 0)
+	s.Add(HostRecord{Addr: 1, ProbeMask: 0b11, L7: true})
+	ds.Put(s)
+	if len(ds.GroundTruth(proto.HTTP, 0)) != 1 {
+		t.Fatal("gt != 1")
+	}
+	s2 := NewScanResult(origin.AU, proto.HTTP, 0)
+	s2.Add(HostRecord{Addr: 1, ProbeMask: 0b11, L7: true})
+	s2.Add(HostRecord{Addr: 2, ProbeMask: 0b11, L7: true})
+	ds.Put(s2)
+	if len(ds.GroundTruth(proto.HTTP, 0)) != 2 {
+		t.Error("Put did not invalidate ground-truth cache")
+	}
+}

@@ -1,0 +1,210 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Published reference values for seed 0 (Vigna's splitmix64.c).
+	s := NewSplitMix64(0)
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("draw %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSplitMix64Determinism(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitMix64Float64Range(t *testing.T) {
+	s := NewSplitMix64(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestSplitMix64IntnBounds(t *testing.T) {
+	s := NewSplitMix64(99)
+	for i := 0; i < 10000; i++ {
+		if v := s.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) out of range: %d", v)
+		}
+	}
+}
+
+func TestSplitMix64IntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewSplitMix64(1).Intn(0)
+}
+
+func TestSplitMix64NormFloat64Moments(t *testing.T) {
+	s := NewSplitMix64(2024)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestSplitMix64ExpFloat64Mean(t *testing.T) {
+	s := NewSplitMix64(5)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewSplitMix64(3)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSipHash24Vectors(t *testing.T) {
+	// Official SipHash-2-4 test vectors: key = 000102...0f,
+	// input = "" through 00..3e, 64-bit output (Aumasson & Bernstein
+	// reference implementation vectors_sip64).
+	key := SipKey{K0: 0x0706050403020100, K1: 0x0f0e0d0c0b0a0908}
+	want := []uint64{
+		0x726fdb47dd0e0e31, 0x74f839c593dc67fd, 0x0d6c8009d9a94f5a,
+		0x85676696d7fb7e2d, 0xcf2794e0277187b7, 0x18765564cd99a68d,
+		0xcbc9466e58fee3ce, 0xab0200f58b01d137, 0x93f5f5799a932462,
+		0x9e0082df0ba9e4b0, 0x7a5dbbc594ddb9f3, 0xf4b32f46226bada7,
+	}
+	data := make([]byte, 0, len(want))
+	for i, w := range want {
+		if got := SipHash24(key, data); got != w {
+			t.Errorf("len %d: got %#x, want %#x", i, got, w)
+		}
+		data = append(data, byte(i))
+	}
+}
+
+func TestSipHash24WordsMatchesBytes(t *testing.T) {
+	// SipHash24Words must agree with the byte implementation on
+	// 8-byte-aligned input whose length fits in the tail byte.
+	key := SipKey{K0: 0xdeadbeefcafebabe, K1: 0x0123456789abcdef}
+	f := func(a, b, c uint64) bool {
+		buf := make([]byte, 24)
+		putLE(buf[0:], a)
+		putLE(buf[8:], b)
+		putLE(buf[16:], c)
+		return SipHash24Words(key, a, b, c) == SipHash24(key, buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func putLE(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+func TestKeyDerivationIndependence(t *testing.T) {
+	root := NewKey(1)
+	a := root.Derive("loss")
+	b := root.Derive("outage")
+	if a == b {
+		t.Fatal("different labels derived the same key")
+	}
+	if a != root.Derive("loss") {
+		t.Fatal("same label derived different keys")
+	}
+	if root.DeriveN("trial", 0) == root.DeriveN("trial", 1) {
+		t.Fatal("different indices derived the same key")
+	}
+}
+
+func TestKeyFloat64Uniformity(t *testing.T) {
+	k := NewKey(77).Derive("uniformity")
+	const n = 100000
+	buckets := make([]int, 10)
+	for i := uint64(0); i < n; i++ {
+		f := k.Float64(i)
+		buckets[int(f*10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bucket %d count %d deviates from uniform", i, c)
+		}
+	}
+}
+
+func TestKeyBoolProbability(t *testing.T) {
+	k := NewKey(3).Derive("bool")
+	const n = 100000
+	hits := 0
+	for i := uint64(0); i < n; i++ {
+		if k.Bool(0.25, i) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) hit rate %v", got)
+	}
+	if k.Bool(0, 1) {
+		t.Error("Bool(0) returned true")
+	}
+	if !k.Bool(1, 1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestKeyStreamDeterminism(t *testing.T) {
+	k := NewKey(9).Derive("stream")
+	s1, s2 := k.Stream(5, 6), k.Stream(5, 6)
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatal("stream with same coordinates diverged")
+		}
+	}
+}
+
+func BenchmarkSipHash24Words(b *testing.B) {
+	k := NewKey(1).Sip()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += SipHash24Words(k, uint64(i), 42, 7)
+	}
+	_ = sink
+}

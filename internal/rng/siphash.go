@@ -1,0 +1,98 @@
+package rng
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// SipKey is a 128-bit key for SipHash-2-4.
+type SipKey struct {
+	K0, K1 uint64
+}
+
+// SipHash24 computes SipHash-2-4 of data under key k. It is the keyed hash
+// used for ZMap validation cookies and for stateless per-event random
+// decisions. The implementation follows the reference description by
+// Aumasson and Bernstein.
+func SipHash24(k SipKey, data []byte) uint64 {
+	v0 := k.K0 ^ 0x736f6d6570736575
+	v1 := k.K1 ^ 0x646f72616e646f6d
+	v2 := k.K0 ^ 0x6c7967656e657261
+	v3 := k.K1 ^ 0x7465646279746573
+
+	n := len(data)
+	for len(data) >= 8 {
+		m := binary.LittleEndian.Uint64(data)
+		v3 ^= m
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0 ^= m
+		data = data[8:]
+	}
+
+	var last uint64
+	for i, b := range data {
+		last |= uint64(b) << (8 * uint(i))
+	}
+	last |= uint64(n) << 56
+
+	v3 ^= last
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0 ^= last
+
+	v2 ^= 0xff
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	return v0 ^ v1 ^ v2 ^ v3
+}
+
+func sipRound(v0, v1, v2, v3 uint64) (uint64, uint64, uint64, uint64) {
+	v0 += v1
+	v1 = bits.RotateLeft64(v1, 13)
+	v1 ^= v0
+	v0 = bits.RotateLeft64(v0, 32)
+	v2 += v3
+	v3 = bits.RotateLeft64(v3, 16)
+	v3 ^= v2
+	v0 += v3
+	v3 = bits.RotateLeft64(v3, 21)
+	v3 ^= v0
+	v2 += v1
+	v1 = bits.RotateLeft64(v1, 17)
+	v1 ^= v2
+	v2 = bits.RotateLeft64(v2, 32)
+	return v0, v1, v2, v3
+}
+
+// SipHash24Words hashes a fixed sequence of 64-bit words without allocating.
+// Each word is processed as one SipHash message block; the length tail encodes
+// the word count. This is the hot path for per-probe decisions.
+func SipHash24Words(k SipKey, words ...uint64) uint64 {
+	v0 := k.K0 ^ 0x736f6d6570736575
+	v1 := k.K1 ^ 0x646f72616e646f6d
+	v2 := k.K0 ^ 0x6c7967656e657261
+	v3 := k.K1 ^ 0x7465646279746573
+
+	for _, m := range words {
+		v3 ^= m
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+		v0 ^= m
+	}
+
+	last := uint64(len(words)*8&0xff) << 56
+	v3 ^= last
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0 ^= last
+
+	v2 ^= 0xff
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	return v0 ^ v1 ^ v2 ^ v3
+}

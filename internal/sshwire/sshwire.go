@@ -1,0 +1,275 @@
+// Package sshwire implements the SSH transport-layer wire format from
+// RFC 4253 as far as the study's grab needs it: the identification-string
+// exchange ("SSH-2.0-..."), the binary packet protocol (pre-encryption), and
+// the SSH_MSG_KEXINIT message. The paper's SSH grab completes the protocol
+// version exchange and terminates, so no key exchange or crypto is
+// performed, but the bytes on the wire are genuine SSH.
+package sshwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// RFC 4253 message numbers used here.
+const (
+	MsgDisconnect = 1
+	MsgKexInit    = 20
+)
+
+// Limits on untrusted input.
+const (
+	MaxIDLen       = 255   // RFC 4253 §4.2: max identification line incl. CRLF
+	MaxBannerLines = 64    // lines a server may send before its ID string
+	MaxPacketLen   = 35000 // RFC 4253 §6.1 minimum required supported size
+)
+
+// Errors.
+var (
+	ErrIDTooLong    = errors.New("sshwire: identification string too long")
+	ErrNotSSH       = errors.New("sshwire: peer did not send an SSH identification")
+	ErrPacketTooBig = errors.New("sshwire: packet exceeds maximum length")
+	ErrMalformed    = errors.New("sshwire: malformed packet")
+)
+
+// ID is a parsed identification string.
+type ID struct {
+	ProtoVersion    string // "2.0"
+	SoftwareVersion string // e.g. "OpenSSH_7.4"
+	Comments        string
+}
+
+// String formats the identification line (without CRLF).
+func (id ID) String() string {
+	s := fmt.Sprintf("SSH-%s-%s", id.ProtoVersion, id.SoftwareVersion)
+	if id.Comments != "" {
+		s += " " + id.Comments
+	}
+	return s
+}
+
+// WriteID sends an identification string terminated by CRLF.
+func WriteID(w io.Writer, id ID) error {
+	line := id.String() + "\r\n"
+	if len(line) > MaxIDLen {
+		return ErrIDTooLong
+	}
+	_, err := io.WriteString(w, line)
+	return err
+}
+
+// ReadID reads the peer's identification string, skipping any pre-ID banner
+// lines a server is allowed to send (RFC 4253 §4.2).
+func ReadID(br *bufio.Reader) (ID, error) {
+	for i := 0; i < MaxBannerLines; i++ {
+		line, err := readLine(br)
+		if err != nil {
+			return ID{}, err
+		}
+		if strings.HasPrefix(line, "SSH-") {
+			return parseID(line)
+		}
+	}
+	return ID{}, ErrNotSSH
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	var b strings.Builder
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		if c == '\n' {
+			return strings.TrimSuffix(b.String(), "\r"), nil
+		}
+		if b.Len() >= MaxIDLen {
+			return "", ErrIDTooLong
+		}
+		b.WriteByte(c)
+	}
+}
+
+func parseID(line string) (ID, error) {
+	// SSH-protoversion-softwareversion [SP comments]
+	rest := strings.TrimPrefix(line, "SSH-")
+	dash := strings.IndexByte(rest, '-')
+	if dash < 0 {
+		return ID{}, ErrNotSSH
+	}
+	id := ID{ProtoVersion: rest[:dash]}
+	swAndComments := rest[dash+1:]
+	if sp := strings.IndexByte(swAndComments, ' '); sp >= 0 {
+		id.SoftwareVersion = swAndComments[:sp]
+		id.Comments = swAndComments[sp+1:]
+	} else {
+		id.SoftwareVersion = swAndComments
+	}
+	if id.ProtoVersion == "" || id.SoftwareVersion == "" {
+		return ID{}, ErrNotSSH
+	}
+	return id, nil
+}
+
+// WritePacket sends one unencrypted SSH binary packet (RFC 4253 §6):
+// uint32 packet_length, byte padding_length, payload, random padding.
+// Block size 8 applies before encryption; padding is at least 4 bytes.
+func WritePacket(w io.Writer, payload []byte) error {
+	const block = 8
+	// packet_length covers padding_length byte + payload + padding.
+	padLen := block - (5+len(payload))%block
+	if padLen < 4 {
+		padLen += block
+	}
+	total := 1 + len(payload) + padLen
+	if total+4 > MaxPacketLen {
+		return ErrPacketTooBig
+	}
+	buf := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(buf, uint32(total))
+	buf[4] = byte(padLen)
+	copy(buf[5:], payload)
+	// Padding bytes: arbitrary; deterministic here.
+	for i := 0; i < padLen; i++ {
+		buf[5+len(payload)+i] = byte(i * 37)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadPacket reads one unencrypted SSH binary packet and returns its payload.
+func ReadPacket(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	pktLen := binary.BigEndian.Uint32(lenBuf[:])
+	if pktLen < 5 || pktLen > MaxPacketLen {
+		return nil, ErrPacketTooBig
+	}
+	body := make([]byte, pktLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	padLen := int(body[0])
+	if padLen < 4 || 1+padLen > int(pktLen) {
+		return nil, ErrMalformed
+	}
+	return body[1 : int(pktLen)-padLen], nil
+}
+
+// KexInit is the SSH_MSG_KEXINIT message (RFC 4253 §7.1).
+type KexInit struct {
+	Cookie                  [16]byte
+	KexAlgorithms           []string
+	HostKeyAlgorithms       []string
+	CiphersClientServer     []string
+	CiphersServerClient     []string
+	MACsClientServer        []string
+	MACsServerClient        []string
+	CompressionClientServer []string
+	CompressionServerClient []string
+	LanguagesClientServer   []string
+	LanguagesServerClient   []string
+	FirstKexPacketFollows   bool
+}
+
+// DefaultKexInit returns a realistic OpenSSH-flavoured KEXINIT with a cookie
+// derived from key.
+func DefaultKexInit(key rng.Key) *KexInit {
+	k := &KexInit{
+		KexAlgorithms:           []string{"curve25519-sha256", "diffie-hellman-group14-sha256"},
+		HostKeyAlgorithms:       []string{"ssh-ed25519", "rsa-sha2-256"},
+		CiphersClientServer:     []string{"chacha20-poly1305@openssh.com", "aes128-ctr"},
+		CiphersServerClient:     []string{"chacha20-poly1305@openssh.com", "aes128-ctr"},
+		MACsClientServer:        []string{"hmac-sha2-256"},
+		MACsServerClient:        []string{"hmac-sha2-256"},
+		CompressionClientServer: []string{"none"},
+		CompressionServerClient: []string{"none"},
+	}
+	s := key.Stream(0x6b6578) // "kex"
+	for i := 0; i < 16; i += 8 {
+		binary.BigEndian.PutUint64(k.Cookie[i:], s.Uint64())
+	}
+	return k
+}
+
+// Marshal encodes the KEXINIT payload, including the leading message byte.
+func (k *KexInit) Marshal() []byte {
+	var b []byte
+	b = append(b, MsgKexInit)
+	b = append(b, k.Cookie[:]...)
+	for _, list := range k.nameLists() {
+		b = appendNameList(b, *list)
+	}
+	if k.FirstKexPacketFollows {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = append(b, 0, 0, 0, 0) // reserved uint32
+	return b
+}
+
+// ParseKexInit decodes a KEXINIT payload (starting at the message byte).
+func ParseKexInit(payload []byte) (*KexInit, error) {
+	if len(payload) < 1+16 || payload[0] != MsgKexInit {
+		return nil, ErrMalformed
+	}
+	k := &KexInit{}
+	copy(k.Cookie[:], payload[1:17])
+	rest := payload[17:]
+	var err error
+	for _, list := range k.nameLists() {
+		*list, rest, err = readNameList(rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(rest) < 5 {
+		return nil, ErrMalformed
+	}
+	k.FirstKexPacketFollows = rest[0] != 0
+	return k, nil
+}
+
+// nameLists returns pointers to the ten name-list fields in wire order.
+func (k *KexInit) nameLists() []*[]string {
+	return []*[]string{
+		&k.KexAlgorithms, &k.HostKeyAlgorithms,
+		&k.CiphersClientServer, &k.CiphersServerClient,
+		&k.MACsClientServer, &k.MACsServerClient,
+		&k.CompressionClientServer, &k.CompressionServerClient,
+		&k.LanguagesClientServer, &k.LanguagesServerClient,
+	}
+}
+
+func appendNameList(b []byte, names []string) []byte {
+	s := strings.Join(names, ",")
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+	b = append(b, l[:]...)
+	return append(b, s...)
+}
+
+func readNameList(b []byte) ([]string, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, ErrMalformed
+	}
+	n := binary.BigEndian.Uint32(b)
+	if uint32(len(b)-4) < n {
+		return nil, nil, ErrMalformed
+	}
+	s := string(b[4 : 4+n])
+	rest := b[4+n:]
+	if s == "" {
+		return nil, rest, nil
+	}
+	return strings.Split(s, ","), rest, nil
+}

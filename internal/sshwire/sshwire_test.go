@@ -1,0 +1,189 @@
+package sshwire
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	id := ID{ProtoVersion: "2.0", SoftwareVersion: "OpenSSH_7.4", Comments: "Debian-10"}
+	if err := WriteID(&buf, id); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "SSH-2.0-OpenSSH_7.4 Debian-10\r\n" {
+		t.Errorf("wire = %q", got)
+	}
+	parsed, err := ReadID(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != id {
+		t.Errorf("parsed = %+v, want %+v", parsed, id)
+	}
+}
+
+func TestReadIDSkipsBanner(t *testing.T) {
+	raw := "Welcome to the machine\r\nUnauthorized access prohibited\r\nSSH-2.0-srv\r\n"
+	id, err := ReadID(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.SoftwareVersion != "srv" {
+		t.Errorf("id = %+v", id)
+	}
+}
+
+func TestReadIDRejectsNonSSH(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < MaxBannerLines+2; i++ {
+		b.WriteString("spam\r\n")
+	}
+	if _, err := ReadID(bufio.NewReader(strings.NewReader(b.String()))); err != ErrNotSSH {
+		t.Errorf("err = %v, want ErrNotSSH", err)
+	}
+}
+
+func TestReadIDRejectsOverlongLine(t *testing.T) {
+	raw := strings.Repeat("a", MaxIDLen+50) + "\r\n"
+	if _, err := ReadID(bufio.NewReader(strings.NewReader(raw))); err == nil {
+		t.Error("overlong line accepted")
+	}
+}
+
+func TestParseIDVariants(t *testing.T) {
+	id, err := parseID("SSH-1.99-old")
+	if err != nil || id.ProtoVersion != "1.99" || id.SoftwareVersion != "old" {
+		t.Errorf("parse = %+v, %v", id, err)
+	}
+	for _, bad := range []string{"SSH-", "SSH-2.0", "SSH--x", "SSH-2.0-"} {
+		if _, err := parseID(bad); err == nil {
+			t.Errorf("parseID(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{MsgKexInit, 1, 2, 3, 4, 5}
+	if err := WritePacket(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	// RFC 4253: total length multiple of 8 (pre-encryption block).
+	if buf.Len()%8 != 0 {
+		t.Errorf("packet length %d not a multiple of 8", buf.Len())
+	}
+	got, err := ReadPacket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %v, want %v", got, payload)
+	}
+}
+
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > 30000 {
+			payload = payload[:30000]
+		}
+		var buf bytes.Buffer
+		if err := WritePacket(&buf, payload); err != nil {
+			return false
+		}
+		got, err := ReadPacket(&buf)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadPacketRejectsBadLengths(t *testing.T) {
+	// Packet length below minimum.
+	if _, err := ReadPacket(bytes.NewReader([]byte{0, 0, 0, 2, 0, 0})); err == nil {
+		t.Error("undersized packet accepted")
+	}
+	// Oversized.
+	if _, err := ReadPacket(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err != ErrPacketTooBig {
+		t.Error("oversized packet accepted")
+	}
+	// Padding larger than packet.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 8, 200, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := ReadPacket(&buf); err != ErrMalformed {
+		t.Errorf("bad padding err = %v", err)
+	}
+}
+
+func TestKexInitRoundTrip(t *testing.T) {
+	k := DefaultKexInit(rng.NewKey(5).Derive("host"))
+	payload := k.Marshal()
+	if payload[0] != MsgKexInit {
+		t.Fatalf("message type = %d", payload[0])
+	}
+	parsed, err := ParseKexInit(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Cookie != k.Cookie {
+		t.Error("cookie mismatch")
+	}
+	if strings.Join(parsed.KexAlgorithms, ",") != strings.Join(k.KexAlgorithms, ",") {
+		t.Errorf("kex algos = %v", parsed.KexAlgorithms)
+	}
+	if strings.Join(parsed.CiphersServerClient, ",") != strings.Join(k.CiphersServerClient, ",") {
+		t.Errorf("ciphers = %v", parsed.CiphersServerClient)
+	}
+	if parsed.FirstKexPacketFollows != k.FirstKexPacketFollows {
+		t.Error("first_kex_packet_follows mismatch")
+	}
+}
+
+func TestKexInitOverWire(t *testing.T) {
+	var buf bytes.Buffer
+	k := DefaultKexInit(rng.NewKey(6).Derive("host"))
+	if err := WritePacket(&buf, k.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadPacket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseKexInit(payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseKexInitRejectsGarbage(t *testing.T) {
+	if _, err := ParseKexInit(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := ParseKexInit([]byte{99, 0, 0}); err == nil {
+		t.Error("wrong type accepted")
+	}
+	// Truncated name-list.
+	b := []byte{MsgKexInit}
+	b = append(b, make([]byte, 16)...)
+	b = append(b, 0, 0, 0, 200) // claims 200 bytes, has none
+	if _, err := ParseKexInit(b); err == nil {
+		t.Error("truncated name-list accepted")
+	}
+}
+
+func TestDefaultKexInitDeterministic(t *testing.T) {
+	a := DefaultKexInit(rng.NewKey(7))
+	b := DefaultKexInit(rng.NewKey(7))
+	if a.Cookie != b.Cookie {
+		t.Error("same key produced different cookies")
+	}
+	c := DefaultKexInit(rng.NewKey(8))
+	if a.Cookie == c.Cookie {
+		t.Error("different keys produced same cookie")
+	}
+}

@@ -1,0 +1,157 @@
+// Package stats implements the statistical machinery the paper uses:
+// McNemar's test with Bonferroni correction (§3), Cochran's Q, Spearman
+// rank correlation with significance (§4.4, §5.2), empirical CDFs and
+// summary statistics, and the rolling-window burst-outage detector (§5.3).
+package stats
+
+import "math"
+
+// gammaIncLower returns the regularized lower incomplete gamma function
+// P(a, x), via the series expansion for x < a+1 and the continued fraction
+// otherwise (Numerical Recipes approach, stdlib-only).
+func gammaIncLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gser(a, x)
+	}
+	return 1 - gcf(a, x)
+}
+
+// gser computes P(a,x) by series expansion.
+func gser(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gcf computes Q(a,x) by continued fraction.
+func gcf(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareSurvival returns P(X >= x) for a chi-square distribution with
+// df degrees of freedom.
+func ChiSquareSurvival(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - gammaIncLower(float64(df)/2, x/2)
+}
+
+// betaInc returns the regularized incomplete beta function I_x(a, b).
+func betaInc(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	bt := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return bt * betacf(a, b, x) / a
+	}
+	return 1 - bt*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for betaInc.
+func betacf(a, b, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	const fpmin = 1e-300
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= itmax; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// TDistSurvival2Sided returns the two-sided p-value for a t statistic with
+// df degrees of freedom: P(|T| >= |t|).
+func TDistSurvival2Sided(t float64, df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := float64(df) / (float64(df) + t*t)
+	return betaInc(float64(df)/2, 0.5, x)
+}

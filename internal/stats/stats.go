@@ -1,0 +1,295 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// --- summary statistics ---
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation; xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // cumulative fraction ≤ X
+}
+
+// CDF returns the empirical CDF of xs, optionally weighted (weights nil
+// means uniform). The paper's Figure 9 plots both a plain and an
+// AS-size-weighted CDF of the same values.
+func CDF(xs []float64, weights []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	type pair struct{ x, w float64 }
+	ps := make([]pair, len(xs))
+	var total float64
+	for i, x := range xs {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		ps[i] = pair{x, w}
+		total += w
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+	out := make([]CDFPoint, 0, len(ps))
+	var cum float64
+	for i, p := range ps {
+		cum += p.w
+		if i+1 < len(ps) && ps[i+1].x == p.x {
+			continue // collapse ties to the last point
+		}
+		out = append(out, CDFPoint{X: p.x, F: cum / total})
+	}
+	return out
+}
+
+// --- McNemar's test (§3) ---
+
+// McNemarResult reports the paired test between two origins.
+type McNemarResult struct {
+	// B counts hosts seen by the first origin only; C by the second only.
+	B, C uint64
+	Chi2 float64
+	P    float64
+}
+
+// McNemar runs McNemar's chi-square test (with continuity correction) on
+// the discordant pair counts. The paper applies this to every pair of scan
+// origins over the ground-truth host set.
+func McNemar(b, c uint64) McNemarResult {
+	r := McNemarResult{B: b, C: c}
+	if b+c == 0 {
+		r.P = 1
+		return r
+	}
+	d := math.Abs(float64(b) - float64(c))
+	// Continuity correction.
+	if d > 1 {
+		d--
+	} else {
+		d = 0
+	}
+	r.Chi2 = d * d / float64(b+c)
+	r.P = ChiSquareSurvival(r.Chi2, 1)
+	return r
+}
+
+// Bonferroni adjusts a p-value for m comparisons (capped at 1).
+func Bonferroni(p float64, m int) float64 {
+	adj := p * float64(m)
+	if adj > 1 {
+		return 1
+	}
+	return adj
+}
+
+// --- Cochran's Q (§3 discusses and rejects it in favour of pairwise
+// McNemar; implemented for completeness and the library's users) ---
+
+// CochranQ tests whether k binary treatments (origins) have identical
+// success proportions over n blocks (hosts). rows[i] is block i's outcomes
+// across the k treatments.
+func CochranQ(rows [][]bool) (q float64, df int, p float64) {
+	if len(rows) == 0 || len(rows[0]) < 2 {
+		return 0, 0, 1
+	}
+	k := len(rows[0])
+	colSums := make([]float64, k)
+	var totalSum, rowSqSum float64
+	for _, row := range rows {
+		rowSum := 0.0
+		for j, v := range row {
+			if v {
+				colSums[j]++
+				rowSum++
+			}
+		}
+		totalSum += rowSum
+		rowSqSum += rowSum * rowSum
+	}
+	var colSqSum float64
+	for _, c := range colSums {
+		colSqSum += c * c
+	}
+	den := float64(k)*totalSum - rowSqSum
+	if den == 0 {
+		return 0, k - 1, 1
+	}
+	q = float64(k-1) * (float64(k)*colSqSum - totalSum*totalSum) / den
+	df = k - 1
+	return q, df, ChiSquareSurvival(q, df)
+}
+
+// --- Spearman rank correlation (§4.4: ρ=0.92 between host count and
+// inaccessible count; §5.2: ρ=0.40–0.52 drop↔transient) ---
+
+// SpearmanResult is a rank correlation with its two-sided p-value.
+type SpearmanResult struct {
+	Rho float64
+	P   float64
+	N   int
+}
+
+// Spearman computes the rank correlation of paired samples with average
+// ranks for ties and a t-distribution significance test.
+func Spearman(xs, ys []float64) SpearmanResult {
+	n := len(xs)
+	if n != len(ys) || n < 3 {
+		return SpearmanResult{Rho: math.NaN(), P: math.NaN(), N: n}
+	}
+	rx, ry := ranks(xs), ranks(ys)
+	rho := pearson(rx, ry)
+	res := SpearmanResult{Rho: rho, N: n}
+	if math.Abs(rho) >= 1 {
+		res.P = 0
+		return res
+	}
+	t := rho * math.Sqrt(float64(n-2)/(1-rho*rho))
+	res.P = TDistSurvival2Sided(t, n-2)
+	return res
+}
+
+// ranks assigns average ranks with tie handling.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+func pearson(xs, ys []float64) float64 {
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// --- burst detection (§5.3) ---
+
+// RollingMean smooths xs with a centered window of the given width.
+func RollingMean(xs []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	out := make([]float64, len(xs))
+	half := window / 2
+	for i := range xs {
+		lo := i - half
+		hi := i + (window - 1 - half)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// DetectBursts finds indices whose noise component (series minus the
+// rolling mean) exceeds threshSigma standard deviations of the noise —
+// the paper's §5.3 procedure with a 4-hour window and 2σ threshold over
+// hourly host-loss series.
+func DetectBursts(series []float64, window int, threshSigma float64) []int {
+	if len(series) == 0 {
+		return nil
+	}
+	smooth := RollingMean(series, window)
+	noise := make([]float64, len(series))
+	for i := range series {
+		noise[i] = series[i] - smooth[i]
+	}
+	sigma := StdDev(noise)
+	if sigma == 0 {
+		return nil
+	}
+	mean := Mean(noise)
+	var bursts []int
+	for i, v := range noise {
+		if v-mean > threshSigma*sigma {
+			bursts = append(bursts, i)
+		}
+	}
+	return bursts
+}

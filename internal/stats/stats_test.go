@@ -1,0 +1,321 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v ± %v", name, got, want, tol)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "mean", Mean(xs), 5, 1e-12)
+	approx(t, "stddev", StdDev(xs), 2, 1e-12)
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty input should return 0")
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	approx(t, "median", Median(xs), 3, 1e-12)
+	approx(t, "q0", Quantile(xs, 0), 1, 1e-12)
+	approx(t, "q1", Quantile(xs, 1), 5, 1e-12)
+	approx(t, "q25", Quantile(xs, 0.25), 2, 1e-12)
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("quantile of empty should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{1, 2, 2, 3}, nil)
+	if len(pts) != 3 {
+		t.Fatalf("CDF points = %v", pts)
+	}
+	approx(t, "F(1)", pts[0].F, 0.25, 1e-12)
+	approx(t, "F(2)", pts[1].F, 0.75, 1e-12)
+	approx(t, "F(3)", pts[2].F, 1.0, 1e-12)
+
+	// Weighted: weight mass shifts the curve (Figure 9's dashed line).
+	w := CDF([]float64{0, 10}, []float64{9, 1})
+	approx(t, "weighted F(0)", w[0].F, 0.9, 1e-12)
+}
+
+func TestChiSquareSurvival(t *testing.T) {
+	// Known critical values: P(X^2_1 >= 3.841) ≈ 0.05,
+	// P(X^2_6 >= 12.592) ≈ 0.05, P(X^2_1 >= 6.635) ≈ 0.01.
+	approx(t, "chi2(3.841,1)", ChiSquareSurvival(3.841, 1), 0.05, 1e-3)
+	approx(t, "chi2(12.592,6)", ChiSquareSurvival(12.592, 6), 0.05, 1e-3)
+	approx(t, "chi2(6.635,1)", ChiSquareSurvival(6.635, 1), 0.01, 1e-3)
+	if ChiSquareSurvival(0, 3) != 1 {
+		t.Error("survival at 0 should be 1")
+	}
+}
+
+func TestMcNemar(t *testing.T) {
+	// Classic textbook example: b=59, c=6 → strongly significant.
+	r := McNemar(59, 6)
+	if r.P > 1e-8 {
+		t.Errorf("p = %v, want tiny", r.P)
+	}
+	// Symmetric discordance: not significant.
+	r = McNemar(10, 10)
+	if r.P < 0.5 {
+		t.Errorf("p = %v for b=c, want large", r.P)
+	}
+	// Degenerate.
+	if McNemar(0, 0).P != 1 {
+		t.Error("no discordance should give p=1")
+	}
+}
+
+func TestBonferroni(t *testing.T) {
+	approx(t, "bonferroni", Bonferroni(0.01, 21), 0.21, 1e-12)
+	if Bonferroni(0.2, 10) != 1 {
+		t.Error("should cap at 1")
+	}
+}
+
+func TestCochranQ(t *testing.T) {
+	// Three treatments where the third fails for most blocks: significant.
+	var rows [][]bool
+	for i := 0; i < 40; i++ {
+		rows = append(rows, []bool{true, true, i%10 == 0})
+	}
+	q, df, p := CochranQ(rows)
+	if df != 2 {
+		t.Errorf("df = %d", df)
+	}
+	if q <= 0 || p > 0.001 {
+		t.Errorf("q=%v p=%v, want significant", q, p)
+	}
+	// Identical treatments: not significant.
+	rows = rows[:0]
+	for i := 0; i < 40; i++ {
+		v := i%2 == 0
+		rows = append(rows, []bool{v, v, v})
+	}
+	_, _, p = CochranQ(rows)
+	if p < 0.99 {
+		t.Errorf("identical treatments p = %v", p)
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{10, 20, 30, 40, 50, 60}
+	r := Spearman(xs, ys)
+	approx(t, "rho", r.Rho, 1, 1e-12)
+	if r.P > 1e-6 {
+		t.Errorf("p = %v for perfect correlation", r.P)
+	}
+	// Perfect anti-correlation.
+	zs := []float64{6, 5, 4, 3, 2, 1}
+	r = Spearman(xs, zs)
+	approx(t, "rho", r.Rho, -1, 1e-12)
+}
+
+func TestSpearmanMonotonicNonlinear(t *testing.T) {
+	// Spearman is rank-based: any monotone transform gives rho=1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	r := Spearman(xs, ys)
+	approx(t, "rho", r.Rho, 1, 1e-12)
+}
+
+func TestSpearmanNoise(t *testing.T) {
+	s := rng.NewSplitMix64(5)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = s.Float64()
+		ys[i] = s.Float64()
+	}
+	r := Spearman(xs, ys)
+	if math.Abs(r.Rho) > 0.12 {
+		t.Errorf("independent data rho = %v", r.Rho)
+	}
+	if r.P < 0.01 {
+		t.Errorf("independent data p = %v, should not be significant", r.P)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 3, 3}
+	ys := []float64{1, 1, 2, 2, 3, 3}
+	r := Spearman(xs, ys)
+	approx(t, "rho with ties", r.Rho, 1, 1e-12)
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if r := Spearman([]float64{1, 2}, []float64{1, 2}); !math.IsNaN(r.Rho) {
+		t.Error("n<3 should be NaN")
+	}
+}
+
+func TestRanks(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestRollingMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	sm := RollingMean(xs, 3)
+	approx(t, "middle", sm[2], 3, 1e-12)
+	approx(t, "edge", sm[0], 1.5, 1e-12) // window truncated at the edge
+	if len(RollingMean(nil, 4)) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func TestDetectBursts(t *testing.T) {
+	// Flat series with one big spike at hour 12 (the Brazil trial-3
+	// pattern): the spike must be detected, the noise must not.
+	series := make([]float64, 21)
+	s := rng.NewSplitMix64(3)
+	for i := range series {
+		series[i] = 10 + 2*s.Float64()
+	}
+	series[12] = 100
+	bursts := DetectBursts(series, 4, 2)
+	found := false
+	for _, b := range bursts {
+		if b == 12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("spike at 12 not detected: %v", bursts)
+	}
+	if len(bursts) > 3 {
+		t.Errorf("too many false positives: %v", bursts)
+	}
+}
+
+func TestDetectBurstsQuietSeries(t *testing.T) {
+	series := make([]float64, 21)
+	for i := range series {
+		series[i] = 5
+	}
+	if b := DetectBursts(series, 4, 2); len(b) != 0 {
+		t.Errorf("constant series produced bursts: %v", b)
+	}
+	if b := DetectBursts(nil, 4, 2); b != nil {
+		t.Error("empty series should give nil")
+	}
+}
+
+func TestTDistSurvival(t *testing.T) {
+	// t=2.086, df=20 → two-sided p ≈ 0.05 (t-table).
+	approx(t, "t(2.086,20)", TDistSurvival2Sided(2.086, 20), 0.05, 2e-3)
+	// t=0 → p=1.
+	approx(t, "t(0,10)", TDistSurvival2Sided(0, 10), 1, 1e-9)
+}
+
+func TestBetaIncBounds(t *testing.T) {
+	if betaInc(2, 3, 0) != 0 || betaInc(2, 3, 1) != 1 {
+		t.Error("betaInc bounds wrong")
+	}
+	// I_0.5(2,2) = 0.5 by symmetry.
+	approx(t, "betaInc(2,2,0.5)", betaInc(2, 2, 0.5), 0.5, 1e-9)
+}
+
+func TestCDFPropertyMonotoneAndComplete(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pts := CDF(xs, nil)
+		last := math.Inf(-1)
+		lastF := 0.0
+		for _, p := range pts {
+			if p.X <= last && len(pts) > 1 {
+				return false // x strictly increasing
+			}
+			if p.F < lastF {
+				return false // F non-decreasing
+			}
+			last, lastF = p.X, p.F
+		}
+		return math.Abs(pts[len(pts)-1].F-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantilePropertyWithinRange(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q = math.Mod(math.Abs(q), 1)
+		v := Quantile(xs, q)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanPropertySymmetricAndBounded(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		if len(pairs) < 3 {
+			return true
+		}
+		var xs, ys []float64
+		for _, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				return true
+			}
+			xs = append(xs, p[0])
+			ys = append(ys, p[1])
+		}
+		a := Spearman(xs, ys)
+		b := Spearman(ys, xs)
+		if math.IsNaN(a.Rho) {
+			return math.IsNaN(b.Rho) // degenerate (constant input)
+		}
+		return math.Abs(a.Rho-b.Rho) < 1e-9 && a.Rho >= -1.0000001 && a.Rho <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

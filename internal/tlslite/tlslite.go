@@ -1,0 +1,405 @@
+// Package tlslite implements the TLS 1.2 wire format needed for a handshake
+// grab: the record layer, ClientHello (with the cipher suites of modern
+// Chrome, as the paper's ZGrab configuration sends), ServerHello, and the
+// Certificate message carried as opaque DER blobs. The study's HTTPS grab
+// considers a host accessible once the server's handshake flight parses, so
+// no key exchange or record encryption is implemented — but every byte
+// exchanged is valid TLS 1.2 that a real stack would produce or accept.
+package tlslite
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/rng"
+)
+
+// Record content types.
+const (
+	RecordHandshake = 22
+	RecordAlert     = 21
+)
+
+// Handshake message types.
+const (
+	TypeClientHello     = 1
+	TypeServerHello     = 2
+	TypeCertificate     = 11
+	TypeServerHelloDone = 14
+)
+
+// VersionTLS12 is the wire version of TLS 1.2.
+const VersionTLS12 = 0x0303
+
+// ChromeTLS12Suites are the TLS 1.2 cipher suites offered by modern Chrome,
+// which the paper's methodology uses for the HTTPS handshake.
+var ChromeTLS12Suites = []uint16{
+	0xc02b, // ECDHE-ECDSA-AES128-GCM-SHA256
+	0xc02f, // ECDHE-RSA-AES128-GCM-SHA256
+	0xc02c, // ECDHE-ECDSA-AES256-GCM-SHA384
+	0xc030, // ECDHE-RSA-AES256-GCM-SHA384
+	0xcca9, // ECDHE-ECDSA-CHACHA20-POLY1305
+	0xcca8, // ECDHE-RSA-CHACHA20-POLY1305
+	0xc013, // ECDHE-RSA-AES128-CBC-SHA
+	0xc014, // ECDHE-RSA-AES256-CBC-SHA
+	0x009c, // RSA-AES128-GCM-SHA256
+	0x009d, // RSA-AES256-GCM-SHA384
+	0x002f, // RSA-AES128-CBC-SHA
+	0x0035, // RSA-AES256-CBC-SHA
+}
+
+// Limits on untrusted input.
+const (
+	MaxRecordLen    = 1<<14 + 2048
+	MaxHandshakeLen = 1 << 18
+)
+
+// Errors.
+var (
+	ErrMalformed    = errors.New("tlslite: malformed message")
+	ErrRecordTooBig = errors.New("tlslite: record exceeds maximum length")
+	ErrAlert        = errors.New("tlslite: received fatal alert")
+)
+
+// ClientHello is the first client flight.
+type ClientHello struct {
+	Version      uint16
+	Random       [32]byte
+	SessionID    []byte
+	CipherSuites []uint16
+	ServerName   string // SNI extension, empty to omit
+}
+
+// ServerHello is the server's handshake response.
+type ServerHello struct {
+	Version     uint16
+	Random      [32]byte
+	SessionID   []byte
+	CipherSuite uint16
+	Compression uint8
+}
+
+// Certificate carries the server certificate chain as opaque DER blobs.
+type Certificate struct {
+	Chain [][]byte
+}
+
+// NewClientHello builds a Chrome-shaped ClientHello with a random derived
+// from key.
+func NewClientHello(key rng.Key, serverName string) *ClientHello {
+	ch := &ClientHello{
+		Version:      VersionTLS12,
+		CipherSuites: ChromeTLS12Suites,
+		ServerName:   serverName,
+	}
+	s := key.Stream(0x636868) // "chh"
+	for i := 0; i < 32; i += 8 {
+		binary.BigEndian.PutUint64(ch.Random[i:], s.Uint64())
+	}
+	return ch
+}
+
+// --- record layer ---
+
+// WriteRecord frames payload as one TLS record.
+func WriteRecord(w io.Writer, contentType uint8, payload []byte) error {
+	if len(payload) > MaxRecordLen {
+		return ErrRecordTooBig
+	}
+	hdr := [5]byte{contentType, byte(VersionTLS12 >> 8), byte(VersionTLS12 & 0xff)}
+	binary.BigEndian.PutUint16(hdr[3:], uint16(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadRecord reads one TLS record, returning its content type and payload.
+func ReadRecord(r io.Reader) (uint8, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint16(hdr[3:])
+	if int(n) > MaxRecordLen {
+		return 0, nil, ErrRecordTooBig
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// HandshakeReader assembles handshake messages across records.
+type HandshakeReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewHandshakeReader returns a reader over r.
+func NewHandshakeReader(r io.Reader) *HandshakeReader {
+	return &HandshakeReader{r: r}
+}
+
+// Next returns the next handshake message (type and body). A fatal alert
+// record yields ErrAlert.
+func (h *HandshakeReader) Next() (uint8, []byte, error) {
+	for len(h.buf) < 4 {
+		if err := h.fill(); err != nil {
+			return 0, nil, err
+		}
+	}
+	msgType := h.buf[0]
+	msgLen := int(h.buf[1])<<16 | int(h.buf[2])<<8 | int(h.buf[3])
+	if msgLen > MaxHandshakeLen {
+		return 0, nil, ErrMalformed
+	}
+	for len(h.buf) < 4+msgLen {
+		if err := h.fill(); err != nil {
+			return 0, nil, err
+		}
+	}
+	body := h.buf[4 : 4+msgLen]
+	h.buf = h.buf[4+msgLen:]
+	return msgType, body, nil
+}
+
+func (h *HandshakeReader) fill() error {
+	ct, payload, err := ReadRecord(h.r)
+	if err != nil {
+		return err
+	}
+	switch ct {
+	case RecordHandshake:
+		h.buf = append(h.buf, payload...)
+		return nil
+	case RecordAlert:
+		return ErrAlert
+	default:
+		return fmt.Errorf("tlslite: unexpected record type %d", ct)
+	}
+}
+
+// writeHandshake frames body as a handshake message in one record.
+func writeHandshake(w io.Writer, msgType uint8, body []byte) error {
+	msg := make([]byte, 4+len(body))
+	msg[0] = msgType
+	msg[1] = byte(len(body) >> 16)
+	msg[2] = byte(len(body) >> 8)
+	msg[3] = byte(len(body))
+	copy(msg[4:], body)
+	return WriteRecord(w, RecordHandshake, msg)
+}
+
+// --- ClientHello ---
+
+// Marshal encodes the ClientHello body (without the handshake header).
+func (ch *ClientHello) Marshal() []byte {
+	var b []byte
+	b = append(b, byte(ch.Version>>8), byte(ch.Version))
+	b = append(b, ch.Random[:]...)
+	b = append(b, byte(len(ch.SessionID)))
+	b = append(b, ch.SessionID...)
+	b = append(b, byte(len(ch.CipherSuites)*2>>8), byte(len(ch.CipherSuites)*2))
+	for _, cs := range ch.CipherSuites {
+		b = append(b, byte(cs>>8), byte(cs))
+	}
+	b = append(b, 1, 0) // compression: null only
+	// Extensions.
+	var ext []byte
+	if ch.ServerName != "" {
+		ext = append(ext, sniExtension(ch.ServerName)...)
+	}
+	b = append(b, byte(len(ext)>>8), byte(len(ext)))
+	b = append(b, ext...)
+	return b
+}
+
+func sniExtension(name string) []byte {
+	// extension type 0, server_name_list with one host_name entry.
+	inner := make([]byte, 0, len(name)+5)
+	inner = append(inner, 0) // name_type host_name
+	inner = append(inner, byte(len(name)>>8), byte(len(name)))
+	inner = append(inner, name...)
+	list := make([]byte, 0, len(inner)+2)
+	list = append(list, byte(len(inner)>>8), byte(len(inner)))
+	list = append(list, inner...)
+	ext := make([]byte, 0, len(list)+4)
+	ext = append(ext, 0, 0) // type server_name
+	ext = append(ext, byte(len(list)>>8), byte(len(list)))
+	ext = append(ext, list...)
+	return ext
+}
+
+// ParseClientHello decodes a ClientHello body.
+func ParseClientHello(b []byte) (*ClientHello, error) {
+	ch := &ClientHello{}
+	if len(b) < 2+32+1 {
+		return nil, ErrMalformed
+	}
+	ch.Version = binary.BigEndian.Uint16(b)
+	copy(ch.Random[:], b[2:34])
+	b = b[34:]
+	sidLen := int(b[0])
+	if len(b) < 1+sidLen+2 {
+		return nil, ErrMalformed
+	}
+	ch.SessionID = append([]byte(nil), b[1:1+sidLen]...)
+	b = b[1+sidLen:]
+	csLen := int(binary.BigEndian.Uint16(b))
+	if csLen%2 != 0 || len(b) < 2+csLen+1 {
+		return nil, ErrMalformed
+	}
+	for i := 0; i < csLen; i += 2 {
+		ch.CipherSuites = append(ch.CipherSuites, binary.BigEndian.Uint16(b[2+i:]))
+	}
+	b = b[2+csLen:]
+	compLen := int(b[0])
+	if len(b) < 1+compLen {
+		return nil, ErrMalformed
+	}
+	b = b[1+compLen:]
+	// Extensions (optional).
+	if len(b) >= 2 {
+		extLen := int(binary.BigEndian.Uint16(b))
+		if len(b) < 2+extLen {
+			return nil, ErrMalformed
+		}
+		ext := b[2 : 2+extLen]
+		for len(ext) >= 4 {
+			typ := binary.BigEndian.Uint16(ext)
+			l := int(binary.BigEndian.Uint16(ext[2:]))
+			if len(ext) < 4+l {
+				return nil, ErrMalformed
+			}
+			if typ == 0 { // server_name
+				if name, err := parseSNI(ext[4 : 4+l]); err == nil {
+					ch.ServerName = name
+				}
+			}
+			ext = ext[4+l:]
+		}
+	}
+	return ch, nil
+}
+
+func parseSNI(b []byte) (string, error) {
+	if len(b) < 2 {
+		return "", ErrMalformed
+	}
+	listLen := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+listLen || listLen < 3 {
+		return "", ErrMalformed
+	}
+	entry := b[2 : 2+listLen]
+	if entry[0] != 0 {
+		return "", ErrMalformed
+	}
+	n := int(binary.BigEndian.Uint16(entry[1:]))
+	if len(entry) < 3+n {
+		return "", ErrMalformed
+	}
+	return string(entry[3 : 3+n]), nil
+}
+
+// WriteClientHello sends the ClientHello as a handshake record.
+func (ch *ClientHello) Write(w io.Writer) error {
+	return writeHandshake(w, TypeClientHello, ch.Marshal())
+}
+
+// --- ServerHello ---
+
+// Marshal encodes the ServerHello body.
+func (sh *ServerHello) Marshal() []byte {
+	var b []byte
+	b = append(b, byte(sh.Version>>8), byte(sh.Version))
+	b = append(b, sh.Random[:]...)
+	b = append(b, byte(len(sh.SessionID)))
+	b = append(b, sh.SessionID...)
+	b = append(b, byte(sh.CipherSuite>>8), byte(sh.CipherSuite))
+	b = append(b, sh.Compression)
+	return b
+}
+
+// ParseServerHello decodes a ServerHello body.
+func ParseServerHello(b []byte) (*ServerHello, error) {
+	sh := &ServerHello{}
+	if len(b) < 2+32+1 {
+		return nil, ErrMalformed
+	}
+	sh.Version = binary.BigEndian.Uint16(b)
+	copy(sh.Random[:], b[2:34])
+	b = b[34:]
+	sidLen := int(b[0])
+	if len(b) < 1+sidLen+3 {
+		return nil, ErrMalformed
+	}
+	sh.SessionID = append([]byte(nil), b[1:1+sidLen]...)
+	b = b[1+sidLen:]
+	sh.CipherSuite = binary.BigEndian.Uint16(b)
+	sh.Compression = b[2]
+	return sh, nil
+}
+
+// Write sends the ServerHello as a handshake record.
+func (sh *ServerHello) Write(w io.Writer) error {
+	return writeHandshake(w, TypeServerHello, sh.Marshal())
+}
+
+// --- Certificate ---
+
+// Marshal encodes the Certificate body.
+func (c *Certificate) Marshal() []byte {
+	var inner []byte
+	for _, cert := range c.Chain {
+		inner = append(inner, byte(len(cert)>>16), byte(len(cert)>>8), byte(len(cert)))
+		inner = append(inner, cert...)
+	}
+	b := make([]byte, 0, 3+len(inner))
+	b = append(b, byte(len(inner)>>16), byte(len(inner)>>8), byte(len(inner)))
+	return append(b, inner...)
+}
+
+// ParseCertificate decodes a Certificate body.
+func ParseCertificate(b []byte) (*Certificate, error) {
+	if len(b) < 3 {
+		return nil, ErrMalformed
+	}
+	total := int(b[0])<<16 | int(b[1])<<8 | int(b[2])
+	if len(b) < 3+total {
+		return nil, ErrMalformed
+	}
+	inner := b[3 : 3+total]
+	c := &Certificate{}
+	for len(inner) > 0 {
+		if len(inner) < 3 {
+			return nil, ErrMalformed
+		}
+		n := int(inner[0])<<16 | int(inner[1])<<8 | int(inner[2])
+		if len(inner) < 3+n {
+			return nil, ErrMalformed
+		}
+		c.Chain = append(c.Chain, append([]byte(nil), inner[3:3+n]...))
+		inner = inner[3+n:]
+	}
+	return c, nil
+}
+
+// Write sends the Certificate as a handshake record.
+func (c *Certificate) Write(w io.Writer) error {
+	return writeHandshake(w, TypeCertificate, c.Marshal())
+}
+
+// WriteServerHelloDone sends the (empty) ServerHelloDone message.
+func WriteServerHelloDone(w io.Writer) error {
+	return writeHandshake(w, TypeServerHelloDone, nil)
+}
+
+// WriteAlert sends a two-byte alert record (level, description).
+func WriteAlert(w io.Writer, level, desc uint8) error {
+	return WriteRecord(w, RecordAlert, []byte{level, desc})
+}

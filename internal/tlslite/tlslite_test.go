@@ -1,0 +1,184 @@
+package tlslite
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4}
+	if err := WriteRecord(&buf, RecordHandshake, payload); err != nil {
+		t.Fatal(err)
+	}
+	ct, got, err := ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != RecordHandshake || !bytes.Equal(got, payload) {
+		t.Errorf("record = %d %v", ct, got)
+	}
+}
+
+func TestRecordRejectsOversize(t *testing.T) {
+	if err := WriteRecord(io.Discard, RecordHandshake, make([]byte, MaxRecordLen+1)); err != ErrRecordTooBig {
+		t.Errorf("write err = %v", err)
+	}
+}
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	ch := NewClientHello(rng.NewKey(1).Derive("grab"), "198.51.100.9")
+	parsed, err := ParseClientHello(ch.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Version != VersionTLS12 {
+		t.Errorf("version = %#x", parsed.Version)
+	}
+	if parsed.Random != ch.Random {
+		t.Error("random mismatch")
+	}
+	if len(parsed.CipherSuites) != len(ChromeTLS12Suites) {
+		t.Fatalf("suites = %d", len(parsed.CipherSuites))
+	}
+	for i, cs := range parsed.CipherSuites {
+		if cs != ChromeTLS12Suites[i] {
+			t.Errorf("suite %d = %#x, want %#x", i, cs, ChromeTLS12Suites[i])
+		}
+	}
+	if parsed.ServerName != "198.51.100.9" {
+		t.Errorf("SNI = %q", parsed.ServerName)
+	}
+}
+
+func TestClientHelloWithoutSNI(t *testing.T) {
+	ch := NewClientHello(rng.NewKey(2), "")
+	parsed, err := ParseClientHello(ch.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.ServerName != "" {
+		t.Errorf("SNI = %q, want empty", parsed.ServerName)
+	}
+}
+
+func TestServerHelloRoundTrip(t *testing.T) {
+	sh := &ServerHello{Version: VersionTLS12, CipherSuite: 0xc02f, SessionID: []byte{9, 9}}
+	sh.Random[0] = 0xaa
+	parsed, err := ParseServerHello(sh.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.CipherSuite != 0xc02f || parsed.Random[0] != 0xaa || len(parsed.SessionID) != 2 {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+func TestCertificateRoundTrip(t *testing.T) {
+	c := &Certificate{Chain: [][]byte{{1, 2, 3}, {4, 5}}}
+	parsed, err := ParseCertificate(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Chain) != 2 || !bytes.Equal(parsed.Chain[0], []byte{1, 2, 3}) || !bytes.Equal(parsed.Chain[1], []byte{4, 5}) {
+		t.Errorf("chain = %v", parsed.Chain)
+	}
+}
+
+func TestFullHandshakeFlightOverWire(t *testing.T) {
+	// Client writes ClientHello; server answers ServerHello +
+	// Certificate + ServerHelloDone; client parses all three.
+	var wire bytes.Buffer
+	ch := NewClientHello(rng.NewKey(3), "host")
+	if err := ch.Write(&wire); err != nil {
+		t.Fatal(err)
+	}
+	hr := NewHandshakeReader(&wire)
+	typ, body, err := hr.Next()
+	if err != nil || typ != TypeClientHello {
+		t.Fatalf("server read CH: %d %v", typ, err)
+	}
+	if _, err := ParseClientHello(body); err != nil {
+		t.Fatal(err)
+	}
+
+	var resp bytes.Buffer
+	sh := &ServerHello{Version: VersionTLS12, CipherSuite: ChromeTLS12Suites[1]}
+	if err := sh.Write(&resp); err != nil {
+		t.Fatal(err)
+	}
+	cert := &Certificate{Chain: [][]byte{bytes.Repeat([]byte{0x30}, 800)}}
+	if err := cert.Write(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteServerHelloDone(&resp); err != nil {
+		t.Fatal(err)
+	}
+
+	cr := NewHandshakeReader(&resp)
+	wantTypes := []uint8{TypeServerHello, TypeCertificate, TypeServerHelloDone}
+	for _, want := range wantTypes {
+		typ, body, err := cr.Next()
+		if err != nil {
+			t.Fatalf("reading type %d: %v", want, err)
+		}
+		if typ != want {
+			t.Fatalf("type = %d, want %d", typ, want)
+		}
+		switch typ {
+		case TypeServerHello:
+			if _, err := ParseServerHello(body); err != nil {
+				t.Fatal(err)
+			}
+		case TypeCertificate:
+			c, err := ParseCertificate(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Chain) != 1 || len(c.Chain[0]) != 800 {
+				t.Errorf("cert chain = %d certs", len(c.Chain))
+			}
+		}
+	}
+}
+
+func TestHandshakeReaderAlert(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAlert(&buf, 2, 40); err != nil { // fatal handshake_failure
+		t.Fatal(err)
+	}
+	hr := NewHandshakeReader(&buf)
+	if _, _, err := hr.Next(); err != ErrAlert {
+		t.Errorf("err = %v, want ErrAlert", err)
+	}
+}
+
+func TestHandshakeSpanningRecords(t *testing.T) {
+	// A handshake message split across two records must reassemble.
+	msg := make([]byte, 4+100)
+	msg[0] = TypeCertificate
+	msg[3] = 100
+	var buf bytes.Buffer
+	WriteRecord(&buf, RecordHandshake, msg[:50])
+	WriteRecord(&buf, RecordHandshake, msg[50:])
+	hr := NewHandshakeReader(&buf)
+	typ, body, err := hr.Next()
+	if err != nil || typ != TypeCertificate || len(body) != 100 {
+		t.Errorf("reassembly: %d, %d bytes, %v", typ, len(body), err)
+	}
+}
+
+func TestParseRejectsTruncated(t *testing.T) {
+	if _, err := ParseClientHello([]byte{3, 3, 0}); err == nil {
+		t.Error("truncated ClientHello accepted")
+	}
+	if _, err := ParseServerHello([]byte{3}); err == nil {
+		t.Error("truncated ServerHello accepted")
+	}
+	if _, err := ParseCertificate([]byte{0, 0, 9, 1}); err == nil {
+		t.Error("truncated Certificate accepted")
+	}
+}

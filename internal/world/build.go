@@ -1,0 +1,366 @@
+package world
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/rng"
+)
+
+// Host is one live machine in the world.
+type Host struct {
+	Addr     ip.Addr
+	Services proto.Mask
+}
+
+// World is the generated synthetic Internet.
+type World struct {
+	Spec Spec
+	Key  rng.Key
+
+	Countries *geo.Registry
+	Routes    *asn.Table
+	Origins   *origin.Directory
+
+	hosts   []Host // sorted by address
+	hostIdx map[ip.Addr]int32
+	byAS    map[asn.ASN][]int32
+
+	profileASN map[string]asn.ASN
+
+	// SpaceBits is the number of address bits covering every announced
+	// prefix and the scanner source block: the ZMap scan space.
+	SpaceBits uint8
+
+	counts [proto.N]int
+}
+
+// allocator hands out aligned, disjoint prefixes from the bottom of the
+// address space.
+type allocator struct {
+	next uint64
+}
+
+// alloc returns a prefix covering at least want addresses (rounded up to a
+// power of two, base aligned to its size).
+func (a *allocator) alloc(want uint64) (ip.Prefix, error) {
+	size := uint64(1)
+	bits := uint8(32)
+	for size < want {
+		size <<= 1
+		bits--
+	}
+	// Align.
+	base := (a.next + size - 1) &^ (size - 1)
+	if base+size > 1<<32 {
+		return ip.Prefix{}, fmt.Errorf("world: address space exhausted")
+	}
+	a.next = base + size
+	return ip.MakePrefix(ip.Addr(base), bits), nil
+}
+
+// portion is one (AS, country) slice of hosts to place.
+type portion struct {
+	as      *asn.AS
+	country geo.Country
+	nHTTP   int
+	nHTTPS  int
+	nSSH    int
+}
+
+// Build generates a world from the spec. Generation is deterministic: the
+// same spec yields the same world, bit for bit.
+func Build(spec Spec) (*World, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Spec:       spec,
+		Key:        rng.NewKey(spec.Seed).Derive("world"),
+		Countries:  geo.NewRegistry(geo.DefaultCountries()),
+		Routes:     asn.NewTable(),
+		hostIdx:    make(map[ip.Addr]int32),
+		byAS:       make(map[asn.ASN][]int32),
+		profileASN: make(map[string]asn.ASN),
+	}
+	totalHTTP, totalHTTPS, totalSSH := spec.Targets()
+
+	// --- 1. Profile portions. ---
+	var portions []portion
+	profiles := DefaultProfiles()
+	profByCountry := map[geo.Country][3]int{} // host mass per country from profiles
+	for i := range profiles {
+		p := &profiles[i]
+		a := &asn.AS{Number: p.ASN, Name: p.Name, Country: p.Country, Kind: p.Kind}
+		w.profileASN[p.Name] = p.ASN
+		for _, gm := range p.geoMix() {
+			nH := scaleCount(float64(totalHTTP)*p.HTTPShare*gm.Frac, 3)
+			nS := scaleCount(float64(totalHTTPS)*p.HTTPSShare*gm.Frac, 2)
+			nSSH := scaleCount(float64(totalSSH)*p.SSHShare*gm.Frac, 0)
+			portions = append(portions, portion{as: a, country: gm.Country, nHTTP: nH, nHTTPS: nS, nSSH: nSSH})
+			acc := profByCountry[gm.Country]
+			acc[0] += nH
+			acc[1] += nS
+			acc[2] += nSSH
+			profByCountry[gm.Country] = acc
+		}
+	}
+
+	// --- 2. Generic AS portions filling each country's budget. ---
+	countries := w.Countries.Countries()
+	totalW := w.Countries.TotalWeight()
+	genASN := asn.ASN(100000)
+	for _, c := range countries {
+		share := c.Weight / totalW
+		remH := int(float64(totalHTTP)*share) - profByCountry[c.Code][0]
+		remS := int(float64(totalHTTPS)*share) - profByCountry[c.Code][1]
+		remSSH := int(float64(totalSSH)*share) - profByCountry[c.Code][2]
+		stream := w.Key.Derive("generic").Stream(uint64(len(c.Code)), uint64(c.Code[0])<<8|uint64(c.Code[1]))
+		for remH > 0 || remS > 0 || remSSH > 0 {
+			// AS size: heavy-tailed. Most ASes are small (the real
+			// Internet's AS size distribution has a long light tail
+			// of tiny networks), with occasional giants beyond the
+			// named profile ASes.
+			u := stream.Float64()
+			f := 0.15 + 5*u*u*u*u*u
+			if stream.Float64() < 0.02 {
+				f *= 25
+			}
+			m := int(float64(spec.GenericASHosts) * f)
+			if m < 8 {
+				m = 8
+			}
+			tot := remH + remS + remSSH
+			nH := min(remH, max(0, m*remH/max(tot, 1)))
+			nS := min(remS, max(0, m*remS/max(tot, 1)))
+			nSSH := min(remSSH, max(0, m-nH-nS))
+			if nH == 0 && nS == 0 && nSSH == 0 {
+				// Remainders too small to split: dump them.
+				nH, nS, nSSH = remH, remS, remSSH
+			}
+			a := &asn.AS{
+				Number:  genASN,
+				Name:    fmt.Sprintf("%s Network %d", c.Code, genASN),
+				Country: c.Code,
+				Kind:    genericKind(stream, c.Code),
+			}
+			genASN++
+			portions = append(portions, portion{as: a, country: c.Code, nHTTP: nH, nHTTPS: nS, nSSH: nSSH})
+			remH -= nH
+			remS -= nS
+			remSSH -= nSSH
+		}
+	}
+
+	// --- 3. Place hosts. ---
+	var alloc allocator
+	for i := range portions {
+		if err := w.place(&alloc, &portions[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- 4. Register ASes (prefixes accumulated during placement). ---
+	for i := range portions {
+		p := &portions[i]
+		if _, done := w.Routes.Get(p.as.Number); done {
+			continue
+		}
+		if err := w.Routes.Register(p.as); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- 5. Scanner source block, outside announced space. ---
+	srcPrefix, err := alloc.alloc(128)
+	if err != nil {
+		return nil, err
+	}
+	w.Origins = origin.NewDirectory(srcPrefix.First())
+
+	// --- 6. Scan space size. ---
+	w.SpaceBits = bitsFor(alloc.next)
+
+	// --- 7. Sort hosts and build indexes. ---
+	sort.Slice(w.hosts, func(i, j int) bool { return w.hosts[i].Addr < w.hosts[j].Addr })
+	for i := range w.hosts {
+		w.hostIdx[w.hosts[i].Addr] = int32(i)
+	}
+	for _, h := range w.hosts {
+		if a, ok := w.Routes.Lookup(h.Addr); ok {
+			w.byAS[a.Number] = append(w.byAS[a.Number], w.hostIdx[h.Addr])
+		}
+	}
+	return w, nil
+}
+
+// place allocates prefixes for one portion and creates its hosts.
+func (w *World) place(alloc *allocator, p *portion) error {
+	web := max(p.nHTTP, p.nHTTPS)
+	both := min(p.nHTTP, p.nHTTPS)
+	sshOnWeb := int(w.Spec.SSHWebOverlap * float64(p.nSSH))
+	if sshOnWeb > web {
+		sshOnWeb = web
+	}
+	machines := web + (p.nSSH - sshOnWeb)
+	if machines == 0 {
+		return nil
+	}
+
+	// Masks, in machine order.
+	bigger := proto.HTTP
+	if p.nHTTPS > p.nHTTP {
+		bigger = proto.HTTPS
+	}
+	mask := func(i int) proto.Mask {
+		var m proto.Mask
+		switch {
+		case i < both:
+			m = proto.Bit(proto.HTTP) | proto.Bit(proto.HTTPS)
+		case i < web:
+			m = proto.Bit(bigger)
+		default:
+			m = proto.Bit(proto.SSH)
+		}
+		// SSH overlay on web machines: spread evenly.
+		if i < web && sshOnWeb > 0 {
+			stride := web / sshOnWeb
+			if stride == 0 {
+				stride = 1
+			}
+			if i%stride == 0 && i/stride < sshOnWeb {
+				m = m.With(proto.SSH)
+			}
+		}
+		return m
+	}
+
+	// Allocate chunks of at most /16 and scatter machines inside.
+	placed := 0
+	const maxChunk = 1 << 16
+	for placed < machines {
+		left := machines - placed
+		want := uint64(float64(left) / w.Spec.HostDensity)
+		if want > maxChunk {
+			want = maxChunk
+		}
+		if want < 8 {
+			want = 8
+		}
+		pfx, err := alloc.alloc(want)
+		if err != nil {
+			return err
+		}
+		p.as.Prefixes = append(p.as.Prefixes, pfx)
+		if err := w.Countries.Assign(pfx, p.country); err != nil {
+			return err
+		}
+		capacity := int(float64(pfx.NumAddrs()) * w.Spec.HostDensity)
+		if capacity < 1 {
+			capacity = 1
+		}
+		n := min(left, capacity)
+		// Scatter: keyed permutation of offsets within the prefix.
+		stream := w.Key.Derive("scatter").Stream(uint64(p.as.Number), uint64(pfx.Base))
+		offsets := samplePerm(stream, int(pfx.NumAddrs()), n)
+		for _, off := range offsets {
+			addr := pfx.Nth(uint64(off))
+			m := mask(placed)
+			w.addHost(addr, m)
+			placed++
+		}
+	}
+	return nil
+}
+
+// samplePerm returns n distinct values in [0, size) via a partial
+// Fisher-Yates on a dense index slice.
+func samplePerm(s *rng.SplitMix64, size, n int) []int {
+	if n > size {
+		n = size
+	}
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := i + s.Intn(size-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = idx[i]
+	}
+	return out
+}
+
+func (w *World) addHost(addr ip.Addr, m proto.Mask) {
+	w.hosts = append(w.hosts, Host{Addr: addr, Services: m})
+	for _, p := range proto.All() {
+		if m.Has(p) {
+			w.counts[p]++
+		}
+	}
+}
+
+// scaleCount rounds a fractional host count, enforcing a minimum for
+// non-zero shares so small-scale worlds keep every profile observable.
+func scaleCount(f float64, minNonZero int) int {
+	if f <= 0 {
+		return 0
+	}
+	n := int(f + 0.5)
+	if n < minNonZero {
+		n = minNonZero
+	}
+	return n
+}
+
+// genericKind draws an AS kind appropriate for the country.
+func genericKind(s *rng.SplitMix64, c geo.Country) asn.Kind {
+	u := s.Float64()
+	switch {
+	case u < 0.40:
+		return asn.KindISP
+	case u < 0.70:
+		return asn.KindHosting
+	case u < 0.80:
+		return asn.KindCloud
+	case u < 0.86:
+		return asn.KindAcademic
+	case u < 0.90:
+		return asn.KindConsumer
+	case u < 0.94:
+		return asn.KindFinancial
+	case u < 0.97:
+		return asn.KindGovernment
+	default:
+		return asn.KindMedia
+	}
+}
+
+func bitsFor(n uint64) uint8 {
+	b := uint8(0)
+	for (uint64(1) << b) < n {
+		b++
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

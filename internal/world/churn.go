@@ -1,0 +1,62 @@
+package world
+
+import (
+	"repro/internal/ip"
+	"repro/internal/rng"
+)
+
+// Churn models temporal host churn between trials: the paper's three trials
+// span eight weeks, so hosts are deployed and decommissioned between them
+// (this is what makes its per-trial ground-truth sizes differ and produces
+// the "unknown" classification for hosts seen in only one trial).
+//
+// Churn is a lifecycle, not random blinking: each host gets a stable birth
+// trial and death trial drawn from its address. With rate r, a host is
+// "new" (born after trial 1) with probability r and "retired" (dead before
+// the last trial) with probability r; the specific birth/death trials are
+// uniform over the remaining trials. A host whose drawn death precedes its
+// birth lives exactly its birth trial — the single-trial hosts the paper
+// labels unknown when missed.
+type Churn struct {
+	key rng.Key
+	// Rate is the probability a host's lifecycle is clipped at either
+	// end of the study.
+	Rate float64
+	// Trials is the study length the lifecycle spans.
+	Trials int
+}
+
+// NewChurn returns a churn model over the given number of trials.
+func NewChurn(key rng.Key, rate float64, trials int) *Churn {
+	if trials < 1 {
+		trials = 1
+	}
+	return &Churn{key: key.Derive("churn"), Rate: rate, Trials: trials}
+}
+
+// lifecycle returns the host's first and last live trials.
+func (c *Churn) lifecycle(dst ip.Addr) (birth, death int) {
+	birth, death = 0, c.Trials-1
+	if c.Trials == 1 {
+		return 0, 0
+	}
+	if c.key.Bool(c.Rate, uint64(dst), 1) {
+		birth = 1 + int(c.key.Uint64(uint64(dst), 2)%uint64(c.Trials-1))
+	}
+	if c.key.Bool(c.Rate, uint64(dst), 3) {
+		death = int(c.key.Uint64(uint64(dst), 4) % uint64(c.Trials-1))
+	}
+	if death < birth {
+		death = birth
+	}
+	return birth, death
+}
+
+// Offline reports whether the host is down for the whole trial.
+func (c *Churn) Offline(dst ip.Addr, trial int) bool {
+	if c == nil || c.Rate <= 0 {
+		return false
+	}
+	birth, death := c.lifecycle(dst)
+	return trial < birth || trial > death
+}

@@ -1,0 +1,225 @@
+package world
+
+import (
+	"repro/internal/asn"
+	"repro/internal/geo"
+)
+
+// Profile AS names, used by the scenario builder and analyses to attach the
+// paper's policies and loss overrides to the right networks.
+const (
+	ProfDXTL        = "DXTL Tseung Kwan O Service"
+	ProfEGI         = "EGI Hosting"
+	ProfEnzu        = "Enzu"
+	ProfAkamai      = "Akamai"
+	ProfTelecomIT   = "Telecom Italia"
+	ProfSparkle     = "Telecom Italia Sparkle"
+	ProfABCDE       = "ABCDE Group"
+	ProfAlibabaHZ   = "HZ Alibaba Advertising"
+	ProfAlibabaCN   = "Alibaba CN"
+	ProfTencent     = "Tencent"
+	ProfChinaTel    = "China Telecom"
+	ProfPsychz      = "Psychz Networks"
+	ProfBekkoame    = "Bekkoame Internet"
+	ProfNTTJP       = "NTT Communications JP"
+	ProfGatewayInc  = "Gateway Inc"
+	ProfWebCentral  = "WebCentral"
+	ProfCloudflare  = "Cloudflare"
+	ProfAmazon      = "Amazon"
+	ProfGoogle      = "Google"
+	ProfDigitalOcn  = "Digital Ocean"
+	ProfOVH         = "OVH"
+	ProfHetzner     = "Hetzner"
+	ProfSKBroadband = "SK Broadband"
+	ProfRuhrUni     = "Ruhr-Universitaet Bochum"
+	ProfTegna       = "Tegna Inc"
+	ProfJackBox     = "Jack in the Box"
+	ProfWAK20       = "WA K-20 Telecommunications"
+	ProfSantaPlus   = "SantaPlus"
+	ProfEEHost      = "Estonia Hosting"
+	ProfUAHost      = "Ukraine Hosting"
+	ProfROHost      = "Romania Hosting"
+	ProfKazTel      = "Kazakhtelecom"
+	ProfRostelecom  = "Rostelecom"
+	ProfRUNet2      = "RU-Net Backbone"
+	ProfLibya1      = "Libya Telecom"
+	ProfLibya2      = "Libya Hosting One"
+	ProfLibya3      = "Libya Hosting Two"
+)
+
+// Prefixes for small policy-bearing AS families generated in bulk.
+const (
+	ProfUSGovPrefix      = "US Government Network" // block Censys
+	ProfUSFinPrefix      = "US Financial Services" // block Brazil
+	ProfUSHealthPrefix   = "US Healthcare Group"   // block Brazil
+	ProfUSConsumerPrefix = "US Consumer Business"  // block Censys
+)
+
+// Counts of the bulk families.
+const (
+	NumUSGov      = 14
+	NumUSFin      = 12
+	NumUSHealth   = 10
+	NumUSConsumer = 8
+)
+
+// DefaultProfiles returns the named ASes with per-protocol global host
+// shares chosen to reproduce the paper's size relationships (e.g. the three
+// Censys blockers hold <4% of HTTP hosts; Akamai and the clouds are top-10;
+// Bekkoame holds 0.9% of HTTP).
+func DefaultProfiles() []Profile {
+	ps := []Profile{
+		// --- The three heavy Censys blockers (§4.1). ---
+		{Name: ProfDXTL, ASN: 134121, Country: "HK", Kind: asn.KindHosting,
+			HTTPShare: 0.015, HTTPSShare: 0.005, SSHShare: 0.008,
+			GeoMix: []GeoFrac{{"HK", 0.60}, {"ZA", 0.28}, {"BD", 0.12}}},
+		{Name: ProfEGI, ASN: 32181, Country: "US", Kind: asn.KindHosting,
+			HTTPShare: 0.010, HTTPSShare: 0.003, SSHShare: 0.012},
+		{Name: ProfEnzu, ASN: 18978, Country: "US", Kind: asn.KindHosting,
+			HTTPShare: 0.010, HTTPSShare: 0.002, SSHShare: 0.002},
+
+		// --- Large CDNs / clouds (§5.1 best-origin flips). ---
+		{Name: ProfAkamai, ASN: 20940, Country: "US", Kind: asn.KindCDN,
+			HTTPShare: 0.050, HTTPSShare: 0.060, SSHShare: 0.001},
+		{Name: ProfCloudflare, ASN: 13335, Country: "US", Kind: asn.KindCDN,
+			HTTPShare: 0.040, HTTPSShare: 0.050, SSHShare: 0.0005,
+			GeoMix: []GeoFrac{{"US", 0.40}, {"DE", 0.15}, {"GB", 0.15}, {"NL", 0.15}, {"FR", 0.15}}},
+		{Name: ProfAmazon, ASN: 16509, Country: "US", Kind: asn.KindCloud,
+			HTTPShare: 0.050, HTTPSShare: 0.060, SSHShare: 0.080},
+		{Name: ProfGoogle, ASN: 15169, Country: "US", Kind: asn.KindCloud,
+			HTTPShare: 0.030, HTTPSShare: 0.040, SSHShare: 0.020},
+		{Name: ProfDigitalOcn, ASN: 14061, Country: "US", Kind: asn.KindCloud,
+			HTTPShare: 0.020, HTTPSShare: 0.020, SSHShare: 0.060},
+		{Name: ProfOVH, ASN: 16276, Country: "FR", Kind: asn.KindHosting,
+			HTTPShare: 0.020, HTTPSShare: 0.020, SSHShare: 0.030},
+		{Name: ProfHetzner, ASN: 24940, Country: "DE", Kind: asn.KindHosting,
+			HTTPShare: 0.015, HTTPSShare: 0.015, SSHShare: 0.025},
+
+		// --- Italy: Germany's pathological paths (§4.2, §5.2). ---
+		{Name: ProfTelecomIT, ASN: 3269, Country: "IT", Kind: asn.KindISP,
+			HTTPShare: 0.005, HTTPSShare: 0.0030, SSHShare: 0.003},
+		{Name: ProfSparkle, ASN: 6762, Country: "IT", Kind: asn.KindISP,
+			HTTPShare: 0.0025, HTTPSShare: 0.0020, SSHShare: 0.0015},
+
+		// --- Hong Kong / China (§5.2 lossy paths, §6 Alibaba). ---
+		{Name: ProfABCDE, ASN: 133201, Country: "HK", Kind: asn.KindCloud,
+			HTTPShare: 0.005, HTTPSShare: 0.002, SSHShare: 0.002},
+		{Name: ProfAlibabaHZ, ASN: 37963, Country: "CN", Kind: asn.KindCloud,
+			HTTPShare: 0.015, HTTPSShare: 0.010, SSHShare: 0.030},
+		{Name: ProfAlibabaCN, ASN: 45102, Country: "CN", Kind: asn.KindCloud,
+			HTTPShare: 0.010, HTTPSShare: 0.008, SSHShare: 0.030},
+		{Name: ProfTencent, ASN: 45090, Country: "CN", Kind: asn.KindCloud,
+			HTTPShare: 0.012, HTTPSShare: 0.008, SSHShare: 0.015},
+		{Name: ProfChinaTel, ASN: 4134, Country: "CN", Kind: asn.KindISP,
+			HTTPShare: 0.025, HTTPSShare: 0.012, SSHShare: 0.020},
+
+		// --- SSH probabilistic blockers (§6, Figure 13). ---
+		{Name: ProfPsychz, ASN: 40676, Country: "US", Kind: asn.KindHosting,
+			HTTPShare: 0.008, HTTPSShare: 0.004, SSHShare: 0.010},
+
+		// --- Regional exclusives (§4.4). ---
+		{Name: ProfBekkoame, ASN: 2514, Country: "JP", Kind: asn.KindHosting,
+			HTTPShare: 0.009, HTTPSShare: 0.003, SSHShare: 0.001},
+		{Name: ProfNTTJP, ASN: 4713, Country: "JP", Kind: asn.KindISP,
+			HTTPShare: 0.0055, HTTPSShare: 0.004, SSHShare: 0.003},
+		{Name: ProfGatewayInc, ASN: 132827, Country: "JP", Kind: asn.KindHosting,
+			HTTPShare: 0.0015, HTTPSShare: 0.0005, SSHShare: 0.0002,
+			GeoMix: []GeoFrac{{"US", 1.0}}},
+		{Name: ProfWebCentral, ASN: 7496, Country: "AU", Kind: asn.KindHosting,
+			HTTPShare: 0.0025, HTTPSShare: 0.0015, SSHShare: 0.0005},
+		{Name: ProfWAK20, ASN: 101, Country: "US", Kind: asn.KindAcademic,
+			HTTPShare: 0.0008, HTTPSShare: 0.0004, SSHShare: 0.0002},
+
+		// --- IDS-protected networks (§4.3). ---
+		{Name: ProfSKBroadband, ASN: 9318, Country: "KR", Kind: asn.KindISP,
+			HTTPShare: 0.010, HTTPSShare: 0.005, SSHShare: 0.015},
+		{Name: ProfRuhrUni, ASN: 29484, Country: "DE", Kind: asn.KindAcademic,
+			HTTPShare: 0.0005, HTTPSShare: 0.0005, SSHShare: 0.0005},
+
+		// --- US enterprise blockers (§4.2). ---
+		{Name: ProfTegna, ASN: 13443, Country: "US", Kind: asn.KindMedia,
+			HTTPShare: 0.0005, HTTPSShare: 0.0003, SSHShare: 0.0001},
+		{Name: ProfJackBox, ASN: 46603, Country: "US", Kind: asn.KindConsumer,
+			HTTPShare: 0.0002, HTTPSShare: 0.0001},
+
+		// --- Eastern-European hosting that blocks Brazil and Japan. ---
+		{Name: ProfSantaPlus, ASN: 57523, Country: "RU", Kind: asn.KindHosting,
+			HTTPShare: 0.0020, HTTPSShare: 0.0008, SSHShare: 0.0008},
+		{Name: ProfEEHost, ASN: 61307, Country: "EE", Kind: asn.KindHosting,
+			HTTPShare: 0.0004, HTTPSShare: 0.0002, SSHShare: 0.0002},
+		{Name: ProfUAHost, ASN: 61308, Country: "UA", Kind: asn.KindHosting,
+			HTTPShare: 0.0004, HTTPSShare: 0.0002, SSHShare: 0.0002},
+		{Name: ProfROHost, ASN: 61309, Country: "RO", Kind: asn.KindHosting,
+			HTTPShare: 0.0004, HTTPSShare: 0.0002, SSHShare: 0.0002},
+
+		// --- Australia's consistently lossy destinations (§5.1). ---
+		{Name: ProfKazTel, ASN: 9198, Country: "KZ", Kind: asn.KindISP,
+			HTTPShare: 0.0030, HTTPSShare: 0.0015, SSHShare: 0.0010},
+		{Name: ProfRostelecom, ASN: 12389, Country: "RU", Kind: asn.KindISP,
+			HTTPShare: 0.0120, HTTPSShare: 0.0060, SSHShare: 0.0050},
+		{Name: ProfRUNet2, ASN: 3216, Country: "RU", Kind: asn.KindISP,
+			HTTPShare: 0.0080, HTTPSShare: 0.0040, SSHShare: 0.0030},
+
+		// --- Libya: the one >30%-inaccessible country with no single
+		// dominant ISP (§4.4, Table 2). ---
+		{Name: ProfLibya1, ASN: 21003, Country: "LY", Kind: asn.KindISP,
+			HTTPShare: 0.0002, HTTPSShare: 0.0001, SSHShare: 0.0001},
+		{Name: ProfLibya2, ASN: 37558, Country: "LY", Kind: asn.KindHosting,
+			HTTPShare: 0.00015, HTTPSShare: 0.0001, SSHShare: 0.00005},
+		{Name: ProfLibya3, ASN: 328137, Country: "LY", Kind: asn.KindHosting,
+			HTTPShare: 0.00015, HTTPSShare: 0.00005, SSHShare: 0.00005},
+	}
+
+	// Bulk families of small US enterprise networks carrying the paper's
+	// policies: government and consumer networks block Censys; financial
+	// and healthcare networks block Brazil.
+	next := asn.ASN(394000)
+	bulk := func(prefix string, n int, kind asn.Kind, httpShare, httpsShare, sshShare float64) {
+		for i := 0; i < n; i++ {
+			ps = append(ps, Profile{
+				Name:      bulkName(prefix, i),
+				ASN:       next,
+				Country:   "US",
+				Kind:      kind,
+				HTTPShare: httpShare, HTTPSShare: httpsShare, SSHShare: sshShare,
+			})
+			next++
+		}
+	}
+	bulk(ProfUSGovPrefix, NumUSGov, asn.KindGovernment, 0.00030, 0.00020, 0.00008)
+	bulk(ProfUSFinPrefix, NumUSFin, asn.KindFinancial, 0.00025, 0.00020, 0.00005)
+	bulk(ProfUSHealthPrefix, NumUSHealth, asn.KindHealthcare, 0.00022, 0.00015, 0.00005)
+	bulk(ProfUSConsumerPrefix, NumUSConsumer, asn.KindConsumer, 0.00020, 0.00010, 0.00003)
+	return ps
+}
+
+// bulkName names the i-th member of a bulk profile family.
+func bulkName(prefix string, i int) string {
+	return prefix + " " + string(rune('A'+i%26)) + string(rune('0'+i/26))
+}
+
+// bulkFamily reports whether name belongs to the given bulk family.
+func bulkFamily(name, prefix string) bool {
+	return len(name) > len(prefix) && name[:len(prefix)] == prefix
+}
+
+// IsUSGov reports whether a profile name is in the US-government family.
+func IsUSGov(name string) bool { return bulkFamily(name, ProfUSGovPrefix) }
+
+// IsUSFinancial reports whether a profile name is in the financial family.
+func IsUSFinancial(name string) bool { return bulkFamily(name, ProfUSFinPrefix) }
+
+// IsUSHealthcare reports whether a profile name is in the healthcare family.
+func IsUSHealthcare(name string) bool { return bulkFamily(name, ProfUSHealthPrefix) }
+
+// IsUSConsumer reports whether a profile name is in the consumer family.
+func IsUSConsumer(name string) bool { return bulkFamily(name, ProfUSConsumerPrefix) }
+
+// geoCountryOrDefault resolves a profile's geo mix, defaulting to its
+// registration country.
+func (p *Profile) geoMix() []GeoFrac {
+	if len(p.GeoMix) > 0 {
+		return p.GeoMix
+	}
+	return []GeoFrac{{Country: geo.Country(p.Country), Frac: 1.0}}
+}

@@ -1,0 +1,106 @@
+// Package world generates the deterministic synthetic Internet the study
+// scans: countries, autonomous systems, announced prefixes, and hosts
+// running HTTP/HTTPS/SSH services. The generated topology mirrors the
+// structural skew of the real Internet as the paper reports it — a handful
+// of very large providers, heavy-tailed AS sizes, country host populations
+// proportional to the paper's tables — and includes a named profile AS for
+// every actor the paper calls out (Alibaba, Telecom Italia, DXTL, EGI,
+// Enzu, ABCDE Group, Akamai, Bekkoame, WebCentral, Cloudflare, ...).
+package world
+
+import (
+	"fmt"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+)
+
+// Paper-reported mean ground-truth host counts (Appendix A, Table 4a ∪
+// column means), which Scale multiplies.
+const (
+	PaperHTTPHosts  = 58_141_932
+	PaperHTTPSHosts = 41_000_118
+	PaperSSHHosts   = 19_649_192
+)
+
+// Spec configures world generation. The zero value is not valid; use
+// DefaultSpec or TestSpec.
+type Spec struct {
+	// Seed drives all randomness in the world.
+	Seed uint64
+	// Scale is the fraction of the paper's Internet to generate
+	// (1.0 ≈ 58M HTTP hosts). DefaultSpec uses 1/1000.
+	Scale float64
+	// HostDensity is the fraction of addresses inside announced
+	// prefixes that are live machines (default 0.35, so a /24 holds
+	// ~90 hosts and network-level /24 analysis has support).
+	HostDensity float64
+	// SSHWebOverlap is the fraction of SSH hosts co-located on web
+	// machines (default 0.5).
+	SSHWebOverlap float64
+	// GenericASHosts scales the machine count of generic (non-profile)
+	// ASes (default 25, producing a heavy-tailed size distribution with
+	// a median near 10 machines and rare giants). Smaller values create
+	// more ASes.
+	GenericASHosts int
+}
+
+// DefaultSpec returns the spec used by cmd/originscan: a 1/1000-scale
+// Internet (≈58k HTTP, 41k HTTPS, 20k SSH hosts).
+func DefaultSpec(seed uint64) Spec {
+	return Spec{Seed: seed, Scale: 0.001}
+}
+
+// TestSpec returns a small world for unit tests (≈3k HTTP hosts).
+func TestSpec(seed uint64) Spec {
+	return Spec{Seed: seed, Scale: 0.00005}
+}
+
+func (s Spec) withDefaults() (Spec, error) {
+	if s.Scale <= 0 || s.Scale > 1 {
+		return s, fmt.Errorf("world: scale %v out of (0, 1]", s.Scale)
+	}
+	if s.HostDensity == 0 {
+		s.HostDensity = 0.35
+	}
+	if s.HostDensity <= 0 || s.HostDensity > 1 {
+		return s, fmt.Errorf("world: host density %v out of (0, 1]", s.HostDensity)
+	}
+	if s.SSHWebOverlap == 0 {
+		s.SSHWebOverlap = 0.5
+	}
+	if s.GenericASHosts == 0 {
+		s.GenericASHosts = 25
+	}
+	return s, nil
+}
+
+// Targets returns the per-protocol host-count targets for the spec.
+func (s Spec) Targets() (http, https, ssh int) {
+	return int(float64(PaperHTTPHosts) * s.Scale),
+		int(float64(PaperHTTPSHosts) * s.Scale),
+		int(float64(PaperSSHHosts) * s.Scale)
+}
+
+// GeoFrac assigns a fraction of a profile AS's address space to a country
+// (hosting providers announce space that geolocates far from their
+// registration, e.g. DXTL's South African and Bangladeshi ranges).
+type GeoFrac struct {
+	Country geo.Country
+	Frac    float64
+}
+
+// Profile describes one named AS from the paper. Shares are fractions of
+// the world's global per-protocol host counts.
+type Profile struct {
+	Name    string
+	ASN     asn.ASN
+	Country geo.Country // registration country
+	Kind    asn.Kind
+
+	HTTPShare, HTTPSShare, SSHShare float64
+
+	// GeoMix distributes the AS's prefixes across countries; empty
+	// means everything geolocates to Country.
+	GeoMix []GeoFrac
+}

@@ -1,0 +1,110 @@
+package world
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/ip"
+	"repro/internal/proto"
+)
+
+// Hosts returns all hosts sorted by address. The slice is shared; callers
+// must not modify it.
+func (w *World) Hosts() []Host { return w.hosts }
+
+// NumHosts returns the number of distinct live machines.
+func (w *World) NumHosts() int { return len(w.hosts) }
+
+// HostCount returns the number of hosts running the given protocol.
+func (w *World) HostCount(p proto.Protocol) int { return w.counts[p] }
+
+// Lookup returns the service mask of the host at addr.
+func (w *World) Lookup(addr ip.Addr) (proto.Mask, bool) {
+	i, ok := w.hostIdx[addr]
+	if !ok {
+		return 0, false
+	}
+	return w.hosts[i].Services, true
+}
+
+// ASOf returns the AS announcing addr.
+func (w *World) ASOf(addr ip.Addr) (*asn.AS, bool) {
+	return w.Routes.Lookup(addr)
+}
+
+// CountryOf returns the geolocation of addr.
+func (w *World) CountryOf(addr ip.Addr) (geo.Country, bool) {
+	return w.Countries.Lookup(addr)
+}
+
+// ProfileASN returns the AS number of a named profile.
+func (w *World) ProfileASN(name string) (asn.ASN, bool) {
+	n, ok := w.profileASN[name]
+	return n, ok
+}
+
+// MustProfileASN returns the AS number of a named profile, panicking if the
+// profile does not exist (programming error).
+func (w *World) MustProfileASN(name string) asn.ASN {
+	n, ok := w.profileASN[name]
+	if !ok {
+		panic(fmt.Sprintf("world: no profile %q", name))
+	}
+	return n
+}
+
+// ProfileNames returns all profile names sorted.
+func (w *World) ProfileNames() []string {
+	out := make([]string, 0, len(w.profileASN))
+	for name := range w.profileASN {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostsInAS returns the indices (into Hosts()) of the AS's hosts.
+func (w *World) HostsInAS(n asn.ASN) []int32 { return w.byAS[n] }
+
+// ASHostCount returns the number of hosts in the AS running p.
+func (w *World) ASHostCount(n asn.ASN, p proto.Protocol) int {
+	c := 0
+	for _, i := range w.byAS[n] {
+		if w.hosts[i].Services.Has(p) {
+			c++
+		}
+	}
+	return c
+}
+
+// ASWeights returns all AS numbers and their total host counts, in AS
+// order; used to weight burst-outage sampling and analyses.
+func (w *World) ASWeights() ([]asn.ASN, []uint64) {
+	ases := w.Routes.All()
+	nums := make([]asn.ASN, len(ases))
+	weights := make([]uint64, len(ases))
+	for i, a := range ases {
+		nums[i] = a.Number
+		weights[i] = uint64(len(w.byAS[a.Number]))
+	}
+	return nums, weights
+}
+
+// SpaceSize returns the number of addresses in the scan space.
+func (w *World) SpaceSize() uint64 { return 1 << w.SpaceBits }
+
+// CountryHostCount returns the number of hosts running p geolocated to c.
+func (w *World) CountryHostCount(c geo.Country, p proto.Protocol) int {
+	n := 0
+	for _, h := range w.hosts {
+		if !h.Services.Has(p) {
+			continue
+		}
+		if hc, ok := w.CountryOf(h.Addr); ok && hc == c {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,275 @@
+// Package zgrab implements the application-layer handshake grabbers the
+// study runs against every L4-responsive host: an HTTP GET /, a TLS 1.2
+// handshake with Chrome's cipher suites, and an SSH handshake that
+// terminates after the protocol version exchange — the same three grabs the
+// paper performs with ZGrab. Grabbers speak real protocol bytes over any
+// net.Conn and classify failures the way the paper's analysis needs them
+// (timeout vs refused vs reset vs closed-before-banner).
+package zgrab
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/httpwire"
+	"repro/internal/ip"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/sshwire"
+	"repro/internal/tlslite"
+	"repro/internal/vconn"
+)
+
+// FailMode classifies why a grab failed; §6 of the paper distinguishes
+// hosts that drop connections from hosts that explicitly close or reset.
+type FailMode uint8
+
+const (
+	FailNone    FailMode = iota
+	FailTimeout          // connection or read timed out / silently dropped
+	FailRefused          // TCP connection refused (RST to SYN)
+	FailReset            // connection reset after establishment
+	FailClosed           // closed (FIN) before the protocol banner
+	FailProto            // peer spoke, but not the protocol
+)
+
+var failNames = [...]string{"none", "timeout", "refused", "reset", "closed", "proto"}
+
+// String returns the failure-mode name.
+func (f FailMode) String() string {
+	if int(f) < len(failNames) {
+		return failNames[f]
+	}
+	return "fail(?)"
+}
+
+// Result is the outcome of one grab.
+type Result struct {
+	Proto    proto.Protocol
+	Success  bool
+	Fail     FailMode
+	Banner   string // server software: HTTP Server header, SSH version, TLS suite
+	Attempts int    // connection attempts used (≥1)
+}
+
+// Dialer abstracts the transport: the simulation fabric implements it, and
+// netDialer adapts real TCP for tests/tools.
+type Dialer interface {
+	// Dial opens a connection to dst:port for the attempt-th try at
+	// virtual time t.
+	Dial(dst ip.Addr, port uint16, t time.Duration, attempt int) (net.Conn, error)
+}
+
+// Sentinel errors a Dialer can return to signal L4 failure modes.
+var (
+	ErrTimeout = errors.New("zgrab: connection timed out")
+	ErrRefused = errors.New("zgrab: connection refused")
+)
+
+// Grabber runs grabs through a Dialer with a retry budget.
+type Grabber struct {
+	Dialer Dialer
+	// Retries is the number of additional connection attempts after a
+	// failed handshake (0 = single attempt). The paper's §6 experiment
+	// retries SSH up to 8 times.
+	Retries int
+	// Key derives the client randoms for TLS.
+	Key rng.Key
+	// IOTimeout bounds each read/write on real connections (default 10s;
+	// virtual connections complete instantly so it rarely matters).
+	IOTimeout time.Duration
+}
+
+// Grab performs the grab for p against dst at virtual time t, retrying per
+// the grabber's budget.
+func (g *Grabber) Grab(p proto.Protocol, dst ip.Addr, t time.Duration) Result {
+	var last Result
+	for attempt := 0; attempt <= g.Retries; attempt++ {
+		last = g.grabOnce(p, dst, t, attempt)
+		last.Attempts = attempt + 1
+		if last.Success {
+			return last
+		}
+		// Refused and timed-out connections are retried like any
+		// other failure: §6 shows immediate retries recover
+		// MaxStartups hosts.
+	}
+	return last
+}
+
+func (g *Grabber) grabOnce(p proto.Protocol, dst ip.Addr, t time.Duration, attempt int) Result {
+	res := Result{Proto: p}
+	conn, err := g.Dialer.Dial(dst, p.Port(), t, attempt)
+	if err != nil {
+		res.Fail = classifyDialError(err)
+		return res
+	}
+	defer conn.Close()
+	if g.IOTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(g.IOTimeout))
+	}
+	switch p {
+	case proto.HTTP:
+		grabHTTP(conn, dst, &res)
+	case proto.HTTPS:
+		grabTLS(conn, dst, g.Key, &res)
+	case proto.SSH:
+		grabSSH(conn, &res)
+	}
+	return res
+}
+
+func classifyDialError(err error) FailMode {
+	switch {
+	case errors.Is(err, ErrRefused):
+		return FailRefused
+	case errors.Is(err, ErrTimeout):
+		return FailTimeout
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return FailTimeout
+		}
+		return FailRefused
+	}
+}
+
+// classifyIOError maps a mid-handshake error to a failure mode.
+func classifyIOError(err error, sawBytes bool) FailMode {
+	switch {
+	case err == nil:
+		return FailNone
+	case errors.Is(err, vconn.ErrReset):
+		return FailReset
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		if sawBytes {
+			return FailProto
+		}
+		return FailClosed
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return FailTimeout
+		}
+		return FailReset
+	}
+}
+
+// countingReader tracks whether any bytes were received, distinguishing a
+// peer that closed before speaking (FailClosed) from one that spoke a
+// different protocol (FailProto).
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// grabHTTP sends GET / and requires a parseable status line.
+func grabHTTP(conn net.Conn, dst ip.Addr, res *Result) {
+	if err := httpwire.WriteRequest(conn, "GET", "/", dst.String(), "Mozilla/5.0 zgrab/0.x"); err != nil {
+		res.Fail = classifyIOError(err, false)
+		return
+	}
+	br := bufio.NewReader(conn)
+	resp, err := httpwire.ReadResponse(br, 16<<10)
+	if err != nil {
+		if errors.Is(err, httpwire.ErrMalformed) || errors.Is(err, httpwire.ErrLineTooLong) {
+			res.Fail = FailProto
+			return
+		}
+		res.Fail = classifyIOError(err, br.Buffered() > 0)
+		return
+	}
+	res.Success = true
+	if sv, ok := resp.Get("Server"); ok {
+		res.Banner = sv
+	}
+}
+
+// grabTLS sends a Chrome-shaped ClientHello and requires a parseable
+// ServerHello (the paper's handshake capture).
+func grabTLS(conn net.Conn, dst ip.Addr, key rng.Key, res *Result) {
+	ch := tlslite.NewClientHello(key.DeriveN("ch", uint64(dst)), dst.String())
+	if err := ch.Write(conn); err != nil {
+		res.Fail = classifyIOError(err, false)
+		return
+	}
+	hr := tlslite.NewHandshakeReader(conn)
+	typ, body, err := hr.Next()
+	if err != nil {
+		if errors.Is(err, tlslite.ErrAlert) || errors.Is(err, tlslite.ErrMalformed) {
+			res.Fail = FailProto
+			return
+		}
+		res.Fail = classifyIOError(err, false)
+		return
+	}
+	if typ != tlslite.TypeServerHello {
+		res.Fail = FailProto
+		return
+	}
+	sh, err := tlslite.ParseServerHello(body)
+	if err != nil {
+		res.Fail = FailProto
+		return
+	}
+	res.Success = true
+	res.Banner = cipherName(sh.CipherSuite)
+	// Drain the rest of the server flight (Certificate, HelloDone) so
+	// the server sees an orderly close; errors here don't matter.
+	for i := 0; i < 4; i++ {
+		if typ, _, err := hr.Next(); err != nil || typ == tlslite.TypeServerHelloDone {
+			break
+		}
+	}
+}
+
+func cipherName(cs uint16) string {
+	switch cs {
+	case 0xc02b:
+		return "ECDHE-ECDSA-AES128-GCM-SHA256"
+	case 0xc02f:
+		return "ECDHE-RSA-AES128-GCM-SHA256"
+	case 0xcca8:
+		return "ECDHE-RSA-CHACHA20-POLY1305"
+	default:
+		return "suite-" + itoa16(cs)
+	}
+}
+
+func itoa16(v uint16) string {
+	const hex = "0123456789abcdef"
+	return string([]byte{hex[v>>12&0xf], hex[v>>8&0xf], hex[v>>4&0xf], hex[v&0xf]})
+}
+
+// grabSSH performs the version exchange: write our ID, read the server's.
+// Success is a parsed server identification, per the paper's methodology
+// ("a partial SSH handshake that terminates after the protocol version
+// exchange").
+func grabSSH(conn net.Conn, res *Result) {
+	if err := sshwire.WriteID(conn, sshwire.ID{ProtoVersion: "2.0", SoftwareVersion: "zgrab_ssh_0.x"}); err != nil {
+		res.Fail = classifyIOError(err, false)
+		return
+	}
+	cr := &countingReader{r: conn}
+	br := bufio.NewReader(cr)
+	id, err := sshwire.ReadID(br)
+	if err != nil {
+		if errors.Is(err, sshwire.ErrNotSSH) || errors.Is(err, sshwire.ErrIDTooLong) {
+			res.Fail = FailProto
+			return
+		}
+		res.Fail = classifyIOError(err, cr.n > 0)
+		return
+	}
+	res.Success = true
+	res.Banner = id.SoftwareVersion
+}

@@ -1,0 +1,232 @@
+// Package zmap implements a ZMap-compatible scanner core: address iteration
+// via a random cyclic multiplicative group permutation (so every scan emits
+// targets in a pseudorandom order with O(1) state, exactly as ZMap does),
+// sharding, SipHash validation cookies embedded in TCP sequence numbers,
+// CIDR block/allowlists, and multi-probe transmission on a virtual clock.
+//
+// The scanner sends and receives real IPv4+TCP packet bytes through a
+// PacketSink; the simulation fabric is one sink, and the seam is where a
+// raw-socket/pcap sink would attach in a deployment against real networks.
+package zmap
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Permutation iterates the multiplicative group of integers modulo a prime
+// p just above the scan space, visiting every value in [1, p) exactly once
+// in a seed-determined pseudorandom order. Values are mapped to addresses
+// as value-1; values exceeding the space are skipped (ZMap's approach for
+// the 2^32 space, generalized to any space size).
+type Permutation struct {
+	p        uint64 // group modulus (prime)
+	g        uint64 // generator of the full group
+	first    uint64 // starting element for this shard
+	step     uint64 // g^shards: stride between this shard's elements
+	space    uint64 // number of valid addresses [0, space)
+	shardLen uint64 // group elements this shard owns
+}
+
+// NewPermutation builds the permutation for a space of 2^spaceBits
+// addresses, seeded by key, for the given shard of shards total. All
+// scanners in a synchronized study share the key, so they visit the same
+// addresses at the same position in the order — the paper starts each scan
+// with the same ZMap seed for exactly this reason.
+func NewPermutation(key rng.Key, spaceBits uint8, shard, shards int) (*Permutation, error) {
+	if spaceBits == 0 || spaceBits > 32 {
+		return nil, fmt.Errorf("zmap: space bits %d out of range", spaceBits)
+	}
+	if shards <= 0 || shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("zmap: bad shard %d/%d", shard, shards)
+	}
+	space := uint64(1) << spaceBits
+	p := nextPrime(space + 1)
+	g, err := findGenerator(key, p)
+	if err != nil {
+		return nil, err
+	}
+	// Shard s visits g^(r+s), g^(r+s+shards), ... for a key-derived
+	// offset r: disjoint cosets covering the whole group.
+	r := key.Derive("offset").Uint64(0)%(p-1) + 1
+	first := mulmodPow(g, r, p)
+	first = mulmod(first, mulmodPow(g, uint64(shard), p), p)
+	step := mulmodPow(g, uint64(shards), p)
+	total := p - 1
+	max := total / uint64(shards)
+	if uint64(shard) < total%uint64(shards) {
+		max++
+	}
+	return &Permutation{p: p, g: g, first: first, step: step, space: space, shardLen: max}, nil
+}
+
+// Space returns the number of addresses in the scan space.
+func (pm *Permutation) Space() uint64 { return pm.space }
+
+// Modulus returns the group modulus (for tests).
+func (pm *Permutation) Modulus() uint64 { return pm.p }
+
+// Iterator walks this shard's slice of the permutation.
+type Iterator struct {
+	pm      *Permutation
+	current uint64
+	emitted uint64
+	max     uint64 // group elements this shard owns
+}
+
+// Iterate returns an iterator over this permutation's shard.
+func (pm *Permutation) Iterate() *Iterator {
+	return &Iterator{pm: pm, current: pm.first, max: pm.shardLen}
+}
+
+// Next returns the next address in the shard, or ok=false when exhausted.
+// Group elements mapping outside the space are transparently skipped.
+func (it *Iterator) Next() (addr uint32, ok bool) {
+	for it.emitted < it.max {
+		v := it.current
+		it.current = mulmod(it.current, it.pm.step, it.pm.p)
+		it.emitted++
+		a := v - 1
+		if a < it.pm.space {
+			return uint32(a), true
+		}
+	}
+	return 0, false
+}
+
+// mulmod computes a*b mod m without overflow (m < 2^33 here, but use
+// 128-bit-safe math so any modulus works).
+func mulmod(a, b, m uint64) uint64 {
+	hi, lo := mul64(a, b)
+	if hi == 0 {
+		return lo % m
+	}
+	return mod128(hi, lo, m)
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	hi = t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi += t >> 32
+	hi += aHi * bHi
+	return hi, lo
+}
+
+// mod128 reduces a 128-bit value modulo m by long division.
+func mod128(hi, lo, m uint64) uint64 {
+	rem := uint64(0)
+	for i := 127; i >= 0; i-- {
+		rem <<= 1
+		var bit uint64
+		if i >= 64 {
+			bit = (hi >> uint(i-64)) & 1
+		} else {
+			bit = (lo >> uint(i)) & 1
+		}
+		rem |= bit
+		if rem >= m {
+			rem -= m
+		}
+	}
+	return rem
+}
+
+// mulmodPow computes g^e mod m by square-and-multiply.
+func mulmodPow(g, e, m uint64) uint64 {
+	result := uint64(1)
+	base := g % m
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulmod(result, base, m)
+		}
+		base = mulmod(base, base, m)
+		e >>= 1
+	}
+	return result
+}
+
+// nextPrime returns the smallest prime >= n.
+func nextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for ; ; n += 2 {
+		if isPrime(n) {
+			return n
+		}
+	}
+}
+
+// isPrime is deterministic trial division; moduli here are < 2^33, so this
+// is at most ~2^17 iterations and runs once per scan.
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	for d := uint64(17); d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// factorize returns the distinct prime factors of n.
+func factorize(n uint64) []uint64 {
+	var fs []uint64
+	for d := uint64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			fs = append(fs, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// findGenerator picks a seed-determined generator of the multiplicative
+// group mod p: a candidate g is a generator iff g^((p-1)/q) != 1 for every
+// prime factor q of p-1 (ZMap selects its generator the same way).
+func findGenerator(key rng.Key, p uint64) (uint64, error) {
+	factors := factorize(p - 1)
+	stream := key.Derive("generator").Stream(p)
+	for tries := 0; tries < 10000; tries++ {
+		g := stream.Uint64n(p-3) + 2 // in [2, p-1)
+		ok := true
+		for _, q := range factors {
+			if mulmodPow(g, (p-1)/q, p) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("zmap: no generator found for p=%d", p)
+}

@@ -1,0 +1,96 @@
+package zmap
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the bucket deterministically.
+type fakeClock struct {
+	t     time.Time
+	slept time.Duration
+}
+
+func (c *fakeClock) now() time.Time        { return c.t }
+func (c *fakeClock) sleep(d time.Duration) { c.slept += d; c.t = c.t.Add(d) }
+
+func fakeBucket(rate float64, burst int) (*TokenBucket, *fakeClock) {
+	tb := NewTokenBucket(rate, burst)
+	c := &fakeClock{t: time.Unix(0, 0)}
+	tb.now = c.now
+	tb.sleep = c.sleep
+	tb.last = c.t
+	return tb, c
+}
+
+func TestTokenBucketBurstThenBlocks(t *testing.T) {
+	tb, c := fakeBucket(10, 5)
+	for i := 0; i < 5; i++ {
+		if w := tb.Take(); w != 0 {
+			t.Fatalf("take %d waited %v within burst", i, w)
+		}
+	}
+	// Sixth take must wait 1/rate = 100ms.
+	if w := tb.Take(); w != 100*time.Millisecond {
+		t.Fatalf("post-burst wait = %v, want 100ms", w)
+	}
+	if c.slept != 100*time.Millisecond {
+		t.Errorf("slept %v", c.slept)
+	}
+}
+
+func TestTokenBucketSustainedRate(t *testing.T) {
+	tb, c := fakeBucket(100, 1)
+	start := c.t
+	const n = 200
+	for i := 0; i < n; i++ {
+		tb.Take()
+	}
+	elapsed := c.t.Sub(start)
+	// 200 packets at 100 pps (1 from the initial token) ≈ 1.99s.
+	want := time.Duration(float64(n-1) / 100 * float64(time.Second))
+	if elapsed < want-50*time.Millisecond || elapsed > want+50*time.Millisecond {
+		t.Errorf("elapsed %v for %d takes at 100pps, want ≈%v", elapsed, n, want)
+	}
+}
+
+func TestTokenBucketRefillCapsAtBurst(t *testing.T) {
+	tb, c := fakeBucket(1000, 10)
+	for i := 0; i < 10; i++ {
+		tb.Take()
+	}
+	// A long idle period refills to burst, not beyond.
+	c.t = c.t.Add(time.Hour)
+	zeroWaits := 0
+	for i := 0; i < 20; i++ {
+		if tb.Take() == 0 {
+			zeroWaits++
+		}
+	}
+	if zeroWaits != 10 {
+		t.Errorf("free takes after idle = %d, want burst (10)", zeroWaits)
+	}
+}
+
+func TestTryTake(t *testing.T) {
+	tb, c := fakeBucket(10, 2)
+	if !tb.TryTake() || !tb.TryTake() {
+		t.Fatal("burst TryTake failed")
+	}
+	if tb.TryTake() {
+		t.Fatal("TryTake succeeded with empty bucket")
+	}
+	c.t = c.t.Add(time.Second)
+	if !tb.TryTake() {
+		t.Fatal("TryTake failed after refill")
+	}
+}
+
+func TestNewTokenBucketPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for rate 0")
+		}
+	}()
+	NewTokenBucket(0, 1)
+}

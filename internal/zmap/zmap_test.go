@@ -1,0 +1,451 @@
+package zmap
+
+import (
+	"math/bits"
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/packet"
+	"repro/internal/rng"
+)
+
+func TestPermutationCoversSpaceExactlyOnce(t *testing.T) {
+	key := rng.NewKey(42)
+	pm, err := NewPermutation(key, 12, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 1<<12)
+	it := pm.Iterate()
+	count := 0
+	for {
+		a, ok := it.Next()
+		if !ok {
+			break
+		}
+		if seen[a] {
+			t.Fatalf("address %d visited twice", a)
+		}
+		seen[a] = true
+		count++
+	}
+	if count != 1<<12 {
+		t.Fatalf("visited %d of %d addresses", count, 1<<12)
+	}
+}
+
+func TestPermutationShardsPartitionSpace(t *testing.T) {
+	key := rng.NewKey(7)
+	const shards = 5
+	seen := make(map[uint32]int)
+	for s := 0; s < shards; s++ {
+		pm, err := NewPermutation(key, 10, s, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := pm.Iterate()
+		for {
+			a, ok := it.Next()
+			if !ok {
+				break
+			}
+			seen[a]++
+		}
+	}
+	if len(seen) != 1<<10 {
+		t.Fatalf("shards covered %d of %d addresses", len(seen), 1<<10)
+	}
+	for a, n := range seen {
+		if n != 1 {
+			t.Fatalf("address %d visited %d times across shards", a, n)
+		}
+	}
+}
+
+func TestPermutationDeterministicAndSeedSensitive(t *testing.T) {
+	collect := func(seed uint64) []uint32 {
+		pm, err := NewPermutation(rng.NewKey(seed), 8, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint32
+		it := pm.Iterate()
+		for {
+			a, ok := it.Next()
+			if !ok {
+				break
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+	a, b, c := collect(1), collect(1), collect(2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different orders")
+		}
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced the same order")
+	}
+}
+
+func TestPermutationOrderIsScattered(t *testing.T) {
+	// The order must not be sequential: adjacent emissions should rarely
+	// be adjacent addresses (that is the whole point of the group walk).
+	pm, err := NewPermutation(rng.NewKey(3), 14, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := pm.Iterate()
+	prev, _ := it.Next()
+	adjacent := 0
+	total := 0
+	for {
+		a, ok := it.Next()
+		if !ok {
+			break
+		}
+		total++
+		d := int64(a) - int64(prev)
+		if d == 1 || d == -1 {
+			adjacent++
+		}
+		prev = a
+	}
+	if adjacent > total/100 {
+		t.Errorf("%d/%d adjacent emissions: order not scattered", adjacent, total)
+	}
+}
+
+func TestPermutationModulusIsPrime(t *testing.T) {
+	pm, err := NewPermutation(rng.NewKey(1), 16, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isPrime(pm.Modulus()) {
+		t.Fatalf("modulus %d not prime", pm.Modulus())
+	}
+	if pm.Modulus() <= pm.Space() {
+		t.Fatalf("modulus %d must exceed space %d", pm.Modulus(), pm.Space())
+	}
+}
+
+func TestPermutationBadArgs(t *testing.T) {
+	if _, err := NewPermutation(rng.NewKey(1), 0, 0, 1); err == nil {
+		t.Error("space 0 accepted")
+	}
+	if _, err := NewPermutation(rng.NewKey(1), 33, 0, 1); err == nil {
+		t.Error("space 33 accepted")
+	}
+	if _, err := NewPermutation(rng.NewKey(1), 8, 1, 1); err == nil {
+		t.Error("shard >= shards accepted")
+	}
+	if _, err := NewPermutation(rng.NewKey(1), 8, -1, 2); err == nil {
+		t.Error("negative shard accepted")
+	}
+}
+
+func TestMathHelpers(t *testing.T) {
+	if mulmod(1<<40, 1<<40, 1000003) != mulmodNaive(1<<40, 1<<40, 1000003) {
+		t.Error("mulmod wrong on large operands")
+	}
+	if mulmodPow(3, 0, 17) != 1 || mulmodPow(3, 4, 17) != 81%17 {
+		t.Error("mulmodPow wrong")
+	}
+	if nextPrime(90) != 97 || nextPrime(97) != 97 || nextPrime(2) != 2 {
+		t.Error("nextPrime wrong")
+	}
+	fs := factorize(360)
+	want := []uint64{2, 3, 5}
+	if len(fs) != 3 || fs[0] != want[0] || fs[1] != want[1] || fs[2] != want[2] {
+		t.Errorf("factorize(360) = %v", fs)
+	}
+}
+
+// mulmodNaive is an independent reference using math/bits 128-bit ops.
+func mulmodNaive(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// fakeSink answers SYNs for a configured set of live hosts, optionally
+// dropping specific probes and sending RSTs or garbage.
+type fakeSink struct {
+	live      map[ip.Addr]bool
+	closed    map[ip.Addr]bool  // live at L3 but port closed: RST
+	dropProbe map[ip.Addr]uint8 // bitmask of probe indices to drop
+	garbage   map[ip.Addr]bool  // respond with an invalid packet
+	wrongAck  map[ip.Addr]bool  // respond with a bad cookie
+	sent      int
+}
+
+func (f *fakeSink) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
+	f.sent++
+	iph, tcph, _, err := packet.DecodeTCP4(pkt)
+	if err != nil {
+		return nil
+	}
+	dst := iph.Dst
+	probe := uint8(iph.ID)
+	if f.dropProbe[dst]&(1<<probe) != 0 {
+		return nil
+	}
+	switch {
+	case f.garbage[dst]:
+		return []byte{1, 2, 3}
+	case f.wrongAck[dst]:
+		return packet.MakeSYNACK(dst, src, tcph.DstPort, tcph.SrcPort, 1, tcph.Seq+999)
+	case f.closed[dst]:
+		return packet.MakeRST(dst, src, tcph.DstPort, tcph.SrcPort, 0, tcph.Seq+1)
+	case f.live[dst]:
+		return packet.MakeSYNACK(dst, src, tcph.DstPort, tcph.SrcPort, 1000, tcph.Seq+1)
+	}
+	return nil
+}
+
+func testConfig() Config {
+	return Config{
+		SourceIPs:    []ip.Addr{ip.MustParseAddr("10.99.0.1")},
+		TargetPort:   80,
+		Probes:       2,
+		SpaceBits:    10,
+		Seed:         1,
+		ScanDuration: time.Hour,
+	}
+}
+
+func TestScannerFindsLiveHosts(t *testing.T) {
+	sink := &fakeSink{
+		live: map[ip.Addr]bool{5: true, 100: true, 1023: true},
+	}
+	s, err := NewScanner(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[ip.Addr]uint8{}
+	st := s.Run(sink, func(r Reply) { got[r.Dst] = r.ProbeMask })
+	if len(got) != 3 {
+		t.Fatalf("found %d hosts, want 3: %v", len(got), got)
+	}
+	for addr, mask := range got {
+		if mask != 0b11 {
+			t.Errorf("host %v probe mask %#b, want both probes answered", addr, mask)
+		}
+	}
+	if st.Targets != 1<<10 {
+		t.Errorf("targets = %d", st.Targets)
+	}
+	if st.ProbesSent != 2<<10 {
+		t.Errorf("probes sent = %d", st.ProbesSent)
+	}
+	if st.SynAcks != 6 {
+		t.Errorf("synacks = %d", st.SynAcks)
+	}
+}
+
+func TestScannerDistinguishesProbeLoss(t *testing.T) {
+	sink := &fakeSink{
+		live:      map[ip.Addr]bool{7: true, 8: true, 9: true},
+		dropProbe: map[ip.Addr]uint8{7: 0b01, 8: 0b10, 9: 0b11},
+	}
+	s, _ := NewScanner(testConfig())
+	got := map[ip.Addr]uint8{}
+	s.Run(sink, func(r Reply) { got[r.Dst] = r.ProbeMask })
+	if got[7] != 0b10 {
+		t.Errorf("host 7 mask %#b, want 0b10", got[7])
+	}
+	if got[8] != 0b01 {
+		t.Errorf("host 8 mask %#b, want 0b01", got[8])
+	}
+	if _, ok := got[9]; ok {
+		t.Error("host 9 reported despite both probes dropped")
+	}
+}
+
+func TestScannerReportsRSTs(t *testing.T) {
+	sink := &fakeSink{closed: map[ip.Addr]bool{50: true}}
+	s, _ := NewScanner(testConfig())
+	var replies []Reply
+	st := s.Run(sink, func(r Reply) { replies = append(replies, r) })
+	if len(replies) != 1 || !replies[0].RST || replies[0].ProbeMask != 0 {
+		t.Fatalf("replies = %+v", replies)
+	}
+	if st.Rsts != 2 {
+		t.Errorf("rsts = %d, want 2 (both probes answered)", st.Rsts)
+	}
+}
+
+func TestScannerRejectsInvalidResponses(t *testing.T) {
+	sink := &fakeSink{
+		garbage:  map[ip.Addr]bool{3: true},
+		wrongAck: map[ip.Addr]bool{4: true},
+	}
+	s, _ := NewScanner(testConfig())
+	count := 0
+	st := s.Run(sink, func(Reply) { count++ })
+	if count != 0 {
+		t.Fatalf("%d hosts accepted from invalid responses", count)
+	}
+	if st.Invalid < 2 {
+		t.Errorf("invalid = %d, want >= 2", st.Invalid)
+	}
+}
+
+func TestScannerBlocklist(t *testing.T) {
+	bl := ip.NewSet()
+	bl.Add(ip.MakePrefix(0, 24)) // block first /24 of the space
+	cfg := testConfig()
+	cfg.Blocklist = bl
+	sink := &fakeSink{live: map[ip.Addr]bool{5: true, 300: true}}
+	s, _ := NewScanner(cfg)
+	got := map[ip.Addr]bool{}
+	st := s.Run(sink, func(r Reply) { got[r.Dst] = true })
+	if got[5] {
+		t.Error("blocklisted host was probed")
+	}
+	if !got[300] {
+		t.Error("unblocked host missed")
+	}
+	if st.Blocked != 256 {
+		t.Errorf("blocked = %d, want 256", st.Blocked)
+	}
+}
+
+func TestScannerAllowlist(t *testing.T) {
+	al := ip.NewSet()
+	al.Add(ip.MakePrefix(256, 24)) // allow only second /24
+	cfg := testConfig()
+	cfg.Allowlist = al
+	sink := &fakeSink{live: map[ip.Addr]bool{5: true, 300: true}}
+	s, _ := NewScanner(cfg)
+	got := map[ip.Addr]bool{}
+	st := s.Run(sink, func(r Reply) { got[r.Dst] = true })
+	if got[5] || !got[300] {
+		t.Errorf("allowlist: got %v", got)
+	}
+	if st.Targets != 256 {
+		t.Errorf("targets = %d, want 256", st.Targets)
+	}
+}
+
+func TestScannerMultiSourceRotation(t *testing.T) {
+	cfg := testConfig()
+	cfg.SourceIPs = nil
+	for i := 0; i < 64; i++ {
+		cfg.SourceIPs = append(cfg.SourceIPs, ip.Addr(0x63000000+uint32(i)))
+	}
+	srcSeen := map[ip.Addr]int{}
+	sink := sinkFunc(func(src ip.Addr, pkt []byte, t time.Duration) []byte {
+		srcSeen[src]++
+		return nil
+	})
+	s, _ := NewScanner(cfg)
+	s.Run(sink, func(Reply) {})
+	if len(srcSeen) != 64 {
+		t.Fatalf("used %d source IPs, want 64", len(srcSeen))
+	}
+	// Round-robin by address: each IP covers 1/64 of targets, exactly.
+	for src, n := range srcSeen {
+		if n != 2*(1<<10)/64 {
+			t.Errorf("source %v sent %d probes, want %d", src, n, 2*(1<<10)/64)
+		}
+	}
+}
+
+type sinkFunc func(src ip.Addr, pkt []byte, t time.Duration) []byte
+
+func (f sinkFunc) Send(src ip.Addr, pkt []byte, t time.Duration) []byte { return f(src, pkt, t) }
+
+func TestScannerTimeAdvancesMonotonically(t *testing.T) {
+	cfg := testConfig()
+	var last time.Duration = -1
+	mono := true
+	sink := sinkFunc(func(src ip.Addr, pkt []byte, tm time.Duration) []byte {
+		if tm < last {
+			mono = false
+		}
+		last = tm
+		return nil
+	})
+	s, _ := NewScanner(cfg)
+	s.Run(sink, func(Reply) {})
+	if !mono {
+		t.Error("virtual time went backwards")
+	}
+	if last > cfg.ScanDuration || last < cfg.ScanDuration/2 {
+		t.Errorf("final time %v, want close to %v", last, cfg.ScanDuration)
+	}
+}
+
+func TestScannerSynchronizedOriginsShareSchedule(t *testing.T) {
+	// Two scanners with the same seed must probe the same targets at the
+	// same virtual times — the study's synchronization requirement.
+	type probeRec struct {
+		dst ip.Addr
+		t   time.Duration
+	}
+	collect := func(srcIP string) []probeRec {
+		cfg := testConfig()
+		cfg.SourceIPs = []ip.Addr{ip.MustParseAddr(srcIP)}
+		var recs []probeRec
+		sink := sinkFunc(func(src ip.Addr, pkt []byte, tm time.Duration) []byte {
+			iph, _, _, _ := packet.DecodeTCP4(pkt)
+			recs = append(recs, probeRec{iph.Dst, tm})
+			return nil
+		})
+		s, _ := NewScanner(cfg)
+		s.Run(sink, func(Reply) {})
+		return recs
+	}
+	a, b := collect("10.99.0.1"), collect("10.88.0.1")
+	if len(a) != len(b) {
+		t.Fatal("different probe counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScannerConfigValidation(t *testing.T) {
+	bad := testConfig()
+	bad.SourceIPs = nil
+	if _, err := NewScanner(bad); err == nil {
+		t.Error("no source IPs accepted")
+	}
+	bad = testConfig()
+	bad.Probes = 0
+	if _, err := NewScanner(bad); err == nil {
+		t.Error("zero probes accepted")
+	}
+	bad = testConfig()
+	bad.ScanDuration = 0
+	if _, err := NewScanner(bad); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func BenchmarkPermutationIterate(b *testing.B) {
+	pm, err := NewPermutation(rng.NewKey(1), 20, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	it := pm.Iterate()
+	for i := 0; i < b.N; i++ {
+		if _, ok := it.Next(); !ok {
+			it = pm.Iterate()
+		}
+	}
+}

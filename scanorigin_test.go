@@ -1,0 +1,64 @@
+package scanorigin
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the documented public-API path end to end:
+// prepare, run, inspect, report.
+func TestFacadeQuickstart(t *testing.T) {
+	study, err := NewStudy(StudyConfig{
+		WorldSpec: WorldSpec{Seed: 4, Scale: 0.00003},
+		Trials:    1,
+		Protocols: []Protocol{HTTP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := study.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tab := study.Fig1Coverage(HTTP)
+	for _, o := range StudyOrigins() {
+		cov := tab.Mean(o, false)
+		if cov <= 0.5 || cov >= 1.0001 {
+			t.Errorf("%v coverage %v implausible", o, cov)
+		}
+	}
+	var b strings.Builder
+	Report(&b, study)
+	if !strings.Contains(b.String(), "Figure 1") {
+		t.Error("Report produced no figures")
+	}
+}
+
+func TestFacadeWorldSpecs(t *testing.T) {
+	d := DefaultWorld(1)
+	if d.Scale != 0.001 || d.Seed != 1 {
+		t.Errorf("DefaultWorld = %+v", d)
+	}
+	tw := TestWorld(2)
+	if tw.Scale >= d.Scale {
+		t.Error("TestWorld should be smaller than DefaultWorld")
+	}
+	if len(StudyOrigins()) != 7 {
+		t.Errorf("study origins = %d", len(StudyOrigins()))
+	}
+	if len(FollowUpOrigins()) != 8 {
+		t.Errorf("follow-up origins = %d", len(FollowUpOrigins()))
+	}
+}
+
+func TestFacadeFollowUp(t *testing.T) {
+	_, ds, err := FollowUp(WorldSpec{Seed: 5, Scale: 0.00003})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Trials != 2 {
+		t.Errorf("follow-up trials = %d", ds.Trials)
+	}
+	if ds.Scan(Censys, HTTP, 0) == nil {
+		t.Error("follow-up missing Censys scan")
+	}
+}
