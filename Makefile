@@ -1,0 +1,28 @@
+# CI entry points. `make ci` is what every PR must pass: vet, build, the
+# full test suite, and the race detector over the concurrent engine paths
+# (internal packages run reduced-scale worlds, so the race pass stays fast).
+
+GO ?= go
+
+.PHONY: all ci vet build test race bench
+
+all: ci
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# Perf trajectory of the parallel scan engine; results are recorded in
+# BENCH_parallel.json.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkStudy' -benchtime 3x .

@@ -485,3 +485,44 @@ func BenchmarkSec8ProbeSweep(b *testing.B) {
 	}
 	b.ReportMetric(100*last, "probes3-cov-%")
 }
+
+// benchStudyRun times Study.Run (world and scenario construction excluded)
+// for one parallelism / shard configuration: the perf trajectory of the
+// deterministic parallel scan engine. All configurations produce
+// bit-identical datasets (TestParallelMatchesSerial), so these measure pure
+// execution-strategy cost.
+func benchStudyRun(b *testing.B, par, shards int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := experiment.NewStudy(experiment.Config{
+			WorldSpec:   world.TestSpec(2020),
+			Trials:      2,
+			Protocols:   []proto.Protocol{proto.HTTP, proto.SSH},
+			Origins:     origin.Set{origin.AU, origin.US1, origin.US64, origin.CEN},
+			Parallelism: par,
+			ScanShards:  shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := st.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStudySerial is the serial reference path: one scan at a time,
+// live stateful IDSes, unsharded sweeps.
+func BenchmarkStudySerial(b *testing.B) { benchStudyRun(b, 1, 1) }
+
+// BenchmarkStudyParallel{2,4,8} run the same study on 2/4/8 scan workers
+// with precomputed IDS schedules.
+func BenchmarkStudyParallel2(b *testing.B) { benchStudyRun(b, 2, 1) }
+func BenchmarkStudyParallel4(b *testing.B) { benchStudyRun(b, 4, 1) }
+func BenchmarkStudyParallel8(b *testing.B) { benchStudyRun(b, 8, 1) }
+
+// BenchmarkStudyParallel8Sharded4 adds intra-scan sweep sharding on top of
+// the 8-worker pool.
+func BenchmarkStudyParallel8Sharded4(b *testing.B) { benchStudyRun(b, 8, 4) }

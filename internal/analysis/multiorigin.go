@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/origin"
 	"repro/internal/proto"
@@ -35,40 +37,86 @@ type MultiOriginLevel struct {
 // MultiOrigin computes coverage for every subset of origins of every size,
 // averaged across trials, for one protocol (Figures 15, 17, 18).
 // singleProbe selects the 1-probe simulation.
+//
+// The 2^n−1 combinations are evaluated on a worker pool (coverage of one
+// combo is independent of every other), but the reduction into min/max/
+// median/mean runs serially in lexicographic combination order, so the
+// output — including first-wins ties and float summation order — is
+// identical to a fully serial evaluation.
 func MultiOrigin(ds *results.Dataset, p proto.Protocol, origins origin.Set, singleProbe bool) []MultiOriginLevel {
 	n := len(origins)
+	// Ground truth is lazily computed and cached inside the dataset; warm
+	// it serially so workers only read.
+	for t := 0; t < ds.Trials; t++ {
+		ds.GroundTruth(p, t)
+	}
 	var levels []MultiOriginLevel
 	for k := 1; k <= n; k++ {
-		lvl := MultiOriginLevel{K: k, Min: 2, Max: -1}
-		var vals []float64
+		// Materialize this level's combinations in lexicographic order.
+		var combos []origin.Set
 		forEachCombo(n, k, func(idx []int) {
 			combo := make(origin.Set, k)
 			for i, j := range idx {
 				combo[i] = origins[j]
 			}
-			var sum float64
-			trials := 0
-			for t := 0; t < ds.Trials; t++ {
-				if ds.Scan(combo[0], p, t) == nil {
-					continue
-				}
-				sum += ds.CoverageOfSet(combo, p, t, singleProbe)
-				trials++
-			}
-			if trials == 0 {
-				return
-			}
-			cov := sum / float64(trials)
-			cc := ComboCoverage{Origins: combo, Coverage: cov}
-			lvl.All = append(lvl.All, cc)
-			vals = append(vals, cov)
-			if cov < lvl.Min {
-				lvl.Min, lvl.Worst = cov, cc
-			}
-			if cov > lvl.Max {
-				lvl.Max, lvl.Best = cov, cc
-			}
+			combos = append(combos, combo)
 		})
+
+		// Fan the coverage evaluations out; covs is indexed by combo.
+		covs := make([]float64, len(combos))
+		ok := make([]bool, len(combos))
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(combos) {
+			workers = len(combos)
+		}
+		var wg sync.WaitGroup
+		ci := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range ci {
+					combo := combos[i]
+					var sum float64
+					trials := 0
+					for t := 0; t < ds.Trials; t++ {
+						if ds.Scan(combo[0], p, t) == nil {
+							continue
+						}
+						sum += ds.CoverageOfSet(combo, p, t, singleProbe)
+						trials++
+					}
+					if trials == 0 {
+						continue
+					}
+					covs[i] = sum / float64(trials)
+					ok[i] = true
+				}
+			}()
+		}
+		for i := range combos {
+			ci <- i
+		}
+		close(ci)
+		wg.Wait()
+
+		// Serial reduction in combination order.
+		lvl := MultiOriginLevel{K: k, Min: 2, Max: -1}
+		var vals []float64
+		for i, combo := range combos {
+			if !ok[i] {
+				continue
+			}
+			cc := ComboCoverage{Origins: combo, Coverage: covs[i]}
+			lvl.All = append(lvl.All, cc)
+			vals = append(vals, covs[i])
+			if covs[i] < lvl.Min {
+				lvl.Min, lvl.Worst = covs[i], cc
+			}
+			if covs[i] > lvl.Max {
+				lvl.Max, lvl.Best = covs[i], cc
+			}
+		}
 		lvl.Median = stats.Median(vals)
 		lvl.Mean = stats.Mean(vals)
 		lvl.Sigma = stats.StdDev(vals)

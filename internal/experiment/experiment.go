@@ -6,12 +6,15 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/ip"
 	"repro/internal/origin"
+	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/results"
 	"repro/internal/rng"
@@ -53,8 +56,18 @@ type Config struct {
 	// Censys scans with a fresh, unblocked identity.
 	FreshCensysIP bool
 	// SinkWrapper, when set, wraps the packet sink of every scan — the
-	// seam for packet capture (pcap tee) or custom instrumentation.
+	// seam for packet capture (pcap tee) or custom instrumentation. A
+	// wrapper must be safe for concurrent Sends when ScanShards > 1.
 	SinkWrapper func(zmap.PacketSink) zmap.PacketSink
+	// Parallelism is how many (origin, protocol, trial) scans run
+	// concurrently (0 = GOMAXPROCS). The parallel engine precomputes IDS
+	// detection schedules so results are bit-identical to a serial run;
+	// set 1 to force the serial reference path.
+	Parallelism int
+	// ScanShards splits each scan's permutation sweep across N goroutine
+	// shards (0 or 1 = unsharded). Deterministic: shard results merge
+	// back into the serial emission order.
+	ScanShards int
 	// ScenarioConfig tweaks behaviour models (ablations).
 	ScenarioConfig scenario.Config
 }
@@ -102,7 +115,10 @@ func NewStudy(cfg Config) (*Study, error) {
 	return &Study{Config: cfg, World: w, Scenario: sc}, nil
 }
 
-// Run executes all trials and returns the dataset.
+// Run executes all trials and returns the dataset. With Parallelism > 1
+// (or by default, GOMAXPROCS > 1) the scans run concurrently on a bounded
+// worker pool; IDS detection schedules are precomputed so the dataset is
+// bit-identical to a serial run.
 func (st *Study) Run() (*results.Dataset, error) {
 	cfg := st.Config
 	origins := cfg.Origins
@@ -111,20 +127,96 @@ func (st *Study) Run() (*results.Dataset, error) {
 		dsOrigins = append(append(origin.Set{}, origins...), origin.CARINET)
 	}
 	ds := results.NewDataset(dsOrigins, cfg.Trials)
+
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	shards := cfg.ScanShards
+	if shards <= 0 {
+		shards = 1
+	}
+	if par == 1 && shards == 1 {
+		// Serial reference path: the live stateful IDSes observe probes
+		// in study order, exactly as the paper's scans unfolded. The
+		// parallel engine below must match this bit-for-bit.
+		for trial := 0; trial < cfg.Trials; trial++ {
+			for _, p := range cfg.Protocols {
+				for _, o := range dsOrigins {
+					if o == origin.CARINET && trial != 0 {
+						continue
+					}
+					res, err := st.ScanOne(o, p, trial)
+					if err != nil {
+						return nil, err
+					}
+					ds.Put(res)
+				}
+			}
+		}
+		return ds, nil
+	}
+
+	// Canonical task order: trial-major, then protocol, then origin — the
+	// order the serial loop commits in.
+	var tasks []scanKey
 	for trial := 0; trial < cfg.Trials; trial++ {
 		for _, p := range cfg.Protocols {
 			for _, o := range dsOrigins {
 				if o == origin.CARINET && trial != 0 {
 					continue
 				}
-				res, err := st.ScanOne(o, p, trial)
-				if err != nil {
-					return nil, err
-				}
-				ds.Put(res)
+				tasks = append(tasks, scanKey{o: o, p: p, trial: trial})
 			}
 		}
 	}
+
+	plan, err := st.planIDS(dsOrigins)
+	if err != nil {
+		return nil, err
+	}
+
+	outs := make([]*results.ScanResult, len(tasks))
+	errs := make([]error, len(tasks))
+	var failed atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				t := tasks[i]
+				res, err := st.scanOne(t.o, t.p, t.trial, plan.detectors(t), shards)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				outs[i] = res
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, res := range outs {
+		ds.Put(res)
+	}
+	// Leave the live IDSes in the exact state a serial run would have:
+	// sub-experiments (SSH retry, multi-probe sweeps) read it.
+	plan.commit(st.Scenario.IDSes)
 	return ds, nil
 }
 
@@ -143,14 +235,21 @@ func (st *Study) originRecord(o origin.ID) *origin.Origin {
 }
 
 // ScanOne runs a single origin's ZMap+ZGrab scan of one protocol in one
-// trial: the building block of the study.
+// trial: the building block of the study. The live IDSes observe the scan's
+// probes directly (the serial reference behaviour).
 func (st *Study) ScanOne(o origin.ID, p proto.Protocol, trial int) (*results.ScanResult, error) {
+	return st.scanOne(o, p, trial, policy.Detectors(st.Scenario.IDSes), 1)
+}
+
+// scanOne runs one scan with the given IDS views (live or scheduled) and
+// number of sweep shards.
+func (st *Study) scanOne(o origin.ID, p proto.Protocol, trial int, detectors []policy.Detector, shards int) (*results.ScanResult, error) {
 	cfg := st.Config
 	org := st.originRecord(o)
 	fab := fabric.New(&fabric.Config{
 		World:      st.World,
 		Engine:     st.Scenario.Engine,
-		IDSes:      st.Scenario.IDSes,
+		IDSes:      detectors,
 		Loss:       st.Scenario.Loss,
 		Outages:    st.Scenario.Outages[p],
 		Churn:      st.Scenario.Churn,
@@ -162,31 +261,37 @@ func (st *Study) ScanOne(o origin.ID, p proto.Protocol, trial int) (*results.Sca
 	// starts every origin's ZMap with the same seed so scanners probe
 	// the same addresses at approximately the same time.
 	scanSeed := rng.NewKey(st.World.Spec.Seed).Derive("scan-seed").Uint64(uint64(p), uint64(trial))
+	numHosts := len(st.World.Hosts())
 	sc, err := zmap.NewScanner(zmap.Config{
-		SourceIPs:    org.SourceIPs,
-		TargetPort:   p.Port(),
-		Probes:       cfg.Probes,
-		ProbeDelay:   cfg.ProbeDelay,
-		SpaceBits:    st.World.SpaceBits,
-		Seed:         scanSeed,
-		Shard:        cfg.Shard,
-		Shards:       cfg.Shards,
-		ScanDuration: scenario.ScanDuration,
-		Blocklist:    cfg.Blocklist,
+		SourceIPs:       org.SourceIPs,
+		TargetPort:      p.Port(),
+		Probes:          cfg.Probes,
+		ProbeDelay:      cfg.ProbeDelay,
+		SpaceBits:       st.World.SpaceBits,
+		Seed:            scanSeed,
+		Shard:           cfg.Shard,
+		Shards:          cfg.Shards,
+		ScanDuration:    scenario.ScanDuration,
+		Blocklist:       cfg.Blocklist,
+		ExpectedReplies: numHosts,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %v/%v/trial %d: %w", o, p, trial, err)
 	}
 
-	res := results.NewScanResult(o, p, trial)
-
-	// L4 sweep: collect replies, then grab concurrently.
+	// L4 sweep: collect replies, then grab concurrently. Only hosts
+	// reply, so the world's host count bounds the reply slice.
 	var sink zmap.PacketSink = fab
 	if cfg.SinkWrapper != nil {
 		sink = cfg.SinkWrapper(fab)
 	}
-	var replies []zmap.Reply
-	stats := sc.Run(sink, func(r zmap.Reply) { replies = append(replies, r) })
+	replies := make([]zmap.Reply, 0, numHosts)
+	stats, err := sc.RunSharded(sink, func(r zmap.Reply) { replies = append(replies, r) }, shards)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %v/%v/trial %d: %w", o, p, trial, err)
+	}
+
+	res := results.NewScanResultSized(o, p, trial, len(replies))
 	res.Targets = stats.Targets
 	res.ProbesSent = stats.ProbesSent
 	res.SynAcks = stats.SynAcks
@@ -200,17 +305,26 @@ func (st *Study) ScanOne(o origin.ID, p proto.Protocol, trial int) (*results.Sca
 		IOTimeout: 10 * time.Second,
 	}
 
-	type grabOut struct {
-		rec results.HostRecord
+	// Batched grab hand-off: workers claim reply indices and write records
+	// into matching slots — no channel per record, and the final Add loop
+	// runs in reply order so insertion is deterministic.
+	recs := make([]results.HostRecord, len(replies))
+	workers := cfg.GrabWorkers
+	if workers > len(replies) {
+		workers = len(replies)
 	}
-	in := make(chan zmap.Reply, cfg.GrabWorkers)
-	out := make(chan grabOut, cfg.GrabWorkers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < cfg.GrabWorkers; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for r := range in {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(replies) {
+					return
+				}
+				r := replies[i]
 				rec := results.HostRecord{
 					Addr: r.Dst, ProbeMask: r.ProbeMask, RST: r.RST, T: r.T,
 				}
@@ -221,20 +335,13 @@ func (st *Study) ScanOne(o origin.ID, p proto.Protocol, trial int) (*results.Sca
 					rec.Attempts = g.Attempts
 					rec.Banner = g.Banner
 				}
-				out <- grabOut{rec: rec}
+				recs[i] = rec
 			}
 		}()
 	}
-	go func() {
-		for _, r := range replies {
-			in <- r
-		}
-		close(in)
-		wg.Wait()
-		close(out)
-	}()
-	for g := range out {
-		res.Add(g.rec)
+	wg.Wait()
+	for _, rec := range recs {
+		res.Add(rec)
 	}
 	return res, nil
 }

@@ -37,3 +37,31 @@ func TestNoGoroutineLeak(t *testing.T) {
 	}
 	t.Errorf("goroutines before=%d after=%d: leaked servers", before, runtime.NumGoroutine())
 }
+
+// TestNoGoroutineLeakParallel is the same check against the parallel engine:
+// the scan worker pool, per-scan sweep shards, and batched grab workers must
+// all drain when the study completes.
+func TestNoGoroutineLeakParallel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	st, err := NewStudy(Config{
+		WorldSpec: world.Spec{Seed: 6, Scale: 0.00005}, Trials: 1,
+		Protocols:   []proto.Protocol{proto.HTTP, proto.SSH},
+		Origins:     origin.Set{origin.US1, origin.CEN},
+		Parallelism: 4, ScanShards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Errorf("goroutines before=%d after=%d: leaked workers", before, runtime.NumGoroutine())
+}

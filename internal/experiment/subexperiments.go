@@ -9,6 +9,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/ip"
 	"repro/internal/origin"
+	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/results"
 	"repro/internal/rng"
@@ -49,7 +50,7 @@ func (st *Study) SSHRetry(ds *results.Dataset, topASes int, maxRetries int) []Re
 	fab := fabric.New(&fabric.Config{
 		World:      st.World,
 		Engine:     st.Scenario.Engine,
-		IDSes:      st.Scenario.IDSes,
+		IDSes:      policy.Detectors(st.Scenario.IDSes),
 		Loss:       st.Scenario.Loss,
 		Outages:    st.Scenario.Outages[proto.SSH],
 		NumOrigins: 1, // the retry experiment scans alone

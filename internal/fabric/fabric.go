@@ -29,9 +29,12 @@ import (
 
 // Config assembles a fabric for one study.
 type Config struct {
-	World   *world.World
-	Engine  *policy.Engine
-	IDSes   []*policy.IDS
+	World  *world.World
+	Engine *policy.Engine
+	// IDSes are the detectors observing this scan's probes: the live
+	// stateful *policy.IDS machines when scans run serially, or read-only
+	// per-scan *policy.ScheduledIDS views when scans run concurrently.
+	IDSes []policy.Detector
 	Loss    *loss.Matrix
 	Outages *outage.Schedule
 	// Churn marks hosts offline for whole trials (nil = no churn).
@@ -111,6 +114,7 @@ func (f *Fabric) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
 	}
 
 	q := f.query(src, dst, as, p, t, 0)
+	q.Probe = int(probeIdx)
 
 	// IDSes observe every probe that reaches their AS, even ones that
 	// will go unanswered; a blocked source gets silence.
@@ -170,7 +174,7 @@ func (f *Fabric) Dial(dst ip.Addr, port uint16, t time.Duration, attempt int) (n
 	if isHost && f.cfg.Churn.Offline(dst, f.trial) {
 		return nil, zgrab.ErrTimeout
 	}
-	src := f.org.SourceIPs[uint32(dst)%uint32(len(f.org.SourceIPs))]
+	src := origin.SourceFor(f.org.SourceIPs, dst)
 	q := f.query(src, dst, as, p, t, attempt)
 
 	verdict, _ := f.cfg.Engine.Evaluate(q)
@@ -199,10 +203,15 @@ func (f *Fabric) Dial(dst ip.Addr, port uint16, t time.Duration, attempt int) (n
 
 	client, server := vconn.Pipe(src.String(), dst.String())
 	switch verdict {
+	// Reset/close-after-accept tear down synchronously, before the client
+	// sees the conn: spawned teardown raced the grabber's first write
+	// (write-then-close → FIN/EOF, close-then-write → EPIPE/RST), making
+	// the recorded FailMode depend on goroutine scheduling. CloseAfterAccept
+	// is a half-close so the client's write is accepted either way.
 	case policy.ResetAfterAccept:
-		go server.Abort()
+		server.Abort()
 	case policy.CloseAfterAccept:
-		go server.Close()
+		server.CloseWrite()
 	default:
 		go f.cfg.Hosts.Serve(server, dst, p)
 	}

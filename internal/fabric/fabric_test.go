@@ -219,7 +219,7 @@ func TestIDSBlocksAfterProbeVolume(t *testing.T) {
 	host, _ := pickHost(t, w, proto.HTTP)
 	as, _ := w.ASOf(host)
 	ids := &policy.IDS{RuleName: "ids", AS: as.Number, Threshold: 5, Action: policy.Silent}
-	cfg.IDSes = []*policy.IDS{ids}
+	cfg.IDSes = policy.Detectors([]*policy.IDS{ids})
 	fab := New(cfg, w.Origins.Get(origin.US1), 0)
 	src, syn, _ := synTo(w, origin.US1, host, 80)
 	// First probes answered; after threshold, silence.

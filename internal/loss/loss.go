@@ -27,6 +27,7 @@ package loss
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asn"
@@ -122,8 +123,24 @@ type Matrix struct {
 	key rng.Key
 	cfg Config
 
+	// Derived sub-keys, computed once: Derive hashes its label string on
+	// every call, and PacketLost alone needs four of these per packet.
+	packetKey   rng.Key
+	classKey    rng.Key
+	volatileKey rng.Key
+	badnetKey   rng.Key
+	microKey    rng.Key
+	pktKey      rng.Key
+	episodeKey  rng.Key
+	hsKey       rng.Key
+
 	mu        sync.RWMutex
 	overrides map[pairKey]Params
+
+	// cache holds precomputed Params per (origin, AS) and trial — the
+	// per-packet hot path reads it lock-free. Override invalidates it;
+	// lookups outside the precomputed set fall back to derivation.
+	cache atomic.Pointer[paramsCache]
 }
 
 type pairKey struct {
@@ -131,12 +148,25 @@ type pairKey struct {
 	as asn.ASN
 }
 
+type paramsCache struct {
+	trials int
+	params map[pairKey][]Params // indexed by trial
+}
+
 // NewMatrix returns a loss matrix deriving from key with the given config.
 func NewMatrix(key rng.Key, cfg Config) *Matrix {
 	return &Matrix{
-		key:       key,
-		cfg:       cfg.withDefaults(),
-		overrides: make(map[pairKey]Params),
+		key:         key,
+		cfg:         cfg.withDefaults(),
+		packetKey:   key.Derive("packet"),
+		classKey:    key.Derive("class"),
+		volatileKey: key.Derive("volatile"),
+		badnetKey:   key.Derive("badnet"),
+		microKey:    key.Derive("micro"),
+		pktKey:      key.Derive("pkt"),
+		episodeKey:  key.Derive("episode"),
+		hsKey:       key.Derive("hs"),
+		overrides:   make(map[pairKey]Params),
 	}
 }
 
@@ -147,6 +177,28 @@ func (m *Matrix) Override(o origin.ID, as asn.ASN, p Params) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.overrides[pairKey{o, as}] = p
+	m.cache.Store(nil)
+}
+
+// Precompute derives and caches Params for every (origin, AS) pair and
+// trial in [0, trials), so the per-packet hot path never takes the override
+// lock or re-derives parameters. Call after all Overrides are installed;
+// a later Override invalidates the cache.
+func (m *Matrix) Precompute(origins []origin.ID, ases []asn.ASN, trials int) {
+	c := &paramsCache{
+		trials: trials,
+		params: make(map[pairKey][]Params, len(origins)*len(ases)),
+	}
+	for _, o := range origins {
+		for _, as := range ases {
+			ps := make([]Params, trials)
+			for trial := 0; trial < trials; trial++ {
+				ps[trial] = m.deriveParams(o, as, trial)
+			}
+			c.params[pairKey{o, as}] = ps
+		}
+	}
+	m.cache.Store(c)
 }
 
 // originFactor returns the per-origin packet-drop scale.
@@ -166,6 +218,17 @@ func (m *Matrix) trialMultiplier(o origin.ID, trial int) float64 {
 
 // Params returns the loss parameters of the (origin, AS) path in a trial.
 func (m *Matrix) Params(o origin.ID, as asn.ASN, trial int) Params {
+	if c := m.cache.Load(); c != nil && trial >= 0 && trial < c.trials {
+		if ps, ok := c.params[pairKey{o, as}]; ok {
+			return ps[trial]
+		}
+	}
+	return m.deriveParams(o, as, trial)
+}
+
+// deriveParams computes Params from scratch (the Precompute cache holds its
+// results; the derivation itself is unchanged by caching).
+func (m *Matrix) deriveParams(o origin.ID, as asn.ASN, trial int) Params {
 	m.mu.RLock()
 	ov, hasOverride := m.overrides[pairKey{o, as}]
 	m.mu.RUnlock()
@@ -176,8 +239,7 @@ func (m *Matrix) Params(o origin.ID, as asn.ASN, trial int) Params {
 	} else {
 		// Stable per-path packet drop: lognormal-ish around the base,
 		// scaled by the origin's connectivity factor.
-		k := m.key.Derive("packet")
-		u := k.Float64(uint64(o), uint64(as))
+		u := m.packetKey.Float64(uint64(o), uint64(as))
 		// Map u through a heavy-ish tail: most paths near base, a few
 		// paths several times worse.
 		mult := 0.25 + 4*u*u*u
@@ -200,9 +262,8 @@ func (m *Matrix) Params(o origin.ID, as asn.ASN, trial int) Params {
 // spread class is stable; the per-origin rate within the class is redrawn
 // each trial.
 func (m *Matrix) volatileEpisode(o origin.ID, as asn.ASN, trial int) float64 {
-	classKey := m.key.Derive("class")
-	u := classKey.Float64(uint64(as))
-	rateKey := m.key.Derive("volatile")
+	u := m.classKey.Float64(uint64(as))
+	rateKey := m.volatileKey
 	draw := rateKey.Float64(uint64(o), uint64(as), uint64(trial))
 	if site, ok := m.cfg.SiteAlias[o]; ok {
 		// Co-located origins share most of their volatile loss.
@@ -233,7 +294,7 @@ func (m *Matrix) DropFor(o origin.ID, dst ip.Addr, as asn.ASN, trial int) float6
 	p := m.Params(o, as, trial)
 	if p.BadPrefixFrac > 0 {
 		s24 := dst.Slash24()
-		if m.key.Derive("badnet").Bool(p.BadPrefixFrac, uint64(o), uint64(s24.Base)) {
+		if m.badnetKey.Bool(p.BadPrefixFrac, uint64(o), uint64(s24.Base)) {
 			return p.BadDrop
 		}
 	}
@@ -268,10 +329,10 @@ func (m *Matrix) PacketLost(o origin.ID, dst ip.Addr, as asn.ASN, trial int, pkt
 	q := m.DropFor(o, dst, as, trial)
 	c := m.cfg.PairCorrelation
 	window := uint64(t / MicroBurstWindow)
-	if m.key.Derive("micro").Bool(q*c, uint64(m.alias(o))+siteKeyOffset, uint64(dst), uint64(trial), window) {
+	if m.microKey.Bool(q*c, uint64(m.alias(o))+siteKeyOffset, uint64(dst), uint64(trial), window) {
 		return true
 	}
-	return m.key.Derive("pkt").Bool(q*(1-c), uint64(o), uint64(dst), uint64(trial), pktIdx)
+	return m.pktKey.Bool(q*(1-c), uint64(o), uint64(dst), uint64(trial), pktIdx)
 }
 
 // siteKeyOffset separates site-keyed draws from origin-keyed draws so a
@@ -287,10 +348,10 @@ const siteKeyOffset = 4096
 // least coverage of any three origins.
 func (m *Matrix) EpisodeActive(o origin.ID, dst ip.Addr, as asn.ASN, trial int) bool {
 	p := m.Params(o, as, trial)
-	if m.key.Derive("episode").Bool(p.EpisodeRate*0.85, uint64(m.alias(o))+siteKeyOffset, uint64(dst), uint64(trial)) {
+	if m.episodeKey.Bool(p.EpisodeRate*0.85, uint64(m.alias(o))+siteKeyOffset, uint64(dst), uint64(trial)) {
 		return true
 	}
-	return m.key.Derive("episode").Bool(p.EpisodeRate*0.15, uint64(o), uint64(dst), uint64(trial))
+	return m.episodeKey.Bool(p.EpisodeRate*0.15, uint64(o), uint64(dst), uint64(trial))
 }
 
 // ConnFailProb returns the probability a full TCP connection plus
@@ -315,5 +376,5 @@ func ConnFailProb(q float64) float64 {
 // draw independently.
 func (m *Matrix) HandshakeFailed(o origin.ID, dst ip.Addr, as asn.ASN, trial int, attempt int) bool {
 	q := m.DropFor(o, dst, as, trial)
-	return m.key.Derive("hs").Bool(ConnFailProb(q), uint64(o), uint64(dst), uint64(trial), uint64(attempt))
+	return m.hsKey.Bool(ConnFailProb(q), uint64(o), uint64(dst), uint64(trial), uint64(attempt))
 }

@@ -77,6 +77,17 @@ const (
 	RepHeavy
 )
 
+// SourceFor picks the source address an origin uses for a destination:
+// round-robin over the origin's source IPs by destination address, so a
+// 64-IP origin spreads load evenly and each IP touches 1/64 of targets.
+// Both the L4 scanner and the L7 dialer must route through this helper —
+// IDS detection is per source IP, and a rotation-policy change that
+// desynchronized probe and handshake attribution would corrupt every
+// detection-dependent result.
+func SourceFor(ips []ip.Addr, dst ip.Addr) ip.Addr {
+	return ips[uint32(dst)%uint32(len(ips))]
+}
+
 // Set is an ordered list of distinct origins.
 type Set []ID
 

@@ -99,12 +99,24 @@ func pseudoHeaderSum(src, dst ip.Addr, tcpLen int) uint32 {
 // It is the single-call layered serializer (the analog of gopacket's
 // SerializeLayers for the one stack this scanner sends).
 func SerializeTCP4(iph *IPv4Header, tcph *TCPHeader, payload []byte) []byte {
+	return SerializeTCP4Into(nil, iph, tcph, payload)
+}
+
+// SerializeTCP4Into is SerializeTCP4 writing into buf's storage when it has
+// the capacity, allocating only when it doesn't. A scanner sending millions
+// of probes reuses one buffer instead of allocating per probe; the returned
+// slice aliases buf and is valid until the next reuse.
+func SerializeTCP4Into(buf []byte, iph *IPv4Header, tcph *TCPHeader, payload []byte) []byte {
 	tcpLen := 20 + len(tcph.Options) + len(payload)
 	if len(tcph.Options)%4 != 0 {
 		panic("packet: TCP options must be padded to 4 bytes")
 	}
 	totalLen := 20 + tcpLen
-	buf := make([]byte, totalLen)
+	if cap(buf) >= totalLen {
+		buf = buf[:totalLen]
+	} else {
+		buf = make([]byte, totalLen)
+	}
 
 	// IPv4 header.
 	buf[0] = 0x45 // version 4, IHL 5
@@ -120,6 +132,7 @@ func SerializeTCP4(iph *IPv4Header, tcph *TCPHeader, payload []byte) []byte {
 	buf[9] = ProtoTCP
 	binary.BigEndian.PutUint32(buf[12:], uint32(iph.Src))
 	binary.BigEndian.PutUint32(buf[16:], uint32(iph.Dst))
+	buf[10], buf[11] = 0, 0 // checksum field must be zero while summing
 	binary.BigEndian.PutUint16(buf[10:], Checksum(buf[:20], 0))
 
 	// TCP header.
@@ -139,6 +152,7 @@ func SerializeTCP4(iph *IPv4Header, tcph *TCPHeader, payload []byte) []byte {
 	binary.BigEndian.PutUint16(t[18:], tcph.Urgent)
 	copy(t[20:], tcph.Options)
 	copy(t[20+len(tcph.Options):], payload)
+	t[16], t[17] = 0, 0 // checksum field must be zero while summing
 	binary.BigEndian.PutUint16(t[16:], Checksum(t[:tcpLen], pseudoHeaderSum(iph.Src, iph.Dst, tcpLen)))
 
 	return buf
@@ -211,16 +225,25 @@ func DecodeTCP4(data []byte) (*IPv4Header, *TCPHeader, []byte, error) {
 // MakeSYN builds a SYN probe packet (the ZMap probe): MSS option included,
 // as real ZMap sends.
 func MakeSYN(src, dst ip.Addr, srcPort, dstPort uint16, seq uint32, ipID uint16) []byte {
-	return SerializeTCP4(
+	return MakeSYNInto(nil, src, dst, srcPort, dstPort, seq, ipID)
+}
+
+// MakeSYNInto is MakeSYN reusing buf's storage (see SerializeTCP4Into).
+func MakeSYNInto(buf []byte, src, dst ip.Addr, srcPort, dstPort uint16, seq uint32, ipID uint16) []byte {
+	return SerializeTCP4Into(buf,
 		&IPv4Header{Src: src, Dst: dst, ID: ipID, TTL: 64},
 		&TCPHeader{
 			SrcPort: srcPort, DstPort: dstPort,
 			Seq: seq, Flags: FlagSYN,
-			Options: []byte{2, 4, 0x05, 0xb4}, // MSS 1460
+			Options: mssOption[:],
 		},
 		nil,
 	)
 }
+
+// mssOption is the MSS 1460 TCP option every SYN carries; a package-level
+// array keeps MakeSYNInto allocation-free.
+var mssOption = [4]byte{2, 4, 0x05, 0xb4}
 
 // MakeSYNACK builds the SYN-ACK a listening host answers with.
 func MakeSYNACK(src, dst ip.Addr, srcPort, dstPort uint16, seq, ack uint32) []byte {

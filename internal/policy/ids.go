@@ -52,6 +52,13 @@ type idsBlockKey struct {
 // Name implements Rule.
 func (d *IDS) Name() string { return d.RuleName }
 
+// Covers reports whether the query targets this IDS's protected AS with a
+// protocol the IDS monitors. RecordProbe, Evaluate, and the parallel
+// engine's detection planner all share this gate.
+func (d *IDS) Covers(q *Query) bool {
+	return q.DstAS == d.AS && d.Protos.Matches(q)
+}
+
 func (d *IDS) blockKey(src ip.Addr, trial int) idsBlockKey {
 	if d.Persistent {
 		return idsBlockKey{src: src, trial: -1}
@@ -64,7 +71,7 @@ func (d *IDS) blockKey(src ip.Addr, trial int) idsBlockKey {
 // already dropped: real IDSes fire mid-scan, and the paper observes
 // networks going dark partway into a trial.
 func (d *IDS) RecordProbe(q *Query) bool {
-	if q.DstAS != d.AS || !d.Protos.Matches(q) {
+	if !d.Covers(q) {
 		return false
 	}
 	d.mu.Lock()
@@ -90,7 +97,7 @@ func (d *IDS) RecordProbe(q *Query) bool {
 // sources. It does not count the probe; the fabric calls RecordProbe for
 // that on the L4 path.
 func (d *IDS) Evaluate(q *Query) (Verdict, bool) {
-	if q.DstAS != d.AS || !d.Protos.Matches(q) {
+	if !d.Covers(q) {
 		return 0, false
 	}
 	d.mu.Lock()
@@ -107,4 +114,74 @@ func (d *IDS) Reset() {
 	defer d.mu.Unlock()
 	d.counts = nil
 	d.blocked = nil
+}
+
+// BlockedState reports whether src is currently blocked for trial, without
+// counting anything. The detection planner uses it to snapshot state at the
+// start of a simulated scan.
+func (d *IDS) BlockedState(src ip.Addr, trial int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.blocked[d.blockKey(src, trial)]
+}
+
+// CloneEmpty returns an IDS with the same rule parameters and no detection
+// state. The detection planner drives clones through simulated scans so the
+// live IDS's counting logic — not a reimplementation — decides when each
+// source crosses the threshold.
+func (d *IDS) CloneEmpty() *IDS {
+	return &IDS{
+		RuleName:   d.RuleName,
+		AS:         d.AS,
+		Threshold:  d.Threshold,
+		Protos:     d.Protos,
+		Persistent: d.Persistent,
+		Action:     d.Action,
+	}
+}
+
+// MergeStateFrom folds other's counts and blocks into d. Sources are
+// disjoint across the planner's per-origin simulations (detection is
+// per-source-IP and origins never share addresses), so merging the
+// simulations reproduces the exact state a serial run would have left.
+func (d *IDS) MergeStateFrom(other *IDS) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.counts == nil {
+		d.counts = make(map[idsKey]int)
+		d.blocked = make(map[idsBlockKey]bool)
+	}
+	for k, n := range other.counts {
+		d.counts[k] += n
+	}
+	for k, b := range other.blocked {
+		if b {
+			d.blocked[k] = true
+		}
+	}
+}
+
+// Detector is the fabric's view of an IDS: something that counts L4 probes
+// and renders verdicts on L7 connections. The live *IDS implements it by
+// mutating shared state; ScheduledIDS implements it from a precomputed
+// per-scan detection schedule, which is what lets scans sharing an IDS run
+// concurrently yet behave exactly as if they had run serially.
+type Detector interface {
+	Name() string
+	// RecordProbe observes one L4 probe and reports whether the source is
+	// blocked for it (the probe is then dropped).
+	RecordProbe(q *Query) bool
+	// Evaluate reports the verdict for an L7 connection attempt.
+	Evaluate(q *Query) (Verdict, bool)
+}
+
+// Detectors adapts live IDSes to the Detector interface.
+func Detectors(idses []*IDS) []Detector {
+	out := make([]Detector, len(idses))
+	for i, d := range idses {
+		out[i] = d
+	}
+	return out
 }

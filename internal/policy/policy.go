@@ -72,7 +72,8 @@ type Query struct {
 	Proto      proto.Protocol
 
 	Trial   int           // 0-based trial index
-	Time    time.Duration // virtual time since trial start
+	Time    time.Duration // virtual time since trial start (base probe time)
+	Probe   int           // 0-based L4 probe index for this target (0 on L7)
 	Attempt int           // 0-based L7 retry number
 
 	// ConcurrentOrigins is how many origins are attempting an L7

@@ -7,6 +7,7 @@ package results
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/ip"
@@ -52,10 +53,32 @@ type ScanResult struct {
 
 // NewScanResult returns an empty result set.
 func NewScanResult(o origin.ID, p proto.Protocol, trial int) *ScanResult {
+	return NewScanResultSized(o, p, trial, 0)
+}
+
+// NewScanResultSized returns an empty result set with record storage sized
+// for n hosts, avoiding map regrowth when the caller knows the reply count.
+func NewScanResultSized(o origin.ID, p proto.Protocol, trial int, n int) *ScanResult {
 	return &ScanResult{
 		Origin: o, Proto: p, Trial: trial,
-		records: make(map[ip.Addr]HostRecord),
+		records: make(map[ip.Addr]HostRecord, n),
 	}
+}
+
+// Equal reports whether two scans hold identical records and statistics.
+func (s *ScanResult) Equal(o *ScanResult) bool {
+	if s.Origin != o.Origin || s.Proto != o.Proto || s.Trial != o.Trial ||
+		s.Targets != o.Targets || s.ProbesSent != o.ProbesSent ||
+		s.SynAcks != o.SynAcks || s.Rsts != o.Rsts || s.Invalid != o.Invalid ||
+		len(s.records) != len(o.records) {
+		return false
+	}
+	for a, r := range s.records {
+		if or, ok := o.records[a]; !ok || or != r {
+			return false
+		}
+	}
+	return true
 }
 
 // Add records a host outcome, replacing any existing record for the host.
@@ -116,6 +139,7 @@ type Dataset struct {
 	Trials  int
 	scans   map[key]*ScanResult
 
+	gtMu    sync.Mutex // guards gtCache (analyses may run concurrently)
 	gtCache map[gtKey][]ip.Addr
 }
 
@@ -143,8 +167,13 @@ func NewDataset(origins origin.Set, trials int) *Dataset {
 // Put stores a completed scan.
 func (d *Dataset) Put(s *ScanResult) {
 	d.scans[key{s.Origin, s.Proto, s.Trial}] = s
+	d.gtMu.Lock()
 	delete(d.gtCache, gtKey{s.Proto, s.Trial})
+	d.gtMu.Unlock()
 }
+
+// Len returns the number of stored scans.
+func (d *Dataset) Len() int { return len(d.scans) }
 
 // Scan returns the result for (origin, proto, trial), or nil when absent.
 func (d *Dataset) Scan(o origin.ID, p proto.Protocol, trial int) *ScanResult {
@@ -165,7 +194,10 @@ func (d *Dataset) MustScan(o origin.ID, p proto.Protocol, trial int) *ScanResult
 // definition of live hosts.
 func (d *Dataset) GroundTruth(p proto.Protocol, trial int) []ip.Addr {
 	gk := gtKey{p, trial}
-	if gt, ok := d.gtCache[gk]; ok {
+	d.gtMu.Lock()
+	gt, ok := d.gtCache[gk]
+	d.gtMu.Unlock()
+	if ok {
 		return gt
 	}
 	set := make(map[ip.Addr]bool)
@@ -180,14 +212,54 @@ func (d *Dataset) GroundTruth(p proto.Protocol, trial int) []ip.Addr {
 			}
 		}
 	}
-	gt := make([]ip.Addr, 0, len(set))
+	gt = make([]ip.Addr, 0, len(set))
 	for a := range set {
 		gt = append(gt, a)
 	}
 	sort.Slice(gt, func(i, j int) bool { return gt[i] < gt[j] })
+	d.gtMu.Lock()
 	d.gtCache[gk] = gt
+	d.gtMu.Unlock()
 	return gt
 }
+
+// Diff compares two datasets scan-by-scan and record-by-record, returning
+// "" when they are identical or a description of the first difference. The
+// parallel engine's determinism test relies on this to prove a parallel run
+// bit-identical to a serial one.
+func (d *Dataset) Diff(o *Dataset) string {
+	if len(d.scans) != len(o.scans) {
+		return fmt.Sprintf("scan count %d vs %d", len(d.scans), len(o.scans))
+	}
+	for k, s := range d.scans {
+		os, ok := o.scans[k]
+		if !ok {
+			return fmt.Sprintf("scan %v/%v/trial %d missing from other", k.o, k.p, k.t)
+		}
+		if !s.Equal(os) {
+			if s.Len() != os.Len() {
+				return fmt.Sprintf("scan %v/%v/trial %d: %d vs %d records", k.o, k.p, k.t, s.Len(), os.Len())
+			}
+			for a, r := range s.records {
+				or, ok := os.records[a]
+				if !ok {
+					return fmt.Sprintf("scan %v/%v/trial %d: host %v missing from other", k.o, k.p, k.t, a)
+				}
+				if or != r {
+					return fmt.Sprintf("scan %v/%v/trial %d: host %v: %+v vs %+v", k.o, k.p, k.t, a, r, or)
+				}
+			}
+			return fmt.Sprintf("scan %v/%v/trial %d: stats differ: %+v vs %+v",
+				k.o, k.p, k.t,
+				[5]uint64{s.Targets, s.ProbesSent, s.SynAcks, s.Rsts, s.Invalid},
+				[5]uint64{os.Targets, os.ProbesSent, os.SynAcks, os.Rsts, os.Invalid})
+		}
+	}
+	return ""
+}
+
+// Equal reports whether two datasets are record-for-record identical.
+func (d *Dataset) Equal(o *Dataset) bool { return d.Diff(o) == "" }
 
 // Intersection returns the number of ground-truth hosts every origin saw in
 // the trial (the ∩ column of Table 4a). Origins that did not scan the trial

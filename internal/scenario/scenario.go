@@ -86,6 +86,11 @@ func New(w *world.World, cfg Config) *Scenario {
 	s.buildLoss(key.Derive("loss"), cfg)
 	s.buildPolicies(key.Derive("policy"), cfg)
 	s.buildOutages(key.Derive("outage"), cfg)
+	// All Overrides are in: cache every path's Params so the per-packet
+	// hot path is lock-free. +1 trial covers the SSH retry sub-experiment,
+	// which runs at trial index Trials.
+	ases, _ := w.ASWeights()
+	s.Loss.Precompute(allOrigins(), ases, cfg.Trials+1)
 	return s
 }
 

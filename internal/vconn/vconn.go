@@ -109,6 +109,16 @@ func (c *Conn) Close() error {
 	return nil
 }
 
+// CloseWrite performs a half-close (FIN semantics, like
+// net.TCPConn.CloseWrite): the peer reads any buffered data, then io.EOF,
+// while the peer's writes continue to be accepted. Unlike Close, the
+// outcome the peer observes does not depend on whether its first write
+// races the close.
+func (c *Conn) CloseWrite() error {
+	c.write.closeWrite(io.EOF)
+	return nil
+}
+
 // Abort resets the connection (RST semantics): the peer's pending and
 // future reads and writes fail with ErrReset, discarding buffered data.
 func (c *Conn) Abort() {

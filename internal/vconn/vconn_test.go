@@ -138,6 +138,31 @@ func TestWriteAfterPeerCloseFails(t *testing.T) {
 	t.Fatal("write to closed peer never failed")
 }
 
+func TestCloseWriteHalfClose(t *testing.T) {
+	c, s := Pipe("c", "s")
+	defer c.Close()
+	defer s.Close()
+	s.Write([]byte("tail"))
+	s.CloseWrite()
+	// The peer's writes are still accepted after the half-close — the
+	// guarantee the fabric's close-after-accept teardown relies on to
+	// keep grab outcomes independent of write/close ordering.
+	if _, err := c.Write([]byte("greeting")); err != nil {
+		t.Fatalf("write after peer CloseWrite = %v", err)
+	}
+	buf := make([]byte, 16)
+	n, err := c.Read(buf)
+	if err != nil || string(buf[:n]) != "tail" {
+		t.Fatalf("read buffered data = %q, %v", buf[:n], err)
+	}
+	if _, err := c.Read(buf); err != io.EOF {
+		t.Errorf("read after drain = %v, want io.EOF", err)
+	}
+	if _, err := c.Write([]byte("more")); err != nil {
+		t.Errorf("second write after peer CloseWrite = %v", err)
+	}
+}
+
 func TestLocalCloseFailsLocalIO(t *testing.T) {
 	c, s := Pipe("c", "s")
 	defer s.Close()

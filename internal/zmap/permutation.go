@@ -11,6 +11,9 @@ package zmap
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"sync"
 
 	"repro/internal/rng"
 )
@@ -23,10 +26,16 @@ import (
 type Permutation struct {
 	p        uint64 // group modulus (prime)
 	g        uint64 // generator of the full group
+	r        uint64 // key-derived starting offset (first = g^(r+shard))
 	first    uint64 // starting element for this shard
 	step     uint64 // g^shards: stride between this shard's elements
 	space    uint64 // number of valid addresses [0, space)
 	shardLen uint64 // group elements this shard owns
+	shard    uint64
+	shards   uint64
+
+	skipOnce sync.Once
+	skips    []uint64 // sorted walk indices of out-of-space elements
 }
 
 // NewPermutation builds the permutation for a space of 2^spaceBits
@@ -58,7 +67,10 @@ func NewPermutation(key rng.Key, spaceBits uint8, shard, shards int) (*Permutati
 	if uint64(shard) < total%uint64(shards) {
 		max++
 	}
-	return &Permutation{p: p, g: g, first: first, step: step, space: space, shardLen: max}, nil
+	return &Permutation{
+		p: p, g: g, r: r, first: first, step: step, space: space,
+		shardLen: max, shard: uint64(shard), shards: uint64(shards),
+	}, nil
 }
 
 // Space returns the number of addresses in the scan space.
@@ -83,16 +95,79 @@ func (pm *Permutation) Iterate() *Iterator {
 // Next returns the next address in the shard, or ok=false when exhausted.
 // Group elements mapping outside the space are transparently skipped.
 func (it *Iterator) Next() (addr uint32, ok bool) {
+	a, _, ok := it.NextIndexed()
+	return a, ok
+}
+
+// NextIndexed is Next also reporting the address's element index within
+// this shard's walk, counting the transparently skipped out-of-space
+// elements. Sub-shard iteration uses the index to recover the position a
+// single full walk would have assigned the address (see SkipIndices).
+func (it *Iterator) NextIndexed() (addr uint32, elem uint64, ok bool) {
 	for it.emitted < it.max {
 		v := it.current
 		it.current = mulmod(it.current, it.pm.step, it.pm.p)
+		e := it.emitted
 		it.emitted++
 		a := v - 1
 		if a < it.pm.space {
-			return uint32(a), true
+			return uint32(a), e, true
 		}
 	}
-	return 0, false
+	return 0, 0, false
+}
+
+// SkipIndices returns the sorted element indices within this shard's walk
+// whose group value maps outside the address space (the values Next skips).
+// A sub-shard walker combines these with its parent element index to
+// reconstruct the exact scan position — and therefore the exact virtual
+// probe time — the serial walk assigns each address, which is what keeps a
+// sharded sweep bit-identical to a serial one.
+//
+// The out-of-space values are the few integers in [space+1, p), located in
+// the walk by a baby-step/giant-step discrete log; the cost is
+// O(√p + gap·√p) once per permutation, negligible next to the scan itself.
+func (pm *Permutation) SkipIndices() []uint64 {
+	pm.skipOnce.Do(func() {
+		n := pm.p - 1
+		if n == pm.space {
+			return // p = space+1: every group value maps in-space
+		}
+		// Baby table: g^j -> j for j in [0, mb).
+		mb := uint64(math.Sqrt(float64(n))) + 1
+		baby := make(map[uint64]uint64, mb)
+		acc := uint64(1)
+		for j := uint64(0); j < mb; j++ {
+			baby[acc] = j
+			acc = mulmod(acc, pm.g, pm.p)
+		}
+		giant := mulmodPow(pm.g, n-mb, pm.p) // g^(-mb)
+		dlog := func(v uint64) uint64 {
+			gamma := v
+			for i := uint64(0); i <= n/mb; i++ {
+				if j, ok := baby[gamma]; ok {
+					return i*mb + j
+				}
+				gamma = mulmod(gamma, giant, pm.p)
+			}
+			panic("zmap: discrete log not found (g is not a generator)")
+		}
+		for v := pm.space + 1; v < pm.p; v++ {
+			// Global walk index m of value g^((r+m) mod n).
+			e := dlog(v)
+			m := (e + n - pm.r%n) % n
+			if m%pm.shards == pm.shard {
+				pm.skips = append(pm.skips, (m-pm.shard)/pm.shards)
+			}
+		}
+		sort.Slice(pm.skips, func(i, j int) bool { return pm.skips[i] < pm.skips[j] })
+	})
+	return pm.skips
+}
+
+// skipsBefore returns how many of the sorted skip indices are < elem.
+func skipsBefore(skips []uint64, elem uint64) uint64 {
+	return uint64(sort.Search(len(skips), func(i int) bool { return skips[i] >= elem }))
 }
 
 // mulmod computes a*b mod m without overflow (m < 2^33 here, but use

@@ -2,9 +2,12 @@ package zmap
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/ip"
+	"repro/internal/origin"
 	"repro/internal/packet"
 	"repro/internal/rng"
 )
@@ -14,6 +17,12 @@ import (
 // at the same seam for scans of real networks. The simulated network is
 // instantaneous, so Send synchronously returns the response packet bytes
 // elicited by the probe (nil when the probe or its response was dropped).
+//
+// The probe buffer is reused between Send calls: pkt is only valid for the
+// duration of the call, and implementations that keep packet bytes (pcap
+// tees) must copy them. When a scan runs sharded (RunSharded), Send is
+// called from multiple goroutines concurrently and implementations must be
+// safe for concurrent use.
 type PacketSink interface {
 	Send(src ip.Addr, pkt []byte, t time.Duration) []byte
 }
@@ -52,6 +61,8 @@ type Config struct {
 	// to its prefixes.
 	Blocklist *ip.Set
 	Allowlist *ip.Set
+	// ExpectedReplies sizes reply buffers up front (0 = no hint).
+	ExpectedReplies int
 }
 
 func (c *Config) validate() error {
@@ -96,11 +107,23 @@ type Stats struct {
 	Duplicates uint64 // extra SYN-ACKs beyond the first per target
 }
 
+// add accumulates another shard's counters.
+func (s *Stats) add(o Stats) {
+	s.Targets += o.Targets
+	s.Blocked += o.Blocked
+	s.ProbesSent += o.ProbesSent
+	s.SynAcks += o.SynAcks
+	s.Rsts += o.Rsts
+	s.Invalid += o.Invalid
+	s.Duplicates += o.Duplicates
+}
+
 // Scanner performs one scan per Run call.
 type Scanner struct {
-	cfg  Config
-	perm *Permutation
-	key  rng.Key
+	cfg      Config
+	perm     *Permutation
+	key      rng.Key
+	validate rng.SipKey // cookie key, derived once (hot path)
 }
 
 // NewScanner validates the config and prepares the permutation.
@@ -113,21 +136,97 @@ func NewScanner(cfg Config) (*Scanner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scanner{cfg: cfg, perm: perm, key: key}, nil
+	return &Scanner{cfg: cfg, perm: perm, key: key, validate: key.Derive("validate").Sip()}, nil
 }
 
 // cookie computes the validation value embedded in the probe's sequence
 // number: a keyed hash of the flow 4-tuple, so responses can be validated
 // statelessly (ZMap's core trick).
 func (s *Scanner) cookie(src, dst ip.Addr, srcPort uint16) uint32 {
-	return uint32(rng.SipHash24Words(s.key.Derive("validate").Sip(),
+	return uint32(rng.SipHash24Words(s.validate,
 		uint64(src)<<32|uint64(dst), uint64(srcPort)<<16|uint64(s.cfg.TargetPort)))
 }
 
-// srcFor picks the source IP for a target (round-robin by address, so a
-// 64-IP origin spreads load evenly and each IP touches 1/64 of targets).
+// srcFor picks the source IP for a target.
 func (s *Scanner) srcFor(dst ip.Addr) ip.Addr {
-	return s.cfg.SourceIPs[uint32(dst)%uint32(len(s.cfg.SourceIPs))]
+	return origin.SourceFor(s.cfg.SourceIPs, dst)
+}
+
+// emitTarget applies the allow/blocklists and the virtual clock for the
+// address at the given 1-based scan position, invoking emit for targets
+// that will be probed. This is the single definition of the scan schedule:
+// Run, RunSharded, and Targets all route through it, so an address gets
+// the same probe time no matter how the sweep is executed.
+func (s *Scanner) emitTarget(a uint32, position uint64, st *Stats, emit func(ip.Addr, time.Duration)) {
+	dst := ip.Addr(a)
+	if s.cfg.Allowlist != nil && !s.cfg.Allowlist.Contains(dst) {
+		st.Blocked++
+		return
+	}
+	if s.cfg.Blocklist != nil && s.cfg.Blocklist.Contains(dst) {
+		st.Blocked++
+		return
+	}
+	st.Targets++
+	t := time.Duration(float64(position) / float64(s.perm.Space()) * float64(s.cfg.ScanDuration))
+	emit(dst, t)
+}
+
+// sweep walks this scanner's whole shard serially, calling emit per target.
+func (s *Scanner) sweep(st *Stats, emit func(ip.Addr, time.Duration)) {
+	it := s.perm.Iterate()
+	var position uint64
+	for {
+		a, ok := it.Next()
+		if !ok {
+			return
+		}
+		position++
+		s.emitTarget(a, position, st, emit)
+	}
+}
+
+// Targets invokes fn for every address the scan will probe, in scan order,
+// with its base virtual probe time — the scan's schedule without sending a
+// packet. The deterministic parallel engine uses this to precompute IDS
+// detection points before scans of the same seed run concurrently.
+func (s *Scanner) Targets(fn func(dst ip.Addr, t time.Duration)) {
+	var st Stats
+	s.sweep(&st, fn)
+}
+
+// probeTarget sends the configured probes for one target, validates the
+// responses, and reports the target's reply. synBuf is reused across calls
+// to keep the per-probe hot path allocation-free.
+func (s *Scanner) probeTarget(sink PacketSink, dst ip.Addr, t time.Duration, st *Stats, synBuf *[]byte) (Reply, bool) {
+	src := s.srcFor(dst)
+	reply := Reply{Dst: dst, T: t}
+	for probe := 0; probe < s.cfg.Probes; probe++ {
+		srcPort := s.cfg.SourcePortBase + uint16(probe)
+		seq := s.cookie(src, dst, srcPort)
+		*synBuf = packet.MakeSYNInto(*synBuf, src, dst, srcPort, s.cfg.TargetPort, seq, uint16(probe))
+		st.ProbesSent++
+		resp := sink.Send(src, *synBuf, t+time.Duration(probe)*s.cfg.ProbeDelay)
+		if resp == nil {
+			continue
+		}
+		ok, rst := s.validateResp(resp, src, dst, srcPort, seq)
+		if !ok {
+			st.Invalid++
+			continue
+		}
+		if rst {
+			st.Rsts++
+			reply.RST = true
+			continue
+		}
+		st.SynAcks++
+		if reply.ProbeMask != 0 {
+			st.Duplicates++
+		}
+		reply.ProbeMask |= 1 << probe
+	}
+	return reply, reply.ProbeMask != 0 || reply.RST
 }
 
 // Run executes the scan against sink, invoking handler for every target
@@ -136,68 +235,100 @@ func (s *Scanner) srcFor(dst ip.Addr) ip.Addr {
 // position.
 func (s *Scanner) Run(sink PacketSink, handler func(Reply)) Stats {
 	var st Stats
-	it := s.perm.Iterate()
-	totalTargets := s.perm.Space()
-	var position uint64
-
-	for {
-		a, ok := it.Next()
-		if !ok {
-			break
+	var synBuf []byte
+	s.sweep(&st, func(dst ip.Addr, t time.Duration) {
+		if r, ok := s.probeTarget(sink, dst, t, &st, &synBuf); ok {
+			handler(r)
 		}
-		position++
-		dst := ip.Addr(a)
-		if s.cfg.Allowlist != nil && !s.cfg.Allowlist.Contains(dst) {
-			st.Blocked++
-			continue
-		}
-		if s.cfg.Blocklist != nil && s.cfg.Blocklist.Contains(dst) {
-			st.Blocked++
-			continue
-		}
-		st.Targets++
-		t := time.Duration(float64(position) / float64(totalTargets) * float64(s.cfg.ScanDuration))
-		src := s.srcFor(dst)
-
-		var reply Reply
-		reply.Dst = dst
-		reply.T = t
-		for probe := 0; probe < s.cfg.Probes; probe++ {
-			srcPort := s.cfg.SourcePortBase + uint16(probe)
-			seq := s.cookie(src, dst, srcPort)
-			syn := packet.MakeSYN(src, dst, srcPort, s.cfg.TargetPort, seq, uint16(probe))
-			st.ProbesSent++
-			resp := sink.Send(src, syn, t+time.Duration(probe)*s.cfg.ProbeDelay)
-			if resp == nil {
-				continue
-			}
-			ok, rst := s.validate(resp, src, dst, srcPort, seq)
-			if !ok {
-				st.Invalid++
-				continue
-			}
-			if rst {
-				st.Rsts++
-				reply.RST = true
-				continue
-			}
-			st.SynAcks++
-			if reply.ProbeMask != 0 {
-				st.Duplicates++
-			}
-			reply.ProbeMask |= 1 << probe
-		}
-		if reply.ProbeMask != 0 || reply.RST {
-			handler(reply)
-		}
-	}
+	})
 	return st
 }
 
-// validate checks a response packet against the probe's cookie, exactly as
-// ZMap validates: correct 4-tuple and ack == seq+1 for SYN-ACKs; RSTs may
-// ack either seq+0 or seq+1 (stacks differ).
-func (s *Scanner) validate(resp []byte, src, dst ip.Addr, srcPort uint16, seq uint32) (ok, rst bool) {
+// RunSharded executes the scan as n concurrent goroutine shards over
+// disjoint slices of the permutation, then merges the shards' statistics
+// and replies deterministically. Each address receives the same probe time
+// (and therefore the same loss, outage, and IDS treatment) as under Run:
+// sub-shard j of n walks the cosets g^(shard + shards·j) with stride
+// g^(shards·n), and each element's serial scan position is recovered from
+// its walk index and the permutation's out-of-space skip table. handler is
+// invoked sequentially, in the serial scan's emission order.
+func (s *Scanner) RunSharded(sink PacketSink, handler func(Reply), n int) (Stats, error) {
+	if n <= 1 {
+		return s.Run(sink, handler), nil
+	}
+	skips := s.perm.SkipIndices()
+	subs := make([]*Permutation, n)
+	for j := range subs {
+		sub, err := NewPermutation(s.key, s.cfg.SpaceBits, s.cfg.Shard+s.cfg.Shards*j, s.cfg.Shards*n)
+		if err != nil {
+			return Stats{}, fmt.Errorf("zmap: sub-shard %d/%d: %w", j, n, err)
+		}
+		subs[j] = sub
+	}
+	type shardOut struct {
+		st      Stats
+		replies []Reply
+	}
+	outs := make([]shardOut, n)
+	hint := s.cfg.ExpectedReplies/n + 64
+	var wg sync.WaitGroup
+	for j := range subs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			o := &outs[j]
+			o.replies = make([]Reply, 0, hint)
+			var synBuf []byte
+			emit := func(dst ip.Addr, t time.Duration) {
+				if r, ok := s.probeTarget(sink, dst, t, &o.st, &synBuf); ok {
+					o.replies = append(o.replies, r)
+				}
+			}
+			it := subs[j].Iterate()
+			for {
+				a, elem, ok := it.NextIndexed()
+				if !ok {
+					return
+				}
+				// The element's index in the parent (unsplit) walk, and
+				// from it the serial scan position: elements before it
+				// minus those the serial walk would have skipped.
+				parent := uint64(j) + uint64(n)*elem
+				position := parent + 1 - skipsBefore(skips, parent)
+				s.emitTarget(a, position, &o.st, emit)
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	var st Stats
+	total := 0
+	for i := range outs {
+		st.add(outs[i].st)
+		total += len(outs[i].replies)
+	}
+	merged := make([]Reply, 0, total)
+	for i := range outs {
+		merged = append(merged, outs[i].replies...)
+	}
+	// Probe times increase strictly with scan position, so sorting by
+	// (T, Dst) reproduces the serial emission order exactly.
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].T != merged[j].T {
+			return merged[i].T < merged[j].T
+		}
+		return merged[i].Dst < merged[j].Dst
+	})
+	for _, r := range merged {
+		handler(r)
+	}
+	return st, nil
+}
+
+// validateResp checks a response packet against the probe's cookie, exactly
+// as ZMap validates: correct 4-tuple and ack == seq+1 for SYN-ACKs; RSTs
+// may ack either seq+0 or seq+1 (stacks differ).
+func (s *Scanner) validateResp(resp []byte, src, dst ip.Addr, srcPort uint16, seq uint32) (ok, rst bool) {
 	iph, tcph, _, err := packet.DecodeTCP4(resp)
 	if err != nil {
 		return false, false
