@@ -22,7 +22,8 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# Perf trajectory of the parallel scan engine; results are recorded in
-# BENCH_parallel.json.
+# Perf trajectory of the parallel scan engine and the columnar result
+# store; results are recorded in BENCH_parallel.json and
+# BENCH_columnar.json.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkStudy' -benchtime 3x .
+	$(GO) test -run xxx -bench 'BenchmarkStudy|BenchmarkAnalysisPasses' -benchtime 3x -benchmem .

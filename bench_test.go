@@ -486,6 +486,32 @@ func BenchmarkSec8ProbeSweep(b *testing.B) {
 	b.ReportMetric(100*last, "probes3-cov-%")
 }
 
+// BenchmarkAnalysisPasses runs the allocation-heavy analysis passes back to
+// back over the shared fixture: a full classifier rebuild plus the set-algebra
+// passes (coverage table, missing breakdown, exclusivity, transient spread,
+// packet loss, probe stats). Run with -benchmem: the bytes/op trajectory of
+// the columnar result store is recorded in BENCH_columnar.json.
+func BenchmarkAnalysisPasses(b *testing.B) {
+	s := benchStudy(b)
+	topo := s.Topo()
+	// Warm the dataset's ground-truth cache so iterations measure the
+	// passes, not the first-touch union build.
+	for t := 0; t < s.DS.Trials; t++ {
+		s.DS.GroundTruth(proto.HTTP, t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := analysis.NewClassifier(s.DS, proto.HTTP)
+		_ = analysis.Coverage(s.DS, proto.HTTP)
+		_ = analysis.MissingBreakdown(c)
+		_ = analysis.Exclusive(c)
+		_ = analysis.TransientLossSpread(c, topo, 2)
+		_ = analysis.PacketLoss(s.DS, topo, proto.HTTP, origin.AU, 0, 5)
+		_ = analysis.Probes(s.DS, proto.HTTP, origin.AU, 0)
+	}
+}
+
 // benchStudyRun times Study.Run (world and scenario construction excluded)
 // for one parallelism / shard configuration: the perf trajectory of the
 // deterministic parallel scan engine. All configurations produce

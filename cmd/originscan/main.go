@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	originscan [-seed N] [-scale F] [-trials N] [-dataset out.json] [-skip-followup]
+//	originscan [-seed N] [-scale F] [-trials N] [-dataset out.json]
+//	           [-parallelism N] [-scan-shards N] [-skip-followup]
 //
 // The default scale (0.001) generates ≈58k HTTP hosts, mirroring the
 // paper's 58M at 1/1000; a full run takes a few minutes on one core.
@@ -38,6 +39,8 @@ func main() {
 		carinet      = flag.Bool("carinet", true, "include the Carinet origin in trial 1")
 		csvDir       = flag.String("csv", "", "also write figure data as CSV files into this directory")
 		blocklist    = flag.String("blocklist", "", "ZMap-style blocklist file applied to every scan")
+		parallelism  = flag.Int("parallelism", 0, "concurrent (origin, protocol, trial) scans (0 = serial)")
+		scanShards   = flag.Int("scan-shards", 0, "goroutine shards per ZMap sweep (0 = unsharded)")
 	)
 	flag.Parse()
 
@@ -45,6 +48,8 @@ func main() {
 		WorldSpec:      world.Spec{Seed: *seed, Scale: *scale},
 		Trials:         *trials,
 		IncludeCarinet: *carinet,
+		Parallelism:    *parallelism,
+		ScanShards:     *scanShards,
 	}
 	if *blocklist != "" {
 		f, err := os.Open(*blocklist)

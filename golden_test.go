@@ -1,0 +1,119 @@
+// Golden-dataset test: the JSON a study writes is locked byte-for-byte.
+//
+// testdata/golden_dataset.json.gz was produced by the pre-columnar,
+// reflection-based encoder (map storage + json.Encoder over row structs).
+// The columnar store's streaming encoder must reproduce it exactly — same
+// field order, null-vs-[] conventions, banner escaping, trailing newline —
+// so that datasets written before and after the refactor stay
+// interchangeable and `cmd/originscan -dataset` output is stable.
+package scanorigin
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/results"
+	"repro/internal/world"
+)
+
+// goldenConfig mirrors the run that produced testdata/golden_dataset.json.gz.
+func goldenConfig() experiment.Config {
+	return experiment.Config{
+		WorldSpec:      world.Spec{Seed: 2020, Scale: 0.00001},
+		IncludeCarinet: true,
+	}
+}
+
+func readGolden(t *testing.T) []byte {
+	t.Helper()
+	f, err := os.Open("testdata/golden_dataset.json.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestGoldenDatasetBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates a full study")
+	}
+	want := readGolden(t)
+
+	s, err := core.New(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.DS.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	if bytes.Equal(got, want) {
+		return
+	}
+	if len(got) != len(want) {
+		t.Fatalf("dataset JSON is %d bytes, golden is %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 40
+			if hi > len(got) {
+				hi = len(got)
+			}
+			t.Fatalf("dataset JSON differs from golden at byte %d:\n got %q\nwant %q",
+				i, got[lo:hi], want[lo:hi])
+		}
+	}
+}
+
+// TestGoldenDatasetRoundTrip proves the streaming decoder reads the golden
+// bytes into a dataset that re-encodes to the identical bytes, and that the
+// decoded records match a fresh study record-for-record.
+func TestGoldenDatasetRoundTrip(t *testing.T) {
+	raw := readGolden(t)
+	ds, err := results.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("golden dataset does not survive decode→encode byte-identically")
+	}
+	if testing.Short() {
+		return
+	}
+	s, err := core.New(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if diff := s.DS.Diff(ds); diff != "" {
+		t.Fatalf("decoded golden dataset differs from fresh study: %s", diff)
+	}
+}

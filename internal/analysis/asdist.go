@@ -193,14 +193,14 @@ func CountryInaccessibility(c *Classifier, topo Topology) []CountryRow {
 func CountrySizeCorrelation(c *Classifier, topo Topology) stats.SpearmanResult {
 	hosts := map[geo.Country]float64{}
 	missing := map[geo.Country]float64{}
-	for _, a := range c.Union() {
+	for i, a := range c.Union() {
 		cc, ok := topo.CountryOf(a)
 		if !ok {
 			continue
 		}
 		hosts[cc]++
 		for _, o := range c.DS.Origins {
-			if c.Of(o, a) == ClassLongTerm {
+			if c.OfAt(o, i) == ClassLongTerm {
 				missing[cc]++
 				break // count the host once, as "inaccessible from some origin"
 			}

@@ -57,10 +57,20 @@ func BannerDisagreement(ds *results.Dataset, p proto.Protocol, a, b origin.ID, t
 	if sa == nil || sb == nil {
 		return 0, 0
 	}
+	aAddrs, bAddrs := sa.Addrs(), sb.Addrs()
+	ai, bi := 0, 0
 	for _, h := range ds.GroundTruth(p, trial) {
-		ra, oka := sa.Get(h)
-		rb, okb := sb.Get(h)
-		if !oka || !okb || !ra.L7 || !rb.L7 || ra.Banner == "" || rb.Banner == "" {
+		for ai < len(aAddrs) && aAddrs[ai] < h {
+			ai++
+		}
+		for bi < len(bAddrs) && bAddrs[bi] < h {
+			bi++
+		}
+		if ai >= len(aAddrs) || aAddrs[ai] != h || bi >= len(bAddrs) || bAddrs[bi] != h {
+			continue
+		}
+		ra, rb := sa.RecordAt(ai), sb.RecordAt(bi)
+		if !ra.L7 || !rb.L7 || ra.Banner == "" || rb.Banner == "" {
 			continue
 		}
 		both++

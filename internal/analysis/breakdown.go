@@ -95,11 +95,12 @@ func (b *Breakdown) TotalMissing() int {
 // behavior" requirement).
 func MissingBreakdown(c *Classifier) []Breakdown {
 	ds := c.DS
-	// Precompute /24 membership over the union of live hosts.
-	by24 := map[ip.Addr][]ip.Addr{}
-	for _, a := range c.Union() {
+	// Precompute /24 membership over the union of live hosts, as indices
+	// into the sorted union spine.
+	by24 := map[ip.Addr][]int{}
+	for i, a := range c.Union() {
 		k := a &^ 0xff
-		by24[k] = append(by24[k], a)
+		by24[k] = append(by24[k], i)
 	}
 
 	// netClass[origin][/24] = class when the /24 behaves as one unit:
@@ -115,7 +116,7 @@ func MissingBreakdown(c *Classifier) []Breakdown {
 			var cl Class
 			same := true
 			for _, h := range hosts {
-				hc := c.Of(o, h)
+				hc := c.OfAt(o, h)
 				if hc == ClassUnknown {
 					continue
 				}
@@ -141,8 +142,15 @@ func MissingBreakdown(c *Classifier) []Breakdown {
 				continue
 			}
 			b := Breakdown{Origin: o, Trial: t, GroundTruth: len(ds.GroundTruth(c.Proto, t))}
+			// Missed hosts come back sorted, so a cursor on the
+			// union spine resolves each class without searching.
+			union := c.union
+			ui := 0
 			for _, a := range c.MissedInTrial(o, t) {
-				cl := c.Of(o, a)
+				for union[ui] < a {
+					ui++
+				}
+				cl := c.OfAt(o, ui)
 				_, isNet := netUnit[o][a&^0xff]
 				switch cl {
 				case ClassTransient:
@@ -175,13 +183,13 @@ func MissingBreakdown(c *Classifier) []Breakdown {
 func OverlapHistogram(c *Classifier, cl Class, exclude origin.Set) []int {
 	n := len(c.DS.Origins)
 	hist := make([]int, n)
-	for _, a := range c.Union() {
+	for i := range c.Union() {
 		count := 0
 		for _, o := range c.DS.Origins {
 			if exclude.Contains(o) {
 				continue
 			}
-			if c.Of(o, a) == cl {
+			if c.OfAt(o, i) == cl {
 				count++
 			}
 		}

@@ -72,8 +72,17 @@ func Bursts(c *Classifier, topo Topology, scanHours int) BurstReport {
 			if s == nil {
 				continue
 			}
+			// Missed hosts are sorted, so one cursor pair over the
+			// union spine and the scan's address column resolves class
+			// and probe time without per-host searches.
+			addrs := s.Addrs()
+			union := c.union
+			ui, j := 0, 0
 			for _, a := range c.MissedInTrial(o, t) {
-				if c.Of(o, a) != ClassTransient {
+				for union[ui] < a {
+					ui++
+				}
+				if c.OfAt(o, ui) != ClassTransient {
 					continue
 				}
 				as, ok := hostAS[a]
@@ -85,9 +94,12 @@ func Bursts(c *Classifier, topo Topology, scanHours int) BurstReport {
 				if series[k] == nil {
 					series[k] = make([]float64, scanHours)
 				}
+				for j < len(addrs) && addrs[j] < a {
+					j++
+				}
 				h := 0
-				if r, okr := s.Get(a); okr {
-					h = hourOf(r.T)
+				if j < len(addrs) && addrs[j] == a {
+					h = hourOf(s.RecordAt(j).T)
 				} else if pt, okp := probeTime(c, a, t); okp {
 					// Scans are synchronized: another origin's
 					// record of the host gives the probe hour.

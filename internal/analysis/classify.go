@@ -6,7 +6,7 @@
 package analysis
 
 import (
-	"sort"
+	"math/bits"
 
 	"repro/internal/asn"
 	"repro/internal/geo"
@@ -54,105 +54,154 @@ func (c Class) String() string {
 
 // Classifier computes and caches per-host classifications for one protocol
 // across all trials of a dataset.
+//
+// Its layout mirrors the columnar store: the sorted union of all live
+// hosts is the spine, and presence bitmasks and per-origin classes are
+// columns aligned with it. Downstream analyses iterate the spine by index
+// (OfAt/PresentAt), which is a straight array walk — no hash lookups.
 type Classifier struct {
 	DS    *results.Dataset
 	Proto proto.Protocol
 
-	// union is every host live in at least one trial, sorted.
-	union []ip.Addr
-	// presence[h] is a bitmask of trials the host was live in.
-	presence map[ip.Addr]uint8
-	// class[origin][h] is the classification.
-	class map[origin.ID]map[ip.Addr]Class
+	// union is every host live in at least one trial, sorted — the spine
+	// all aligned columns index into.
+	union ip.AddrSlice
+	// presence[i] is a bitmask of trials union[i] was live in.
+	presence []uint8
+	// class[origin][i] is union[i]'s classification from the origin.
+	class map[origin.ID][]Class
 }
 
-// NewClassifier classifies the dataset's hosts for one protocol.
+// NewClassifier classifies the dataset's hosts for one protocol. All
+// per-host state is built with merge walks over the trials' sorted
+// ground-truth and scan columns.
 func NewClassifier(ds *results.Dataset, p proto.Protocol) *Classifier {
+	gts := make([]ip.AddrSlice, ds.Trials)
+	for t := range gts {
+		gts[t] = ds.GroundTruth(p, t)
+	}
 	c := &Classifier{
 		DS: ds, Proto: p,
-		presence: make(map[ip.Addr]uint8),
-		class:    make(map[origin.ID]map[ip.Addr]Class),
+		union: ip.Union(gts...),
+		class: make(map[origin.ID][]Class, len(ds.Origins)),
 	}
-	for t := 0; t < ds.Trials; t++ {
-		for _, a := range ds.GroundTruth(p, t) {
-			c.presence[a] |= 1 << t
+	c.presence = make([]uint8, len(c.union))
+	for t, gt := range gts {
+		ui := 0
+		for _, a := range gt {
+			for c.union[ui] < a {
+				ui++
+			}
+			c.presence[ui] |= 1 << t
 		}
 	}
-	c.union = make([]ip.Addr, 0, len(c.presence))
-	for a := range c.presence {
-		c.union = append(c.union, a)
-	}
-	sort.Slice(c.union, func(i, j int) bool { return c.union[i] < c.union[j] })
-
 	for _, o := range ds.Origins {
-		m := make(map[ip.Addr]Class, len(c.union))
-		for _, a := range c.union {
-			m[a] = c.classify(o, a)
-		}
-		c.class[o] = m
+		c.class[o] = c.classifyOrigin(o, gts)
 	}
 	return c
 }
 
-func (c *Classifier) classify(o origin.ID, a ip.Addr) Class {
-	present := 0
-	missed := 0
-	for t := 0; t < c.DS.Trials; t++ {
-		if c.presence[a]&(1<<t) == 0 {
-			continue
-		}
+// classifyOrigin walks each trial's ground truth against the origin's scan
+// column, accumulating per-host present/missed counts along the union
+// spine, then folds the counts into classes.
+func (c *Classifier) classifyOrigin(o origin.ID, gts []ip.AddrSlice) []Class {
+	present := make([]uint8, len(c.union))
+	missed := make([]uint8, len(c.union))
+	for t, gt := range gts {
 		s := c.DS.Scan(o, c.Proto, t)
 		if s == nil {
 			// Origin did not scan this trial (Carinet): only its
 			// scanned trials count.
 			continue
 		}
-		present++
-		if !s.Success(a, false) {
-			missed++
+		addrs := s.Addrs()
+		ui, j := 0, 0
+		for _, a := range gt {
+			for c.union[ui] < a {
+				ui++
+			}
+			for j < len(addrs) && addrs[j] < a {
+				j++
+			}
+			present[ui]++
+			if !(j < len(addrs) && addrs[j] == a && s.SuccessAt(j, false)) {
+				missed[ui]++
+			}
 		}
 	}
-	switch {
-	case present == 0:
-		return ClassUnknown
-	case missed == 0:
-		return ClassAccessible
-	case present == 1:
-		return ClassUnknown
-	case missed == present:
-		return ClassLongTerm
-	default:
-		return ClassTransient
+	out := make([]Class, len(c.union))
+	for i := range out {
+		switch {
+		case present[i] == 0:
+			out[i] = ClassUnknown
+		case missed[i] == 0:
+			out[i] = ClassAccessible
+		case present[i] == 1:
+			out[i] = ClassUnknown
+		case missed[i] == present[i]:
+			out[i] = ClassLongTerm
+		default:
+			out[i] = ClassTransient
+		}
 	}
+	return out
 }
 
 // Union returns every host live in at least one trial, sorted by address.
+// Indices into it are valid for OfAt, PresentAt, and TrialsPresentAt.
 func (c *Classifier) Union() []ip.Addr { return c.union }
+
+// Index returns a host's position on the union spine.
+func (c *Classifier) Index(a ip.Addr) (int, bool) {
+	i := c.union.Search(a)
+	if i < len(c.union) && c.union[i] == a {
+		return i, true
+	}
+	return i, false
+}
+
+// PresentAt reports whether union[i] was live in the trial.
+func (c *Classifier) PresentAt(i, trial int) bool {
+	return c.presence[i]&(1<<trial) != 0
+}
 
 // PresentIn reports whether the host was live in the trial.
 func (c *Classifier) PresentIn(a ip.Addr, trial int) bool {
-	return c.presence[a]&(1<<trial) != 0
+	i, ok := c.Index(a)
+	return ok && c.PresentAt(i, trial)
+}
+
+// TrialsPresentAt returns the number of trials union[i] was live in.
+func (c *Classifier) TrialsPresentAt(i int) int {
+	return bits.OnesCount8(c.presence[i])
 }
 
 // TrialsPresent returns the number of trials the host was live in.
 func (c *Classifier) TrialsPresent(a ip.Addr) int {
-	n := 0
-	for t := 0; t < c.DS.Trials; t++ {
-		if c.presence[a]&(1<<t) != 0 {
-			n++
-		}
+	i, ok := c.Index(a)
+	if !ok {
+		return 0
 	}
-	return n
+	return c.TrialsPresentAt(i)
 }
 
+// OfAt returns union[i]'s classification from the origin.
+func (c *Classifier) OfAt(o origin.ID, i int) Class { return c.class[o][i] }
+
 // Of returns the host's classification from the origin.
-func (c *Classifier) Of(o origin.ID, a ip.Addr) Class { return c.class[o][a] }
+func (c *Classifier) Of(o origin.ID, a ip.Addr) Class {
+	i, ok := c.Index(a)
+	if !ok {
+		return ClassUnknown
+	}
+	return c.class[o][i]
+}
 
 // HostsOfClass returns the hosts with the given class from the origin.
 func (c *Classifier) HostsOfClass(o origin.ID, cl Class) []ip.Addr {
 	var out []ip.Addr
-	for _, a := range c.union {
-		if c.class[o][a] == cl {
+	for i, a := range c.union {
+		if c.class[o][i] == cl {
 			out = append(out, a)
 		}
 	}
@@ -160,15 +209,21 @@ func (c *Classifier) HostsOfClass(o origin.ID, cl Class) []ip.Addr {
 }
 
 // MissedInTrial returns the hosts live in the trial that the origin failed
-// to handshake with.
+// to handshake with — a merge walk of the trial's ground truth against the
+// origin's scan column.
 func (c *Classifier) MissedInTrial(o origin.ID, trial int) []ip.Addr {
 	s := c.DS.Scan(o, c.Proto, trial)
 	if s == nil {
 		return nil
 	}
+	addrs := ip.AddrSlice(s.Addrs())
 	var out []ip.Addr
+	j := 0
 	for _, a := range c.DS.GroundTruth(c.Proto, trial) {
-		if !s.Success(a, false) {
+		for j < len(addrs) && addrs[j] < a {
+			j++
+		}
+		if !(j < len(addrs) && addrs[j] == a && s.SuccessAt(j, false)) {
 			out = append(out, a)
 		}
 	}

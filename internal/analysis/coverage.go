@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"repro/internal/ip"
 	"repro/internal/origin"
 	"repro/internal/proto"
 	"repro/internal/results"
@@ -93,9 +94,18 @@ func PairwiseMcNemar(ds *results.Dataset, p proto.Protocol, trial int) []McNemar
 		for j := i + 1; j < len(origins); j++ {
 			a, b := origins[i], origins[j]
 			sa, sb := ds.MustScan(a, p, trial), ds.MustScan(b, p, trial)
+			aAddrs, bAddrs := sa.Addrs(), sb.Addrs()
 			var onlyA, onlyB uint64
+			ai, bi := 0, 0
 			for _, h := range gt {
-				va, vb := sa.Success(h, false), sb.Success(h, false)
+				for ai < len(aAddrs) && aAddrs[ai] < h {
+					ai++
+				}
+				for bi < len(bAddrs) && bAddrs[bi] < h {
+					bi++
+				}
+				va := ai < len(aAddrs) && aAddrs[ai] == h && sa.SuccessAt(ai, false)
+				vb := bi < len(bAddrs) && bAddrs[bi] == h && sb.SuccessAt(bi, false)
 				if va && !vb {
 					onlyA++
 				} else if vb && !va {
@@ -122,11 +132,23 @@ func CochranQ(ds *results.Dataset, p proto.Protocol, trial int) (q float64, df i
 			origins = append(origins, o)
 		}
 	}
+	scans := make([]*results.ScanResult, len(origins))
+	addrs := make([]ip.AddrSlice, len(origins))
+	cursors := make([]int, len(origins))
+	for i, o := range origins {
+		scans[i] = ds.MustScan(o, p, trial)
+		addrs[i] = scans[i].Addrs()
+	}
 	rows := make([][]bool, 0, len(gt))
 	for _, h := range gt {
 		row := make([]bool, len(origins))
-		for i, o := range origins {
-			row[i] = ds.MustScan(o, p, trial).Success(h, false)
+		for i := range origins {
+			j, as := cursors[i], addrs[i]
+			for j < len(as) && as[j] < h {
+				j++
+			}
+			cursors[i] = j
+			row[i] = j < len(as) && as[j] == h && scans[i].SuccessAt(j, false)
 		}
 		rows = append(rows, row)
 	}
@@ -155,11 +177,15 @@ func Probes(ds *results.Dataset, p proto.Protocol, o origin.ID, trial int) Probe
 	if s == nil {
 		return ps
 	}
+	addrs := s.Addrs()
+	j := 0
 	for _, h := range ds.GroundTruth(p, trial) {
-		r, ok := s.Get(h)
+		for j < len(addrs) && addrs[j] < h {
+			j++
+		}
 		mask := uint8(0)
-		if ok {
-			mask = r.ProbeMask
+		if j < len(addrs) && addrs[j] == h {
+			mask = s.RecordAt(j).ProbeMask
 		}
 		switch {
 		case mask == 0b11:

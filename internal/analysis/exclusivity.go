@@ -29,10 +29,10 @@ func Exclusive(c *Classifier) Exclusivity {
 		Accessible:   map[origin.ID][]ip.Addr{},
 		Inaccessible: map[origin.ID][]ip.Addr{},
 	}
-	for _, a := range c.Union() {
+	for i, a := range c.Union() {
 		var accessibleFrom, longTermFrom origin.Set
 		for _, o := range c.DS.Origins {
-			switch c.Of(o, a) {
+			switch c.OfAt(o, i) {
 			case ClassAccessible, ClassTransient:
 				accessibleFrom = append(accessibleFrom, o)
 			case ClassLongTerm:

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"repro/internal/asn"
-	"repro/internal/ip"
 	"repro/internal/origin"
 	"repro/internal/proto"
 	"repro/internal/results"
@@ -38,9 +37,17 @@ func PacketLoss(ds *results.Dataset, topo Topology, p proto.Protocol, o origin.I
 	type counts struct{ one, responding int }
 	perAS := map[asn.ASN]*counts{}
 	var one, responding int
+	addrs := s.Addrs()
+	j := 0
 	for _, h := range ds.GroundTruth(p, trial) {
-		r, ok := s.Get(h)
-		if !ok || r.ProbeMask == 0 || r.RST {
+		for j < len(addrs) && addrs[j] < h {
+			j++
+		}
+		if j >= len(addrs) || addrs[j] != h {
+			continue
+		}
+		r := s.RecordAt(j)
+		if r.ProbeMask == 0 || r.RST {
 			continue // unresponsive or RST: excluded per §5.2
 		}
 		responding++
@@ -117,10 +124,10 @@ type OriginASPoint struct {
 
 // LossVsDropForAS extracts Figure 10's per-origin points for one AS.
 func LossVsDropForAS(c *Classifier, topo Topology, as asn.ASN) []OriginASPoint {
-	var hosts []ip.Addr
-	for _, a := range c.Union() {
+	var hosts []int
+	for i, a := range c.Union() {
 		if n, ok := topo.ASOf(a); ok && n == as {
-			hosts = append(hosts, a)
+			hosts = append(hosts, i)
 		}
 	}
 	if len(hosts) == 0 {
@@ -129,8 +136,8 @@ func LossVsDropForAS(c *Classifier, topo Topology, as asn.ASN) []OriginASPoint {
 	var pts []OriginASPoint
 	for _, o := range c.DS.Origins {
 		tr := 0
-		for _, a := range hosts {
-			if c.Of(o, a) == ClassTransient {
+		for _, i := range hosts {
+			if c.OfAt(o, i) == ClassTransient {
 				tr++
 			}
 		}

@@ -62,9 +62,18 @@ func SSHCauses(c *Classifier, topo Topology, temporalASes []asn.ASN) []SSHBreakd
 			if s == nil {
 				continue
 			}
+			addrs := s.Addrs()
+			j := 0
 			for _, a := range c.MissedInTrial(o, t) {
 				b.Missing++
-				r, ok := s.Get(a)
+				for j < len(addrs) && addrs[j] < a {
+					j++
+				}
+				ok := j < len(addrs) && addrs[j] == a
+				var r results.HostRecord
+				if ok {
+					r = s.RecordAt(j)
+				}
 				as, _ := topo.ASOf(a)
 				switch {
 				case isTemporal[as] && ok && r.Fail == zgrab.FailReset:
@@ -113,15 +122,27 @@ func CloseVsDrop(c *Classifier, excludeASes []asn.ASN, topo Topology) float64 {
 			if s == nil {
 				continue
 			}
+			addrs := s.Addrs()
+			union := c.union
+			ui, j := 0, 0
 			for _, a := range c.MissedInTrial(o, t) {
-				if c.Of(o, a) != ClassTransient {
+				for union[ui] < a {
+					ui++
+				}
+				if c.OfAt(o, ui) != ClassTransient {
 					continue
 				}
 				if as, ok := topo.ASOf(a); ok && skip[as] {
 					continue
 				}
-				r, ok := s.Get(a)
-				if !ok || r.ProbeMask == 0 {
+				for j < len(addrs) && addrs[j] < a {
+					j++
+				}
+				if j >= len(addrs) || addrs[j] != a {
+					continue // no TCP handshake at all
+				}
+				r := s.RecordAt(j)
+				if r.ProbeMask == 0 {
 					continue // no TCP handshake at all
 				}
 				total++

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/asn"
-	"repro/internal/ip"
 	"repro/internal/origin"
 	"repro/internal/stats"
 )
@@ -29,18 +28,26 @@ type ASLossSpread struct {
 	Ratio float64
 }
 
+// groupByAS buckets the union spine's indices by destination AS. Index
+// lists inherit the spine's sorted order, so per-AS walks stay in address
+// order and class lookups are direct array reads (OfAt).
+func groupByAS(c *Classifier, topo Topology) map[asn.ASN][]int {
+	asHosts := map[asn.ASN][]int{}
+	for i, a := range c.Union() {
+		if n, ok := topo.ASOf(a); ok {
+			asHosts[n] = append(asHosts[n], i)
+		}
+	}
+	return asHosts
+}
+
 // TransientLossSpread computes, for every AS with at least minHosts live
 // hosts, the per-origin transient loss rates and their spread.
 func TransientLossSpread(c *Classifier, topo Topology, minHosts int) []ASLossSpread {
 	if minHosts < 1 {
 		minHosts = 2
 	}
-	asHosts := map[asn.ASN][]ip.Addr{}
-	for _, a := range c.Union() {
-		if n, ok := topo.ASOf(a); ok {
-			asHosts[n] = append(asHosts[n], a)
-		}
-	}
+	asHosts := groupByAS(c, topo)
 	var out []ASLossSpread
 	for as, hosts := range asHosts {
 		if len(hosts) < minHosts {
@@ -54,8 +61,8 @@ func TransientLossSpread(c *Classifier, topo Topology, minHosts int) []ASLossSpr
 		var minN, maxN int
 		for _, o := range c.DS.Origins {
 			n := 0
-			for _, a := range hosts {
-				if c.Of(o, a) == ClassTransient {
+			for _, i := range hosts {
+				if c.OfAt(o, i) == ClassTransient {
 					n++
 				}
 			}
@@ -118,12 +125,7 @@ func BestWorstStability(c *Classifier, topo Topology, minHosts int) StabilityRep
 		ConsistentBest:  map[origin.ID]int{},
 		ConsistentWorst: map[origin.ID]int{},
 	}
-	asHosts := map[asn.ASN][]ip.Addr{}
-	for _, a := range c.Union() {
-		if n, ok := topo.ASOf(a); ok {
-			asHosts[n] = append(asHosts[n], a)
-		}
-	}
+	asHosts := groupByAS(c, topo)
 	origins := c.DS.Origins
 	for _, hosts := range asHosts {
 		if len(hosts) < minHosts {
@@ -150,8 +152,9 @@ func BestWorstStability(c *Classifier, topo Topology, minHosts int) StabilityRep
 					continue
 				}
 				n := 0
-				for _, a := range hosts {
-					if c.PresentIn(a, t) && s.Success(a, false) {
+				union := c.Union()
+				for _, i := range hosts {
+					if c.PresentAt(i, t) && s.Success(union[i], false) {
 						n++
 					}
 				}

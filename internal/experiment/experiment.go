@@ -306,8 +306,8 @@ func (st *Study) scanOne(o origin.ID, p proto.Protocol, trial int, detectors []p
 	}
 
 	// Batched grab hand-off: workers claim reply indices and write records
-	// into matching slots — no channel per record, and the final Add loop
-	// runs in reply order so insertion is deterministic.
+	// into matching slots — no channel per record, and the final AddBatch
+	// runs in reply order so the columns build deterministically.
 	recs := make([]results.HostRecord, len(replies))
 	workers := cfg.GrabWorkers
 	if workers > len(replies) {
@@ -340,8 +340,10 @@ func (st *Study) scanOne(o origin.ID, p proto.Protocol, trial int, detectors []p
 		}()
 	}
 	wg.Wait()
-	for _, rec := range recs {
-		res.Add(rec)
-	}
+	// Records append in deterministic (T, Dst) reply order; Seal re-sorts
+	// the columns by address once, here at commit, so the stored scan is an
+	// immutable sorted view before any analysis touches it.
+	res.AddBatch(recs)
+	res.Seal()
 	return res, nil
 }

@@ -1,0 +1,141 @@
+package ip
+
+// AddrSlice is a sorted, duplicate-free slice of addresses: the column
+// format of the results store and the shared currency of the analyses'
+// merge-join set algebra. All operations assume (and preserve) strictly
+// ascending order; Union/Intersect/Diff run as linear merges, never
+// rebuilding hash sets.
+type AddrSlice []Addr
+
+// Search returns the smallest index i with s[i] >= a (len(s) when none).
+func (s AddrSlice) Search(a Addr) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Contains reports whether a is in the slice.
+func (s AddrSlice) Contains(a Addr) bool {
+	i := s.Search(a)
+	return i < len(s) && s[i] == a
+}
+
+// IsSorted reports whether the slice is strictly ascending (sorted with no
+// duplicates) — the sealed-column invariant.
+func (s AddrSlice) IsSorted() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the sorted union of the given sorted slices as a k-way
+// merge. The inputs are not modified; the result is freshly allocated.
+func Union(lists ...AddrSlice) AddrSlice {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append(AddrSlice(nil), lists[0]...)
+	}
+	size := 0
+	for _, l := range lists {
+		if len(l) > size {
+			size = len(l)
+		}
+	}
+	out := make(AddrSlice, 0, size)
+	pos := make([]int, len(lists))
+	for {
+		var min Addr
+		found := false
+		for i, l := range lists {
+			if pos[i] < len(l) && (!found || l[pos[i]] < min) {
+				min, found = l[pos[i]], true
+			}
+		}
+		if !found {
+			return out
+		}
+		out = append(out, min)
+		for i, l := range lists {
+			for pos[i] < len(l) && l[pos[i]] == min {
+				pos[i]++
+			}
+		}
+	}
+}
+
+// Intersect returns the sorted intersection of two sorted slices.
+func (s AddrSlice) Intersect(o AddrSlice) AddrSlice {
+	var out AddrSlice
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] < o[j]:
+			i++
+		case s[i] > o[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectAll returns the sorted intersection of all the given sorted
+// slices (nil when called with no lists).
+func IntersectAll(lists ...AddrSlice) AddrSlice {
+	if len(lists) == 0 {
+		return nil
+	}
+	out := append(AddrSlice(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		if len(out) == 0 {
+			return out
+		}
+		out = out.intersectInto(l)
+	}
+	return out
+}
+
+// intersectInto filters s in place to the elements also present in o.
+func (s AddrSlice) intersectInto(o AddrSlice) AddrSlice {
+	n, j := 0, 0
+	for i := 0; i < len(s); i++ {
+		for j < len(o) && o[j] < s[i] {
+			j++
+		}
+		if j < len(o) && o[j] == s[i] {
+			s[n] = s[i]
+			n++
+		}
+	}
+	return s[:n]
+}
+
+// Diff returns the sorted elements of s not present in o.
+func (s AddrSlice) Diff(o AddrSlice) AddrSlice {
+	var out AddrSlice
+	j := 0
+	for _, a := range s {
+		for j < len(o) && o[j] < a {
+			j++
+		}
+		if j >= len(o) || o[j] != a {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package ip
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randSet(rng *rand.Rand, n, space int) (AddrSlice, map[Addr]bool) {
+	m := map[Addr]bool{}
+	for i := 0; i < n; i++ {
+		m[Addr(rng.Intn(space))] = true
+	}
+	s := make(AddrSlice, 0, len(m))
+	for a := range m {
+		s = append(s, a)
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s, m
+}
+
+func TestAddrSliceSearchContains(t *testing.T) {
+	s := AddrSlice{2, 5, 9, 40}
+	for i, a := range s {
+		if got := s.Search(a); got != i {
+			t.Errorf("Search(%v) = %d, want %d", a, got, i)
+		}
+		if !s.Contains(a) {
+			t.Errorf("Contains(%v) = false", a)
+		}
+	}
+	if got := s.Search(6); got != 2 {
+		t.Errorf("Search(6) = %d, want 2", got)
+	}
+	if got := s.Search(100); got != len(s) {
+		t.Errorf("Search(100) = %d, want %d", got, len(s))
+	}
+	if s.Contains(3) {
+		t.Error("Contains(3) = true")
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	for _, tc := range []struct {
+		s    AddrSlice
+		want bool
+	}{
+		{nil, true},
+		{AddrSlice{1}, true},
+		{AddrSlice{1, 2, 3}, true},
+		{AddrSlice{1, 1}, false}, // duplicates violate strict order
+		{AddrSlice{2, 1}, false},
+	} {
+		if got := tc.s.IsSorted(); got != tc.want {
+			t.Errorf("IsSorted(%v) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}
+
+// TestSetAlgebraMatchesMaps checks Union, Intersect, IntersectAll, and Diff
+// against hash-set reference implementations on random inputs.
+func TestSetAlgebraMatchesMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(5)
+		lists := make([]AddrSlice, k)
+		sets := make([]map[Addr]bool, k)
+		for i := range lists {
+			lists[i], sets[i] = randSet(rng, rng.Intn(40), 64)
+		}
+
+		wantUnion := map[Addr]bool{}
+		for _, m := range sets {
+			for a := range m {
+				wantUnion[a] = true
+			}
+		}
+		checkSet(t, "Union", Union(lists...), wantUnion)
+
+		wantInter := map[Addr]bool{}
+		for a := range sets[0] {
+			all := true
+			for _, m := range sets[1:] {
+				if !m[a] {
+					all = false
+					break
+				}
+			}
+			if all {
+				wantInter[a] = true
+			}
+		}
+		checkSet(t, "IntersectAll", IntersectAll(lists...), wantInter)
+
+		if k >= 2 {
+			wantPair := map[Addr]bool{}
+			wantDiff := map[Addr]bool{}
+			for a := range sets[0] {
+				if sets[1][a] {
+					wantPair[a] = true
+				} else {
+					wantDiff[a] = true
+				}
+			}
+			checkSet(t, "Intersect", lists[0].Intersect(lists[1]), wantPair)
+			checkSet(t, "Diff", lists[0].Diff(lists[1]), wantDiff)
+		}
+	}
+}
+
+func checkSet(t *testing.T, op string, got AddrSlice, want map[Addr]bool) {
+	t.Helper()
+	if !got.IsSorted() {
+		t.Fatalf("%s: result not strictly sorted: %v", op, got)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d elements, want %d", op, len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a] {
+			t.Fatalf("%s: unexpected element %v", op, a)
+		}
+	}
+}
+
+// TestUnionMaxAddr guards the k-way merge's found-flag against the
+// largest address: a sentinel-based merge would loop or drop 0xffffffff.
+func TestUnionMaxAddr(t *testing.T) {
+	const max = Addr(1<<32 - 1)
+	got := Union(AddrSlice{1, max}, AddrSlice{max})
+	if len(got) != 2 || got[0] != 1 || got[1] != max {
+		t.Fatalf("Union with max address = %v", got)
+	}
+}
+
+func TestIntersectAllEmpty(t *testing.T) {
+	if got := IntersectAll(); got != nil {
+		t.Errorf("IntersectAll() = %v, want nil", got)
+	}
+	if got := IntersectAll(AddrSlice{1, 2}, nil, AddrSlice{2}); len(got) != 0 {
+		t.Errorf("IntersectAll with empty list = %v, want empty", got)
+	}
+}

@@ -1,0 +1,182 @@
+package results
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/zgrab"
+)
+
+// mapModel is the reference the columnar store is checked against: the
+// map-of-structs storage the store replaced, with its "Add replaces"
+// semantics.
+type mapModel struct {
+	recs map[ip.Addr]HostRecord
+}
+
+func (m *mapModel) Add(r HostRecord) {
+	if m.recs == nil {
+		m.recs = map[ip.Addr]HostRecord{}
+	}
+	m.recs[r.Addr] = r
+}
+
+func (m *mapModel) sorted() []HostRecord {
+	out := make([]HostRecord, 0, len(m.recs))
+	for _, r := range m.recs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+func randRecord(rng *rand.Rand) HostRecord {
+	r := HostRecord{
+		// A small address pool forces duplicate Adds, exercising the
+		// replace-on-seal path.
+		Addr:      ip.Addr(rng.Intn(64)),
+		ProbeMask: uint8(rng.Intn(4)),
+		RST:       rng.Intn(4) == 0,
+		L7:        rng.Intn(2) == 0,
+		Fail:      zgrab.FailMode(rng.Intn(4)),
+		Attempts:  rng.Intn(3),
+		T:         time.Duration(rng.Intn(1000)) * time.Second,
+	}
+	if r.L7 && rng.Intn(2) == 0 {
+		r.Banner = "srv/" + string(rune('a'+rng.Intn(26)))
+	}
+	return r
+}
+
+// TestColumnarMatchesMapModel drives the columnar store and the map
+// reference through random interleavings of Add, Get, Each, Success, and
+// Seal, checking every observable after every operation batch.
+func TestColumnarMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		s := NewScanResult(origin.AU, proto.HTTP, 0)
+		model := &mapModel{}
+		ops := rng.Intn(200)
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(10) {
+			case 0: // explicit mid-stream Seal; Add after re-opens
+				s.Seal()
+			case 1, 2: // Get on a random address
+				a := ip.Addr(rng.Intn(64))
+				got, ok := s.Get(a)
+				want, wantOK := model.recs[a]
+				if ok != wantOK || got != want {
+					t.Fatalf("trial %d op %d: Get(%v) = %+v,%v want %+v,%v",
+						trial, i, a, got, ok, want, wantOK)
+				}
+			case 3: // Success under both probe policies
+				a := ip.Addr(rng.Intn(64))
+				w := model.recs[a]
+				if got := s.Success(a, false); got != w.L7 {
+					t.Fatalf("trial %d op %d: Success(%v,false)=%v", trial, i, a, got)
+				}
+				if got := s.Success(a, true); got != (w.L7 && w.ProbeMask&1 != 0) {
+					t.Fatalf("trial %d op %d: Success(%v,true)=%v", trial, i, a, got)
+				}
+			default:
+				r := randRecord(rng)
+				s.Add(r)
+				model.Add(r)
+			}
+		}
+		want := model.sorted()
+		if s.Len() != len(want) {
+			t.Fatalf("trial %d: Len=%d want %d", trial, s.Len(), len(want))
+		}
+		var got []HostRecord
+		s.Each(func(r HostRecord) { got = append(got, r) })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Each[%d]=%+v want %+v", trial, i, got[i], want[i])
+			}
+		}
+		wantL7 := 0
+		for _, r := range want {
+			if r.L7 {
+				wantL7++
+			}
+		}
+		if s.L7Count() != wantL7 {
+			t.Fatalf("trial %d: L7Count=%d want %d", trial, s.L7Count(), wantL7)
+		}
+		if !ip.AddrSlice(s.Addrs()).IsSorted() {
+			t.Fatalf("trial %d: sealed address column not strictly sorted", trial)
+		}
+	}
+}
+
+// TestEachSealedDoesNotAllocate asserts the satellite fix: iterating a
+// sealed result reads the columns in place, with zero allocations (the map
+// store sorted and allocated a fresh address slice on every call).
+func TestEachSealedDoesNotAllocate(t *testing.T) {
+	s := NewScanResult(origin.AU, proto.HTTP, 0)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		s.Add(randRecord(rng))
+	}
+	s.Seal()
+	var n int
+	allocs := testing.AllocsPerRun(10, func() {
+		n = 0
+		s.Each(func(r HostRecord) { n++ })
+	})
+	if allocs != 0 {
+		t.Errorf("Each on sealed result allocates %.1f times per run, want 0", allocs)
+	}
+	if n != s.Len() {
+		t.Errorf("Each visited %d records, want %d", n, s.Len())
+	}
+}
+
+// TestSealKeepsLastDuplicate pins the map-replacement semantics: of several
+// Adds for one address, the latest wins.
+func TestSealKeepsLastDuplicate(t *testing.T) {
+	s := NewScanResult(origin.AU, proto.HTTP, 0)
+	s.Add(HostRecord{Addr: 9, Attempts: 1})
+	s.Add(HostRecord{Addr: 5, Attempts: 1})
+	s.Add(HostRecord{Addr: 9, Attempts: 2, L7: true})
+	s.Add(HostRecord{Addr: 9, Attempts: 3})
+	s.Seal()
+	if s.Len() != 2 {
+		t.Fatalf("Len=%d want 2", s.Len())
+	}
+	r, ok := s.Get(9)
+	if !ok || r.Attempts != 3 || r.L7 {
+		t.Fatalf("Get(9) = %+v, %v; want the last Add", r, ok)
+	}
+}
+
+// TestCountSuccessInMatchesPointLookups checks the two-pointer coverage
+// walk against per-host Success queries.
+func TestCountSuccessInMatchesPointLookups(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewScanResult(origin.AU, proto.HTTP, 0)
+	for i := 0; i < 500; i++ {
+		s.Add(randRecord(rng))
+	}
+	var gt []ip.Addr
+	for a := ip.Addr(0); a < 80; a += ip.Addr(1 + rng.Intn(3)) {
+		gt = append(gt, a)
+	}
+	for _, single := range []bool{false, true} {
+		want := 0
+		for _, a := range gt {
+			if s.Success(a, single) {
+				want++
+			}
+		}
+		if got := s.CountSuccessIn(gt, single); got != want {
+			t.Errorf("CountSuccessIn(single=%v) = %d, want %d", single, got, want)
+		}
+	}
+}

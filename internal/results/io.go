@@ -1,9 +1,12 @@
 package results
 
 import (
+	"bufio"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"repro/internal/ip"
@@ -15,41 +18,48 @@ import (
 // The JSON wire format is compact: one record array per scan, host records
 // as fixed-order tuples. It exists so cmd/originscan can persist a study's
 // raw results and cmd/report can re-run analyses without re-scanning.
-
-type datasetJSON struct {
-	Origins []uint8    `json:"origins"`
-	Trials  int        `json:"trials"`
-	Scans   []scanJSON `json:"scans"`
-}
-
-type scanJSON struct {
-	Origin  uint8       `json:"origin"`
-	Proto   uint8       `json:"proto"`
-	Trial   int         `json:"trial"`
-	Targets uint64      `json:"targets"`
-	Probes  uint64      `json:"probes"`
-	SynAcks uint64      `json:"synacks"`
-	Rsts    uint64      `json:"rsts"`
-	Invalid uint64      `json:"invalid"`
-	Records [][6]uint64 `json:"records"`
-	// Banners[i] is the banner of Records[i] ("" omitted collectively
-	// when no scan captured banners).
-	Banners []string `json:"banners,omitempty"`
-}
-
-// record tuple layout: [addr, probeMask, flags(rst|l7), fail, attempts, tNanos]
-
-const (
-	flagRST = 1 << 0
-	flagL7  = 1 << 1
-)
+//
+// Both directions stream over the columnar store: the encoder walks the
+// sealed columns and writes tuples straight to the output buffer, and the
+// decoder appends tokens straight into fresh columns — neither side
+// materializes per-row structs or an intermediate records slice. The bytes
+// produced are identical to the earlier reflection-based encoder
+// (json.Encoder over a dataset struct): field order, null vs [] for empty
+// slices, banners omitted when none captured, HTML-escaped strings, and
+// the trailing newline are all preserved, which the golden-dataset test
+// locks in.
+//
+// Wire layout:
+//
+//	{"origins":"<base64 origin ids>","trials":N,"scans":[
+//	  {"origin":O,"proto":P,"trial":T,
+//	   "targets":..,"probes":..,"synacks":..,"rsts":..,"invalid":..,
+//	   "records":[[addr,probeMask,flags(rst|l7),fail,attempts,tNanos],...],
+//	   "banners":[...]}   // omitted when no banner was captured
+//	]}
 
 // WriteJSON serializes the dataset.
 func (d *Dataset) WriteJSON(w io.Writer) error {
-	dj := datasetJSON{Trials: d.Trials}
-	for _, o := range d.Origins {
-		dj.Origins = append(dj.Origins, uint8(o))
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var num []byte // scratch for number formatting
+	bw.WriteString(`{"origins":`)
+	if len(d.Origins) == 0 {
+		bw.WriteString("null")
+	} else {
+		// The wire type is a byte slice, which JSON encodes as base64.
+		ids := make([]byte, len(d.Origins))
+		for i, o := range d.Origins {
+			ids[i] = uint8(o)
+		}
+		bw.WriteByte('"')
+		bw.WriteString(base64.StdEncoding.EncodeToString(ids))
+		bw.WriteByte('"')
 	}
+	bw.WriteString(`,"trials":`)
+	num = strconv.AppendInt(num[:0], int64(d.Trials), 10)
+	bw.Write(num)
+	bw.WriteString(`,"scans":`)
+	wroteScan := false
 	for _, o := range d.Origins {
 		for _, p := range proto.All() {
 			for t := 0; t < d.Trials; t++ {
@@ -57,74 +67,347 @@ func (d *Dataset) WriteJSON(w io.Writer) error {
 				if s == nil {
 					continue
 				}
-				sj := scanJSON{
-					Origin: uint8(o), Proto: uint8(p), Trial: t,
-					Targets: s.Targets, Probes: s.ProbesSent,
-					SynAcks: s.SynAcks, Rsts: s.Rsts, Invalid: s.Invalid,
+				if !wroteScan {
+					bw.WriteByte('[')
+					wroteScan = true
+				} else {
+					bw.WriteByte(',')
 				}
-				hasBanner := false
-				s.Each(func(r HostRecord) {
-					var flags uint64
-					if r.RST {
-						flags |= flagRST
-					}
-					if r.L7 {
-						flags |= flagL7
-					}
-					sj.Records = append(sj.Records, [6]uint64{
-						uint64(r.Addr), uint64(r.ProbeMask), flags,
-						uint64(r.Fail), uint64(r.Attempts), uint64(r.T),
-					})
-					sj.Banners = append(sj.Banners, r.Banner)
-					if r.Banner != "" {
-						hasBanner = true
-					}
-				})
-				if !hasBanner {
-					sj.Banners = nil
+				if err := s.writeJSON(bw, num); err != nil {
+					return err
 				}
-				dj.Scans = append(dj.Scans, sj)
 			}
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&dj)
+	if !wroteScan {
+		bw.WriteString("null")
+	} else {
+		bw.WriteByte(']')
+	}
+	bw.WriteString("}\n")
+	return bw.Flush()
 }
 
-// ReadJSON deserializes a dataset written by WriteJSON.
+// writeJSON streams one scan object from the sealed columns.
+func (s *ScanResult) writeJSON(bw *bufio.Writer, num []byte) error {
+	s.seal()
+	writeField := func(name string, v uint64, first bool) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		bw.WriteByte('"')
+		bw.WriteString(name)
+		bw.WriteString(`":`)
+		num = strconv.AppendUint(num[:0], v, 10)
+		bw.Write(num)
+	}
+	bw.WriteByte('{')
+	writeField("origin", uint64(uint8(s.Origin)), true)
+	writeField("proto", uint64(uint8(s.Proto)), false)
+	bw.WriteString(`,"trial":`)
+	num = strconv.AppendInt(num[:0], int64(s.Trial), 10)
+	bw.Write(num)
+	writeField("targets", s.Targets, false)
+	writeField("probes", s.ProbesSent, false)
+	writeField("synacks", s.SynAcks, false)
+	writeField("rsts", s.Rsts, false)
+	writeField("invalid", s.Invalid, false)
+	bw.WriteString(`,"records":`)
+	if len(s.addrs) == 0 {
+		bw.WriteString("null")
+	} else {
+		bw.WriteByte('[')
+		for i := range s.addrs {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteByte('[')
+			num = strconv.AppendUint(num[:0], uint64(s.addrs[i]), 10)
+			num = append(num, ',')
+			num = strconv.AppendUint(num, uint64(s.probeMask[i]), 10)
+			num = append(num, ',')
+			num = strconv.AppendUint(num, uint64(s.flags[i]), 10)
+			num = append(num, ',')
+			num = strconv.AppendUint(num, uint64(s.fail[i]), 10)
+			num = append(num, ',')
+			num = strconv.AppendUint(num, uint64(s.attempts[i]), 10)
+			num = append(num, ',')
+			num = strconv.AppendUint(num, uint64(s.t[i]), 10)
+			bw.Write(num)
+			bw.WriteByte(']')
+		}
+		bw.WriteByte(']')
+	}
+	hasBanner := false
+	for _, b := range s.banner {
+		if b != "" {
+			hasBanner = true
+			break
+		}
+	}
+	if hasBanner {
+		// json.Marshal keeps the default HTML escaping the old
+		// struct-based encoder applied to banner strings.
+		enc, err := json.Marshal(s.banner)
+		if err != nil {
+			return err
+		}
+		bw.WriteString(`,"banners":`)
+		bw.Write(enc)
+	}
+	bw.WriteByte('}')
+	return nil
+}
+
+// ReadJSON deserializes a dataset written by WriteJSON, streaming tokens
+// straight into columnar scans. Unknown fields are ignored and records may
+// arrive unsorted (Seal at Put time sorts them).
 func ReadJSON(r io.Reader) (*Dataset, error) {
-	var dj datasetJSON
-	if err := json.NewDecoder(r).Decode(&dj); err != nil {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var (
+		origins origin.Set
+		trials  int
+		scans   []*ScanResult
+	)
+	err := func() error {
+		if err := expectDelim(dec, '{'); err != nil {
+			return err
+		}
+		for dec.More() {
+			key, err := readKey(dec)
+			if err != nil {
+				return err
+			}
+			switch key {
+			case "origins":
+				// Byte slice on the wire: base64 string (or null).
+				var tok json.Token
+				tok, err = dec.Token()
+				if err != nil {
+					return err
+				}
+				if tok == nil {
+					break
+				}
+				str, ok := tok.(string)
+				if !ok {
+					return fmt.Errorf("expected base64 origins, got %v", tok)
+				}
+				var ids []byte
+				ids, err = base64.StdEncoding.DecodeString(str)
+				for _, id := range ids {
+					origins = append(origins, origin.ID(id))
+				}
+			case "trials":
+				var u uint64
+				u, err = readUint(dec, 32)
+				trials = int(u)
+			case "scans":
+				err = readArray(dec, func() error {
+					s, err := readScan(dec)
+					if err != nil {
+						return err
+					}
+					scans = append(scans, s)
+					return nil
+				})
+			default:
+				err = skipValue(dec)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		_, err := dec.Token() // closing '}'
+		return err
+	}()
+	if err != nil {
 		return nil, fmt.Errorf("results: decoding dataset: %w", err)
 	}
-	if dj.Trials <= 0 || dj.Trials > 64 {
-		return nil, fmt.Errorf("results: implausible trial count %d", dj.Trials)
+	if trials <= 0 || trials > 64 {
+		return nil, fmt.Errorf("results: implausible trial count %d", trials)
 	}
-	var origins origin.Set
-	for _, o := range dj.Origins {
-		origins = append(origins, origin.ID(o))
-	}
-	d := NewDataset(origins, dj.Trials)
-	for _, sj := range dj.Scans {
-		s := NewScanResult(origin.ID(sj.Origin), proto.Protocol(sj.Proto), sj.Trial)
-		s.Targets, s.ProbesSent = sj.Targets, sj.Probes
-		s.SynAcks, s.Rsts, s.Invalid = sj.SynAcks, sj.Rsts, sj.Invalid
-		for i, rec := range sj.Records {
-			hr := HostRecord{
-				Addr:      ip.Addr(rec[0]),
-				ProbeMask: uint8(rec[1]),
-				RST:       rec[2]&flagRST != 0,
-				L7:        rec[2]&flagL7 != 0,
-				Fail:      zgrab.FailMode(rec[3]),
-				Attempts:  int(rec[4]),
-				T:         time.Duration(rec[5]),
-			}
-			if i < len(sj.Banners) {
-				hr.Banner = sj.Banners[i]
-			}
-			s.Add(hr)
-		}
+	d := NewDataset(origins, trials)
+	for _, s := range scans {
 		d.Put(s)
 	}
 	return d, nil
+}
+
+// readScan consumes one scan object, appending records directly onto the
+// columns of a fresh ScanResult.
+func readScan(dec *json.Decoder) (*ScanResult, error) {
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, err
+	}
+	s := &ScanResult{}
+	var banners []string
+	for dec.More() {
+		key, err := readKey(dec)
+		if err != nil {
+			return nil, err
+		}
+		switch key {
+		case "origin":
+			var u uint64
+			u, err = readUint(dec, 8)
+			s.Origin = origin.ID(u)
+		case "proto":
+			var u uint64
+			u, err = readUint(dec, 8)
+			s.Proto = proto.Protocol(u)
+		case "trial":
+			var u uint64
+			u, err = readUint(dec, 32)
+			s.Trial = int(u)
+		case "targets":
+			s.Targets, err = readUint(dec, 64)
+		case "probes":
+			s.ProbesSent, err = readUint(dec, 64)
+		case "synacks":
+			s.SynAcks, err = readUint(dec, 64)
+		case "rsts":
+			s.Rsts, err = readUint(dec, 64)
+		case "invalid":
+			s.Invalid, err = readUint(dec, 64)
+		case "records":
+			err = readArray(dec, func() error { return s.readRecord(dec) })
+		case "banners":
+			err = readArray(dec, func() error {
+				b, err := readString(dec)
+				if err != nil {
+					return err
+				}
+				banners = append(banners, b)
+				return nil
+			})
+		default:
+			err = skipValue(dec)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return nil, err
+	}
+	for i := range s.banner {
+		if i < len(banners) {
+			s.banner[i] = banners[i]
+		}
+	}
+	return s, nil
+}
+
+// readRecord consumes one [addr, probeMask, flags, fail, attempts, tNanos]
+// tuple into the scan's columns. Like the former fixed-array decode, short
+// tuples zero-fill and extra elements are discarded.
+func (s *ScanResult) readRecord(dec *json.Decoder) error {
+	if err := expectDelim(dec, '['); err != nil {
+		return err
+	}
+	var rec [6]uint64
+	n := 0
+	for dec.More() {
+		u, err := readUint(dec, 64)
+		if err != nil {
+			return err
+		}
+		if n < len(rec) {
+			rec[n] = u
+		}
+		n++
+	}
+	if _, err := dec.Token(); err != nil { // closing ']'
+		return err
+	}
+	s.addrs = append(s.addrs, ip.Addr(rec[0]))
+	s.probeMask = append(s.probeMask, uint8(rec[1]))
+	s.flags = append(s.flags, uint8(rec[2])&(flagRST|flagL7))
+	s.fail = append(s.fail, zgrab.FailMode(rec[3]))
+	s.attempts = append(s.attempts, int32(rec[4]))
+	s.t = append(s.t, time.Duration(rec[5]))
+	s.banner = append(s.banner, "")
+	return nil
+}
+
+// Token-stream helpers.
+
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("expected %q, got %v", want, tok)
+	}
+	return nil
+}
+
+func readKey(dec *json.Decoder) (string, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return "", err
+	}
+	key, ok := tok.(string)
+	if !ok {
+		return "", fmt.Errorf("expected object key, got %v", tok)
+	}
+	return key, nil
+}
+
+func readUint(dec *json.Decoder, bits int) (uint64, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return 0, err
+	}
+	num, ok := tok.(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("expected number, got %v", tok)
+	}
+	u, err := strconv.ParseUint(num.String(), 10, bits)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %w", num, err)
+	}
+	return u, nil
+}
+
+func readString(dec *json.Decoder) (string, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return "", err
+	}
+	str, ok := tok.(string)
+	if !ok {
+		return "", fmt.Errorf("expected string, got %v", tok)
+	}
+	return str, nil
+}
+
+// readArray consumes "null" or an array, calling elem before each element.
+func readArray(dec *json.Decoder, elem func() error) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if tok == nil {
+		return nil // JSON null: empty
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("expected array, got %v", tok)
+	}
+	for dec.More() {
+		if err := elem(); err != nil {
+			return err
+		}
+	}
+	_, err = dec.Token() // closing ']'
+	return err
+}
+
+// skipValue discards the next JSON value (unknown fields).
+func skipValue(dec *json.Decoder) error {
+	var raw json.RawMessage
+	return dec.Decode(&raw)
 }

@@ -2,6 +2,15 @@
 // (origin, protocol, trial), the per-host probe and handshake outcomes, plus
 // the set algebra the paper's analyses run on top (ground-truth unions,
 // per-origin misses, intersections).
+//
+// Storage is columnar: a ScanResult keeps parallel columns ("struct of
+// arrays") sorted by address. Records append during the scan; Seal sorts and
+// deduplicates once when the scan commits, after which every read — point
+// lookup, in-order iteration, set algebra — works on the sorted columns with
+// no per-call allocation. The Dataset's set operations (ground truth,
+// intersection, coverage) are merge-joins over the sealed address columns
+// rather than per-call hash sets, which is what lets the analyses scale to
+// Censys-sized result sets.
 package results
 
 import (
@@ -39,7 +48,20 @@ type HostRecord struct {
 // L4 reports whether the host was L4-responsive (any SYN-ACK).
 func (r *HostRecord) L4() bool { return r.ProbeMask != 0 }
 
+// Host flag bits, packed per record (also the JSON wire encoding).
+const (
+	flagRST = 1 << 0
+	flagL7  = 1 << 1
+)
+
 // ScanResult is one origin's scan of one protocol in one trial.
+//
+// The record storage is append-mostly columnar: Add appends to the parallel
+// columns, Seal sorts them by address (deduplicating repeated Adds of the
+// same host, last write wins, matching the map semantics it replaced) and
+// every reader operates on the sealed columns. Readers seal lazily, so the
+// zero-cost fast path is Add…Add → Seal → read; a sealed result is safe for
+// concurrent reads (the parallel analyses rely on this — Dataset.Put seals).
 type ScanResult struct {
 	Origin origin.ID
 	Proto  proto.Protocol
@@ -48,7 +70,19 @@ type ScanResult struct {
 	// Scan statistics from the scanner.
 	Targets, ProbesSent, SynAcks, Rsts, Invalid uint64
 
-	records map[ip.Addr]HostRecord
+	// Parallel columns, sorted by addrs once sealed.
+	addrs     ip.AddrSlice
+	probeMask []uint8
+	flags     []uint8
+	fail      []zgrab.FailMode
+	attempts  []int32
+	t         []time.Duration
+	banner    []string
+
+	sealed bool
+	// l7Addrs caches the sorted addresses with successful handshakes,
+	// the merge-join input of ground-truth and intersection queries.
+	l7Addrs ip.AddrSlice
 }
 
 // NewScanResult returns an empty result set.
@@ -56,52 +90,200 @@ func NewScanResult(o origin.ID, p proto.Protocol, trial int) *ScanResult {
 	return NewScanResultSized(o, p, trial, 0)
 }
 
-// NewScanResultSized returns an empty result set with record storage sized
-// for n hosts, avoiding map regrowth when the caller knows the reply count.
+// NewScanResultSized returns an empty result set with column storage sized
+// for n hosts, avoiding regrowth when the caller knows the reply count.
 func NewScanResultSized(o origin.ID, p proto.Protocol, trial int, n int) *ScanResult {
-	return &ScanResult{
-		Origin: o, Proto: p, Trial: trial,
-		records: make(map[ip.Addr]HostRecord, n),
+	s := &ScanResult{Origin: o, Proto: p, Trial: trial}
+	if n > 0 {
+		s.addrs = make(ip.AddrSlice, 0, n)
+		s.probeMask = make([]uint8, 0, n)
+		s.flags = make([]uint8, 0, n)
+		s.fail = make([]zgrab.FailMode, 0, n)
+		s.attempts = make([]int32, 0, n)
+		s.t = make([]time.Duration, 0, n)
+		s.banner = make([]string, 0, n)
+	}
+	return s
+}
+
+// Add records a host outcome, replacing any existing record for the host
+// (the replacement is resolved at Seal time; Add itself only appends).
+func (s *ScanResult) Add(r HostRecord) {
+	s.sealed = false
+	s.l7Addrs = nil
+	s.addrs = append(s.addrs, r.Addr)
+	s.probeMask = append(s.probeMask, r.ProbeMask)
+	var f uint8
+	if r.RST {
+		f |= flagRST
+	}
+	if r.L7 {
+		f |= flagL7
+	}
+	s.flags = append(s.flags, f)
+	s.fail = append(s.fail, r.Fail)
+	s.attempts = append(s.attempts, int32(r.Attempts))
+	s.t = append(s.t, r.T)
+	s.banner = append(s.banner, r.Banner)
+}
+
+// AddBatch appends a block of records — the batched grab hand-off writes
+// its per-reply slots straight into the columns in reply order.
+func (s *ScanResult) AddBatch(rs []HostRecord) {
+	for i := range rs {
+		s.Add(rs[i])
 	}
 }
 
-// Equal reports whether two scans hold identical records and statistics.
-func (s *ScanResult) Equal(o *ScanResult) bool {
-	if s.Origin != o.Origin || s.Proto != o.Proto || s.Trial != o.Trial ||
-		s.Targets != o.Targets || s.ProbesSent != o.ProbesSent ||
-		s.SynAcks != o.SynAcks || s.Rsts != o.Rsts || s.Invalid != o.Invalid ||
-		len(s.records) != len(o.records) {
+// Seal sorts the columns by address and resolves duplicate Adds (last
+// wins). It is idempotent; readers call it lazily, and Dataset.Put calls it
+// eagerly so stored scans are immutable, concurrency-safe views. Scan
+// results arriving already sorted (decoded datasets) seal without sorting.
+func (s *ScanResult) Seal() {
+	if s.sealed {
+		return
+	}
+	if !s.addrs.IsSorted() {
+		sort.Stable((*byAddr)(s))
+		s.dedup()
+	}
+	n := 0
+	for _, f := range s.flags {
+		if f&flagL7 != 0 {
+			n++
+		}
+	}
+	l7 := make(ip.AddrSlice, 0, n)
+	for i, f := range s.flags {
+		if f&flagL7 != 0 {
+			l7 = append(l7, s.addrs[i])
+		}
+	}
+	s.l7Addrs = l7
+	s.sealed = true
+}
+
+func (s *ScanResult) seal() {
+	if !s.sealed {
+		s.Seal()
+	}
+}
+
+// byAddr sorts all columns together by the address column. The sort must be
+// stable so that, of several Adds for one host, the latest stays last and
+// dedup can keep it (map-replacement semantics).
+type byAddr ScanResult
+
+func (s *byAddr) Len() int           { return len(s.addrs) }
+func (s *byAddr) Less(i, j int) bool { return s.addrs[i] < s.addrs[j] }
+func (s *byAddr) Swap(i, j int) {
+	s.addrs[i], s.addrs[j] = s.addrs[j], s.addrs[i]
+	s.probeMask[i], s.probeMask[j] = s.probeMask[j], s.probeMask[i]
+	s.flags[i], s.flags[j] = s.flags[j], s.flags[i]
+	s.fail[i], s.fail[j] = s.fail[j], s.fail[i]
+	s.attempts[i], s.attempts[j] = s.attempts[j], s.attempts[i]
+	s.t[i], s.t[j] = s.t[j], s.t[i]
+	s.banner[i], s.banner[j] = s.banner[j], s.banner[i]
+}
+
+// dedup compacts sorted columns, keeping the last row of each address run.
+func (s *ScanResult) dedup() {
+	out := 0
+	for i := 0; i < len(s.addrs); {
+		j := i
+		for j+1 < len(s.addrs) && s.addrs[j+1] == s.addrs[i] {
+			j++
+		}
+		if out != j {
+			s.addrs[out] = s.addrs[j]
+			s.probeMask[out] = s.probeMask[j]
+			s.flags[out] = s.flags[j]
+			s.fail[out] = s.fail[j]
+			s.attempts[out] = s.attempts[j]
+			s.t[out] = s.t[j]
+			s.banner[out] = s.banner[j]
+		}
+		out++
+		i = j + 1
+	}
+	s.addrs = s.addrs[:out]
+	s.probeMask = s.probeMask[:out]
+	s.flags = s.flags[:out]
+	s.fail = s.fail[:out]
+	s.attempts = s.attempts[:out]
+	s.t = s.t[:out]
+	s.banner = s.banner[:out]
+}
+
+// Len returns the number of recorded hosts.
+func (s *ScanResult) Len() int {
+	s.seal()
+	return len(s.addrs)
+}
+
+// Addrs returns the sealed, sorted address column. Callers must not modify
+// it; it is the merge-join spine the analyses iterate against.
+func (s *ScanResult) Addrs() ip.AddrSlice {
+	s.seal()
+	return s.addrs
+}
+
+// L7Addrs returns the sorted addresses with successful L7 handshakes
+// (cached at Seal). Callers must not modify it.
+func (s *ScanResult) L7Addrs() ip.AddrSlice {
+	s.seal()
+	return s.l7Addrs
+}
+
+// Find returns the row index of addr in the sealed columns.
+func (s *ScanResult) Find(addr ip.Addr) (int, bool) {
+	s.seal()
+	i := s.addrs.Search(addr)
+	if i < len(s.addrs) && s.addrs[i] == addr {
+		return i, true
+	}
+	return i, false
+}
+
+// RecordAt materializes row i of the sealed columns. Indices come from
+// Find or from iterating Addrs.
+func (s *ScanResult) RecordAt(i int) HostRecord {
+	return HostRecord{
+		Addr:      s.addrs[i],
+		ProbeMask: s.probeMask[i],
+		RST:       s.flags[i]&flagRST != 0,
+		L7:        s.flags[i]&flagL7 != 0,
+		Fail:      s.fail[i],
+		Banner:    s.banner[i],
+		Attempts:  int(s.attempts[i]),
+		T:         s.t[i],
+	}
+}
+
+// SuccessAt reports whether row i is an L7 success, optionally requiring a
+// response to probe 0 (the single-probe simulation).
+func (s *ScanResult) SuccessAt(i int, singleProbe bool) bool {
+	if s.flags[i]&flagL7 == 0 {
 		return false
 	}
-	for a, r := range s.records {
-		if or, ok := o.records[a]; !ok || or != r {
-			return false
-		}
+	if singleProbe && s.probeMask[i]&1 == 0 {
+		return false
 	}
 	return true
 }
 
-// Add records a host outcome, replacing any existing record for the host.
-func (s *ScanResult) Add(r HostRecord) { s.records[r.Addr] = r }
-
 // Get returns the record for addr.
 func (s *ScanResult) Get(addr ip.Addr) (HostRecord, bool) {
-	r, ok := s.records[addr]
-	return r, ok
+	if i, ok := s.Find(addr); ok {
+		return s.RecordAt(i), true
+	}
+	return HostRecord{}, false
 }
-
-// Len returns the number of recorded hosts.
-func (s *ScanResult) Len() int { return len(s.records) }
 
 // L7Count returns the number of hosts with successful handshakes.
 func (s *ScanResult) L7Count() int {
-	n := 0
-	for _, r := range s.records {
-		if r.L7 {
-			n++
-		}
-	}
-	return n
+	s.seal()
+	return len(s.l7Addrs)
 }
 
 // Success reports whether the scan completed an L7 handshake with addr,
@@ -110,27 +292,68 @@ func (s *ScanResult) L7Count() int {
 // successful responses to both of our ZMap probes" — in our direction,
 // requiring probe 0's response).
 func (s *ScanResult) Success(addr ip.Addr, singleProbe bool) bool {
-	r, ok := s.records[addr]
-	if !ok || !r.L7 {
-		return false
-	}
-	if singleProbe && r.ProbeMask&1 == 0 {
-		return false
-	}
-	return true
+	i, ok := s.Find(addr)
+	return ok && s.SuccessAt(i, singleProbe)
 }
 
-// Each visits every record in address order.
-func (s *ScanResult) Each(fn func(HostRecord)) {
-	addrs := make([]ip.Addr, 0, len(s.records))
-	for a := range s.records {
-		addrs = append(addrs, a)
+// CountSuccessIn counts how many of the sorted addresses in gt the scan
+// successfully handshaked with — a two-pointer merge-join over the sealed
+// address column.
+func (s *ScanResult) CountSuccessIn(gt []ip.Addr, singleProbe bool) int {
+	s.seal()
+	n, j := 0, 0
+	for _, a := range gt {
+		for j < len(s.addrs) && s.addrs[j] < a {
+			j++
+		}
+		if j < len(s.addrs) && s.addrs[j] == a && s.SuccessAt(j, singleProbe) {
+			n++
+		}
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, a := range addrs {
-		fn(s.records[a])
+	return n
+}
+
+// Each visits every record in address order. Iteration reads the sealed
+// columns in place and performs no per-call allocation.
+func (s *ScanResult) Each(fn func(HostRecord)) {
+	s.seal()
+	for i := range s.addrs {
+		fn(s.RecordAt(i))
 	}
 }
+
+// DiffAgainst compares two scans row-by-row, returning "" when identical or
+// a description of the first difference. It is the one record comparator:
+// Equal and Dataset.Diff both delegate here.
+func (s *ScanResult) DiffAgainst(o *ScanResult) string {
+	if s.Origin != o.Origin || s.Proto != o.Proto || s.Trial != o.Trial {
+		return fmt.Sprintf("identity %v/%v/trial %d vs %v/%v/trial %d",
+			s.Origin, s.Proto, s.Trial, o.Origin, o.Proto, o.Trial)
+	}
+	s.seal()
+	o.seal()
+	if len(s.addrs) != len(o.addrs) {
+		return fmt.Sprintf("%d vs %d records", len(s.addrs), len(o.addrs))
+	}
+	for i := range s.addrs {
+		if s.addrs[i] != o.addrs[i] {
+			return fmt.Sprintf("row %d: host %v vs %v", i, s.addrs[i], o.addrs[i])
+		}
+		if r, or := s.RecordAt(i), o.RecordAt(i); r != or {
+			return fmt.Sprintf("host %v: %+v vs %+v", s.addrs[i], r, or)
+		}
+	}
+	if s.Targets != o.Targets || s.ProbesSent != o.ProbesSent ||
+		s.SynAcks != o.SynAcks || s.Rsts != o.Rsts || s.Invalid != o.Invalid {
+		return fmt.Sprintf("stats differ: %+v vs %+v",
+			[5]uint64{s.Targets, s.ProbesSent, s.SynAcks, s.Rsts, s.Invalid},
+			[5]uint64{o.Targets, o.ProbesSent, o.SynAcks, o.Rsts, o.Invalid})
+	}
+	return ""
+}
+
+// Equal reports whether two scans hold identical records and statistics.
+func (s *ScanResult) Equal(o *ScanResult) bool { return s.DiffAgainst(o) == "" }
 
 // Dataset is the full study output: results indexed by origin, protocol,
 // and trial.
@@ -164,8 +387,10 @@ func NewDataset(origins origin.Set, trials int) *Dataset {
 	}
 }
 
-// Put stores a completed scan.
+// Put stores a completed scan, sealing it: stored scans are sorted,
+// immutable views safe for the concurrent analyses.
 func (d *Dataset) Put(s *ScanResult) {
+	s.Seal()
 	d.scans[key{s.Origin, s.Proto, s.Trial}] = s
 	d.gtMu.Lock()
 	delete(d.gtCache, gtKey{s.Proto, s.Trial})
@@ -191,7 +416,8 @@ func (d *Dataset) MustScan(o origin.ID, p proto.Protocol, trial int) *ScanResult
 
 // GroundTruth returns the sorted set of hosts that completed an L7
 // handshake with at least one origin in the trial — the paper's working
-// definition of live hosts.
+// definition of live hosts. It is a k-way merge union of the scans' sealed
+// L7 address columns, cached per (protocol, trial).
 func (d *Dataset) GroundTruth(p proto.Protocol, trial int) []ip.Addr {
 	gk := gtKey{p, trial}
 	d.gtMu.Lock()
@@ -200,23 +426,13 @@ func (d *Dataset) GroundTruth(p proto.Protocol, trial int) []ip.Addr {
 	if ok {
 		return gt
 	}
-	set := make(map[ip.Addr]bool)
+	lists := make([]ip.AddrSlice, 0, len(d.Origins))
 	for _, o := range d.Origins {
-		s := d.Scan(o, p, trial)
-		if s == nil {
-			continue
-		}
-		for a, r := range s.records {
-			if r.L7 {
-				set[a] = true
-			}
+		if s := d.Scan(o, p, trial); s != nil {
+			lists = append(lists, s.L7Addrs())
 		}
 	}
-	gt = make([]ip.Addr, 0, len(set))
-	for a := range set {
-		gt = append(gt, a)
-	}
-	sort.Slice(gt, func(i, j int) bool { return gt[i] < gt[j] })
+	gt = ip.Union(lists...)
 	d.gtMu.Lock()
 	d.gtCache[gk] = gt
 	d.gtMu.Unlock()
@@ -236,23 +452,8 @@ func (d *Dataset) Diff(o *Dataset) string {
 		if !ok {
 			return fmt.Sprintf("scan %v/%v/trial %d missing from other", k.o, k.p, k.t)
 		}
-		if !s.Equal(os) {
-			if s.Len() != os.Len() {
-				return fmt.Sprintf("scan %v/%v/trial %d: %d vs %d records", k.o, k.p, k.t, s.Len(), os.Len())
-			}
-			for a, r := range s.records {
-				or, ok := os.records[a]
-				if !ok {
-					return fmt.Sprintf("scan %v/%v/trial %d: host %v missing from other", k.o, k.p, k.t, a)
-				}
-				if or != r {
-					return fmt.Sprintf("scan %v/%v/trial %d: host %v: %+v vs %+v", k.o, k.p, k.t, a, r, or)
-				}
-			}
-			return fmt.Sprintf("scan %v/%v/trial %d: stats differ: %+v vs %+v",
-				k.o, k.p, k.t,
-				[5]uint64{s.Targets, s.ProbesSent, s.SynAcks, s.Rsts, s.Invalid},
-				[5]uint64{os.Targets, os.ProbesSent, os.SynAcks, os.Rsts, os.Invalid})
+		if msg := s.DiffAgainst(os); msg != "" {
+			return fmt.Sprintf("scan %v/%v/trial %d: %s", k.o, k.p, k.t, msg)
 		}
 	}
 	return ""
@@ -262,29 +463,17 @@ func (d *Dataset) Diff(o *Dataset) string {
 func (d *Dataset) Equal(o *Dataset) bool { return d.Diff(o) == "" }
 
 // Intersection returns the number of ground-truth hosts every origin saw in
-// the trial (the ∩ column of Table 4a). Origins that did not scan the trial
-// (Carinet outside trial 1) are skipped, as in the paper.
+// the trial (the ∩ column of Table 4a): a k-way merge intersection of the
+// scans' L7 columns. Origins that did not scan the trial (Carinet outside
+// trial 1) are skipped, as in the paper.
 func (d *Dataset) Intersection(p proto.Protocol, trial int) int {
-	var scans []*ScanResult
+	lists := make([]ip.AddrSlice, 0, len(d.Origins))
 	for _, o := range d.Origins {
 		if s := d.Scan(o, p, trial); s != nil {
-			scans = append(scans, s)
+			lists = append(lists, s.L7Addrs())
 		}
 	}
-	n := 0
-	for _, a := range d.GroundTruth(p, trial) {
-		all := true
-		for _, s := range scans {
-			if !s.Success(a, false) {
-				all = false
-				break
-			}
-		}
-		if all {
-			n++
-		}
-	}
-	return n
+	return len(ip.IntersectAll(lists...))
 }
 
 // Coverage returns the fraction of the trial's ground truth the origin saw.
@@ -297,26 +486,35 @@ func (d *Dataset) Coverage(o origin.ID, p proto.Protocol, trial int, singleProbe
 	if s == nil {
 		return 0
 	}
-	n := 0
-	for _, a := range gt {
-		if s.Success(a, singleProbe) {
-			n++
-		}
-	}
-	return float64(n) / float64(len(gt))
+	return float64(s.CountSuccessIn(gt, singleProbe)) / float64(len(gt))
 }
 
 // CoverageOfSet returns the fraction of the trial's ground truth seen by
-// any origin in the set — multi-origin coverage (§7, Figure 15).
+// any origin in the set — multi-origin coverage (§7, Figure 15). One merge
+// pass with a cursor per scan replaces the per-host hash probes of the map
+// store; it is the hot path of the 2^n-combination multi-origin analysis.
 func (d *Dataset) CoverageOfSet(origins origin.Set, p proto.Protocol, trial int, singleProbe bool) float64 {
 	gt := d.GroundTruth(p, trial)
 	if len(gt) == 0 {
 		return 0
 	}
+	scans := make([]*ScanResult, 0, len(origins))
+	for _, o := range origins {
+		if s := d.Scan(o, p, trial); s != nil {
+			s.seal()
+			scans = append(scans, s)
+		}
+	}
+	cursors := make([]int, len(scans))
 	n := 0
 	for _, a := range gt {
-		for _, o := range origins {
-			if s := d.Scan(o, p, trial); s != nil && s.Success(a, singleProbe) {
+		for si, s := range scans {
+			j := cursors[si]
+			for j < len(s.addrs) && s.addrs[j] < a {
+				j++
+			}
+			cursors[si] = j
+			if j < len(s.addrs) && s.addrs[j] == a && s.SuccessAt(j, singleProbe) {
 				n++
 				break
 			}
