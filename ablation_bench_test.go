@@ -6,6 +6,7 @@
 package scanorigin
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -29,11 +30,11 @@ func ablationRun(b *testing.B, mutate func(*experiment.Config)) float64 {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	st, err := experiment.NewStudy(cfg)
+	st, err := experiment.NewStudy(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	ds, err := st.Run()
+	ds, err := st.Run(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package scanorigin
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -30,12 +31,12 @@ var (
 func benchStudy(b *testing.B) *core.Study {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchStu, benchErr = core.New(experiment.Config{
+		benchStu, benchErr = core.New(context.Background(), experiment.Config{
 			WorldSpec:      world.TestSpec(2020),
 			IncludeCarinet: true,
 		})
 		if benchErr == nil {
-			benchErr = benchStu.Run()
+			benchErr = benchStu.Run(context.Background())
 		}
 	})
 	if benchErr != nil {
@@ -224,7 +225,7 @@ func BenchmarkFig13SSHRetry(b *testing.B) {
 	s := benchStudy(b)
 	var curves []experiment.RetryCurve
 	for i := 0; i < b.N; i++ {
-		curves = s.Fig13SSHRetry(3, 8)
+		curves, _ = s.Fig13SSHRetry(context.Background(), 3, 8)
 	}
 	if len(curves) > 0 && len(curves[0].Success) > 8 {
 		b.ReportMetric(100*curves[0].Success[8], "retry8-success-%")
@@ -250,7 +251,7 @@ func BenchmarkFig15MultiOriginHTTP(b *testing.B) {
 	s := benchStudy(b)
 	var levels []analysis.MultiOriginLevel
 	for i := 0; i < b.N; i++ {
-		levels = s.Fig15MultiOrigin(proto.HTTP, false)
+		levels, _ = s.Fig15MultiOrigin(context.Background(), proto.HTTP, false)
 	}
 	if len(levels) >= 3 {
 		b.ReportMetric(100*levels[2].Median, "k3-median-cov-%")
@@ -273,8 +274,8 @@ func BenchmarkFig17MultiOriginHTTPSSSH(b *testing.B) {
 	s := benchStudy(b)
 	var httpsMed, sshMed float64
 	for i := 0; i < b.N; i++ {
-		lh := s.Fig15MultiOrigin(proto.HTTPS, false)
-		ls := s.Fig15MultiOrigin(proto.SSH, false)
+		lh, _ := s.Fig15MultiOrigin(context.Background(), proto.HTTPS, false)
+		ls, _ := s.Fig15MultiOrigin(context.Background(), proto.SSH, false)
 		httpsMed, sshMed = lh[2].Median, ls[2].Median
 	}
 	b.ReportMetric(100*httpsMed, "https-k3-median-%")
@@ -286,11 +287,14 @@ func BenchmarkFig17MultiOriginHTTPSSSH(b *testing.B) {
 func BenchmarkFig18FollowUp(b *testing.B) {
 	var triad, median float64
 	for i := 0; i < b.N; i++ {
-		_, ds, err := experiment.FollowUp(world.Spec{Seed: 2020, Scale: 0.00003})
+		_, ds, err := experiment.FollowUp(context.Background(), world.Spec{Seed: 2020, Scale: 0.00003})
 		if err != nil {
 			b.Fatal(err)
 		}
-		levels := analysis.MultiOrigin(ds, proto.HTTP, origin.FollowUpSet(), false)
+		levels, err := analysis.MultiOrigin(context.Background(), ds, proto.HTTP, origin.FollowUpSet(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
 		triad = analysis.CoverageOfCombo(ds, proto.HTTP,
 			origin.Set{origin.HE, origin.NTTC, origin.TELIA}, false)
 		median = levels[2].Median
@@ -357,7 +361,7 @@ func BenchmarkTab4Coverage(b *testing.B) {
 func BenchmarkTab4bFollowUp(b *testing.B) {
 	var cen float64
 	for i := 0; i < b.N; i++ {
-		_, ds, err := experiment.FollowUp(world.Spec{Seed: 2020, Scale: 0.00003})
+		_, ds, err := experiment.FollowUp(context.Background(), world.Spec{Seed: 2020, Scale: 0.00003})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -438,14 +442,14 @@ func BenchmarkSec7Probes(b *testing.B) {
 func BenchmarkFullReport(b *testing.B) {
 	s := benchStudy(b)
 	for i := 0; i < b.N; i++ {
-		report.All(io.Discard, s)
+		report.All(context.Background(), io.Discard, s)
 	}
 }
 
 // BenchmarkEndToEndScan measures one full single-origin scan+grab cycle
 // over a small world (the scanner and fabric hot path).
 func BenchmarkEndToEndScan(b *testing.B) {
-	st, err := experiment.NewStudy(experiment.Config{
+	st, err := experiment.NewStudy(context.Background(), experiment.Config{
 		WorldSpec: world.Spec{Seed: 3, Scale: 0.00002},
 		Trials:    1,
 		Protocols: []proto.Protocol{proto.HTTP},
@@ -455,7 +459,7 @@ func BenchmarkEndToEndScan(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := st.ScanOne(origin.US1, proto.HTTP, 0); err != nil {
+		if _, err := st.ScanOne(context.Background(), origin.US1, proto.HTTP, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -477,7 +481,7 @@ func BenchmarkSec8ProbeSweep(b *testing.B) {
 	s := benchStudy(b)
 	var last float64
 	for i := 0; i < b.N; i++ {
-		pts, err := s.ProbeSweep(origin.US1, proto.HTTP, 0, 3, 0)
+		pts, err := s.ProbeSweep(context.Background(), origin.US1, proto.HTTP, 0, 3, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -521,7 +525,7 @@ func benchStudyRun(b *testing.B, par, shards int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		st, err := experiment.NewStudy(experiment.Config{
+		st, err := experiment.NewStudy(context.Background(), experiment.Config{
 			WorldSpec:   world.TestSpec(2020),
 			Trials:      2,
 			Protocols:   []proto.Protocol{proto.HTTP, proto.SSH},
@@ -533,7 +537,7 @@ func benchStudyRun(b *testing.B, par, shards int) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if _, err := st.Run(); err != nil {
+		if _, err := st.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,12 +11,20 @@
 //
 // The default scale (0.001) generates ≈58k HTTP hosts, mirroring the
 // paper's 58M at 1/1000; a full run takes a few minutes on one core.
+//
+// SIGINT/SIGTERM cancel the run: scans stop at the next shard batch, every
+// scan completed before the interruption is flushed to -dataset (when set),
+// and the process exits with code 130. Other failures exit with code 1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/analysis"
@@ -27,6 +35,13 @@ import (
 	"repro/internal/proto"
 	"repro/internal/report"
 	"repro/internal/world"
+)
+
+// Exit codes: cancellation exits 130 (128+SIGINT, the shell convention);
+// any other failure exits 1.
+const (
+	exitFailure  = 1
+	exitCanceled = 130
 )
 
 func main() {
@@ -43,6 +58,11 @@ func main() {
 		scanShards   = flag.Int("scan-shards", 0, "goroutine shards per ZMap sweep (0 = unsharded)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the study context; the lifecycle layer stops
+	// scans at the next batch boundary and hands back partial results.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := experiment.Config{
 		WorldSpec:      world.Spec{Seed: *seed, Scale: *scale},
@@ -64,8 +84,11 @@ func main() {
 		cfg.Blocklist = set
 		fmt.Printf("blocklist: excluding %d addresses\n", set.NumAddrs())
 	}
-	study, err := core.New(cfg)
+	study, err := core.New(ctx, cfg)
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			exitf(exitCanceled, "interrupted during world generation")
+		}
 		fatalf("preparing study: %v", err)
 	}
 	w := study.World()
@@ -75,46 +98,76 @@ func main() {
 
 	start := time.Now()
 	fmt.Printf("running %d trials × 3 protocols × %d origins...\n", *trials, len(origin.StudySet()))
-	if err := study.Run(); err != nil {
+	if err := study.Run(ctx); err != nil {
+		// Whatever interrupted the run, flush the scans that completed:
+		// a multi-hour study should never lose its sealed partial data.
+		flushDataset(*datasetPath, study)
+		if errors.Is(err, core.ErrCanceled) {
+			msg := "interrupted"
+			if stage, ok := core.InterruptedStage(err); ok {
+				msg = fmt.Sprintf("interrupted during the %s stage", stage)
+			}
+			exitf(exitCanceled, "%s after %v; %d scans sealed", msg,
+				time.Since(start).Round(time.Second), study.DS.Len())
+		}
 		fatalf("running study: %v", err)
 	}
 	fmt.Printf("scans complete in %v\n", time.Since(start).Round(time.Second))
 
-	if *datasetPath != "" {
-		f, err := os.Create(*datasetPath)
-		if err != nil {
-			fatalf("creating dataset file: %v", err)
+	flushDataset(*datasetPath, study)
+
+	if err := report.All(ctx, os.Stdout, study); err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			exitf(exitCanceled, "interrupted during the report stage")
 		}
-		if err := study.DS.WriteJSON(f); err != nil {
-			fatalf("writing dataset: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fatalf("closing dataset: %v", err)
-		}
-		fmt.Printf("dataset written to %s\n", *datasetPath)
+		fatalf("report: %v", err)
 	}
 
-	report.All(os.Stdout, study)
-
 	if *csvDir != "" {
-		if err := writeCSVs(*csvDir, study); err != nil {
+		if err := writeCSVs(ctx, *csvDir, study); err != nil {
 			fatalf("writing CSVs: %v", err)
 		}
 		fmt.Printf("CSV figure data written to %s\n", *csvDir)
 	}
 
 	if !*skipFollowUp {
-		runFollowUp(world.Spec{Seed: *seed, Scale: *scale})
+		runFollowUp(ctx, world.Spec{Seed: *seed, Scale: *scale})
 	}
+}
+
+// flushDataset writes the study's dataset (complete or partial) to path.
+// Flush failures are reported but never mask the run's own outcome.
+func flushDataset(path string, study *core.Study) {
+	if path == "" || study.DS == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "originscan: creating dataset file: %v\n", err)
+		return
+	}
+	if err := study.DS.WriteJSON(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "originscan: writing dataset: %v\n", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "originscan: closing dataset: %v\n", err)
+		return
+	}
+	fmt.Printf("dataset (%d scans) written to %s\n", study.DS.Len(), path)
 }
 
 // runFollowUp executes and prints the §7 follow-up experiment (Table 4b,
 // Figure 18).
-func runFollowUp(spec world.Spec) {
+func runFollowUp(ctx context.Context, spec world.Spec) {
 	fmt.Println("\nFollow-up experiment: co-located Tier-1 transits @ Equinix CHI4 (Table 4b, Figure 18)")
 	fmt.Println("=====================================================================================")
-	_, ds, err := experiment.FollowUp(spec)
+	_, ds, err := experiment.FollowUp(ctx, spec)
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			exitf(exitCanceled, "interrupted during the follow-up experiment")
+		}
 		fatalf("follow-up: %v", err)
 	}
 	tab := analysis.Coverage(ds, proto.HTTP)
@@ -129,7 +182,13 @@ func runFollowUp(spec world.Spec) {
 	}
 	fmt.Println()
 
-	levels := analysis.MultiOrigin(ds, proto.HTTP, origin.FollowUpSet(), false)
+	levels, err := analysis.MultiOrigin(ctx, ds, proto.HTTP, origin.FollowUpSet(), false)
+	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			exitf(exitCanceled, "interrupted during the follow-up analysis")
+		}
+		fatalf("follow-up: %v", err)
+	}
 	triad := analysis.CoverageOfCombo(ds, proto.HTTP,
 		origin.Set{origin.HE, origin.NTTC, origin.TELIA}, false)
 	if len(levels) >= 3 {
@@ -142,7 +201,7 @@ func runFollowUp(spec world.Spec) {
 }
 
 // writeCSVs dumps each figure's data as a CSV file for external plotting.
-func writeCSVs(dir string, study *core.Study) error {
+func writeCSVs(ctx context.Context, dir string, study *core.Study) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -153,7 +212,7 @@ func writeCSVs(dir string, study *core.Study) error {
 		{"coverage.csv", func(f *os.File) error { return report.CSVCoverage(f, study) }},
 		{"missing_breakdown.csv", func(f *os.File) error { return report.CSVMissingBreakdown(f, study) }},
 		{"loss_spread_cdf.csv", func(f *os.File) error { return report.CSVSpreadCDF(f, study) }},
-		{"multi_origin.csv", func(f *os.File) error { return report.CSVMultiOrigin(f, study) }},
+		{"multi_origin.csv", func(f *os.File) error { return report.CSVMultiOrigin(ctx, f, study) }},
 		{"alibaba_timeline.csv", func(f *os.File) error {
 			return report.CSVTimeline(f, study, []origin.ID{origin.US1, origin.US64, origin.AU, origin.CEN}, 0)
 		}},
@@ -176,6 +235,10 @@ func writeCSVs(dir string, study *core.Study) error {
 }
 
 func fatalf(format string, args ...any) {
+	exitf(exitFailure, format, args...)
+}
+
+func exitf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "originscan: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
 }

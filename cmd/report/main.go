@@ -8,9 +8,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -43,7 +47,9 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	study, err := core.New(experiment.Config{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	study, err := core.New(ctx, experiment.Config{
 		WorldSpec: world.Spec{Seed: *seed, Scale: *scale},
 		Trials:    *trials,
 	})
@@ -51,7 +57,13 @@ func main() {
 		fatalf("%v", err)
 	}
 	study.UseDataset(ds)
-	report.All(os.Stdout, study)
+	if err := report.All(ctx, os.Stdout, study); err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "report: interrupted")
+			os.Exit(130)
+		}
+		fatalf("%v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
 	"repro/internal/geo"
@@ -28,7 +30,9 @@ func main() {
 	)
 	flag.Parse()
 
-	w, err := world.Build(world.Spec{Seed: *seed, Scale: *scale})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	w, err := world.Build(ctx, world.Spec{Seed: *seed, Scale: *scale})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
 		os.Exit(1)

@@ -9,16 +9,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiment"
 	"repro/internal/ip"
 	"repro/internal/origin"
 	"repro/internal/pcap"
+	"repro/internal/pipeline"
 	"repro/internal/proto"
 	"repro/internal/results"
 	"repro/internal/world"
@@ -89,16 +94,24 @@ func main() {
 			return pcap.NewSink(inner, capture)
 		}
 	}
-	st, err := experiment.NewStudy(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := experiment.NewStudy(ctx, cfg)
 	if err != nil {
+		if errors.Is(err, pipeline.ErrCanceled) {
+			exitf(130, "interrupted")
+		}
 		fatalf("%v", err)
 	}
 	w := st.World
 	fmt.Printf("zmapsim: scanning %s (port %d) from %s over 2^%d addresses\n",
 		p, p.Port(), w.Origins.Get(o).Name, w.SpaceBits)
 
-	res, err := st.ScanOne(o, p, *trial)
+	res, err := st.ScanOne(ctx, o, p, *trial)
 	if err != nil {
+		if errors.Is(err, pipeline.ErrCanceled) {
+			exitf(130, "interrupted")
+		}
 		fatalf("%v", err)
 	}
 	printScan(res, w, *verbose)
@@ -199,6 +212,10 @@ func printScan(res *results.ScanResult, w *world.World, verbose bool) {
 }
 
 func fatalf(format string, args ...any) {
+	exitf(1, format, args...)
+}
+
+func exitf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "zmapsim: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,14 +17,15 @@ import (
 )
 
 func main() {
-	study, err := experiment.NewStudy(experiment.Config{
+	ctx := context.Background()
+	study, err := experiment.NewStudy(ctx, experiment.Config{
 		WorldSpec: world.TestSpec(23),
 		Protocols: []proto.Protocol{proto.HTTP},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := study.Run()
+	ds, err := study.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

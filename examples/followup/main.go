@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,23 +19,24 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	spec := world.TestSpec(2020)
 
 	// Main study first, for the blocked-Censys baseline.
-	main3, err := experiment.NewStudy(experiment.Config{
+	main3, err := experiment.NewStudy(ctx, experiment.Config{
 		WorldSpec: spec, Trials: 1, Protocols: []proto.Protocol{proto.HTTP},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mainDS, err := main3.Run()
+	mainDS, err := main3.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	blockedCensys := mainDS.Coverage(origin.CEN, proto.HTTP, 0, false)
 
 	// Follow-up: two HTTP trials, co-located Tier-1s, fresh Censys IP.
-	_, ds, err := experiment.FollowUp(spec)
+	_, ds, err := experiment.FollowUp(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +56,10 @@ func main() {
 	fmt.Printf("\nCensys: %.2f%% with its blocked ranges -> %.2f%% with a fresh IP (paper: +5.5%%)\n",
 		100*blockedCensys, 100*tab.Mean(origin.CEN, false))
 
-	levels := analysis.MultiOrigin(ds, proto.HTTP, origin.FollowUpSet(), false)
+	levels, err := analysis.MultiOrigin(ctx, ds, proto.HTTP, origin.FollowUpSet(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
 	triad := analysis.CoverageOfCombo(ds, proto.HTTP,
 		origin.Set{origin.HE, origin.NTTC, origin.TELIA}, false)
 	k3 := levels[2]

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,14 +16,15 @@ import (
 )
 
 func main() {
-	study, err := experiment.NewStudy(experiment.Config{
+	ctx := context.Background()
+	study, err := experiment.NewStudy(ctx, experiment.Config{
 		WorldSpec: world.TestSpec(7),
 		Protocols: []proto.Protocol{proto.HTTP},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := study.Run()
+	ds, err := study.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +33,10 @@ func main() {
 	fmt.Println("(median over C(7,k) subsets, averaged over 3 trials)")
 	fmt.Println()
 	fmt.Printf("%-3s%12s%12s%12s%10s\n", "k", "median", "min", "max", "sigma")
-	levels := analysis.MultiOrigin(ds, proto.HTTP, origin.StudySet(), false)
+	levels, err := analysis.MultiOrigin(ctx, ds, proto.HTTP, origin.StudySet(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, lvl := range levels {
 		fmt.Printf("%-3d%11.2f%%%11.2f%%%11.2f%%%9.3f%%\n",
 			lvl.K, 100*lvl.Median, 100*lvl.Min, 100*lvl.Max, 100*lvl.Sigma)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +15,8 @@ import (
 )
 
 func main() {
-	study, err := experiment.NewStudy(experiment.Config{
+	ctx := context.Background()
+	study, err := experiment.NewStudy(ctx, experiment.Config{
 		WorldSpec: world.TestSpec(1),
 		Trials:    1,
 		Protocols: []proto.Protocol{proto.HTTP},
@@ -22,7 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := study.Run()
+	ds, err := study.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,14 +16,15 @@ import (
 )
 
 func main() {
-	study, err := experiment.NewStudy(experiment.Config{
+	ctx := context.Background()
+	study, err := experiment.NewStudy(ctx, experiment.Config{
 		WorldSpec: world.TestSpec(11),
 		Protocols: []proto.Protocol{proto.SSH},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := study.Run()
+	ds, err := study.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +46,11 @@ func main() {
 
 	// The fix: retry the handshake.
 	fmt.Println("\nSSH handshake success vs retry budget (top transient networks, from US1):")
-	for _, curve := range study.SSHRetry(ds, 5, 8) {
+	curves, err := study.SSHRetry(ctx, ds, 5, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, curve := range curves {
 		fmt.Printf("  AS%-7d %-28s hosts=%-3d ", curve.AS, curve.ASName, curve.Hosts)
 		for r, f := range curve.Success {
 			if r%2 == 0 {

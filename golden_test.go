@@ -11,6 +11,7 @@ package scanorigin
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"io"
 	"os"
 	"testing"
@@ -53,11 +54,11 @@ func TestGoldenDatasetBytes(t *testing.T) {
 	}
 	want := readGolden(t)
 
-	s, err := core.New(goldenConfig())
+	s, err := core.New(context.Background(), goldenConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -106,11 +107,11 @@ func TestGoldenDatasetRoundTrip(t *testing.T) {
 	if testing.Short() {
 		return
 	}
-	s, err := core.New(goldenConfig())
+	s, err := core.New(context.Background(), goldenConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if diff := s.DS.Diff(ds); diff != "" {

@@ -1,12 +1,15 @@
 package analysis
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/asn"
 	"repro/internal/geo"
 	"repro/internal/ip"
 	"repro/internal/origin"
+	"repro/internal/pipeline"
 	"repro/internal/proto"
 	"repro/internal/results"
 	"repro/internal/zgrab"
@@ -538,7 +541,10 @@ func TestMultiOrigin(t *testing.T) {
 		origin.AU: {mk(h1)},
 		origin.BR: {mk(h4)},
 	})
-	levels := MultiOrigin(ds, proto.HTTP, ds.Origins, false)
+	levels, err := MultiOrigin(context.Background(), ds, proto.HTTP, ds.Origins, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(levels) != 2 {
 		t.Fatalf("levels = %d", len(levels))
 	}
@@ -550,6 +556,23 @@ func TestMultiOrigin(t *testing.T) {
 	}
 	if got := CoverageOfCombo(ds, proto.HTTP, origin.Set{origin.AU, origin.BR}, false); got != 1.0 {
 		t.Errorf("combo coverage = %v", got)
+	}
+}
+
+func TestMultiOriginCanceled(t *testing.T) {
+	hs := []ip.Addr{h1, h2, h3, h4}
+	alive := map[ip.Addr]bool{}
+	for _, h := range hs {
+		alive[h] = true
+	}
+	ds := mkDS(t, origin.Set{origin.AU, origin.BR}, 1, outcomeSpec{
+		origin.AU: {alive},
+		origin.BR: {alive},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MultiOrigin(ctx, ds, proto.HTTP, ds.Origins, false); !errors.Is(err, pipeline.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
 }
 

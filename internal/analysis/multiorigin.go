@@ -1,11 +1,13 @@
 package analysis
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/origin"
+	"repro/internal/pipeline"
 	"repro/internal/proto"
 	"repro/internal/results"
 	"repro/internal/stats"
@@ -43,7 +45,10 @@ type MultiOriginLevel struct {
 // median/mean runs serially in lexicographic combination order, so the
 // output — including first-wins ties and float summation order — is
 // identical to a fully serial evaluation.
-func MultiOrigin(ds *results.Dataset, p proto.Protocol, origins origin.Set, singleProbe bool) []MultiOriginLevel {
+//
+// Workers re-check ctx per combination claim; a canceled evaluation
+// returns the levels completed so far with pipeline.ErrCanceled.
+func MultiOrigin(ctx context.Context, ds *results.Dataset, p proto.Protocol, origins origin.Set, singleProbe bool) ([]MultiOriginLevel, error) {
 	n := len(origins)
 	// Ground truth is lazily computed and cached inside the dataset; warm
 	// it serially so workers only read.
@@ -76,6 +81,9 @@ func MultiOrigin(ds *results.Dataset, p proto.Protocol, origins origin.Set, sing
 			go func() {
 				defer wg.Done()
 				for i := range ci {
+					if ctx.Err() != nil {
+						continue // canceled: drain remaining combos
+					}
 					combo := combos[i]
 					var sum float64
 					trials := 0
@@ -99,6 +107,9 @@ func MultiOrigin(ds *results.Dataset, p proto.Protocol, origins origin.Set, sing
 		}
 		close(ci)
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return levels, pipeline.Canceled(err)
+		}
 
 		// Serial reduction in combination order.
 		lvl := MultiOriginLevel{K: k, Min: 2, Max: -1}
@@ -123,7 +134,7 @@ func MultiOrigin(ds *results.Dataset, p proto.Protocol, origins origin.Set, sing
 		sort.Slice(lvl.All, func(i, j int) bool { return lvl.All[i].Coverage > lvl.All[j].Coverage })
 		levels = append(levels, lvl)
 	}
-	return levels
+	return levels, nil
 }
 
 // CoverageOfCombo returns the trial-averaged coverage of one specific

@@ -4,6 +4,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/analysis"
@@ -21,29 +22,35 @@ type Study struct {
 	Exp *experiment.Study
 	DS  *results.Dataset
 
+	complete    bool
 	classifiers map[proto.Protocol]*analysis.Classifier
 }
 
-// New prepares a study from an experiment config.
-func New(cfg experiment.Config) (*Study, error) {
-	exp, err := experiment.NewStudy(cfg)
+// New prepares a study from an experiment config. World generation honours
+// ctx; see experiment.NewStudy.
+func New(ctx context.Context, cfg experiment.Config) (*Study, error) {
+	exp, err := experiment.NewStudy(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Study{Exp: exp, classifiers: map[proto.Protocol]*analysis.Classifier{}}, nil
 }
 
-// Run executes all scans. It is idempotent: a second call reuses the
-// existing dataset.
-func (s *Study) Run() error {
-	if s.DS != nil {
+// Run executes all scans. It is idempotent: a second call after a complete
+// run reuses the existing dataset. A canceled or failed run stores (and
+// returns an error alongside) the partial dataset — every scan sealed
+// before the interruption — and a later Run call retries from scratch.
+func (s *Study) Run(ctx context.Context) error {
+	if s.complete {
 		return nil
 	}
-	ds, err := s.Exp.Run()
+	ds, err := s.Exp.Run(ctx)
+	s.DS = ds
+	s.classifiers = map[proto.Protocol]*analysis.Classifier{}
 	if err != nil {
 		return err
 	}
-	s.DS = ds
+	s.complete = true
 	return nil
 }
 
@@ -51,6 +58,7 @@ func (s *Study) Run() error {
 // disk) instead of running the scans.
 func (s *Study) UseDataset(ds *results.Dataset) {
 	s.DS = ds
+	s.complete = true
 	s.classifiers = map[proto.Protocol]*analysis.Classifier{}
 }
 
@@ -148,8 +156,8 @@ func (s *Study) Fig12AlibabaTimeline(o origin.ID, trial int) []analysis.HourlyOu
 }
 
 // Fig13SSHRetry runs the retry sub-experiment (Figure 13).
-func (s *Study) Fig13SSHRetry(topASes, maxRetries int) []experiment.RetryCurve {
-	return s.Exp.SSHRetry(s.DS, topASes, maxRetries)
+func (s *Study) Fig13SSHRetry(ctx context.Context, topASes, maxRetries int) ([]experiment.RetryCurve, error) {
+	return s.Exp.SSHRetry(ctx, s.DS, topASes, maxRetries)
 }
 
 // Fig14SSHCauses returns the SSH cause breakdown (Figure 14).
@@ -158,8 +166,8 @@ func (s *Study) Fig14SSHCauses() []analysis.SSHBreakdown {
 }
 
 // Fig15MultiOrigin returns multi-origin coverage levels (Figures 15/17).
-func (s *Study) Fig15MultiOrigin(p proto.Protocol, singleProbe bool) []analysis.MultiOriginLevel {
-	return analysis.MultiOrigin(s.DS, p, studyOriginsOf(s.DS), singleProbe)
+func (s *Study) Fig15MultiOrigin(ctx context.Context, p proto.Protocol, singleProbe bool) ([]analysis.MultiOriginLevel, error) {
+	return analysis.MultiOrigin(ctx, s.DS, p, studyOriginsOf(s.DS), singleProbe)
 }
 
 // Tab1ExclusiveShare returns Table 1's attribution rows.
@@ -219,8 +227,8 @@ func (s *Study) Agreement(p proto.Protocol, trial int) analysis.Slash24Agreement
 // ProbeSweep re-scans one origin with 1..maxProbes probes per target and an
 // optional inter-probe delay, returning the coverage curve (§7/§8's
 // single-origin multi-probe estimate).
-func (s *Study) ProbeSweep(o origin.ID, p proto.Protocol, trial, maxProbes int, delay time.Duration) ([]experiment.ProbeSweepPoint, error) {
-	return s.Exp.MultiProbeSweep(s.DS, o, p, trial, maxProbes, delay)
+func (s *Study) ProbeSweep(ctx context.Context, o origin.ID, p proto.Protocol, trial, maxProbes int, delay time.Duration) ([]experiment.ProbeSweepPoint, error) {
+	return s.Exp.MultiProbeSweep(ctx, s.DS, o, p, trial, maxProbes, delay)
 }
 
 // studyOriginsOf returns the dataset's origins excluding Carinet, which

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -21,9 +22,9 @@ var (
 func study(t *testing.T) *Study {
 	t.Helper()
 	coreOnce.Do(func() {
-		coreStu, coreErr = New(experiment.Config{WorldSpec: world.TestSpec(42)})
+		coreStu, coreErr = New(context.Background(), experiment.Config{WorldSpec: world.TestSpec(42)})
 		if coreErr == nil {
-			coreErr = coreStu.Run()
+			coreErr = coreStu.Run(context.Background())
 		}
 	})
 	if coreErr != nil {
@@ -35,7 +36,7 @@ func study(t *testing.T) *Study {
 func TestRunIsIdempotent(t *testing.T) {
 	s := study(t)
 	ds := s.DS
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if s.DS != ds {
@@ -97,8 +98,8 @@ func TestEveryAccessorProducesData(t *testing.T) {
 	if len(s.Fig14SSHCauses()) == 0 {
 		t.Error("Fig14 empty")
 	}
-	if len(s.Fig15MultiOrigin(proto.HTTP, false)) != len(origin.StudySet()) {
-		t.Error("Fig15 wrong level count")
+	if lvls, err := s.Fig15MultiOrigin(context.Background(), proto.HTTP, false); err != nil || len(lvls) != len(origin.StudySet()) {
+		t.Errorf("Fig15 levels = %d (err %v)", len(lvls), err)
 	}
 	if len(s.Tab1ExclusiveShare(proto.HTTP)) == 0 {
 		t.Error("Tab1 empty")
@@ -143,7 +144,7 @@ func TestUseDatasetRoundTrip(t *testing.T) {
 	}
 	// A second study over the same world must produce identical analyses
 	// from the loaded dataset.
-	s2, err := New(experiment.Config{WorldSpec: world.TestSpec(42)})
+	s2, err := New(context.Background(), experiment.Config{WorldSpec: world.TestSpec(42)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,48 @@
+package core
+
+import "repro/internal/pipeline"
+
+// The typed error layer lives in the leaf package internal/pipeline (so
+// every layer below core can use it without an import cycle); core
+// re-exports it as the public classification surface. The values are the
+// same errors, so errors.Is(err, core.ErrCanceled) and
+// errors.Is(err, pipeline.ErrCanceled) are interchangeable.
+var (
+	// ErrCanceled: the run's context was canceled or its deadline passed.
+	// A canceled study still carries the sealed partial dataset.
+	ErrCanceled = pipeline.ErrCanceled
+	// ErrScanFailed: one or more (origin, protocol, trial) scans failed;
+	// the chain holds a *ScanError per failed tuple.
+	ErrScanFailed = pipeline.ErrScanFailed
+	// ErrSealConflict: an attempt to overwrite a sealed scan with
+	// different records.
+	ErrSealConflict = pipeline.ErrSealConflict
+	// ErrBadConfig: invalid scanner, world, or study configuration.
+	ErrBadConfig = pipeline.ErrBadConfig
+	// ErrWorldGen: synthetic-Internet generation failed.
+	ErrWorldGen = pipeline.ErrWorldGen
+)
+
+// Stage identifies a lifecycle stage (worldgen → sweep → grab → seal →
+// analyze → report); StageError and ScanError are the wrappers run errors
+// arrive in. See the pipeline package for the full contract.
+type (
+	Stage      = pipeline.Stage
+	StageError = pipeline.StageError
+	ScanError  = pipeline.ScanError
+	Hooks      = pipeline.Hooks
+)
+
+// Re-exported stage constants, for matching InterruptedStage results.
+const (
+	StageWorldgen = pipeline.StageWorldgen
+	StageSweep    = pipeline.StageSweep
+	StageGrab     = pipeline.StageGrab
+	StageSeal     = pipeline.StageSeal
+	StageAnalyze  = pipeline.StageAnalyze
+	StageReport   = pipeline.StageReport
+)
+
+// InterruptedStage reports which lifecycle stage err interrupted, when err
+// (or anything it wraps) is a *StageError.
+func InterruptedStage(err error) (Stage, bool) { return pipeline.InterruptedStage(err) }

@@ -5,6 +5,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/ip"
 	"repro/internal/origin"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/results"
@@ -59,6 +62,13 @@ type Config struct {
 	// seam for packet capture (pcap tee) or custom instrumentation. A
 	// wrapper must be safe for concurrent Sends when ScanShards > 1.
 	SinkWrapper func(zmap.PacketSink) zmap.PacketSink
+	// DialWrapper, when set, wraps the L7 dialer of every scan — the grab
+	// counterpart of SinkWrapper. A wrapper must be safe for concurrent
+	// Dials (the grab worker pool dials concurrently).
+	DialWrapper func(zgrab.Dialer) zgrab.Dialer
+	// Hooks observe lifecycle stage transitions of every scan and of
+	// world generation (instrumentation, progress reporting, tests).
+	Hooks pipeline.Hooks
 	// Parallelism is how many (origin, protocol, trial) scans run
 	// concurrently (0 = GOMAXPROCS). The parallel engine precomputes IDS
 	// detection schedules so results are bit-identical to a serial run;
@@ -99,10 +109,25 @@ type Study struct {
 	Scenario *scenario.Scenario
 }
 
-// NewStudy builds the world and scenario for a config.
-func NewStudy(cfg Config) (*Study, error) {
+// NewStudy builds the world and scenario for a config. World generation
+// runs as the lifecycle's Worldgen stage: cfg.Hooks observe it, generation
+// failures are tagged pipeline.ErrWorldGen, and a canceled context aborts
+// the build with pipeline.ErrCanceled.
+func NewStudy(ctx context.Context, cfg Config) (*Study, error) {
 	cfg = cfg.withDefaults()
-	w, err := world.Build(cfg.WorldSpec)
+	var w *world.World
+	runner := pipeline.Runner{Hooks: cfg.Hooks}
+	err := runner.Run(ctx, pipeline.StageFunc{
+		Stage: pipeline.StageWorldgen,
+		Run: func(ctx context.Context) error {
+			var err error
+			w, err = world.Build(ctx, cfg.WorldSpec)
+			if err != nil && !errors.Is(err, pipeline.ErrCanceled) {
+				return pipeline.Tag(pipeline.ErrWorldGen, err)
+			}
+			return err
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +144,15 @@ func NewStudy(cfg Config) (*Study, error) {
 // (or by default, GOMAXPROCS > 1) the scans run concurrently on a bounded
 // worker pool; IDS detection schedules are precomputed so the dataset is
 // bit-identical to a serial run.
-func (st *Study) Run() (*results.Dataset, error) {
+//
+// Cancellation and failure both return the partial dataset alongside the
+// error: every scan that completed before the interruption is sealed and
+// present, so callers can flush what was collected. A canceled run's error
+// matches pipeline.ErrCanceled and carries the interrupted stage
+// (pipeline.InterruptedStage); a failed run's error matches
+// pipeline.ErrScanFailed and joins a *pipeline.ScanError per failed
+// (origin, protocol, trial) tuple — all of them, not just the first.
+func (st *Study) Run(ctx context.Context) (*results.Dataset, error) {
 	cfg := st.Config
 	origins := cfg.Origins
 	dsOrigins := origins
@@ -136,6 +169,7 @@ func (st *Study) Run() (*results.Dataset, error) {
 	if shards <= 0 {
 		shards = 1
 	}
+	var scanErrs []error
 	if par == 1 && shards == 1 {
 		// Serial reference path: the live stateful IDSes observe probes
 		// in study order, exactly as the paper's scans unfolded. The
@@ -146,13 +180,25 @@ func (st *Study) Run() (*results.Dataset, error) {
 					if o == origin.CARINET && trial != 0 {
 						continue
 					}
-					res, err := st.ScanOne(o, p, trial)
+					res, err := st.ScanOne(ctx, o, p, trial)
 					if err != nil {
-						return nil, err
+						serr := &pipeline.ScanError{Origin: o, Proto: p, Trial: trial, Err: err}
+						if errors.Is(err, pipeline.ErrCanceled) {
+							// The interrupted scan is discarded; the
+							// dataset keeps every scan sealed before it.
+							return ds, serr
+						}
+						scanErrs = append(scanErrs, serr)
+						continue
 					}
-					ds.Put(res)
+					if err := ds.Put(res); err != nil {
+						scanErrs = append(scanErrs, &pipeline.ScanError{Origin: o, Proto: p, Trial: trial, Err: err})
+					}
 				}
 			}
+		}
+		if len(scanErrs) > 0 {
+			return ds, pipeline.Tag(pipeline.ErrScanFailed, errors.Join(scanErrs...))
 		}
 		return ds, nil
 	}
@@ -171,14 +217,13 @@ func (st *Study) Run() (*results.Dataset, error) {
 		}
 	}
 
-	plan, err := st.planIDS(dsOrigins)
+	plan, err := st.planIDS(ctx, dsOrigins)
 	if err != nil {
-		return nil, err
+		return ds, err
 	}
 
 	outs := make([]*results.ScanResult, len(tasks))
 	errs := make([]error, len(tasks))
-	var failed atomic.Bool
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
@@ -186,14 +231,13 @@ func (st *Study) Run() (*results.Dataset, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if failed.Load() {
-					continue
+				if ctx.Err() != nil {
+					continue // canceled: drain remaining indices
 				}
 				t := tasks[i]
-				res, err := st.scanOne(t.o, t.p, t.trial, plan.detectors(t), shards)
+				res, err := st.scanOne(ctx, t.o, t.p, t.trial, plan.detectors(t), shards)
 				if err != nil {
 					errs[i] = err
-					failed.Store(true)
 					continue
 				}
 				outs[i] = res
@@ -206,16 +250,44 @@ func (st *Study) Run() (*results.Dataset, error) {
 	close(idx)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// Seal every completed scan into the dataset before classifying the
+	// outcome: partial results survive both cancellation and failure.
+	for i, res := range outs {
+		if res == nil {
+			continue
+		}
+		if err := ds.Put(res); err != nil {
+			errs[i] = errors.Join(errs[i], err)
 		}
 	}
-	for _, res := range outs {
-		ds.Put(res)
+
+	var canceledErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		t := tasks[i]
+		serr := &pipeline.ScanError{Origin: t.o, Proto: t.p, Trial: t.trial, Err: err}
+		if errors.Is(err, pipeline.ErrCanceled) {
+			if canceledErr == nil {
+				canceledErr = serr
+			}
+			continue
+		}
+		scanErrs = append(scanErrs, serr)
+	}
+	switch {
+	case len(scanErrs) > 0:
+		return ds, pipeline.Tag(pipeline.ErrScanFailed, errors.Join(scanErrs...))
+	case canceledErr != nil:
+		return ds, canceledErr
+	case ctx.Err() != nil:
+		// Canceled after the last scan completed but before commit.
+		return ds, pipeline.Canceled(ctx.Err())
 	}
 	// Leave the live IDSes in the exact state a serial run would have:
-	// sub-experiments (SSH retry, multi-probe sweeps) read it.
+	// sub-experiments (SSH retry, multi-probe sweeps) read it. Only a
+	// fully successful run commits.
 	plan.commit(st.Scenario.IDSes)
 	return ds, nil
 }
@@ -237,13 +309,19 @@ func (st *Study) originRecord(o origin.ID) *origin.Origin {
 // ScanOne runs a single origin's ZMap+ZGrab scan of one protocol in one
 // trial: the building block of the study. The live IDSes observe the scan's
 // probes directly (the serial reference behaviour).
-func (st *Study) ScanOne(o origin.ID, p proto.Protocol, trial int) (*results.ScanResult, error) {
-	return st.scanOne(o, p, trial, policy.Detectors(st.Scenario.IDSes), 1)
+func (st *Study) ScanOne(ctx context.Context, o origin.ID, p proto.Protocol, trial int) (*results.ScanResult, error) {
+	return st.scanOne(ctx, o, p, trial, policy.Detectors(st.Scenario.IDSes), 1)
 }
 
 // scanOne runs one scan with the given IDS views (live or scheduled) and
-// number of sweep shards.
-func (st *Study) scanOne(o origin.ID, p proto.Protocol, trial int, detectors []policy.Detector, shards int) (*results.ScanResult, error) {
+// number of sweep shards. The scan is a three-stage pipeline — Sweep (L4
+// probe sweep), Grab (L7 handshakes on the worker pool), Seal (commit the
+// sorted columns and drain the fabric's connection goroutines) — run
+// through a pipeline.Runner so cfg.Hooks observe the transitions and any
+// interruption reports its stage. A canceled scan returns nil (the partial
+// result is not well-defined mid-stage); the fabric is always drained
+// before return so no connection goroutine outlives the scan.
+func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, trial int, detectors []policy.Detector, shards int) (*results.ScanResult, error) {
 	cfg := st.Config
 	org := st.originRecord(o)
 	fab := fabric.New(&fabric.Config{
@@ -256,6 +334,14 @@ func (st *Study) scanOne(o origin.ID, p proto.Protocol, trial int, detectors []p
 		NumOrigins: len(cfg.Origins),
 		Hosts:      st.Scenario.Hosts,
 	}, org, trial)
+	// Teardown safety net: even when a stage fails or the run is
+	// canceled, wait (bounded, off the canceled ctx) for the fabric's
+	// per-connection goroutines so an aborted scan leaks nothing.
+	defer func() {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = fab.Drain(drainCtx)
+	}()
 
 	// All origins share the scan seed per (protocol, trial): the paper
 	// starts every origin's ZMap with the same seed so scanners probe
@@ -279,71 +365,96 @@ func (st *Study) scanOne(o origin.ID, p proto.Protocol, trial int, detectors []p
 		return nil, fmt.Errorf("experiment: %v/%v/trial %d: %w", o, p, trial, err)
 	}
 
-	// L4 sweep: collect replies, then grab concurrently. Only hosts
-	// reply, so the world's host count bounds the reply slice.
 	var sink zmap.PacketSink = fab
 	if cfg.SinkWrapper != nil {
 		sink = cfg.SinkWrapper(fab)
 	}
+	var dialer zgrab.Dialer = fab
+	if cfg.DialWrapper != nil {
+		dialer = cfg.DialWrapper(fab)
+	}
+
+	// State threaded between stages.
 	replies := make([]zmap.Reply, 0, numHosts)
-	stats, err := sc.RunSharded(sink, func(r zmap.Reply) { replies = append(replies, r) }, shards)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: %v/%v/trial %d: %w", o, p, trial, err)
-	}
+	var stats zmap.Stats
+	var recs []results.HostRecord
+	var res *results.ScanResult
 
-	res := results.NewScanResultSized(o, p, trial, len(replies))
-	res.Targets = stats.Targets
-	res.ProbesSent = stats.ProbesSent
-	res.SynAcks = stats.SynAcks
-	res.Rsts = stats.Rsts
-	res.Invalid = stats.Invalid
-
-	grabber := &zgrab.Grabber{
-		Dialer:    fab,
-		Retries:   cfg.Retries,
-		Key:       rng.NewKey(st.World.Spec.Seed).Derive("grab").DeriveN("origin", uint64(o)),
-		IOTimeout: 10 * time.Second,
-	}
-
-	// Batched grab hand-off: workers claim reply indices and write records
-	// into matching slots — no channel per record, and the final AddBatch
-	// runs in reply order so the columns build deterministically.
-	recs := make([]results.HostRecord, len(replies))
-	workers := cfg.GrabWorkers
-	if workers > len(replies) {
-		workers = len(replies)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(replies) {
-					return
-				}
-				r := replies[i]
-				rec := results.HostRecord{
-					Addr: r.Dst, ProbeMask: r.ProbeMask, RST: r.RST, T: r.T,
-				}
-				if r.ProbeMask != 0 {
-					g := grabber.Grab(p, r.Dst, r.T)
-					rec.L7 = g.Success
-					rec.Fail = g.Fail
-					rec.Attempts = g.Attempts
-					rec.Banner = g.Banner
-				}
-				recs[i] = rec
+	runner := pipeline.Runner{Hooks: cfg.Hooks}
+	err = runner.Run(ctx,
+		pipeline.StageFunc{Stage: pipeline.StageSweep, Run: func(ctx context.Context) error {
+			// L4 sweep: collect replies. Only hosts reply, so the
+			// world's host count bounds the reply slice.
+			var err error
+			stats, err = sc.RunSharded(ctx, sink, func(r zmap.Reply) { replies = append(replies, r) }, shards)
+			return err
+		}},
+		pipeline.StageFunc{Stage: pipeline.StageGrab, Run: func(ctx context.Context) error {
+			// Batched grab hand-off: workers claim reply indices and
+			// write records into matching slots — no channel per record,
+			// and the final AddBatch runs in reply order so the columns
+			// build deterministically. Workers re-check ctx per claim
+			// (a pure read: uncancelled runs are unaffected), so a
+			// canceled grab stops within one claim per worker.
+			recs = make([]results.HostRecord, len(replies))
+			grabber := &zgrab.Grabber{
+				Dialer:    dialer,
+				Retries:   cfg.Retries,
+				Key:       rng.NewKey(st.World.Spec.Seed).Derive("grab").DeriveN("origin", uint64(o)),
+				IOTimeout: 10 * time.Second,
 			}
-		}()
+			workers := cfg.GrabWorkers
+			if workers > len(replies) {
+				workers = len(replies)
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for ctx.Err() == nil {
+						i := int(next.Add(1)) - 1
+						if i >= len(replies) {
+							return
+						}
+						r := replies[i]
+						rec := results.HostRecord{
+							Addr: r.Dst, ProbeMask: r.ProbeMask, RST: r.RST, T: r.T,
+						}
+						if r.ProbeMask != 0 {
+							g := grabber.Grab(ctx, p, r.Dst, r.T)
+							rec.L7 = g.Success
+							rec.Fail = g.Fail
+							rec.Attempts = g.Attempts
+							rec.Banner = g.Banner
+						}
+						recs[i] = rec
+					}
+				}()
+			}
+			wg.Wait()
+			return ctx.Err()
+		}},
+		pipeline.StageFunc{Stage: pipeline.StageSeal, Run: func(ctx context.Context) error {
+			// Records append in deterministic (T, Dst) reply order; Seal
+			// re-sorts the columns by address once, here at commit, so
+			// the stored scan is an immutable sorted view before any
+			// analysis touches it. The fabric drain guarantees every
+			// per-connection goroutine exited before the scan commits.
+			res = results.NewScanResultSized(o, p, trial, len(replies))
+			res.Targets = stats.Targets
+			res.ProbesSent = stats.ProbesSent
+			res.SynAcks = stats.SynAcks
+			res.Rsts = stats.Rsts
+			res.Invalid = stats.Invalid
+			res.AddBatch(recs)
+			res.Seal()
+			return fab.Drain(ctx)
+		}},
+	)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	// Records append in deterministic (T, Dst) reply order; Seal re-sorts
-	// the columns by address once, here at commit, so the stored scan is an
-	// immutable sorted view before any analysis touches it.
-	res.AddBatch(recs)
-	res.Seal()
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -23,11 +24,11 @@ var (
 func fixture(t *testing.T) (*Study, *results.Dataset) {
 	t.Helper()
 	fixOnce.Do(func() {
-		fixStu, fixErr = NewStudy(Config{WorldSpec: world.TestSpec(42), IncludeCarinet: true})
+		fixStu, fixErr = NewStudy(context.Background(), Config{WorldSpec: world.TestSpec(42), IncludeCarinet: true})
 		if fixErr != nil {
 			return
 		}
-		fixDS, fixErr = fixStu.Run()
+		fixDS, fixErr = fixStu.Run(context.Background())
 	})
 	if fixErr != nil {
 		t.Fatal(fixErr)
@@ -204,7 +205,10 @@ func TestBothProbesLostCorrelated(t *testing.T) {
 func TestMultiOriginRecoversCoverage(t *testing.T) {
 	// §7 / Figure 15: 2–3 origins recover most loss with low variance.
 	_, ds := fixture(t)
-	levels := analysis.MultiOrigin(ds, proto.HTTP, origin.StudySet(), false)
+	levels, err := analysis.MultiOrigin(context.Background(), ds, proto.HTTP, origin.StudySet(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if levels[1].Median <= levels[0].Median {
 		t.Errorf("2-origin median %.4f should beat 1-origin %.4f", levels[1].Median, levels[0].Median)
 	}
@@ -273,7 +277,10 @@ func TestSSHCausesIncludeProbabilisticBlocking(t *testing.T) {
 func TestSSHRetryCurvesIncrease(t *testing.T) {
 	// §6 / Figure 13: retrying the SSH handshake raises success.
 	st, ds := fixture(t)
-	curves := st.SSHRetry(ds, 5, 8)
+	curves, err := st.SSHRetry(context.Background(), ds, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(curves) == 0 {
 		t.Fatal("no retry curves")
 	}
@@ -297,7 +304,7 @@ func TestSSHRetryCurvesIncrease(t *testing.T) {
 func TestDeterministicStudy(t *testing.T) {
 	// Same seed → identical coverage numbers.
 	run := func() float64 {
-		st, err := NewStudy(Config{
+		st, err := NewStudy(context.Background(), Config{
 			WorldSpec: world.TestSpec(7), Trials: 1,
 			Protocols: []proto.Protocol{proto.HTTP},
 			Origins:   origin.Set{origin.AU, origin.CEN},
@@ -305,7 +312,7 @@ func TestDeterministicStudy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ds, err := st.Run()
+		ds, err := st.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -322,7 +329,7 @@ func TestFollowUpFreshCensysImproves(t *testing.T) {
 	mainTab := analysis.Coverage(mainDS, proto.HTTP)
 	mainCov := mainTab.Mean(origin.CEN, false)
 
-	_, fuDS, err := FollowUp(world.TestSpec(42))
+	_, fuDS, err := FollowUp(context.Background(), world.TestSpec(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +339,10 @@ func TestFollowUpFreshCensysImproves(t *testing.T) {
 		t.Errorf("fresh-IP Censys %.4f should clearly beat blocked Censys %.4f", fuCov, mainCov)
 	}
 	// Co-located Tier-1 triad: worst (or near-worst) among 3-subsets.
-	levels := analysis.MultiOrigin(fuDS, proto.HTTP, origin.FollowUpSet(), false)
+	levels, err := analysis.MultiOrigin(context.Background(), fuDS, proto.HTTP, origin.FollowUpSet(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	triad := analysis.CoverageOfCombo(fuDS, proto.HTTP,
 		origin.Set{origin.HE, origin.NTTC, origin.TELIA}, false)
 	k3 := levels[2]
@@ -349,7 +359,7 @@ func TestShardedScansPartitionAndMerge(t *testing.T) {
 	// Two shards of the same scan cover disjoint target sets whose union
 	// equals the unsharded scan's targets — ZMap sharding semantics.
 	mk := func(shard, shards int) *results.ScanResult {
-		st, err := NewStudy(Config{
+		st, err := NewStudy(context.Background(), Config{
 			WorldSpec: world.TestSpec(13), Trials: 1,
 			Protocols: []proto.Protocol{proto.HTTP},
 			Origins:   origin.Set{origin.US1},
@@ -358,7 +368,7 @@ func TestShardedScansPartitionAndMerge(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := st.ScanOne(origin.US1, proto.HTTP, 0)
+		res, err := st.ScanOne(context.Background(), origin.US1, proto.HTTP, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -421,7 +431,7 @@ func TestChurnProducesUnknownHosts(t *testing.T) {
 }
 
 func TestChurnDisableable(t *testing.T) {
-	st, err := NewStudy(Config{
+	st, err := NewStudy(context.Background(), Config{
 		WorldSpec: world.TestSpec(3), Trials: 2,
 		Protocols:      []proto.Protocol{proto.HTTP},
 		Origins:        origin.Set{origin.US1},
@@ -430,7 +440,7 @@ func TestChurnDisableable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := st.Run()
+	ds, err := st.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/ip"
 	"repro/internal/origin"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/rng"
@@ -76,7 +78,7 @@ type walkEntry struct {
 // The clones start empty, i.e. the plan assumes the live IDSes are in their
 // initial state — Run is called once per Study (as everywhere in this repo);
 // sub-experiments that continue from the post-Run state use the live path.
-func (st *Study) planIDS(dsOrigins origin.Set) (*idsPlan, error) {
+func (st *Study) planIDS(ctx context.Context, dsOrigins origin.Set) (*idsPlan, error) {
 	cfg := st.Config
 	live := st.Scenario.IDSes
 	plan := &idsPlan{views: make(map[scanKey][]policy.Detector)}
@@ -108,7 +110,7 @@ func (st *Study) planIDS(dsOrigins origin.Set) (*idsPlan, error) {
 			wg.Add(1)
 			go func(p proto.Protocol, trial, wi int) {
 				defer wg.Done()
-				entries, err := st.monitoredTargets(p, trial, monitored)
+				entries, err := st.monitoredTargets(ctx, p, trial, monitored)
 				if err != nil {
 					walkErrs[wi] = err
 					return
@@ -147,6 +149,9 @@ func (st *Study) planIDS(dsOrigins origin.Set) (*idsPlan, error) {
 				if o == origin.CARINET && trial != 0 {
 					continue
 				}
+				if ctx.Err() != nil {
+					return // canceled: the post-Wait check reports it
+				}
 				for _, p := range cfg.Protocols {
 					schedules := st.replayScan(org, p, trial, sims, walks[walkKey{p, trial}])
 					dets := make([]policy.Detector, len(live))
@@ -161,6 +166,9 @@ func (st *Study) planIDS(dsOrigins origin.Set) (*idsPlan, error) {
 		}(oi, o)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, pipeline.Canceled(err)
+	}
 	for _, local := range locals {
 		for k, v := range local {
 			plan.views[k] = v
@@ -172,7 +180,7 @@ func (st *Study) planIDS(dsOrigins origin.Set) (*idsPlan, error) {
 // monitoredTargets computes the scan-order schedule of probe targets inside
 // monitored ASes for one (protocol, trial), using the scanner's own sweep
 // so the planner cannot diverge from what the scan will actually send.
-func (st *Study) monitoredTargets(p proto.Protocol, trial int, monitored map[asn.ASN]bool) ([]walkEntry, error) {
+func (st *Study) monitoredTargets(ctx context.Context, p proto.Protocol, trial int, monitored map[asn.ASN]bool) ([]walkEntry, error) {
 	cfg := st.Config
 	scanSeed := rng.NewKey(st.World.Spec.Seed).Derive("scan-seed").Uint64(uint64(p), uint64(trial))
 	sc, err := zmap.NewScanner(zmap.Config{
@@ -191,7 +199,7 @@ func (st *Study) monitoredTargets(p proto.Protocol, trial int, monitored map[asn
 		return nil, fmt.Errorf("experiment: ids plan %v/trial %d: %w", p, trial, err)
 	}
 	var entries []walkEntry
-	sc.Targets(func(dst ip.Addr, t time.Duration) {
+	err = sc.Targets(ctx, func(dst ip.Addr, t time.Duration) {
 		as, routed := st.World.ASOf(dst)
 		if !routed || !monitored[as.Number] {
 			return
@@ -202,6 +210,9 @@ func (st *Study) monitoredTargets(p proto.Protocol, trial int, monitored map[asn
 		country, _ := st.World.CountryOf(dst)
 		entries = append(entries, walkEntry{dst: dst, t: t, as: as.Number, country: country})
 	})
+	if err != nil {
+		return nil, err
+	}
 	return entries, nil
 }
 

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/origin"
@@ -15,7 +16,7 @@ import (
 // evades them, and Carinet's trial-0-only scan (an ordering edge case).
 func equivalenceStudy(t *testing.T, par, shards int) (*Study, *results.Dataset) {
 	t.Helper()
-	st, err := NewStudy(Config{
+	st, err := NewStudy(context.Background(), Config{
 		WorldSpec:      world.Spec{Seed: 11, Scale: 0.00005},
 		Trials:         2,
 		Protocols:      []proto.Protocol{proto.HTTP, proto.SSH},
@@ -27,7 +28,7 @@ func equivalenceStudy(t *testing.T, par, shards int) (*Study, *results.Dataset) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := st.Run()
+	ds, err := st.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

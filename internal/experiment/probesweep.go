@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/origin"
@@ -21,7 +22,7 @@ type ProbeSweepPoint struct {
 // between probes (the Bano et al. mitigation). Ground truth is the main
 // dataset's union for the trial; each sweep point re-scans with the
 // modified probe configuration.
-func (st *Study) MultiProbeSweep(ds *results.Dataset, o origin.ID, p proto.Protocol, trial int, maxProbes int, delay time.Duration) ([]ProbeSweepPoint, error) {
+func (st *Study) MultiProbeSweep(ctx context.Context, ds *results.Dataset, o origin.ID, p proto.Protocol, trial int, maxProbes int, delay time.Duration) ([]ProbeSweepPoint, error) {
 	gt := ds.GroundTruth(p, trial)
 	if len(gt) == 0 {
 		return nil, nil
@@ -32,9 +33,9 @@ func (st *Study) MultiProbeSweep(ds *results.Dataset, o origin.ID, p proto.Proto
 	for n := 1; n <= maxProbes; n++ {
 		st.Config.Probes = n
 		st.Config.ProbeDelay = delay
-		res, err := st.ScanOne(o, p, trial)
+		res, err := st.ScanOne(ctx, o, p, trial)
 		if err != nil {
-			return nil, err
+			return points, err
 		}
 		seen := 0
 		for _, a := range gt {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/ip"
 	"repro/internal/origin"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/results"
@@ -29,7 +31,9 @@ type RetryCurve struct {
 // SSHRetry reproduces the §6 retry experiment: from US1, iteratively grab
 // all SSH hosts in a candidate sub-network of each of the top ASes by
 // transiently missed SSH hosts, increasing the retry budget each pass.
-func (st *Study) SSHRetry(ds *results.Dataset, topASes int, maxRetries int) []RetryCurve {
+// Cancellation is checked between retry-budget passes; a canceled run
+// returns the curves completed so far with pipeline.ErrCanceled.
+func (st *Study) SSHRetry(ctx context.Context, ds *results.Dataset, topASes int, maxRetries int) ([]RetryCurve, error) {
 	cls := analysis.NewClassifier(ds, proto.SSH)
 	topo := analysis.WorldTopo{W: st.World}
 	spreads := analysis.TransientLossSpread(cls, topo, 3)
@@ -66,6 +70,9 @@ func (st *Study) SSHRetry(ds *results.Dataset, topASes int, maxRetries int) []Re
 		}
 		curve := RetryCurve{AS: sp.AS, ASName: sp.ASName, Hosts: len(hosts)}
 		for r := 0; r <= maxRetries; r++ {
+			if err := ctx.Err(); err != nil {
+				return curves, pipeline.Canceled(err)
+			}
 			grabber := &zgrab.Grabber{
 				Dialer:  fab,
 				Retries: r,
@@ -75,7 +82,7 @@ func (st *Study) SSHRetry(ds *results.Dataset, topASes int, maxRetries int) []Re
 			for _, h := range hosts {
 				// Mid-scan probe time, away from temporal-blocking
 				// windows' detection edges.
-				if g := grabber.Grab(proto.SSH, h, 5*time.Hour); g.Success {
+				if g := grabber.Grab(ctx, proto.SSH, h, 5*time.Hour); g.Success {
 					succ++
 				}
 			}
@@ -83,7 +90,7 @@ func (st *Study) SSHRetry(ds *results.Dataset, topASes int, maxRetries int) []Re
 		}
 		curves = append(curves, curve)
 	}
-	return curves
+	return curves, nil
 }
 
 // sshHostsOfBusiest24 returns the SSH hosts of the AS's /24 with the most
@@ -111,8 +118,8 @@ func (st *Study) sshHostsOfBusiest24(as asn.ASN) []ip.Addr {
 // FollowUp runs the September 2020 follow-up experiment (§7, Table 4b,
 // Figure 18): two HTTP trials from AU, DE, JP, US1, Censys (with a fresh
 // IP), and three co-located Tier-1 transits at Equinix CHI4.
-func FollowUp(spec world.Spec) (*Study, *results.Dataset, error) {
-	st, err := NewStudy(Config{
+func FollowUp(ctx context.Context, spec world.Spec) (*Study, *results.Dataset, error) {
+	st, err := NewStudy(ctx, Config{
 		WorldSpec:     spec,
 		Trials:        2,
 		Origins:       origin.FollowUpSet(),
@@ -123,9 +130,9 @@ func FollowUp(spec world.Spec) (*Study, *results.Dataset, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	ds, err := st.Run()
+	ds, err := st.Run(ctx)
 	if err != nil {
-		return nil, nil, err
+		return st, ds, err
 	}
 	return st, ds, nil
 }

@@ -10,7 +10,10 @@
 package fabric
 
 import (
+	"context"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asn"
@@ -20,6 +23,7 @@ import (
 	"repro/internal/origin"
 	"repro/internal/outage"
 	"repro/internal/packet"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/vconn"
@@ -34,7 +38,7 @@ type Config struct {
 	// IDSes are the detectors observing this scan's probes: the live
 	// stateful *policy.IDS machines when scans run serially, or read-only
 	// per-scan *policy.ScheduledIDS views when scans run concurrently.
-	IDSes []policy.Detector
+	IDSes   []policy.Detector
 	Loss    *loss.Matrix
 	Outages *outage.Schedule
 	// Churn marks hosts offline for whole trials (nil = no churn).
@@ -53,6 +57,11 @@ type Fabric struct {
 	cfg   *Config
 	org   *origin.Origin
 	trial int
+
+	// conns tracks the per-connection server goroutines this fabric
+	// spawned, so a scan can Drain them before sealing results.
+	conns  sync.WaitGroup
+	active atomic.Int64
 }
 
 // New returns a fabric for one (origin, trial) scan.
@@ -160,8 +169,12 @@ func (f *Fabric) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
 }
 
 // Dial implements zgrab.Dialer: attempt a full TCP connection for an
-// application-layer grab.
-func (f *Fabric) Dial(dst ip.Addr, port uint16, t time.Duration, attempt int) (net.Conn, error) {
+// application-layer grab. A canceled context fails the dial immediately
+// with the context's error.
+func (f *Fabric) Dial(ctx context.Context, dst ip.Addr, port uint16, t time.Duration, attempt int) (net.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	as, routed := f.cfg.World.ASOf(dst)
 	if !routed {
 		return nil, zgrab.ErrTimeout
@@ -213,7 +226,33 @@ func (f *Fabric) Dial(dst ip.Addr, port uint16, t time.Duration, attempt int) (n
 	case policy.CloseAfterAccept:
 		server.CloseWrite()
 	default:
-		go f.cfg.Hosts.Serve(server, dst, p)
+		f.conns.Add(1)
+		f.active.Add(1)
+		go func() {
+			defer f.active.Add(-1)
+			defer f.conns.Done()
+			f.cfg.Hosts.Serve(server, dst, p)
+		}()
 	}
 	return client, nil
 }
+
+// Drain blocks until every per-connection server goroutine this fabric
+// spawned has exited, or ctx is done. A scan seals its results only after a
+// successful drain, so no goroutine outlives its scan.
+func (f *Fabric) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		f.conns.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return pipeline.Canceled(ctx.Err())
+	}
+}
+
+// ActiveConns reports how many per-connection server goroutines are live.
+func (f *Fabric) ActiveConns() int { return int(f.active.Load()) }

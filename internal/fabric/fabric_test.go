@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/loss"
 	"repro/internal/origin"
 	"repro/internal/packet"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/rng"
@@ -21,7 +23,7 @@ import (
 // and no blocking, so tests can layer behaviours explicitly.
 func quietConfig(t *testing.T, rules ...policy.Rule) (*Config, *world.World) {
 	t.Helper()
-	w, err := world.Build(world.Spec{Seed: 5, Scale: 0.00002})
+	w, err := world.Build(context.Background(), world.Spec{Seed: 5, Scale: 0.00002})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +166,7 @@ func TestDialAndGrabThroughFabric(t *testing.T) {
 	fab := New(cfg, w.Origins.Get(origin.US1), 0)
 	host, _ := pickHost(t, w, proto.HTTP)
 	g := &zgrab.Grabber{Dialer: fab, Key: rng.NewKey(3), IOTimeout: 5 * time.Second}
-	res := g.Grab(proto.HTTP, host, time.Hour)
+	res := g.Grab(context.Background(), proto.HTTP, host, time.Hour)
 	if !res.Success {
 		t.Fatalf("grab failed: %+v", res)
 	}
@@ -177,7 +179,7 @@ func TestDialRefusedForClosedPort(t *testing.T) {
 	cfg, w := quietConfig(t)
 	fab := New(cfg, w.Origins.Get(origin.US1), 0)
 	_, hostWithoutSSH := pickHost(t, w, proto.SSH)
-	_, err := fab.Dial(hostWithoutSSH, 22, time.Hour, 0)
+	_, err := fab.Dial(context.Background(), hostWithoutSSH, 22, time.Hour, 0)
 	if !errors.Is(err, zgrab.ErrRefused) {
 		t.Errorf("err = %v, want ErrRefused", err)
 	}
@@ -195,7 +197,7 @@ func TestDialResetAfterAcceptBehaviour(t *testing.T) {
 		t.Fatal("ResetAfterAccept host must still SYN-ACK")
 	}
 	g := &zgrab.Grabber{Dialer: fab, Key: rng.NewKey(4), IOTimeout: 5 * time.Second}
-	res := g.Grab(proto.SSH, host, time.Hour)
+	res := g.Grab(context.Background(), proto.SSH, host, time.Hour)
 	if res.Success || res.Fail != zgrab.FailReset {
 		t.Errorf("grab = %+v, want FailReset", res)
 	}
@@ -208,7 +210,7 @@ func TestDialCloseAfterAcceptBehaviour(t *testing.T) {
 	fab := New(cfg, w.Origins.Get(origin.US1), 0)
 	host, _ := pickHost(t, w, proto.SSH)
 	g := &zgrab.Grabber{Dialer: fab, Key: rng.NewKey(5), IOTimeout: 5 * time.Second}
-	res := g.Grab(proto.SSH, host, time.Hour)
+	res := g.Grab(context.Background(), proto.SSH, host, time.Hour)
 	if res.Success || res.Fail != zgrab.FailClosed {
 		t.Errorf("grab = %+v, want FailClosed", res)
 	}
@@ -235,7 +237,7 @@ func TestIDSBlocksAfterProbeVolume(t *testing.T) {
 		t.Fatalf("IDS transition not observed: answered=%d silent=%d", answered, silent)
 	}
 	// Once detected, dialing also fails.
-	if _, err := fab.Dial(host, 80, time.Hour, 0); !errors.Is(err, zgrab.ErrTimeout) {
+	if _, err := fab.Dial(context.Background(), host, 80, time.Hour, 0); !errors.Is(err, zgrab.ErrTimeout) {
 		t.Errorf("dial after detection = %v, want timeout", err)
 	}
 }
@@ -258,8 +260,32 @@ func TestEpisodeKillsProbesAndDial(t *testing.T) {
 	if fab.Send(src, syn, time.Hour) != nil {
 		t.Error("probe survived a full-loss episode")
 	}
-	if _, err := fab.Dial(host, 80, time.Hour, 0); !errors.Is(err, zgrab.ErrTimeout) {
+	if _, err := fab.Dial(context.Background(), host, 80, time.Hour, 0); !errors.Is(err, zgrab.ErrTimeout) {
 		t.Errorf("dial during episode = %v, want timeout", err)
+	}
+}
+
+func TestDrainWaitsForConnTeardown(t *testing.T) {
+	cfg, w := quietConfig(t)
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	host, _ := pickHost(t, w, proto.HTTP)
+	conn, err := fab.Dial(context.Background(), host, 80, time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While the client half is open, the server goroutine is live and a
+	// bounded Drain must give up with ErrCanceled rather than hang.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := fab.Drain(ctx); !errors.Is(err, pipeline.ErrCanceled) {
+		t.Errorf("Drain with open conn = %v, want ErrCanceled", err)
+	}
+	conn.Close()
+	if err := fab.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after close: %v", err)
+	}
+	if n := fab.ActiveConns(); n != 0 {
+		t.Errorf("ActiveConns = %d after drain, want 0", n)
 	}
 }
 

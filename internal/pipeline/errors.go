@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/origin"
+	"repro/internal/proto"
+)
+
+// Sentinel errors: the classification layer callers match with errors.Is
+// instead of string inspection. Lower layers attach them with Tag, keeping
+// the underlying cause reachable through errors.As/Unwrap.
+var (
+	// ErrCanceled reports that the run's context was canceled or its
+	// deadline passed. A canceled study still returns the sealed partial
+	// dataset it collected.
+	ErrCanceled = errors.New("scanorigin: run canceled")
+	// ErrScanFailed reports that one or more (origin, protocol, trial)
+	// scans failed for a reason other than cancellation; the chain holds
+	// a *ScanError per failed tuple.
+	ErrScanFailed = errors.New("scanorigin: scan failed")
+	// ErrSealConflict reports an attempt to silently overwrite a sealed,
+	// committed scan with different records.
+	ErrSealConflict = errors.New("scanorigin: sealed scan conflict")
+	// ErrBadConfig reports an invalid scanner, world, or study
+	// configuration, detected before any packet is sent.
+	ErrBadConfig = errors.New("scanorigin: invalid configuration")
+	// ErrWorldGen reports a failure while generating the synthetic
+	// Internet.
+	ErrWorldGen = errors.New("scanorigin: world generation failed")
+)
+
+// Tag classifies err under a sentinel: the result matches the sentinel via
+// errors.Is and still unwraps to err, so both the class and the cause stay
+// reachable. Tag(nil) returns the bare sentinel.
+func Tag(sentinel, err error) error {
+	if err == nil {
+		return sentinel
+	}
+	if errors.Is(err, sentinel) {
+		return err
+	}
+	return &taggedError{sentinel: sentinel, err: err}
+}
+
+// Canceled tags a context error as ErrCanceled.
+func Canceled(err error) error { return Tag(ErrCanceled, err) }
+
+type taggedError struct{ sentinel, err error }
+
+func (t *taggedError) Error() string        { return t.sentinel.Error() + ": " + t.err.Error() }
+func (t *taggedError) Is(target error) bool { return target == t.sentinel }
+func (t *taggedError) Unwrap() error        { return t.err }
+
+// StageError records the lifecycle stage an error interrupted. The Runner
+// wraps every stage failure in one, so a canceled or failed run always
+// reports where it stopped.
+type StageError struct {
+	Stage Stage
+	Err   error
+}
+
+func (e *StageError) Error() string { return "stage " + e.Stage.String() + ": " + e.Err.Error() }
+func (e *StageError) Unwrap() error { return e.Err }
+
+// ScanError identifies which (origin, protocol, trial) scan an error came
+// from. Study.Run wraps every per-scan failure in one and joins them with
+// errors.Join, so a multi-failure run reports every failed tuple.
+type ScanError struct {
+	Origin origin.ID
+	Proto  proto.Protocol
+	Trial  int
+	Err    error
+}
+
+func (e *ScanError) Error() string {
+	return fmt.Sprintf("scan %v/%v/trial %d: %v", e.Origin, e.Proto, e.Trial, e.Err)
+}
+
+func (e *ScanError) Unwrap() error { return e.Err }

@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/origin"
+	"repro/internal/proto"
+)
+
+// TestSentinelsViaTag covers every sentinel: a tagged error must match its
+// sentinel with errors.Is, keep the cause reachable, and not match the
+// other sentinels.
+func TestSentinelsViaTag(t *testing.T) {
+	sentinels := []error{ErrCanceled, ErrScanFailed, ErrSealConflict, ErrBadConfig, ErrWorldGen}
+	cause := errors.New("underlying cause")
+	for i, s := range sentinels {
+		tagged := Tag(s, cause)
+		if !errors.Is(tagged, s) {
+			t.Errorf("Tag(%v, cause) does not match its sentinel", s)
+		}
+		if !errors.Is(tagged, cause) {
+			t.Errorf("Tag(%v, cause) lost the cause", s)
+		}
+		for j, other := range sentinels {
+			if i != j && errors.Is(tagged, other) {
+				t.Errorf("Tag(%v, cause) wrongly matches %v", s, other)
+			}
+		}
+		if !strings.Contains(tagged.Error(), "underlying cause") {
+			t.Errorf("Tag(%v, cause).Error() = %q, cause invisible", s, tagged.Error())
+		}
+	}
+}
+
+func TestTagNilAndIdempotent(t *testing.T) {
+	if Tag(ErrBadConfig, nil) != ErrBadConfig {
+		t.Error("Tag(sentinel, nil) should return the bare sentinel")
+	}
+	once := Canceled(context.Canceled)
+	twice := Canceled(once)
+	if twice != once {
+		t.Error("re-tagging an already-tagged error should be a no-op")
+	}
+}
+
+// TestScanErrorChain verifies the full wrapper chain a failed parallel run
+// produces: errors.Join of ScanError{StageError{tagged cause}}.
+func TestScanErrorChain(t *testing.T) {
+	cause := fmt.Errorf("zmap: probes must be positive")
+	scanErr := &ScanError{
+		Origin: origin.AU, Proto: proto.HTTP, Trial: 2,
+		Err: &StageError{Stage: StageSweep, Err: Tag(ErrBadConfig, cause)},
+	}
+	joined := Tag(ErrScanFailed, errors.Join(scanErr, &ScanError{
+		Origin: origin.BR, Proto: proto.SSH, Trial: 0, Err: Canceled(context.Canceled),
+	}))
+
+	if !errors.Is(joined, ErrScanFailed) {
+		t.Error("joined run error does not match ErrScanFailed")
+	}
+	if !errors.Is(joined, ErrBadConfig) {
+		t.Error("joined run error lost the ErrBadConfig classification")
+	}
+	if !errors.Is(joined, ErrCanceled) {
+		t.Error("joined run error lost the ErrCanceled member")
+	}
+	if !errors.Is(joined, cause) {
+		t.Error("joined run error lost the root cause")
+	}
+
+	var se *ScanError
+	if !errors.As(joined, &se) {
+		t.Fatal("errors.As failed to find a ScanError")
+	}
+	if se.Origin != origin.AU || se.Proto != proto.HTTP || se.Trial != 2 {
+		t.Errorf("ScanError tuple = %v/%v/%d, want AU/http/2", se.Origin, se.Proto, se.Trial)
+	}
+	var ste *StageError
+	if !errors.As(joined, &ste) || ste.Stage != StageSweep {
+		t.Errorf("StageError stage = %v, want sweep", ste)
+	}
+
+	msg := scanErr.Error()
+	for _, part := range []string{"AU", "trial 2", "sweep", "probes must be positive"} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("ScanError message %q missing %q", msg, part)
+		}
+	}
+}
+
+func TestCanceledMatchesContextErrors(t *testing.T) {
+	for _, ctxErr := range []error{context.Canceled, context.DeadlineExceeded} {
+		err := Canceled(ctxErr)
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, ctxErr) {
+			t.Errorf("Canceled(%v) = %v: must match both ErrCanceled and the context error", ctxErr, err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func stage(s Stage, fn func(context.Context) error) StageFunc {
+	return StageFunc{Stage: s, Run: fn}
+}
+
+func TestRunnerExecutesStagesInOrder(t *testing.T) {
+	var order []Stage
+	var hooks []string
+	r := Runner{Hooks: Hooks{
+		Before: func(_ context.Context, s Stage) { hooks = append(hooks, "before "+s.String()) },
+		After:  func(_ context.Context, s Stage, err error) { hooks = append(hooks, "after "+s.String()) },
+	}}
+	err := r.Run(context.Background(),
+		stage(StageSweep, func(context.Context) error { order = append(order, StageSweep); return nil }),
+		stage(StageGrab, func(context.Context) error { order = append(order, StageGrab); return nil }),
+		stage(StageSeal, func(context.Context) error { order = append(order, StageSeal); return nil }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != StageSweep || order[1] != StageGrab || order[2] != StageSeal {
+		t.Errorf("stage order = %v", order)
+	}
+	want := []string{"before sweep", "after sweep", "before grab", "after grab", "before seal", "after seal"}
+	if len(hooks) != len(want) {
+		t.Fatalf("hooks = %v", hooks)
+	}
+	for i := range want {
+		if hooks[i] != want[i] {
+			t.Errorf("hook %d = %q, want %q", i, hooks[i], want[i])
+		}
+	}
+}
+
+func TestRunnerStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := Runner{}.Run(context.Background(),
+		stage(StageSweep, func(context.Context) error { ran++; return nil }),
+		stage(StageGrab, func(context.Context) error { ran++; return boom }),
+		stage(StageSeal, func(context.Context) error { ran++; return nil }),
+	)
+	if ran != 2 {
+		t.Errorf("ran %d stages, want 2", ran)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, does not wrap cause", err)
+	}
+	if s, ok := InterruptedStage(err); !ok || s != StageGrab {
+		t.Errorf("InterruptedStage = %v, %v; want grab", s, ok)
+	}
+}
+
+func TestRunnerCanceledBetweenStages(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := Runner{}.Run(ctx,
+		stage(StageSweep, func(context.Context) error { ran++; cancel(); return nil }),
+		stage(StageGrab, func(context.Context) error { ran++; return nil }),
+	)
+	if ran != 1 {
+		t.Errorf("ran %d stages, want 1 (grab must not start after cancel)", ran)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, should unwrap to context.Canceled", err)
+	}
+	if s, ok := InterruptedStage(err); !ok || s != StageGrab {
+		t.Errorf("InterruptedStage = %v, %v; want grab (the stage that never started)", s, ok)
+	}
+}
+
+func TestRunnerNormalizesRawContextErrors(t *testing.T) {
+	// A stage that reports the raw context error (as net or io code might)
+	// must still match ErrCanceled at the top.
+	ctx, cancel := context.WithCancel(context.Background())
+	err := Runner{}.Run(ctx,
+		stage(StageSweep, func(ctx context.Context) error { cancel(); return ctx.Err() }),
+	)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled via normalization", err)
+	}
+	// Already-tagged errors are not double-wrapped.
+	err = Runner{}.Run(context.Background(),
+		stage(StageGrab, func(context.Context) error { return Canceled(context.Canceled) }),
+	)
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StageError", err)
+	}
+	if _, ok := se.Err.(*taggedError); !ok {
+		t.Errorf("stage error payload = %T, want single tag", se.Err)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	names := map[Stage]string{
+		StageWorldgen: "worldgen", StageSweep: "sweep", StageGrab: "grab",
+		StageSeal: "seal", StageAnalyze: "analyze", StageReport: "report",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Stage(200).String() != "stage(?)" {
+		t.Errorf("out-of-range stage = %q", Stage(200).String())
+	}
+}

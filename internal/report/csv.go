@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -86,7 +87,7 @@ func CSVSpreadCDF(w io.Writer, s *core.Study) error {
 
 // CSVMultiOrigin writes Figure 15/17 rows:
 // protocol,probes,k,median,mean,min,max,sigma.
-func CSVMultiOrigin(w io.Writer, s *core.Study) error {
+func CSVMultiOrigin(ctx context.Context, w io.Writer, s *core.Study) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
 	if err := cw.Write([]string{"protocol", "probes", "k", "median", "mean", "min", "max", "sigma"}); err != nil {
@@ -98,7 +99,11 @@ func CSVMultiOrigin(w io.Writer, s *core.Study) error {
 			if single {
 				probes = "1"
 			}
-			for _, lvl := range s.Fig15MultiOrigin(p, single) {
+			lvls, err := s.Fig15MultiOrigin(ctx, p, single)
+			if err != nil {
+				return err
+			}
+			for _, lvl := range lvls {
 				if err := cw.Write([]string{
 					p.String(), probes, strconv.Itoa(lvl.K),
 					f(lvl.Median), f(lvl.Mean), f(lvl.Min), f(lvl.Max), f(lvl.Sigma),

@@ -3,6 +3,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -11,42 +12,68 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/origin"
+	"repro/internal/pipeline"
 	"repro/internal/proto"
 	"repro/internal/stats"
 	"repro/internal/world"
 )
 
-// All renders every table and figure to w.
-func All(w io.Writer, s *core.Study) {
-	Tab4Coverage(w, s)
-	Fig1(w, s)
-	Fig2(w, s)
-	Fig3(w, s)
-	Fig4(w, s)
-	Fig5(w, s)
-	Fig6(w, s, proto.HTTP)
-	Fig7(w, s)
-	Fig8(w, s)
-	Fig9(w, s)
-	Fig10(w, s)
-	Fig11(w, s)
-	Fig12(w, s)
-	Fig13(w, s)
-	Fig14(w, s)
-	Fig15(w, s, proto.HTTP)
-	Fig16(w, s)
-	Fig17(w, s)
-	Tab1(w, s)
-	Tab2(w, s, proto.HTTP)
-	Tab3(w, s)
-	Tab5(w, s)
-	Sec3McNemar(w, s)
-	Sec44Spearman(w, s)
-	Sec52PacketLoss(w, s)
-	Sec53Bursts(w, s)
-	Sec7Probes(w, s)
-	Sec8Agreement(w, s)
-	BannerCensus(w, s)
+// All renders every table and figure to w. It runs as the lifecycle's
+// Report stage (the study config's Hooks observe it); ctx is checked
+// between sections, so canceling mid-report stops after the section in
+// flight with an error matching core.ErrCanceled.
+func All(ctx context.Context, w io.Writer, s *core.Study) error {
+	runner := pipeline.Runner{Hooks: s.Exp.Config.Hooks}
+	return runner.Run(ctx, pipeline.StageFunc{
+		Stage: pipeline.StageReport,
+		Run:   func(ctx context.Context) error { return all(ctx, w, s) },
+	})
+}
+
+func all(ctx context.Context, w io.Writer, s *core.Study) error {
+	plain := func(fn func(io.Writer, *core.Study)) func() error {
+		return func() error { fn(w, s); return nil }
+	}
+	sections := []func() error{
+		plain(Tab4Coverage),
+		plain(Fig1),
+		plain(Fig2),
+		plain(Fig3),
+		plain(Fig4),
+		plain(Fig5),
+		func() error { Fig6(w, s, proto.HTTP); return nil },
+		plain(Fig7),
+		plain(Fig8),
+		plain(Fig9),
+		plain(Fig10),
+		plain(Fig11),
+		plain(Fig12),
+		func() error { return Fig13(ctx, w, s) },
+		plain(Fig14),
+		func() error { return Fig15(ctx, w, s, proto.HTTP) },
+		plain(Fig16),
+		func() error { return Fig17(ctx, w, s) },
+		plain(Tab1),
+		func() error { Tab2(w, s, proto.HTTP); return nil },
+		plain(Tab3),
+		plain(Tab5),
+		plain(Sec3McNemar),
+		plain(Sec44Spearman),
+		plain(Sec52PacketLoss),
+		plain(Sec53Bursts),
+		plain(Sec7Probes),
+		plain(Sec8Agreement),
+		plain(BannerCensus),
+	}
+	for _, fn := range sections {
+		if err := ctx.Err(); err != nil {
+			return err // the Runner normalizes this to ErrCanceled
+		}
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func header(w io.Writer, title string) {
@@ -314,15 +341,20 @@ func Fig12(w io.Writer, s *core.Study) {
 }
 
 // Fig13 renders Figure 13: SSH retry success curves.
-func Fig13(w io.Writer, s *core.Study) {
+func Fig13(ctx context.Context, w io.Writer, s *core.Study) error {
 	header(w, "Figure 13: Scanning probabilistic temporarily blocking hosts (SSH retries)")
-	for _, c := range s.Fig13SSHRetry(5, 8) {
+	curves, err := s.Fig13SSHRetry(ctx, 5, 8)
+	if err != nil {
+		return err
+	}
+	for _, c := range curves {
 		fmt.Fprintf(w, "  AS%-7d %-30s hosts=%-4d success by retries:", c.AS, c.ASName, c.Hosts)
 		for r, f := range c.Success {
 			fmt.Fprintf(w, " %d:%s", r, strings.TrimSpace(pct(f)))
 		}
 		fmt.Fprintln(w)
 	}
+	return nil
 }
 
 // Fig14 renders Figure 14: SSH missing-host cause breakdown.
@@ -342,25 +374,33 @@ func Fig14(w io.Writer, s *core.Study) {
 }
 
 // Fig15 renders Figure 15/17/18: multi-origin coverage.
-func Fig15(w io.Writer, s *core.Study, p proto.Protocol) {
+func Fig15(ctx context.Context, w io.Writer, s *core.Study, p proto.Protocol) error {
 	header(w, fmt.Sprintf("Figure 15: Multi-origin coverage of %s hosts", p))
+	var twoProbe []analysis.MultiOriginLevel
 	for _, single := range []bool{true, false} {
 		probes := "2 probes"
 		if single {
 			probes = "1 probe"
 		}
+		lvls, err := s.Fig15MultiOrigin(ctx, p, single)
+		if err != nil {
+			return err
+		}
+		if !single {
+			twoProbe = lvls
+		}
 		fmt.Fprintf(w, "\n[%s]\n%-4s%10s%10s%10s%10s%10s\n", probes, "k", "median", "mean", "min", "max", "sigma")
-		for _, lvl := range s.Fig15MultiOrigin(p, single) {
+		for _, lvl := range lvls {
 			fmt.Fprintf(w, "%-4d%10s%10s%10s%10s%9.3f%%\n", lvl.K,
 				pct(lvl.Median), pct(lvl.Mean), pct(lvl.Min), pct(lvl.Max), 100*lvl.Sigma)
 		}
 	}
-	lvls := s.Fig15MultiOrigin(p, false)
-	if len(lvls) >= 3 && len(lvls[2].All) > 0 {
+	if len(twoProbe) >= 3 && len(twoProbe[2].All) > 0 {
 		fmt.Fprintf(w, "best triad: %v %s; worst triad: %v %s\n",
-			lvls[2].Best.Origins, pct(lvls[2].Best.Coverage),
-			lvls[2].Worst.Origins, pct(lvls[2].Worst.Coverage))
+			twoProbe[2].Best.Origins, pct(twoProbe[2].Best.Coverage),
+			twoProbe[2].Worst.Origins, pct(twoProbe[2].Worst.Coverage))
 	}
+	return nil
 }
 
 // Fig16 renders Figure 16: exclusive accessibility for HTTPS and SSH.
@@ -370,9 +410,11 @@ func Fig16(w io.Writer, s *core.Study) {
 }
 
 // Fig17 renders Figure 17: multi-origin coverage for HTTPS and SSH.
-func Fig17(w io.Writer, s *core.Study) {
-	Fig15(w, s, proto.HTTPS)
-	Fig15(w, s, proto.SSH)
+func Fig17(ctx context.Context, w io.Writer, s *core.Study) error {
+	if err := Fig15(ctx, w, s, proto.HTTPS); err != nil {
+		return err
+	}
+	return Fig15(ctx, w, s, proto.SSH)
 }
 
 // Tab1 renders Table 1: exclusive (in)accessibility attribution.

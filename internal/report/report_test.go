@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -20,9 +21,9 @@ var (
 func study(t *testing.T) *core.Study {
 	t.Helper()
 	repOnce.Do(func() {
-		repStu, repErr = core.New(experiment.Config{WorldSpec: world.TestSpec(42)})
+		repStu, repErr = core.New(context.Background(), experiment.Config{WorldSpec: world.TestSpec(42)})
 		if repErr == nil {
-			repErr = repStu.Run()
+			repErr = repStu.Run(context.Background())
 		}
 	})
 	if repErr != nil {
@@ -33,7 +34,9 @@ func study(t *testing.T) *core.Study {
 
 func TestAllRendersEverySection(t *testing.T) {
 	var b strings.Builder
-	All(&b, study(t))
+	if err := All(context.Background(), &b, study(t)); err != nil {
+		t.Fatal(err)
+	}
 	out := b.String()
 	for _, want := range []string{
 		"Table 4a", "Figure 1", "Figure 2", "Figure 3", "Figure 4",
@@ -94,7 +97,9 @@ func TestFig12TimelineShape(t *testing.T) {
 
 func TestFig13RetrySection(t *testing.T) {
 	var b strings.Builder
-	Fig13(&b, study(t))
+	if err := Fig13(context.Background(), &b, study(t)); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(b.String(), "success by retries") {
 		t.Error("retry curves missing")
 	}
@@ -123,7 +128,7 @@ func TestCSVExporters(t *testing.T) {
 		}},
 		{"multiorigin", func() (string, error) {
 			var b strings.Builder
-			err := CSVMultiOrigin(&b, s)
+			err := CSVMultiOrigin(context.Background(), &b, s)
 			return b.String(), err
 		}},
 		{"timeline", func() (string, error) {

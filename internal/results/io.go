@@ -230,7 +230,9 @@ func ReadJSON(r io.Reader) (*Dataset, error) {
 	}
 	d := NewDataset(origins, trials)
 	for _, s := range scans {
-		d.Put(s)
+		if err := d.Put(s); err != nil {
+			return nil, fmt.Errorf("results: decoding dataset: %w", err)
+		}
 	}
 	return d, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/ip"
 	"repro/internal/origin"
+	"repro/internal/pipeline"
 	"repro/internal/proto"
 	"repro/internal/zgrab"
 )
@@ -388,10 +389,35 @@ func NewDataset(origins origin.Set, trials int) *Dataset {
 }
 
 // Put stores a completed scan, sealing it: stored scans are sorted,
-// immutable views safe for the concurrent analyses.
-func (d *Dataset) Put(s *ScanResult) {
+// immutable views safe for the concurrent analyses. Putting a scan at an
+// occupied (origin, proto, trial) key is an error tagged
+// pipeline.ErrSealConflict unless the new scan is identical to the sealed
+// one (an idempotent re-put is a no-op); use Replace to overwrite
+// deliberately.
+func (d *Dataset) Put(s *ScanResult) error {
 	s.Seal()
-	d.scans[key{s.Origin, s.Proto, s.Trial}] = s
+	k := key{s.Origin, s.Proto, s.Trial}
+	if old := d.scans[k]; old != nil && old != s {
+		if diff := old.DiffAgainst(s); diff != "" {
+			return pipeline.Tag(pipeline.ErrSealConflict,
+				fmt.Errorf("results: %v/%v/trial %d already sealed (%s)", s.Origin, s.Proto, s.Trial, diff))
+		}
+		return nil
+	}
+	d.store(k, s)
+	return nil
+}
+
+// Replace stores a sealed scan at its key, overwriting any existing scan
+// and invalidating the ground-truth cache. It is the explicit-overwrite
+// counterpart to Put for callers that recompute a scan on purpose.
+func (d *Dataset) Replace(s *ScanResult) {
+	s.Seal()
+	d.store(key{s.Origin, s.Proto, s.Trial}, s)
+}
+
+func (d *Dataset) store(k key, s *ScanResult) {
+	d.scans[k] = s
 	d.gtMu.Lock()
 	delete(d.gtCache, gtKey{s.Proto, s.Trial})
 	d.gtMu.Unlock()

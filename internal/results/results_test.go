@@ -2,12 +2,14 @@ package results
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/ip"
 	"repro/internal/origin"
+	"repro/internal/pipeline"
 	"repro/internal/proto"
 	"repro/internal/zgrab"
 )
@@ -140,15 +142,29 @@ func TestGroundTruthCacheInvalidation(t *testing.T) {
 	ds := NewDataset(origin.Set{origin.AU}, 1)
 	s := NewScanResult(origin.AU, proto.HTTP, 0)
 	s.Add(HostRecord{Addr: 1, ProbeMask: 0b11, L7: true})
-	ds.Put(s)
+	if err := ds.Put(s); err != nil {
+		t.Fatalf("Put into empty slot: %v", err)
+	}
 	if len(ds.GroundTruth(proto.HTTP, 0)) != 1 {
 		t.Fatal("gt != 1")
+	}
+	// Re-putting the identical sealed scan is an idempotent no-op.
+	if err := ds.Put(s); err != nil {
+		t.Fatalf("idempotent re-put: %v", err)
 	}
 	s2 := NewScanResult(origin.AU, proto.HTTP, 0)
 	s2.Add(HostRecord{Addr: 1, ProbeMask: 0b11, L7: true})
 	s2.Add(HostRecord{Addr: 2, ProbeMask: 0b11, L7: true})
-	ds.Put(s2)
+	// Putting a *different* scan at a sealed key must refuse with
+	// ErrSealConflict; Replace is the explicit overwrite.
+	if err := ds.Put(s2); !errors.Is(err, pipeline.ErrSealConflict) {
+		t.Fatalf("Put over sealed scan = %v, want ErrSealConflict", err)
+	}
+	if len(ds.GroundTruth(proto.HTTP, 0)) != 1 {
+		t.Error("refused Put mutated the dataset")
+	}
+	ds.Replace(s2)
 	if len(ds.GroundTruth(proto.HTTP, 0)) != 2 {
-		t.Error("Put did not invalidate ground-truth cache")
+		t.Error("Replace did not invalidate ground-truth cache")
 	}
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -12,7 +13,7 @@ import (
 
 func testScenario(t *testing.T) (*Scenario, *world.World) {
 	t.Helper()
-	w, err := world.Build(world.TestSpec(3))
+	w, err := world.Build(context.Background(), world.TestSpec(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestOutageSchedulesPerProtocol(t *testing.T) {
 }
 
 func TestAblationsDisableBehaviours(t *testing.T) {
-	w, err := world.Build(world.TestSpec(3))
+	w, err := world.Build(context.Background(), world.TestSpec(3))
 	if err != nil {
 		t.Fatal(err)
 	}

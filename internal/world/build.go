@@ -1,6 +1,7 @@
 package world
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/ip"
 	"repro/internal/origin"
+	"repro/internal/pipeline"
 	"repro/internal/proto"
 	"repro/internal/rng"
 )
@@ -74,11 +76,14 @@ type portion struct {
 }
 
 // Build generates a world from the spec. Generation is deterministic: the
-// same spec yields the same world, bit for bit.
-func Build(spec Spec) (*World, error) {
+// same spec yields the same world, bit for bit. The context is checked
+// between generation phases and per placed portion, so canceling a large
+// build returns promptly with pipeline.ErrCanceled; spec validation
+// failures are tagged pipeline.ErrBadConfig.
+func Build(ctx context.Context, spec Spec) (*World, error) {
 	spec, err := spec.withDefaults()
 	if err != nil {
-		return nil, err
+		return nil, pipeline.Tag(pipeline.ErrBadConfig, err)
 	}
 	w := &World{
 		Spec:       spec,
@@ -161,9 +166,15 @@ func Build(spec Spec) (*World, error) {
 	// --- 3. Place hosts. ---
 	var alloc allocator
 	for i := range portions {
+		if err := ctx.Err(); err != nil {
+			return nil, pipeline.Canceled(err)
+		}
 		if err := w.place(&alloc, &portions[i]); err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, pipeline.Canceled(err)
 	}
 
 	// --- 4. Register ASes (prefixes accumulated during placement). ---

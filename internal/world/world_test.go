@@ -1,6 +1,7 @@
 package world
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 
 func buildTest(t *testing.T, seed uint64) *World {
 	t.Helper()
-	w, err := Build(TestSpec(seed))
+	w, err := Build(context.Background(), TestSpec(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestSlash24sHaveMultipleHosts(t *testing.T) {
 type ipPrefixKey uint32
 
 func TestCountryPopulationsFollowWeights(t *testing.T) {
-	w, err := Build(Spec{Seed: 1, Scale: 0.0002})
+	w, err := Build(context.Background(), Spec{Seed: 1, Scale: 0.0002})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,13 +269,13 @@ func TestASWeights(t *testing.T) {
 }
 
 func TestInvalidSpecs(t *testing.T) {
-	if _, err := Build(Spec{Seed: 1, Scale: 0}); err == nil {
+	if _, err := Build(context.Background(), Spec{Seed: 1, Scale: 0}); err == nil {
 		t.Error("zero scale accepted")
 	}
-	if _, err := Build(Spec{Seed: 1, Scale: 2}); err == nil {
+	if _, err := Build(context.Background(), Spec{Seed: 1, Scale: 2}); err == nil {
 		t.Error("scale > 1 accepted")
 	}
-	if _, err := Build(Spec{Seed: 1, Scale: 0.0001, HostDensity: 1.5}); err == nil {
+	if _, err := Build(context.Background(), Spec{Seed: 1, Scale: 0.0001, HostDensity: 1.5}); err == nil {
 		t.Error("density > 1 accepted")
 	}
 }
@@ -299,7 +300,7 @@ func TestSSHOverlapRoughlyHalf(t *testing.T) {
 
 func BenchmarkBuildTestWorld(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := Build(TestSpec(uint64(i))); err != nil {
+		if _, err := Build(context.Background(), TestSpec(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}

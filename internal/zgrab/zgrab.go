@@ -9,6 +9,7 @@ package zgrab
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -59,8 +60,10 @@ type Result struct {
 // netDialer adapts real TCP for tests/tools.
 type Dialer interface {
 	// Dial opens a connection to dst:port for the attempt-th try at
-	// virtual time t.
-	Dial(dst ip.Addr, port uint16, t time.Duration, attempt int) (net.Conn, error)
+	// virtual time t. Implementations must respect ctx cancellation: a
+	// canceled context fails the dial (the grabber classifies it as a
+	// timeout and stops retrying).
+	Dial(ctx context.Context, dst ip.Addr, port uint16, t time.Duration, attempt int) (net.Conn, error)
 }
 
 // Sentinel errors a Dialer can return to signal L4 failure modes.
@@ -84,13 +87,15 @@ type Grabber struct {
 }
 
 // Grab performs the grab for p against dst at virtual time t, retrying per
-// the grabber's budget.
-func (g *Grabber) Grab(p proto.Protocol, dst ip.Addr, t time.Duration) Result {
+// the grabber's budget. A canceled context stops the retry loop after the
+// in-flight attempt; the last attempt's (failed) result is returned so the
+// caller, which is being torn down anyway, still sees a well-formed value.
+func (g *Grabber) Grab(ctx context.Context, p proto.Protocol, dst ip.Addr, t time.Duration) Result {
 	var last Result
 	for attempt := 0; attempt <= g.Retries; attempt++ {
-		last = g.grabOnce(p, dst, t, attempt)
+		last = g.grabOnce(ctx, p, dst, t, attempt)
 		last.Attempts = attempt + 1
-		if last.Success {
+		if last.Success || ctx.Err() != nil {
 			return last
 		}
 		// Refused and timed-out connections are retried like any
@@ -100,9 +105,9 @@ func (g *Grabber) Grab(p proto.Protocol, dst ip.Addr, t time.Duration) Result {
 	return last
 }
 
-func (g *Grabber) grabOnce(p proto.Protocol, dst ip.Addr, t time.Duration, attempt int) Result {
+func (g *Grabber) grabOnce(ctx context.Context, p proto.Protocol, dst ip.Addr, t time.Duration, attempt int) Result {
 	res := Result{Proto: p}
-	conn, err := g.Dialer.Dial(dst, p.Port(), t, attempt)
+	conn, err := g.Dialer.Dial(ctx, dst, p.Port(), t, attempt)
 	if err != nil {
 		res.Fail = classifyDialError(err)
 		return res
@@ -127,6 +132,11 @@ func classifyDialError(err error) FailMode {
 	case errors.Is(err, ErrRefused):
 		return FailRefused
 	case errors.Is(err, ErrTimeout):
+		return FailTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// A dial aborted by run cancellation: the connection never
+		// completed, which on the wire is indistinguishable from a
+		// timeout. (The record is discarded with the canceled scan.)
 		return FailTimeout
 	default:
 		var ne net.Error

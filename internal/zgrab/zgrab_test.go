@@ -1,6 +1,7 @@
 package zgrab
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -29,7 +30,10 @@ type pipeDialer struct {
 	dials        int
 }
 
-func (d *pipeDialer) Dial(dst ip.Addr, port uint16, t time.Duration, attempt int) (net.Conn, error) {
+func (d *pipeDialer) Dial(ctx context.Context, dst ip.Addr, port uint16, t time.Duration, attempt int) (net.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.dials++
 	switch {
 	case d.refuse:
@@ -62,7 +66,7 @@ func newGrabber(d Dialer) *Grabber {
 
 func TestGrabHTTPSuccess(t *testing.T) {
 	d := &pipeDialer{server: hostsim.NewServer(rng.NewKey(1)), proto: proto.HTTP}
-	res := newGrabber(d).Grab(proto.HTTP, ip.MustParseAddr("10.0.0.1"), 0)
+	res := newGrabber(d).Grab(context.Background(), proto.HTTP, ip.MustParseAddr("10.0.0.1"), 0)
 	if !res.Success {
 		t.Fatalf("grab failed: %+v", res)
 	}
@@ -76,7 +80,7 @@ func TestGrabHTTPSuccess(t *testing.T) {
 
 func TestGrabHTTPSSuccess(t *testing.T) {
 	d := &pipeDialer{server: hostsim.NewServer(rng.NewKey(2)), proto: proto.HTTPS}
-	res := newGrabber(d).Grab(proto.HTTPS, ip.MustParseAddr("10.0.0.2"), 0)
+	res := newGrabber(d).Grab(context.Background(), proto.HTTPS, ip.MustParseAddr("10.0.0.2"), 0)
 	if !res.Success {
 		t.Fatalf("grab failed: %+v", res)
 	}
@@ -87,7 +91,7 @@ func TestGrabHTTPSSuccess(t *testing.T) {
 
 func TestGrabSSHSuccess(t *testing.T) {
 	d := &pipeDialer{server: hostsim.NewServer(rng.NewKey(3)), proto: proto.SSH}
-	res := newGrabber(d).Grab(proto.SSH, ip.MustParseAddr("10.0.0.3"), 0)
+	res := newGrabber(d).Grab(context.Background(), proto.SSH, ip.MustParseAddr("10.0.0.3"), 0)
 	if !res.Success {
 		t.Fatalf("grab failed: %+v", res)
 	}
@@ -101,7 +105,7 @@ func TestBannerVariesByHost(t *testing.T) {
 	g := newGrabber(d)
 	banners := map[string]bool{}
 	for i := 0; i < 30; i++ {
-		res := g.Grab(proto.SSH, ip.Addr(0x0a000000+uint32(i)), 0)
+		res := g.Grab(context.Background(), proto.SSH, ip.Addr(0x0a000000+uint32(i)), 0)
 		if res.Success {
 			banners[res.Banner] = true
 		}
@@ -114,8 +118,8 @@ func TestBannerVariesByHost(t *testing.T) {
 func TestBannerStablePerHost(t *testing.T) {
 	d := &pipeDialer{server: hostsim.NewServer(rng.NewKey(5)), proto: proto.HTTP}
 	g := newGrabber(d)
-	a := g.Grab(proto.HTTP, ip.MustParseAddr("10.0.0.9"), 0)
-	b := g.Grab(proto.HTTP, ip.MustParseAddr("10.0.0.9"), time.Hour)
+	a := g.Grab(context.Background(), proto.HTTP, ip.MustParseAddr("10.0.0.9"), 0)
+	b := g.Grab(context.Background(), proto.HTTP, ip.MustParseAddr("10.0.0.9"), time.Hour)
 	if a.Banner != b.Banner {
 		t.Errorf("same host changed banner: %q vs %q", a.Banner, b.Banner)
 	}
@@ -135,7 +139,7 @@ func TestGrabFailureModes(t *testing.T) {
 		{"garbage", &pipeDialer{server: base, proto: proto.SSH, garbage: true}, FailProto},
 	}
 	for _, c := range cases {
-		res := newGrabber(c.d).Grab(proto.SSH, ip.MustParseAddr("10.1.0.1"), 0)
+		res := newGrabber(c.d).Grab(context.Background(), proto.SSH, ip.MustParseAddr("10.1.0.1"), 0)
 		if res.Success || res.Fail != c.want {
 			t.Errorf("%s: result %+v, want fail=%v", c.name, res, c.want)
 		}
@@ -148,7 +152,7 @@ func TestRetriesRecoverFlakyHost(t *testing.T) {
 	d := &pipeDialer{server: hostsim.NewServer(rng.NewKey(7)), proto: proto.SSH, refuseFirstN: 3}
 	g := newGrabber(d)
 	g.Retries = 8
-	res := g.Grab(proto.SSH, ip.MustParseAddr("10.2.0.1"), 0)
+	res := g.Grab(context.Background(), proto.SSH, ip.MustParseAddr("10.2.0.1"), 0)
 	if !res.Success {
 		t.Fatalf("retries did not recover: %+v", res)
 	}
@@ -159,9 +163,30 @@ func TestRetriesRecoverFlakyHost(t *testing.T) {
 	// Without retries the same host fails closed.
 	d2 := &pipeDialer{server: hostsim.NewServer(rng.NewKey(7)), proto: proto.SSH, refuseFirstN: 3}
 	g2 := newGrabber(d2)
-	res2 := g2.Grab(proto.SSH, ip.MustParseAddr("10.2.0.1"), 0)
+	res2 := g2.Grab(context.Background(), proto.SSH, ip.MustParseAddr("10.2.0.1"), 0)
 	if res2.Success || res2.Fail != FailClosed {
 		t.Errorf("no-retry grab = %+v, want FailClosed", res2)
+	}
+}
+
+func TestGrabCanceledContextStopsRetries(t *testing.T) {
+	// Cancellation must stop the retry loop instead of burning the full
+	// budget: a flaky host that would be recovered by 8 retries is
+	// abandoned after the first attempt when the context is canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := &pipeDialer{server: hostsim.NewServer(rng.NewKey(7)), proto: proto.SSH, refuseFirstN: 3}
+	g := newGrabber(d)
+	g.Retries = 8
+	res := g.Grab(ctx, proto.SSH, ip.MustParseAddr("10.2.0.1"), 0)
+	if res.Success {
+		t.Fatalf("grab succeeded under canceled context: %+v", res)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (retry loop must stop on cancellation)", res.Attempts)
+	}
+	if d.dials != 0 {
+		t.Errorf("%d dials reached the network after cancellation", d.dials)
 	}
 }
 

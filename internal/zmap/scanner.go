@@ -1,6 +1,7 @@
 package zmap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,8 +10,16 @@ import (
 	"repro/internal/ip"
 	"repro/internal/origin"
 	"repro/internal/packet"
+	"repro/internal/pipeline"
 	"repro/internal/rng"
 )
+
+// sweepBatch is how many scan positions a sweep advances between context
+// checks. Cancellation therefore lands within one batch per goroutine: a
+// canceled sweep stops after at most sweepBatch further targets instead of
+// walking the rest of the address space. The check is a pure read, so an
+// uncancelled sweep emits a bit-identical schedule.
+const sweepBatch = 4096
 
 // PacketSink is the transport the scanner sends probes through. The
 // simulation fabric implements it; a raw-socket implementation would attach
@@ -67,13 +76,13 @@ type Config struct {
 
 func (c *Config) validate() error {
 	if len(c.SourceIPs) == 0 {
-		return fmt.Errorf("zmap: no source IPs")
+		return pipeline.Tag(pipeline.ErrBadConfig, fmt.Errorf("zmap: no source IPs"))
 	}
 	if c.Probes <= 0 {
-		return fmt.Errorf("zmap: probes must be positive")
+		return pipeline.Tag(pipeline.ErrBadConfig, fmt.Errorf("zmap: probes must be positive"))
 	}
 	if c.ScanDuration <= 0 {
-		return fmt.Errorf("zmap: scan duration must be positive")
+		return pipeline.Tag(pipeline.ErrBadConfig, fmt.Errorf("zmap: scan duration must be positive"))
 	}
 	if c.Shards == 0 {
 		c.Shards = 1
@@ -173,13 +182,20 @@ func (s *Scanner) emitTarget(a uint32, position uint64, st *Stats, emit func(ip.
 }
 
 // sweep walks this scanner's whole shard serially, calling emit per target.
-func (s *Scanner) sweep(st *Stats, emit func(ip.Addr, time.Duration)) {
+// The context is checked once per sweepBatch positions; a canceled sweep
+// returns pipeline.ErrCanceled with the walk stopped mid-space.
+func (s *Scanner) sweep(ctx context.Context, st *Stats, emit func(ip.Addr, time.Duration)) error {
 	it := s.perm.Iterate()
 	var position uint64
 	for {
+		if position%sweepBatch == 0 {
+			if err := ctx.Err(); err != nil {
+				return pipeline.Canceled(err)
+			}
+		}
 		a, ok := it.Next()
 		if !ok {
-			return
+			return nil
 		}
 		position++
 		s.emitTarget(a, position, st, emit)
@@ -190,9 +206,9 @@ func (s *Scanner) sweep(st *Stats, emit func(ip.Addr, time.Duration)) {
 // with its base virtual probe time — the scan's schedule without sending a
 // packet. The deterministic parallel engine uses this to precompute IDS
 // detection points before scans of the same seed run concurrently.
-func (s *Scanner) Targets(fn func(dst ip.Addr, t time.Duration)) {
+func (s *Scanner) Targets(ctx context.Context, fn func(dst ip.Addr, t time.Duration)) error {
 	var st Stats
-	s.sweep(&st, fn)
+	return s.sweep(ctx, &st, fn)
 }
 
 // probeTarget sends the configured probes for one target, validates the
@@ -232,16 +248,18 @@ func (s *Scanner) probeTarget(sink PacketSink, dst ip.Addr, t time.Duration, st 
 // Run executes the scan against sink, invoking handler for every target
 // that sent at least one valid response. Probes for one target are sent
 // back-to-back, as ZMap does; the virtual clock advances linearly with scan
-// position.
-func (s *Scanner) Run(sink PacketSink, handler func(Reply)) Stats {
+// position. Cancelling ctx stops the sweep within one batch; the returned
+// statistics then cover only the probes actually sent, and the error
+// matches pipeline.ErrCanceled.
+func (s *Scanner) Run(ctx context.Context, sink PacketSink, handler func(Reply)) (Stats, error) {
 	var st Stats
 	var synBuf []byte
-	s.sweep(&st, func(dst ip.Addr, t time.Duration) {
+	err := s.sweep(ctx, &st, func(dst ip.Addr, t time.Duration) {
 		if r, ok := s.probeTarget(sink, dst, t, &st, &synBuf); ok {
 			handler(r)
 		}
 	})
-	return st
+	return st, err
 }
 
 // RunSharded executes the scan as n concurrent goroutine shards over
@@ -252,9 +270,13 @@ func (s *Scanner) Run(sink PacketSink, handler func(Reply)) Stats {
 // g^(shards·n), and each element's serial scan position is recovered from
 // its walk index and the permutation's out-of-space skip table. handler is
 // invoked sequentially, in the serial scan's emission order.
-func (s *Scanner) RunSharded(sink PacketSink, handler func(Reply), n int) (Stats, error) {
+//
+// Cancellation lands within one sweep batch per shard: each shard checks
+// ctx every sweepBatch walk positions and stops; the merged handler pass is
+// skipped and the error matches pipeline.ErrCanceled.
+func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(Reply), n int) (Stats, error) {
 	if n <= 1 {
-		return s.Run(sink, handler), nil
+		return s.Run(ctx, sink, handler)
 	}
 	skips := s.perm.SkipIndices()
 	subs := make([]*Permutation, n)
@@ -285,7 +307,12 @@ func (s *Scanner) RunSharded(sink PacketSink, handler func(Reply), n int) (Stats
 				}
 			}
 			it := subs[j].Iterate()
+			var walked uint64
 			for {
+				if walked%sweepBatch == 0 && ctx.Err() != nil {
+					return
+				}
+				walked++
 				a, elem, ok := it.NextIndexed()
 				if !ok {
 					return
@@ -306,6 +333,12 @@ func (s *Scanner) RunSharded(sink PacketSink, handler func(Reply), n int) (Stats
 	for i := range outs {
 		st.add(outs[i].st)
 		total += len(outs[i].replies)
+	}
+	if err := ctx.Err(); err != nil {
+		// The shards stopped at different positions; a partial merge would
+		// not reproduce any serial prefix, so the canceled sweep reports
+		// its statistics but hands the caller no replies.
+		return st, pipeline.Canceled(err)
 	}
 	merged := make([]Reply, 0, total)
 	for i := range outs {

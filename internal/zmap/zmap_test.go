@@ -1,12 +1,15 @@
 package zmap
 
 import (
+	"context"
+	"errors"
 	"math/bits"
 	"testing"
 	"time"
 
 	"repro/internal/ip"
 	"repro/internal/packet"
+	"repro/internal/pipeline"
 	"repro/internal/rng"
 )
 
@@ -233,7 +236,10 @@ func TestScannerFindsLiveHosts(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := map[ip.Addr]uint8{}
-	st := s.Run(sink, func(r Reply) { got[r.Dst] = r.ProbeMask })
+	st, err := s.Run(context.Background(), sink, func(r Reply) { got[r.Dst] = r.ProbeMask })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 3 {
 		t.Fatalf("found %d hosts, want 3: %v", len(got), got)
 	}
@@ -260,7 +266,7 @@ func TestScannerDistinguishesProbeLoss(t *testing.T) {
 	}
 	s, _ := NewScanner(testConfig())
 	got := map[ip.Addr]uint8{}
-	s.Run(sink, func(r Reply) { got[r.Dst] = r.ProbeMask })
+	s.Run(context.Background(), sink, func(r Reply) { got[r.Dst] = r.ProbeMask })
 	if got[7] != 0b10 {
 		t.Errorf("host 7 mask %#b, want 0b10", got[7])
 	}
@@ -276,7 +282,10 @@ func TestScannerReportsRSTs(t *testing.T) {
 	sink := &fakeSink{closed: map[ip.Addr]bool{50: true}}
 	s, _ := NewScanner(testConfig())
 	var replies []Reply
-	st := s.Run(sink, func(r Reply) { replies = append(replies, r) })
+	st, err := s.Run(context.Background(), sink, func(r Reply) { replies = append(replies, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(replies) != 1 || !replies[0].RST || replies[0].ProbeMask != 0 {
 		t.Fatalf("replies = %+v", replies)
 	}
@@ -292,7 +301,10 @@ func TestScannerRejectsInvalidResponses(t *testing.T) {
 	}
 	s, _ := NewScanner(testConfig())
 	count := 0
-	st := s.Run(sink, func(Reply) { count++ })
+	st, err := s.Run(context.Background(), sink, func(Reply) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if count != 0 {
 		t.Fatalf("%d hosts accepted from invalid responses", count)
 	}
@@ -309,7 +321,10 @@ func TestScannerBlocklist(t *testing.T) {
 	sink := &fakeSink{live: map[ip.Addr]bool{5: true, 300: true}}
 	s, _ := NewScanner(cfg)
 	got := map[ip.Addr]bool{}
-	st := s.Run(sink, func(r Reply) { got[r.Dst] = true })
+	st, err := s.Run(context.Background(), sink, func(r Reply) { got[r.Dst] = true })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got[5] {
 		t.Error("blocklisted host was probed")
 	}
@@ -329,7 +344,10 @@ func TestScannerAllowlist(t *testing.T) {
 	sink := &fakeSink{live: map[ip.Addr]bool{5: true, 300: true}}
 	s, _ := NewScanner(cfg)
 	got := map[ip.Addr]bool{}
-	st := s.Run(sink, func(r Reply) { got[r.Dst] = true })
+	st, err := s.Run(context.Background(), sink, func(r Reply) { got[r.Dst] = true })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got[5] || !got[300] {
 		t.Errorf("allowlist: got %v", got)
 	}
@@ -350,7 +368,7 @@ func TestScannerMultiSourceRotation(t *testing.T) {
 		return nil
 	})
 	s, _ := NewScanner(cfg)
-	s.Run(sink, func(Reply) {})
+	s.Run(context.Background(), sink, func(Reply) {})
 	if len(srcSeen) != 64 {
 		t.Fatalf("used %d source IPs, want 64", len(srcSeen))
 	}
@@ -378,7 +396,7 @@ func TestScannerTimeAdvancesMonotonically(t *testing.T) {
 		return nil
 	})
 	s, _ := NewScanner(cfg)
-	s.Run(sink, func(Reply) {})
+	s.Run(context.Background(), sink, func(Reply) {})
 	if !mono {
 		t.Error("virtual time went backwards")
 	}
@@ -404,7 +422,7 @@ func TestScannerSynchronizedOriginsShareSchedule(t *testing.T) {
 			return nil
 		})
 		s, _ := NewScanner(cfg)
-		s.Run(sink, func(Reply) {})
+		s.Run(context.Background(), sink, func(Reply) {})
 		return recs
 	}
 	a, b := collect("10.99.0.1"), collect("10.88.0.1")
@@ -415,6 +433,74 @@ func TestScannerSynchronizedOriginsShareSchedule(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("probe %d differs: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+func TestScannerRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sink := &fakeSink{live: map[ip.Addr]bool{5: true}}
+	s, err := NewScanner(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(ctx, sink, func(Reply) {})
+	if !errors.Is(err, pipeline.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if sink.sent != 0 {
+		t.Errorf("%d probes sent after pre-canceled context", sink.sent)
+	}
+}
+
+func TestScannerCancelMidSweepStopsWithinOneBatch(t *testing.T) {
+	cfg := testConfig()
+	cfg.SpaceBits = 14 // 16384 targets, 4 batches
+	ctx, cancel := context.WithCancel(context.Background())
+	const cancelAfter = 100
+	sent := 0
+	sink := sinkFunc(func(src ip.Addr, pkt []byte, tm time.Duration) []byte {
+		sent++
+		if sent == cancelAfter {
+			cancel()
+		}
+		return nil
+	})
+	s, err := NewScanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(ctx, sink, func(Reply) {})
+	if !errors.Is(err, pipeline.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The sweep only checks the context every sweepBatch positions, so at
+	// most one more batch of probes goes out after cancellation.
+	if max := cancelAfter + cfg.Probes*sweepBatch; sent > max {
+		t.Errorf("%d probes sent after cancel, want <= %d", sent, max)
+	}
+	if total := cfg.Probes << cfg.SpaceBits; sent >= total {
+		t.Errorf("sweep ran to completion (%d probes) despite cancellation", sent)
+	}
+}
+
+func TestScannerRunShardedCanceled(t *testing.T) {
+	cfg := testConfig()
+	cfg.SpaceBits = 14
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sink := &fakeSink{live: map[ip.Addr]bool{5: true}}
+	s, err := NewScanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handled := 0
+	_, err = s.RunSharded(ctx, sink, func(Reply) { handled++ }, 4)
+	if !errors.Is(err, pipeline.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if handled != 0 {
+		t.Errorf("handler saw %d replies after cancellation", handled)
 	}
 }
 

@@ -11,23 +11,31 @@
 //
 // Quick start:
 //
-//	study, err := scanorigin.NewStudy(scanorigin.StudyConfig{
+//	ctx := context.Background()
+//	study, err := scanorigin.NewStudy(ctx, scanorigin.StudyConfig{
 //		WorldSpec: scanorigin.TestWorld(42),
 //	})
 //	if err != nil { ... }
-//	if err := study.Run(); err != nil { ... }
-//	scanorigin.Report(os.Stdout, study)
+//	if err := study.Run(ctx); err != nil { ... }
+//	scanorigin.Report(ctx, os.Stdout, study)
+//
+// Every entry point takes a context: canceling it stops the run at the
+// next stage boundary (or within one sweep batch mid-scan) with an error
+// matching ErrCanceled, and Run still hands back the sealed partial
+// dataset collected so far.
 //
 // The full reproduction (all tables and figures at 1/1000 Internet scale)
 // is cmd/originscan.
 package scanorigin
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/origin"
+	"repro/internal/pipeline"
 	"repro/internal/proto"
 	"repro/internal/report"
 	"repro/internal/results"
@@ -72,8 +80,30 @@ const (
 // Dataset holds a study's raw scan results.
 type Dataset = results.Dataset
 
+// Typed run errors: match with errors.Is. A run error carries its
+// lifecycle stage (InterruptedStage) and, for scan failures, one
+// ScanError per failed (origin, protocol, trial) tuple (errors.As).
+var (
+	ErrCanceled     = core.ErrCanceled
+	ErrScanFailed   = core.ErrScanFailed
+	ErrSealConflict = core.ErrSealConflict
+	ErrBadConfig    = core.ErrBadConfig
+	ErrWorldGen     = core.ErrWorldGen
+)
+
+// Stage identifies a lifecycle stage; StageError and ScanError are the
+// wrappers run errors arrive in.
+type (
+	Stage      = core.Stage
+	StageError = core.StageError
+	ScanError  = core.ScanError
+)
+
+// InterruptedStage reports which lifecycle stage err interrupted.
+func InterruptedStage(err error) (Stage, bool) { return pipeline.InterruptedStage(err) }
+
 // NewStudy prepares a study (generates the world and scenario).
-func NewStudy(cfg StudyConfig) (*Study, error) { return core.New(cfg) }
+func NewStudy(ctx context.Context, cfg StudyConfig) (*Study, error) { return core.New(ctx, cfg) }
 
 // DefaultWorld returns the 1/1000-scale world spec used by cmd/originscan
 // (≈58k HTTP, 41k HTTPS, 20k SSH hosts).
@@ -92,9 +122,9 @@ func FollowUpOrigins() origin.Set { return origin.FollowUpSet() }
 
 // FollowUp runs the §7 follow-up experiment: two HTTP trials including the
 // co-located Tier-1 origins and a fresh-IP Censys.
-func FollowUp(spec WorldSpec) (*experiment.Study, *Dataset, error) {
-	return experiment.FollowUp(spec)
+func FollowUp(ctx context.Context, spec WorldSpec) (*experiment.Study, *Dataset, error) {
+	return experiment.FollowUp(ctx, spec)
 }
 
 // Report renders every table and figure of the paper to w.
-func Report(w io.Writer, s *Study) { report.All(w, s) }
+func Report(ctx context.Context, w io.Writer, s *Study) error { return report.All(ctx, w, s) }

@@ -1,6 +1,8 @@
 package scanorigin
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -8,7 +10,8 @@ import (
 // TestFacadeQuickstart exercises the documented public-API path end to end:
 // prepare, run, inspect, report.
 func TestFacadeQuickstart(t *testing.T) {
-	study, err := NewStudy(StudyConfig{
+	ctx := context.Background()
+	study, err := NewStudy(ctx, StudyConfig{
 		WorldSpec: WorldSpec{Seed: 4, Scale: 0.00003},
 		Trials:    1,
 		Protocols: []Protocol{HTTP},
@@ -16,7 +19,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := study.Run(); err != nil {
+	if err := study.Run(ctx); err != nil {
 		t.Fatal(err)
 	}
 	tab := study.Fig1Coverage(HTTP)
@@ -27,9 +30,32 @@ func TestFacadeQuickstart(t *testing.T) {
 		}
 	}
 	var b strings.Builder
-	Report(&b, study)
+	if err := Report(ctx, &b, study); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(b.String(), "Figure 1") {
 		t.Error("Report produced no figures")
+	}
+}
+
+// TestFacadeCancellation checks the re-exported error vocabulary: a canceled
+// context surfaces through the facade as ErrCanceled with the interrupted
+// lifecycle stage attached.
+func TestFacadeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewStudy(ctx, StudyConfig{
+		WorldSpec: WorldSpec{Seed: 4, Scale: 0.00003},
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("NewStudy under canceled ctx = %v, want ErrCanceled", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v carries no StageError", err)
+	}
+	if stage, ok := InterruptedStage(err); !ok || stage.String() != "worldgen" {
+		t.Errorf("interrupted stage = %v (found=%v), want worldgen", stage, ok)
 	}
 }
 
@@ -51,7 +77,7 @@ func TestFacadeWorldSpecs(t *testing.T) {
 }
 
 func TestFacadeFollowUp(t *testing.T) {
-	_, ds, err := FollowUp(WorldSpec{Seed: 5, Scale: 0.00003})
+	_, ds, err := FollowUp(context.Background(), WorldSpec{Seed: 5, Scale: 0.00003})
 	if err != nil {
 		t.Fatal(err)
 	}
