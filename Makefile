@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench
+.PHONY: all ci vet build test race bench bench-telemetry
 
 all: ci
 
@@ -27,3 +27,13 @@ race:
 # BENCH_columnar.json.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkStudy|BenchmarkAnalysisPasses' -benchtime 3x -benchmem .
+
+# Telemetry overhead on the sweep hot path: the same full sweep with a nil
+# metric bundle vs a live registry. The enabled/nil ratio is the number the
+# tentpole budget caps at 5%; results land in BENCH_telemetry.json.
+bench-telemetry:
+	$(GO) test -run xxx -bench 'BenchmarkSweepTelemetry' -benchtime 2s -benchmem ./internal/zmap/ | \
+	    $(GO) run ./cmd/benchjson \
+	        -command "go test -run xxx -bench BenchmarkSweepTelemetry -benchtime 2s ./internal/zmap/" \
+	        -note "Full 2^14-address sweep against a null sink. Nil = telemetry disabled (one pointer check per 4096-target batch); Enabled = live registry receiving batched delta flushes. Overhead budget: enabled <= 5% over nil." \
+	        -out BENCH_telemetry.json

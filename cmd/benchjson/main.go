@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repo's BENCH_*.json record format (date, machine, command, note,
+// results_ns_per_op). The Makefile's bench targets pipe through it so the
+// checked-in benchmark files stay machine-generated and uniform:
+//
+//	go test -run xxx -bench Sweep -benchtime 10x ./internal/zmap/ |
+//	    go run ./cmd/benchjson -command "..." -note "..." -out BENCH_telemetry.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type machine struct {
+	CPU    string `json:"cpu"`
+	Cores  int    `json:"cores"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+}
+
+type record struct {
+	Date    string             `json:"date"`
+	Machine machine            `json:"machine"`
+	Command string             `json:"command"`
+	Note    string             `json:"note,omitempty"`
+	Results map[string]float64 `json:"results_ns_per_op"`
+}
+
+func main() {
+	var (
+		command = flag.String("command", "", "benchmark command line to record")
+		note    = flag.String("note", "", "free-form note about the run")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	rec := record{
+		Date: time.Now().Format("2006-01-02"),
+		Machine: machine{
+			CPU:    cpuModel(),
+			Cores:  runtime.NumCPU(),
+			GOOS:   runtime.GOOS,
+			GOARCH: runtime.GOARCH,
+		},
+		Command: *command,
+		Note:    *note,
+		Results: map[string]float64{},
+	}
+
+	// Benchmark lines: "BenchmarkName-8  10  123456 ns/op  0 B/op ...".
+	// Names are recorded without the -GOMAXPROCS suffix, matching the
+	// existing BENCH files.
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the raw output visible in CI logs
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 1 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		rec.Results[name] = ns
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+	if len(rec.Results) == 0 {
+		fatalf("no benchmark results found on stdin")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fatalf("encoding: %v", err)
+	}
+	if *out != "" {
+		fmt.Printf("benchmark results written to %s\n", *out)
+	}
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo (Linux); other
+// platforms record the architecture.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if _, after, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(after)
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

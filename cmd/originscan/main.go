@@ -8,9 +8,16 @@
 //
 //	originscan [-seed N] [-scale F] [-trials N] [-dataset out.json]
 //	           [-parallelism N] [-scan-shards N] [-skip-followup]
+//	           [-telemetry-addr host:port] [-quiet]
 //
 // The default scale (0.001) generates ≈58k HTTP hosts, mirroring the
 // paper's 58M at 1/1000; a full run takes a few minutes on one core.
+//
+// While scans run, a single-line progress report (scans done/total, probe
+// rate, ETA) refreshes on stderr every 2 seconds; -quiet suppresses it for
+// scripted runs. -telemetry-addr serves live metrics over HTTP for the
+// duration of the process: /metrics (Prometheus text), /metrics.json,
+// /spans, /debug/pprof/, and /debug/vars.
 //
 // SIGINT/SIGTERM cancel the run: scans stop at the next shard batch, every
 // scan completed before the interruption is flushed to -dataset (when set),
@@ -22,6 +29,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +65,8 @@ func main() {
 		blocklist    = flag.String("blocklist", "", "ZMap-style blocklist file applied to every scan")
 		parallelism  = flag.Int("parallelism", 0, "concurrent (origin, protocol, trial) scans (0 = serial)")
 		scanShards   = flag.Int("scan-shards", 0, "goroutine shards per ZMap sweep (0 = unsharded)")
+		telemAddr    = flag.String("telemetry-addr", "", "serve live metrics, pprof, and expvar on this address")
+		quiet        = flag.Bool("quiet", false, "suppress the periodic stderr progress line")
 	)
 	flag.Parse()
 
@@ -64,12 +75,30 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Telemetry observes every layer of the run; it never changes results
+	// (the golden-dataset test pins that), so it is always on and the flags
+	// only choose where it surfaces.
+	reg := core.NewTelemetry()
+	if *telemAddr != "" {
+		ln, err := net.Listen("tcp", *telemAddr)
+		if err != nil {
+			fatalf("telemetry listener: %v", err)
+		}
+		fmt.Printf("telemetry: serving /metrics, /metrics.json, /spans, /debug/pprof on http://%s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, reg.ServeMux()); err != nil {
+				fmt.Fprintf(os.Stderr, "originscan: telemetry server: %v\n", err)
+			}
+		}()
+	}
+
 	cfg := experiment.Config{
 		WorldSpec:      world.Spec{Seed: *seed, Scale: *scale},
 		Trials:         *trials,
 		IncludeCarinet: *carinet,
 		Parallelism:    *parallelism,
 		ScanShards:     *scanShards,
+		Telemetry:      reg,
 	}
 	if *blocklist != "" {
 		f, err := os.Open(*blocklist)
@@ -98,15 +127,18 @@ func main() {
 
 	start := time.Now()
 	fmt.Printf("running %d trials × 3 protocols × %d origins...\n", *trials, len(origin.StudySet()))
-	if err := study.Run(ctx); err != nil {
+	var progress *core.Progress
+	if !*quiet {
+		progress = core.StartProgress(reg, os.Stderr, 2*time.Second)
+	}
+	err = study.Run(ctx)
+	progress.Stop()
+	if err != nil {
 		// Whatever interrupted the run, flush the scans that completed:
 		// a multi-hour study should never lose its sealed partial data.
 		flushDataset(*datasetPath, study)
 		if errors.Is(err, core.ErrCanceled) {
-			msg := "interrupted"
-			if stage, ok := core.InterruptedStage(err); ok {
-				msg = fmt.Sprintf("interrupted during the %s stage", stage)
-			}
+			msg := interruptionMessage(err)
 			exitf(exitCanceled, "%s after %v; %d scans sealed", msg,
 				time.Since(start).Round(time.Second), study.DS.Len())
 		}
@@ -132,6 +164,28 @@ func main() {
 
 	if !*skipFollowUp {
 		runFollowUp(ctx, world.Spec{Seed: *seed, Scale: *scale})
+	}
+}
+
+// interruptionMessage describes where a canceled run stopped: the lifecycle
+// stage and, when the interruption landed inside a specific scan, the
+// (origin, protocol, trial) tuple — e.g. "interrupted during the sweep
+// stage of scan US64/HTTP/trial 2".
+func interruptionMessage(err error) string {
+	stage, hasStage := core.InterruptedStage(err)
+	var serr *core.ScanError
+	hasScan := errors.As(err, &serr)
+	switch {
+	case hasStage && hasScan:
+		return fmt.Sprintf("interrupted during the %s stage of scan %v/%v/trial %d",
+			stage, serr.Origin, serr.Proto, serr.Trial)
+	case hasScan:
+		return fmt.Sprintf("interrupted during scan %v/%v/trial %d",
+			serr.Origin, serr.Proto, serr.Trial)
+	case hasStage:
+		return fmt.Sprintf("interrupted during the %s stage", stage)
+	default:
+		return "interrupted"
 	}
 }
 

@@ -1,30 +1,45 @@
 // Quickstart: generate a small synthetic Internet, run one synchronized
 // HTTP trial from all seven origins, and print each origin's coverage of
-// the ground-truth hosts.
+// the ground-truth hosts. A live progress line is shown on stderr while
+// the scans run; pass -quiet to suppress it (e.g. when scripting).
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/origin"
 	"repro/internal/proto"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 )
 
 func main() {
+	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
+	flag.Parse()
+
 	ctx := context.Background()
+	reg := telemetry.New()
 	study, err := experiment.NewStudy(ctx, experiment.Config{
 		WorldSpec: world.TestSpec(1),
 		Trials:    1,
 		Protocols: []proto.Protocol{proto.HTTP},
+		Telemetry: reg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	var progress *telemetry.Progress
+	if !*quiet {
+		progress = telemetry.StartProgress(reg, os.Stderr, 2*time.Second)
+	}
 	ds, err := study.Run(ctx)
+	progress.Stop()
 	if err != nil {
 		log.Fatal(err)
 	}

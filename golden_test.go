@@ -23,10 +23,14 @@ import (
 )
 
 // goldenConfig mirrors the run that produced testdata/golden_dataset.json.gz.
+// Telemetry is enabled on purpose: the golden bytes predate the telemetry
+// subsystem, so a registry-carrying run reproducing them byte-for-byte is
+// the proof that telemetry is a pure observer.
 func goldenConfig() experiment.Config {
 	return experiment.Config{
 		WorldSpec:      world.Spec{Seed: 2020, Scale: 0.00001},
 		IncludeCarinet: true,
+		Telemetry:      core.NewTelemetry(),
 	}
 }
 

@@ -1,0 +1,20 @@
+package core
+
+import "repro/internal/telemetry"
+
+// Telemetry is the metrics registry the study layers report into; set it
+// on experiment.Config.Telemetry (nil disables all instrumentation). Like
+// the error layer, the implementation lives in a leaf package and core
+// re-exports it as the public surface.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// Progress is the periodic stderr status reporter; a nil Progress's Stop
+// is a no-op, so callers can start it conditionally.
+type Progress = telemetry.Progress
+
+// StartProgress launches the periodic one-line status report; see
+// telemetry.StartProgress.
+var StartProgress = telemetry.StartProgress

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/results"
 	"repro/internal/rng"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 	"repro/internal/zgrab"
 	"repro/internal/zmap"
@@ -69,6 +71,13 @@ type Config struct {
 	// Hooks observe lifecycle stage transitions of every scan and of
 	// world generation (instrumentation, progress reporting, tests).
 	Hooks pipeline.Hooks
+	// Telemetry, when set, receives live metrics from every layer of the
+	// run: sweep and grab counters labeled per (origin, proto, trial),
+	// stage-duration spans, IDS activations, seal statistics, and the
+	// worker-pool gauges the progress line reads. Telemetry is a pure
+	// observer — a run with a registry produces a bit-identical dataset
+	// to a run without one.
+	Telemetry *telemetry.Registry
 	// Parallelism is how many (origin, protocol, trial) scans run
 	// concurrently (0 = GOMAXPROCS). The parallel engine precomputes IDS
 	// detection schedules so results are bit-identical to a serial run;
@@ -116,7 +125,7 @@ type Study struct {
 func NewStudy(ctx context.Context, cfg Config) (*Study, error) {
 	cfg = cfg.withDefaults()
 	var w *world.World
-	runner := pipeline.Runner{Hooks: cfg.Hooks}
+	runner := pipeline.Runner{Hooks: telemetry.ScanHooks(cfg.Telemetry, cfg.Hooks)}
 	err := runner.Run(ctx, pipeline.StageFunc{
 		Stage: pipeline.StageWorldgen,
 		Run: func(ctx context.Context) error {
@@ -169,17 +178,38 @@ func (st *Study) Run(ctx context.Context) (*results.Dataset, error) {
 	if shards <= 0 {
 		shards = 1
 	}
+	// Orchestration metrics: totals for the progress line, the queue-depth
+	// gauge, and per-worker utilization. All instruments are nil-safe, so a
+	// run without a registry takes the same code path.
+	reg := cfg.Telemetry
+	numScans := 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for range cfg.Protocols {
+			for _, o := range dsOrigins {
+				if o == origin.CARINET && trial != 0 {
+					continue
+				}
+				numScans++
+			}
+		}
+	}
+	reg.Gauge(telemetry.MetricScansTotal).Set(int64(numScans))
+	scansDone := reg.Counter(telemetry.MetricScansDone)
+	queueDepth := reg.Gauge(telemetry.MetricQueueDepth)
+
 	var scanErrs []error
 	if par == 1 && shards == 1 {
 		// Serial reference path: the live stateful IDSes observe probes
 		// in study order, exactly as the paper's scans unfolded. The
 		// parallel engine below must match this bit-for-bit.
+		queueDepth.Set(int64(numScans))
 		for trial := 0; trial < cfg.Trials; trial++ {
 			for _, p := range cfg.Protocols {
 				for _, o := range dsOrigins {
 					if o == origin.CARINET && trial != 0 {
 						continue
 					}
+					queueDepth.Add(-1)
 					res, err := st.ScanOne(ctx, o, p, trial)
 					if err != nil {
 						serr := &pipeline.ScanError{Origin: o, Proto: p, Trial: trial, Err: err}
@@ -188,9 +218,11 @@ func (st *Study) Run(ctx context.Context) (*results.Dataset, error) {
 							// dataset keeps every scan sealed before it.
 							return ds, serr
 						}
+						scansDone.Inc()
 						scanErrs = append(scanErrs, serr)
 						continue
 					}
+					scansDone.Inc()
 					if err := ds.Put(res); err != nil {
 						scanErrs = append(scanErrs, &pipeline.ScanError{Origin: o, Proto: p, Trial: trial, Err: err})
 					}
@@ -225,24 +257,36 @@ func (st *Study) Run(ctx context.Context) (*results.Dataset, error) {
 	outs := make([]*results.ScanResult, len(tasks))
 	errs := make([]error, len(tasks))
 	idx := make(chan int)
+	queueDepth.Set(int64(len(tasks)))
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wl := telemetry.L("worker", strconv.Itoa(w))
+			busyNS := reg.Counter(telemetry.MetricWorkerBusyNS, wl)
+			workerScans := reg.Counter(telemetry.MetricWorkerScans, wl)
 			for i := range idx {
+				queueDepth.Add(-1)
 				if ctx.Err() != nil {
 					continue // canceled: drain remaining indices
 				}
 				t := tasks[i]
+				begin := time.Now()
 				res, err := st.scanOne(ctx, t.o, t.p, t.trial, plan.detectors(t), shards)
+				busyNS.Add(uint64(time.Since(begin).Nanoseconds()))
+				workerScans.Inc()
 				if err != nil {
+					if !errors.Is(err, pipeline.ErrCanceled) {
+						scansDone.Inc()
+					}
 					errs[i] = err
 					continue
 				}
+				scansDone.Inc()
 				outs[i] = res
 			}
-		}()
+		}(w)
 	}
 	for i := range tasks {
 		idx <- i
@@ -292,6 +336,15 @@ func (st *Study) Run(ctx context.Context) (*results.Dataset, error) {
 	return ds, nil
 }
 
+// scanLabels are the telemetry labels identifying one scan's metrics.
+func scanLabels(o origin.ID, p proto.Protocol, trial int) []telemetry.Label {
+	return []telemetry.Label{
+		telemetry.L("origin", o.String()),
+		telemetry.L("proto", p.String()),
+		telemetry.L("trial", strconv.Itoa(trial)),
+	}
+}
+
 // originRecord resolves the origin, applying the follow-up Censys IP swap.
 func (st *Study) originRecord(o origin.ID) *origin.Origin {
 	org := st.World.Origins.Get(o)
@@ -324,6 +377,14 @@ func (st *Study) ScanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, trial int, detectors []policy.Detector, shards int) (*results.ScanResult, error) {
 	cfg := st.Config
 	org := st.originRecord(o)
+	// Per-scan telemetry: metric children are resolved once here, labeled
+	// by the scan's identity, and the hot paths below touch only the
+	// pre-resolved atomic counters. With no registry every bundle is nil
+	// and the instruments no-op.
+	labels := scanLabels(o, p, trial)
+	sweepM := telemetry.NewSweepMetrics(cfg.Telemetry, labels...)
+	grabM := telemetry.NewGrabMetrics(cfg.Telemetry, labels...)
+	sealM := telemetry.NewSealMetrics(cfg.Telemetry, labels...)
 	fab := fabric.New(&fabric.Config{
 		World:      st.World,
 		Engine:     st.Scenario.Engine,
@@ -360,6 +421,7 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 		ScanDuration:    scenario.ScanDuration,
 		Blocklist:       cfg.Blocklist,
 		ExpectedReplies: numHosts,
+		Telemetry:       sweepM,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %v/%v/trial %d: %w", o, p, trial, err)
@@ -380,7 +442,7 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 	var recs []results.HostRecord
 	var res *results.ScanResult
 
-	runner := pipeline.Runner{Hooks: cfg.Hooks}
+	runner := pipeline.Runner{Hooks: telemetry.ScanHooks(cfg.Telemetry, cfg.Hooks, labels...)}
 	err = runner.Run(ctx,
 		pipeline.StageFunc{Stage: pipeline.StageSweep, Run: func(ctx context.Context) error {
 			// L4 sweep: collect replies. Only hosts reply, so the
@@ -402,6 +464,7 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 				Retries:   cfg.Retries,
 				Key:       rng.NewKey(st.World.Spec.Seed).Derive("grab").DeriveN("origin", uint64(o)),
 				IOTimeout: 10 * time.Second,
+				Metrics:   grabM,
 			}
 			workers := cfg.GrabWorkers
 			if workers > len(replies) {
@@ -450,6 +513,11 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 			res.Invalid = stats.Invalid
 			res.AddBatch(recs)
 			res.Seal()
+			if sealM != nil {
+				rows, deduped := res.SealStats()
+				sealM.Rows.Add(uint64(rows))
+				sealM.Deduped.Add(uint64(deduped))
+			}
 			return fab.Drain(ctx)
 		}},
 	)

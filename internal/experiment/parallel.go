@@ -31,6 +31,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rng"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 	"repro/internal/zmap"
 )
 
@@ -155,8 +156,12 @@ func (st *Study) planIDS(ctx context.Context, dsOrigins origin.Set) (*idsPlan, e
 				for _, p := range cfg.Protocols {
 					schedules := st.replayScan(org, p, trial, sims, walks[walkKey{p, trial}])
 					dets := make([]policy.Detector, len(live))
+					labels := scanLabels(o, p, trial)
 					for i, d := range live {
-						dets[i] = policy.NewScheduledIDS(d, cfg.ProbeDelay, schedules[i])
+						sids := policy.NewScheduledIDS(d, cfg.ProbeDelay, schedules[i])
+						sids.Metrics = telemetry.NewIDSMetrics(cfg.Telemetry,
+							append(labels, telemetry.L("ids", d.RuleName))...)
+						dets[i] = sids
 					}
 					local[scanKey{o: o, p: p, trial: trial}] = dets
 				}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/origin"
 	"repro/internal/proto"
 	"repro/internal/results"
+	"repro/internal/telemetry"
 	"repro/internal/world"
 )
 
@@ -14,6 +15,8 @@ import (
 // count. The origin set deliberately mixes the IDS-relevant identities:
 // single-IP origins that cross detection thresholds, the 64-IP origin that
 // evades them, and Carinet's trial-0-only scan (an ordering edge case).
+// Every run carries a telemetry registry, so the equivalence it proves
+// covers instrumented scans: telemetry must not perturb any result.
 func equivalenceStudy(t *testing.T, par, shards int) (*Study, *results.Dataset) {
 	t.Helper()
 	st, err := NewStudy(context.Background(), Config{
@@ -24,6 +27,7 @@ func equivalenceStudy(t *testing.T, par, shards int) (*Study, *results.Dataset) 
 		IncludeCarinet: true,
 		Parallelism:    par,
 		ScanShards:     shards,
+		Telemetry:      telemetry.New(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,13 @@ package ip
 // merge-join set algebra. All operations assume (and preserve) strictly
 // ascending order; Union/Intersect/Diff run as linear merges, never
 // rebuilding hash sets.
+//
+// The sortedness precondition is not checked on the merge paths: passing
+// an unsorted or duplicated slice to Search, Union, Intersect, or Diff
+// yields silently wrong (not panicking) results, because the merge
+// cursors only ever advance. Slices produced by ScanResult's sealed
+// columns or by these helpers themselves always satisfy the invariant;
+// hand-built slices can be validated with IsSorted.
 type AddrSlice []Addr
 
 // Search returns the smallest index i with s[i] >= a (len(s) when none).
@@ -40,6 +47,7 @@ func (s AddrSlice) IsSorted() bool {
 
 // Union returns the sorted union of the given sorted slices as a k-way
 // merge. The inputs are not modified; the result is freshly allocated.
+// Every input must be strictly ascending (see the AddrSlice invariant).
 func Union(lists ...AddrSlice) AddrSlice {
 	switch len(lists) {
 	case 0:
@@ -75,7 +83,8 @@ func Union(lists ...AddrSlice) AddrSlice {
 	}
 }
 
-// Intersect returns the sorted intersection of two sorted slices.
+// Intersect returns the sorted intersection of two sorted slices. Both
+// receiver and argument must be strictly ascending.
 func (s AddrSlice) Intersect(o AddrSlice) AddrSlice {
 	var out AddrSlice
 	i, j := 0, 0
@@ -125,7 +134,8 @@ func (s AddrSlice) intersectInto(o AddrSlice) AddrSlice {
 	return s[:n]
 }
 
-// Diff returns the sorted elements of s not present in o.
+// Diff returns the sorted elements of s not present in o. Both slices
+// must be strictly ascending.
 func (s AddrSlice) Diff(o AddrSlice) AddrSlice {
 	var out AddrSlice
 	j := 0

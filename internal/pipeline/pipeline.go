@@ -42,6 +42,10 @@ const (
 	numStages
 )
 
+// NumStages is the number of defined lifecycle stages — the array size for
+// per-stage state (telemetry keeps per-stage start times in one).
+const NumStages = int(numStages)
+
 var stageNames = [numStages]string{
 	"worldgen", "sweep", "grab", "seal", "analyze", "report",
 }

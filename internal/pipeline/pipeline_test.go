@@ -116,3 +116,93 @@ func TestStageString(t *testing.T) {
 		t.Errorf("out-of-range stage = %q", Stage(200).String())
 	}
 }
+
+// TestHooksFireExactlyOncePerStage pins the hook contract instrumentation
+// depends on: for every stage that starts, Before fires exactly once and
+// After exactly once, in stage order, Before strictly preceding After —
+// including for a stage that fails. Stages after the failure never start,
+// so neither of their hooks fire.
+func TestHooksFireExactlyOncePerStage(t *testing.T) {
+	boom := errors.New("boom")
+	before := map[Stage]int{}
+	after := map[Stage]int{}
+	var afterErrs []error
+	var seq []string
+	r := Runner{Hooks: Hooks{
+		Before: func(_ context.Context, s Stage) {
+			before[s]++
+			seq = append(seq, "before "+s.String())
+		},
+		After: func(_ context.Context, s Stage, err error) {
+			after[s]++
+			afterErrs = append(afterErrs, err)
+			seq = append(seq, "after "+s.String())
+		},
+	}}
+	err := r.Run(context.Background(),
+		stage(StageSweep, func(context.Context) error { return nil }),
+		stage(StageGrab, func(context.Context) error { return boom }),
+		stage(StageSeal, func(context.Context) error { return nil }),
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	for _, s := range []Stage{StageSweep, StageGrab} {
+		if before[s] != 1 || after[s] != 1 {
+			t.Errorf("stage %v: Before fired %d times, After %d times; want exactly 1 each",
+				s, before[s], after[s])
+		}
+	}
+	if before[StageSeal] != 0 || after[StageSeal] != 0 {
+		t.Errorf("seal never ran but hooks fired: before %d, after %d",
+			before[StageSeal], after[StageSeal])
+	}
+	want := []string{"before sweep", "after sweep", "before grab", "after grab"}
+	if len(seq) != len(want) {
+		t.Fatalf("hook sequence = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Errorf("hook %d = %q, want %q", i, seq[i], want[i])
+		}
+	}
+	// After receives the stage's own outcome: nil for sweep, the failure
+	// for grab.
+	if afterErrs[0] != nil {
+		t.Errorf("after(sweep) err = %v, want nil", afterErrs[0])
+	}
+	if !errors.Is(afterErrs[1], boom) {
+		t.Errorf("after(grab) err = %v, want boom", afterErrs[1])
+	}
+}
+
+// TestHooksAfterFiresOnCanceledStage: a stage interrupted mid-run still
+// gets its After (with the cancellation error), so span-style tracing
+// closes every span it opens. A stage skipped by a pre-stage cancellation
+// check gets neither hook.
+func TestHooksAfterFiresOnCanceledStage(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var afterStages []Stage
+	var afterErr error
+	r := Runner{Hooks: Hooks{
+		After: func(_ context.Context, s Stage, err error) {
+			afterStages = append(afterStages, s)
+			if s == StageSweep {
+				afterErr = err
+			}
+		},
+	}}
+	err := r.Run(ctx,
+		stage(StageSweep, func(ctx context.Context) error { cancel(); return ctx.Err() }),
+		stage(StageGrab, func(context.Context) error { return nil }),
+	)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(afterStages) != 1 || afterStages[0] != StageSweep {
+		t.Errorf("After fired for %v, want [sweep] only", afterStages)
+	}
+	if !errors.Is(afterErr, ErrCanceled) {
+		t.Errorf("after(sweep) err = %v, want the normalized cancellation", afterErr)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/asn"
 	"repro/internal/ip"
+	"repro/internal/telemetry"
 )
 
 // SrcSchedule is the precomputed IDS fate of one scanner source IP during
@@ -38,6 +39,11 @@ type ScheduledIDS struct {
 	// Schedules maps each of the scan's source IPs to its fate; sources
 	// absent from the map are never detected.
 	Schedules map[ip.Addr]*SrcSchedule
+	// Metrics, when set, counts block activations and dropped probes.
+	// The detector itself stays read-only — the counters are atomic and
+	// nil-safe, and an activation is counted exactly when a probe lands
+	// on its source's precomputed detection point.
+	Metrics *telemetry.IDSMetrics
 }
 
 // NewScheduledIDS builds the per-scan view of live, with the given
@@ -74,13 +80,27 @@ func (d *ScheduledIDS) RecordProbe(q *Query) bool {
 		return false
 	}
 	if s.BlockedAtStart {
+		if m := d.Metrics; m != nil {
+			m.Drops.Inc()
+		}
 		return true
 	}
 	if !s.Detected {
 		return false
 	}
 	tBase := q.Time - time.Duration(q.Probe)*d.ProbeDelay
-	return tBase > s.T || (tBase == s.T && q.Probe >= s.Probe)
+	if tBase > s.T || (tBase == s.T && q.Probe >= s.Probe) {
+		if m := d.Metrics; m != nil {
+			if tBase == s.T && q.Probe == s.Probe {
+				// This probe is the one that crossed the threshold: the
+				// moment the dynamic block activates for this source.
+				m.Activations.Inc()
+			}
+			m.Drops.Inc()
+		}
+		return true
+	}
+	return false
 }
 
 // Evaluate implements Detector. L7 grabs run after the L4 sweep completes,

@@ -180,3 +180,41 @@ func TestCountSuccessInMatchesPointLookups(t *testing.T) {
 		}
 	}
 }
+
+// TestGetBeforeSealIsSafe pins the lazy-sealing contract for the classic
+// misuse — reading before calling Seal. Get (and every other reader) seals
+// on first use, so the caller who forgets Seal still observes sorted,
+// deduplicated, last-write-wins records; and an Add after a read unseals,
+// so the next read re-seals and sees the new write. SealStats counts every
+// duplicate dropped across those re-seals.
+func TestGetBeforeSealIsSafe(t *testing.T) {
+	s := NewScanResult(origin.AU, proto.HTTP, 0)
+	s.Add(HostRecord{Addr: 9, Attempts: 1})
+	s.Add(HostRecord{Addr: 5, Attempts: 1})
+	s.Add(HostRecord{Addr: 9, Attempts: 2})
+
+	// Misuse: no Seal call before reading. The read must behave exactly
+	// as if Seal had been called.
+	r, ok := s.Get(9)
+	if !ok || r.Attempts != 2 {
+		t.Fatalf("Get(9) before Seal = %+v, %v; want the last Add via lazy seal", r, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (deduplicated)", s.Len())
+	}
+
+	// Writing after a read unseals; the next read sees the new record.
+	s.Add(HostRecord{Addr: 9, Attempts: 7})
+	r, ok = s.Get(9)
+	if !ok || r.Attempts != 7 {
+		t.Fatalf("Get(9) after post-seal Add = %+v, %v; want the newest record", r, ok)
+	}
+
+	rows, deduped := s.SealStats()
+	if rows != 2 {
+		t.Errorf("SealStats rows = %d, want 2", rows)
+	}
+	if deduped != 2 {
+		t.Errorf("SealStats deduped = %d, want 2 (one per re-sealed duplicate)", deduped)
+	}
+}

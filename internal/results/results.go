@@ -81,6 +81,9 @@ type ScanResult struct {
 	banner    []string
 
 	sealed bool
+	// dedupDropped counts rows discarded by Seal's keep-last dedup —
+	// repeat Adds for one host. Telemetry reads it through SealStats.
+	dedupDropped int
 	// l7Addrs caches the sorted addresses with successful handshakes,
 	// the merge-join input of ground-truth and intersection queries.
 	l7Addrs ip.AddrSlice
@@ -189,6 +192,7 @@ func (s *byAddr) Swap(i, j int) {
 
 // dedup compacts sorted columns, keeping the last row of each address run.
 func (s *ScanResult) dedup() {
+	before := len(s.addrs)
 	out := 0
 	for i := 0; i < len(s.addrs); {
 		j := i
@@ -214,12 +218,21 @@ func (s *ScanResult) dedup() {
 	s.attempts = s.attempts[:out]
 	s.t = s.t[:out]
 	s.banner = s.banner[:out]
+	s.dedupDropped += before - out
 }
 
 // Len returns the number of recorded hosts.
 func (s *ScanResult) Len() int {
 	s.seal()
 	return len(s.addrs)
+}
+
+// SealStats seals the result and reports the committed row count and the
+// number of duplicate rows Seal's keep-last dedup discarded. Telemetry
+// records both when a scan commits to the dataset.
+func (s *ScanResult) SealStats() (rows, deduped int) {
+	s.seal()
+	return len(s.addrs), s.dedupDropped
 }
 
 // Addrs returns the sealed, sorted address column. Callers must not modify
@@ -297,9 +310,14 @@ func (s *ScanResult) Success(addr ip.Addr, singleProbe bool) bool {
 	return ok && s.SuccessAt(i, singleProbe)
 }
 
-// CountSuccessIn counts how many of the sorted addresses in gt the scan
+// CountSuccessIn counts how many of the addresses in gt the scan
 // successfully handshaked with — a two-pointer merge-join over the sealed
 // address column.
+//
+// Precondition: gt must be sorted ascending with no duplicates (the shape
+// GroundTruth and the ip.Union/Intersect helpers produce). The merge
+// cursor only moves forward, so an unsorted gt silently undercounts —
+// it is not detected.
 func (s *ScanResult) CountSuccessIn(gt []ip.Addr, singleProbe bool) int {
 	s.seal()
 	n, j := 0, 0
@@ -314,8 +332,11 @@ func (s *ScanResult) CountSuccessIn(gt []ip.Addr, singleProbe bool) int {
 	return n
 }
 
-// Each visits every record in address order. Iteration reads the sealed
-// columns in place and performs no per-call allocation.
+// Each visits every record in ascending address order. Iteration seals the
+// result first, so the columns fn observes are sorted and deduplicated; it
+// reads them in place and performs no per-call allocation. fn must not
+// call Add on the same result mid-iteration — that unseals the columns
+// under the running loop.
 func (s *ScanResult) Each(fn func(HostRecord)) {
 	s.seal()
 	for i := range s.addrs {

@@ -1,0 +1,145 @@
+// Span-style tracing for scan lifecycles. A span times one named unit of
+// work (a lifecycle stage, a sub-experiment, a whole study); ending it
+// records the duration into a histogram family, bumps completion/error
+// counters, and appends a record to a bounded in-memory ring the /spans
+// sink exposes. Spans are observational only — they never alter control
+// flow — and all entry points are no-ops on a nil registry.
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// spanRingCap bounds the completed-span ring. At production scale a study
+// runs ~63 scans × 3 stages plus study-level spans, so 512 keeps the full
+// run; a longer campaign simply retains the most recent spans.
+const spanRingCap = 512
+
+// SpanRecord is one completed span, as exposed by Spans and the JSON sink.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Labels   string        `json:"labels,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// spanRing is a fixed-capacity ring of completed spans.
+type spanRing struct {
+	mu   sync.Mutex
+	buf  [spanRingCap]SpanRecord
+	next int
+	n    int
+}
+
+func (sr *spanRing) push(rec SpanRecord) {
+	sr.mu.Lock()
+	sr.buf[sr.next] = rec
+	sr.next = (sr.next + 1) % spanRingCap
+	if sr.n < spanRingCap {
+		sr.n++
+	}
+	sr.mu.Unlock()
+}
+
+// snapshot returns the retained spans oldest-first.
+func (sr *spanRing) snapshot() []SpanRecord {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	out := make([]SpanRecord, 0, sr.n)
+	start := (sr.next - sr.n + spanRingCap) % spanRingCap
+	for i := 0; i < sr.n; i++ {
+		out = append(out, sr.buf[(start+i)%spanRingCap])
+	}
+	return out
+}
+
+// Span is an in-flight timed operation. The zero Span (from a nil registry)
+// is inert: End does nothing.
+type Span struct {
+	reg    *Registry
+	name   string
+	labels []Label
+	start  time.Time
+}
+
+// StartSpan begins a span. On a nil registry the returned span is inert.
+func (r *Registry) StartSpan(name string, labels ...Label) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{reg: r, name: name, labels: labels, start: time.Now()}
+}
+
+// End completes the span: it observes the duration in the
+// "<name>_duration_seconds" histogram, increments "<name>_total" (and
+// "<name>_errors_total" when err != nil), and appends the record to the
+// span ring.
+func (s Span) End(err error) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.recordSpan(s.name, s.labels, s.start, time.Since(s.start), err)
+}
+
+// recordSpan is the shared span-commit path for Span.End and ScanHooks.
+func (r *Registry) recordSpan(name string, labels []Label, start time.Time, d time.Duration, err error) {
+	if r == nil {
+		return
+	}
+	r.Histogram(name+"_duration_seconds", DurationBuckets, labels...).Observe(d.Seconds())
+	r.Counter(name+"_total", labels...).Inc()
+	rec := SpanRecord{Name: name, Labels: labelKey(labels), Start: start, Duration: d}
+	if err != nil {
+		r.Counter(name+"_errors_total", labels...).Inc()
+		rec.Err = err.Error()
+	}
+	r.spans.push(rec)
+}
+
+// Spans returns the retained completed spans, oldest first (nil on a nil
+// registry).
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	return r.spans.snapshot()
+}
+
+// ScanHooks wraps next with per-stage span recording: Before stamps the
+// stage's start, After commits a "scan_stage" span labeled with the stage
+// name (plus the caller's labels — origin/proto/trial for a scan runner)
+// and the stage's error. The returned Hooks carry per-call state, so build
+// one ScanHooks per pipeline.Runner (stages within one runner execute
+// sequentially; concurrent scans each get their own). With a nil registry
+// next is returned unchanged.
+func ScanHooks(r *Registry, next pipeline.Hooks, labels ...Label) pipeline.Hooks {
+	if r == nil {
+		return next
+	}
+	var starts [pipeline.NumStages]time.Time
+	return pipeline.Hooks{
+		Before: func(ctx context.Context, s pipeline.Stage) {
+			if int(s) < len(starts) {
+				starts[s] = time.Now()
+			}
+			if next.Before != nil {
+				next.Before(ctx, s)
+			}
+		},
+		After: func(ctx context.Context, s pipeline.Stage, err error) {
+			if int(s) < len(starts) && !starts[s].IsZero() {
+				start := starts[s]
+				ls := append(append(make([]Label, 0, len(labels)+1), labels...), L("stage", s.String()))
+				r.recordSpan("scan_stage", ls, start, time.Since(start), err)
+			}
+			if next.After != nil {
+				next.After(ctx, s, err)
+			}
+		},
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rng"
 	"repro/internal/sshwire"
+	"repro/internal/telemetry"
 	"repro/internal/tlslite"
 	"repro/internal/vconn"
 )
@@ -84,6 +85,40 @@ type Grabber struct {
 	// IOTimeout bounds each read/write on real connections (default 10s;
 	// virtual connections complete instantly so it rarely matters).
 	IOTimeout time.Duration
+	// Metrics, when set, counts dials, handshakes, retries, and failure
+	// modes for this grabber's scan. The grab path is per-host, so each
+	// attempt updates the (atomic, nil-safe) counters directly.
+	Metrics *telemetry.GrabMetrics
+}
+
+// count records one attempt's outcome into the grabber's metric bundle.
+// All instrument methods are nil-safe, so a disabled bundle costs one nil
+// check here.
+func (g *Grabber) count(res *Result, attempt int) {
+	m := g.Metrics
+	if m == nil {
+		return
+	}
+	m.Dials.Inc()
+	if attempt > 0 {
+		m.Retries.Inc()
+	}
+	if res.Success {
+		m.Handshakes.Inc()
+		return
+	}
+	switch res.Fail {
+	case FailRefused:
+		m.Refused.Inc()
+	case FailReset:
+		m.Resets.Inc()
+	case FailTimeout:
+		m.Timeouts.Inc()
+	case FailClosed:
+		m.Closed.Inc()
+	case FailProto:
+		m.ProtoErrs.Inc()
+	}
 }
 
 // Grab performs the grab for p against dst at virtual time t, retrying per
@@ -95,6 +130,7 @@ func (g *Grabber) Grab(ctx context.Context, p proto.Protocol, dst ip.Addr, t tim
 	for attempt := 0; attempt <= g.Retries; attempt++ {
 		last = g.grabOnce(ctx, p, dst, t, attempt)
 		last.Attempts = attempt + 1
+		g.count(&last, attempt)
 		if last.Success || ctx.Err() != nil {
 			return last
 		}

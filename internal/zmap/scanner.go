@@ -12,6 +12,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/pipeline"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // sweepBatch is how many scan positions a sweep advances between context
@@ -72,6 +73,13 @@ type Config struct {
 	Allowlist *ip.Set
 	// ExpectedReplies sizes reply buffers up front (0 = no hint).
 	ExpectedReplies int
+	// Telemetry, when set, receives live sweep counters. The sweep
+	// accumulates into its private Stats as always and flushes deltas
+	// into these counters once per sweepBatch positions (and once at
+	// sweep end), so the per-probe hot path is unchanged and a nil
+	// bundle costs one pointer check per batch. Counters are atomic:
+	// sharded sweeps flush concurrently into the same bundle.
+	Telemetry *telemetry.SweepMetrics
 }
 
 func (c *Config) validate() error {
@@ -114,6 +122,38 @@ type Stats struct {
 	Rsts       uint64 // valid RST packets received
 	Invalid    uint64 // responses failing cookie/port validation
 	Duplicates uint64 // extra SYN-ACKs beyond the first per target
+}
+
+// statsFlusher pushes Stats deltas into a scan's telemetry counters at
+// sweep-batch granularity. Each sweep goroutine owns one flusher (the
+// `last` snapshot is goroutine-local); the counters themselves are atomic,
+// so concurrent shard flushes into one SweepMetrics bundle are safe. A nil
+// flusher or bundle is a no-op, keeping the disabled-telemetry sweep free
+// of per-event work.
+type statsFlusher struct {
+	m    *telemetry.SweepMetrics
+	last Stats
+}
+
+// flush publishes the counters accumulated since the previous flush.
+func (f *statsFlusher) flush(st *Stats) {
+	if f == nil || f.m == nil {
+		return
+	}
+	m, d := f.m, *st
+	m.Targets.Add(d.Targets - f.last.Targets)
+	m.Blocked.Add(d.Blocked - f.last.Blocked)
+	m.ProbesSent.Add(d.ProbesSent - f.last.ProbesSent)
+	m.SynAcks.Add(d.SynAcks - f.last.SynAcks)
+	m.Rsts.Add(d.Rsts - f.last.Rsts)
+	m.Invalid.Add(d.Invalid - f.last.Invalid)
+	m.Duplicates.Add(d.Duplicates - f.last.Duplicates)
+	// A probe whose response never arrived is the scanner-visible loss
+	// class: sent minus every validated or invalid response.
+	lost := d.ProbesSent - d.SynAcks - d.Rsts - d.Invalid
+	lastLost := f.last.ProbesSent - f.last.SynAcks - f.last.Rsts - f.last.Invalid
+	m.Lost.Add(lost - lastLost)
+	f.last = d
 }
 
 // add accumulates another shard's counters.
@@ -182,19 +222,23 @@ func (s *Scanner) emitTarget(a uint32, position uint64, st *Stats, emit func(ip.
 }
 
 // sweep walks this scanner's whole shard serially, calling emit per target.
-// The context is checked once per sweepBatch positions; a canceled sweep
-// returns pipeline.ErrCanceled with the walk stopped mid-space.
-func (s *Scanner) sweep(ctx context.Context, st *Stats, emit func(ip.Addr, time.Duration)) error {
+// The context is checked — and live telemetry counters flushed — once per
+// sweepBatch positions; a canceled sweep returns pipeline.ErrCanceled with
+// the walk stopped mid-space.
+func (s *Scanner) sweep(ctx context.Context, st *Stats, fl *statsFlusher, emit func(ip.Addr, time.Duration)) error {
 	it := s.perm.Iterate()
 	var position uint64
 	for {
 		if position%sweepBatch == 0 {
 			if err := ctx.Err(); err != nil {
+				fl.flush(st)
 				return pipeline.Canceled(err)
 			}
+			fl.flush(st)
 		}
 		a, ok := it.Next()
 		if !ok {
+			fl.flush(st)
 			return nil
 		}
 		position++
@@ -208,7 +252,7 @@ func (s *Scanner) sweep(ctx context.Context, st *Stats, emit func(ip.Addr, time.
 // detection points before scans of the same seed run concurrently.
 func (s *Scanner) Targets(ctx context.Context, fn func(dst ip.Addr, t time.Duration)) error {
 	var st Stats
-	return s.sweep(ctx, &st, fn)
+	return s.sweep(ctx, &st, nil, fn)
 }
 
 // probeTarget sends the configured probes for one target, validates the
@@ -254,7 +298,11 @@ func (s *Scanner) probeTarget(sink PacketSink, dst ip.Addr, t time.Duration, st 
 func (s *Scanner) Run(ctx context.Context, sink PacketSink, handler func(Reply)) (Stats, error) {
 	var st Stats
 	var synBuf []byte
-	err := s.sweep(ctx, &st, func(dst ip.Addr, t time.Duration) {
+	var fl *statsFlusher
+	if s.cfg.Telemetry != nil {
+		fl = &statsFlusher{m: s.cfg.Telemetry}
+	}
+	err := s.sweep(ctx, &st, fl, func(dst ip.Addr, t time.Duration) {
 		if r, ok := s.probeTarget(sink, dst, t, &st, &synBuf); ok {
 			handler(r)
 		}
@@ -301,6 +349,13 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 			o := &outs[j]
 			o.replies = make([]Reply, 0, hint)
 			var synBuf []byte
+			var fl *statsFlusher
+			if s.cfg.Telemetry != nil {
+				// Per-shard flusher: the delta snapshot is goroutine-local,
+				// the destination counters are atomic and shared.
+				fl = &statsFlusher{m: s.cfg.Telemetry}
+				defer func() { fl.flush(&o.st) }()
+			}
 			emit := func(dst ip.Addr, t time.Duration) {
 				if r, ok := s.probeTarget(sink, dst, t, &o.st, &synBuf); ok {
 					o.replies = append(o.replies, r)
@@ -309,8 +364,11 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 			it := subs[j].Iterate()
 			var walked uint64
 			for {
-				if walked%sweepBatch == 0 && ctx.Err() != nil {
-					return
+				if walked%sweepBatch == 0 {
+					if ctx.Err() != nil {
+						return
+					}
+					fl.flush(&o.st)
 				}
 				walked++
 				a, elem, ok := it.NextIndexed()
