@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-telemetry
+.PHONY: all ci vet build test race bench bench-telemetry bench-sweep
 
 all: ci
 
@@ -37,3 +37,18 @@ bench-telemetry:
 	        -command "go test -run xxx -bench BenchmarkSweepTelemetry -benchtime 2s ./internal/zmap/" \
 	        -note "Full 2^14-address sweep against a null sink. Nil = telemetry disabled (one pointer check per 4096-target batch); Enabled = live registry receiving batched delta flushes. Overhead budget: enabled <= 5% over nil." \
 	        -out BENCH_telemetry.json
+
+# Sweep fast path: the flat-FIB destination index, routed-space
+# short-circuit, and zero-alloc probe evaluation. BENCH_sweepfast.before.txt
+# is the raw benchmark output captured on the pre-FIB tree; re-running this
+# target re-measures "after" on the current tree and diffs against that
+# fixed baseline, so the delta in BENCH_sweepfast.json stays attributable
+# to the fast path rather than to machine drift.
+bench-sweep:
+	( $(GO) test -run xxx -bench BenchmarkStudySerial -benchtime 3x -benchmem . && \
+	  $(GO) test -run xxx -bench BenchmarkFabricSend -benchmem ./internal/fabric/ ) | \
+	    $(GO) run ./cmd/benchjson \
+	        -before BENCH_sweepfast.before.txt \
+	        -command "go test -run xxx -bench BenchmarkStudySerial -benchtime 3x -benchmem . && go test -run xxx -bench BenchmarkFabricSend -benchmem ./internal/fabric/" \
+	        -note "Before = radix+map destination lookups with per-probe header and query allocations; after = flat per-/24 FIB resolve, pooled policy queries, stack header decode, the scanner's routed-space short-circuit, and pooled bufio readers on the L7 grab path. BenchmarkFabricSend isolates one probe evaluation (host / routed-empty / unrouted destination); BenchmarkStudySerial is the full end-to-end study. Dataset bytes verified identical via the golden test and TestParallelMatchesSerial. Single-core container; treat absolute numbers as machine-specific and compare ratios." \
+	        -out BENCH_sweepfast.json

@@ -1,10 +1,18 @@
 // Command benchjson converts `go test -bench` output on stdin into the
 // repo's BENCH_*.json record format (date, machine, command, note,
-// results_ns_per_op). The Makefile's bench targets pipe through it so the
-// checked-in benchmark files stay machine-generated and uniform:
+// results). The Makefile's bench targets pipe through it so the checked-in
+// benchmark files stay machine-generated and uniform:
 //
 //	go test -run xxx -bench Sweep -benchtime 10x ./internal/zmap/ |
 //	    go run ./cmd/benchjson -command "..." -note "..." -out BENCH_telemetry.json
+//
+// With -benchmem output the B/op and allocs/op columns are captured too.
+// The -before flag names a file holding raw `go test -bench` output from a
+// prior run (e.g. the pre-optimisation tree); when given, each benchmark is
+// emitted as {"before": ..., "after": ...} so a BENCH file records the
+// perf delta the way BENCH_columnar.json does. Without -before the legacy
+// flat results_ns_per_op map is emitted, keeping older targets' output
+// format unchanged.
 package main
 
 import (
@@ -12,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -26,12 +35,31 @@ type machine struct {
 	GOARCH string `json:"goarch"`
 }
 
+// metrics is one benchmark line's measurements. Bytes/allocs are pointers
+// so runs without -benchmem omit them rather than recording zeros.
+type metrics struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// diff pairs a benchmark's current measurement with the prior run it is
+// being compared against.
+type diff struct {
+	Before *metrics `json:"before,omitempty"`
+	After  metrics  `json:"after"`
+}
+
 type record struct {
-	Date    string             `json:"date"`
-	Machine machine            `json:"machine"`
-	Command string             `json:"command"`
-	Note    string             `json:"note,omitempty"`
-	Results map[string]float64 `json:"results_ns_per_op"`
+	Date    string  `json:"date"`
+	Machine machine `json:"machine"`
+	Command string  `json:"command"`
+	Note    string  `json:"note,omitempty"`
+	// Flat is the legacy ns/op-only map, emitted when no -before file is
+	// given (matches the oldest BENCH files).
+	Flat map[string]float64 `json:"results_ns_per_op,omitempty"`
+	// Results is the before/after form, emitted with -before.
+	Results map[string]diff `json:"results,omitempty"`
 }
 
 func main() {
@@ -39,6 +67,7 @@ func main() {
 		command = flag.String("command", "", "benchmark command line to record")
 		note    = flag.String("note", "", "free-form note about the run")
 		out     = flag.String("out", "", "output file (default stdout)")
+		before  = flag.String("before", "", "file of raw benchmark output from a prior run to diff against")
 	)
 	flag.Parse()
 
@@ -52,45 +81,40 @@ func main() {
 		},
 		Command: *command,
 		Note:    *note,
-		Results: map[string]float64{},
 	}
 
-	// Benchmark lines: "BenchmarkName-8  10  123456 ns/op  0 B/op ...".
-	// Names are recorded without the -GOMAXPROCS suffix, matching the
-	// existing BENCH files.
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line) // tee: keep the raw output visible in CI logs
-		fields := strings.Fields(line)
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		nsIdx := -1
-		for i, f := range fields {
-			if f == "ns/op" {
-				nsIdx = i - 1
-				break
-			}
-		}
-		if nsIdx < 1 {
-			continue
-		}
-		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
-		if err != nil {
-			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			name = name[:i]
-		}
-		rec.Results[name] = ns
-	}
-	if err := sc.Err(); err != nil {
+	after, err := parseBench(os.Stdin, true)
+	if err != nil {
 		fatalf("reading stdin: %v", err)
 	}
-	if len(rec.Results) == 0 {
+	if len(after) == 0 {
 		fatalf("no benchmark results found on stdin")
+	}
+
+	if *before != "" {
+		f, err := os.Open(*before)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		prior, err := parseBench(f, false)
+		f.Close()
+		if err != nil {
+			fatalf("reading %s: %v", *before, err)
+		}
+		rec.Results = map[string]diff{}
+		for name, m := range after {
+			d := diff{After: m}
+			if b, ok := prior[name]; ok {
+				bc := b
+				d.Before = &bc
+			}
+			rec.Results[name] = d
+		}
+	} else {
+		rec.Flat = map[string]float64{}
+		for name, m := range after {
+			rec.Flat[name] = m.NsPerOp
+		}
 	}
 
 	w := os.Stdout
@@ -114,6 +138,63 @@ func main() {
 	if *out != "" {
 		fmt.Printf("benchmark results written to %s\n", *out)
 	}
+}
+
+// parseBench extracts benchmark measurements from `go test -bench` output.
+// Lines look like "BenchmarkName-8  10  123456 ns/op  42 B/op  3 allocs/op"
+// (the memory columns only under -benchmem). Names are recorded without the
+// -GOMAXPROCS suffix, matching the existing BENCH files. When tee is set,
+// every input line is echoed to stdout so raw output stays visible in CI
+// logs.
+func parseBench(r io.Reader, tee bool) (map[string]metrics, error) {
+	results := map[string]metrics{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if tee {
+			fmt.Println(line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var m metrics
+		found := false
+		for i, f := range fields {
+			if i == 0 {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch f {
+			case "ns/op":
+				m.NsPerOp = v
+				found = true
+			case "B/op":
+				bv := v
+				m.BytesPerOp = &bv
+			case "allocs/op":
+				av := v
+				m.AllocsPerOp = &av
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		// Strip only a numeric -GOMAXPROCS suffix; sub-benchmark names may
+		// themselves contain hyphens ("/routed-empty") and the suffix is
+		// absent entirely when GOMAXPROCS is 1.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		results[name] = m
+	}
+	return results, sc.Err()
 }
 
 // cpuModel reads the CPU model name from /proc/cpuinfo (Linux); other

@@ -1,0 +1,87 @@
+package fabric
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/hostsim"
+	"repro/internal/ip"
+	"repro/internal/loss"
+	"repro/internal/origin"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/world"
+)
+
+// benchFabric builds a quiet fabric over a small world plus one probe packet
+// per destination class: a live host, routed-but-empty space, and unrouted
+// space. These are the three Send paths the sweep fast path distinguishes.
+func benchFabric(b *testing.B) (fab *Fabric, src ip.Addr, host, empty, unrouted []byte) {
+	b.Helper()
+	w, err := world.Build(context.Background(), world.Spec{Seed: 5, Scale: 0.00002})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := &Config{
+		World:  w,
+		Engine: policy.NewEngine(),
+		Loss: loss.NewMatrix(rng.NewKey(1).Derive("t"), loss.Config{
+			BasePacketDrop: 1e-9, VolatileMax: 1e-9,
+			VolatileSpreadFrac: 1e-9, VolatileModerateFrac: 1e-9,
+		}),
+		NumOrigins: 1,
+		Hosts:      hostsim.NewServer(rng.NewKey(2)),
+	}
+	fab = New(cfg, w.Origins.Get(origin.US1), 0)
+	src = w.Origins.Get(origin.US1).SourceIPs[0]
+
+	var hostAddr, emptyAddr ip.Addr
+	hostAddr = w.Hosts()[0].Addr
+	for _, a := range w.Routes.All() {
+		pfx := a.Prefixes[0]
+		for i := uint64(0); i < pfx.NumAddrs(); i++ {
+			if _, isHost := w.Lookup(pfx.Nth(i)); !isHost {
+				emptyAddr = pfx.Nth(i)
+				break
+			}
+		}
+		if emptyAddr != 0 {
+			break
+		}
+	}
+	if emptyAddr == 0 {
+		b.Fatal("no empty routed address found")
+	}
+	// The scanner source block is allocated outside announced space.
+	unroutedAddr := src + 1
+	if _, ok := w.ASOf(unroutedAddr); ok {
+		b.Fatal("expected unrouted address")
+	}
+
+	mk := func(dst ip.Addr) []byte {
+		return packet.MakeSYN(src, dst, 40000, proto.HTTP.Port(), 0xdead0000, 0)
+	}
+	return fab, src, mk(hostAddr), mk(emptyAddr), mk(unroutedAddr)
+}
+
+// BenchmarkFabricSend measures one SYN evaluation per destination class.
+// The routed/empty and unrouted cases are the per-probe cost the sweep pays
+// for the overwhelming majority of scan positions; the host case includes
+// building the SYN-ACK response packet.
+func BenchmarkFabricSend(b *testing.B) {
+	fab, src, host, empty, unrouted := benchFabric(b)
+	for _, bc := range []struct {
+		name string
+		pkt  []byte
+	}{{"host", host}, {"routed-empty", empty}, {"unrouted", unrouted}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fab.Send(src, bc.pkt, time.Hour)
+			}
+		})
+	}
+}

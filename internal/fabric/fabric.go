@@ -57,6 +57,14 @@ type Fabric struct {
 	cfg   *Config
 	org   *origin.Origin
 	trial int
+	fib   *world.FIB
+
+	// queries recycles policy.Query scratch space: Send and Dial fill a
+	// pooled query, hand it to the rules, and release it on return, so
+	// probe evaluation allocates nothing. Rules must not retain queries
+	// (see policy.Rule). A pool rather than a single per-fabric query
+	// because sharded sweeps call Send concurrently.
+	queries sync.Pool
 
 	// conns tracks the per-connection server goroutines this fabric
 	// spawned, so a scan can Drain them before sealing results.
@@ -66,28 +74,45 @@ type Fabric struct {
 
 // New returns a fabric for one (origin, trial) scan.
 func New(cfg *Config, org *origin.Origin, trial int) *Fabric {
-	return &Fabric{cfg: cfg, org: org, trial: trial}
+	return &Fabric{
+		cfg:     cfg,
+		org:     org,
+		trial:   trial,
+		fib:     cfg.World.FIB(),
+		queries: sync.Pool{New: func() any { return new(policy.Query) }},
+	}
 }
 
-// query assembles the policy query for a destination.
-func (f *Fabric) query(srcIP, dst ip.Addr, as *asn.AS, p proto.Protocol, t time.Duration, attempt int) *policy.Query {
-	dstCountry, _ := f.cfg.World.CountryOf(dst)
-	return &policy.Query{
+// query fills a pooled policy query for a destination already resolved
+// through the FIB. The query is valid until release; every field is
+// overwritten, so recycled queries carry no state between probes.
+func (f *Fabric) query(srcIP, dst ip.Addr, d world.Dest, p proto.Protocol, t time.Duration, attempt int) *policy.Query {
+	q := f.queries.Get().(*policy.Query)
+	*q = policy.Query{
 		Origin:            f.org.ID,
 		SrcIP:             srcIP,
 		SrcCountry:        f.org.Country,
 		NumSrcIPs:         len(f.org.SourceIPs),
 		Rep:               f.org.ScanReputation,
 		Dst:               dst,
-		DstAS:             as.Number,
-		DstCountry:        dstCountry,
+		DstAS:             d.AS.Number,
+		DstCountry:        d.Country,
 		Proto:             p,
 		Trial:             f.trial,
 		Time:              t,
 		Attempt:           attempt,
 		ConcurrentOrigins: f.cfg.NumOrigins,
 	}
+	return q
 }
+
+// release returns a query to the pool.
+func (f *Fabric) release(q *policy.Query) { f.queries.Put(q) }
+
+// Routed implements zmap.Routability: the scanner consults the FIB's routed
+// bit before paying for a probe's encode/decode round trip into unannounced
+// space (which Send would silently eat anyway).
+func (f *Fabric) Routed(dst ip.Addr) bool { return f.fib.Routed(dst) }
 
 // pathDown reports whether the origin→dst path is unusable at time t due to
 // a burst outage or a correlated loss episode. Both probes of a target and
@@ -99,15 +124,21 @@ func (f *Fabric) pathDown(dst ip.Addr, as *asn.AS, t time.Duration) bool {
 	return f.cfg.Loss.EpisodeActive(f.org.ID, dst, as.Number, f.trial)
 }
 
-// Send implements zmap.PacketSink: evaluate one SYN probe.
+// Send implements zmap.PacketSink: evaluate one SYN probe. The evaluation
+// path allocates nothing — headers decode into stack scratch, the FIB
+// resolves the destination with array reads, and the policy query comes
+// from the fabric's pool — so only an answered probe costs an allocation
+// (its response packet).
 func (f *Fabric) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
-	iph, tcph, _, err := packet.DecodeTCP4(pkt)
-	if err != nil || !tcph.HasFlag(packet.FlagSYN) || tcph.HasFlag(packet.FlagACK) {
+	var iph packet.IPv4Header
+	var tcph packet.TCPHeader
+	if _, err := packet.DecodeTCP4Into(&iph, &tcph, pkt); err != nil ||
+		!tcph.HasFlag(packet.FlagSYN) || tcph.HasFlag(packet.FlagACK) {
 		return nil // the network silently eats malformed probes
 	}
 	dst := iph.Dst
-	as, routed := f.cfg.World.ASOf(dst)
-	if !routed {
+	d := f.fib.Resolve(dst)
+	if !d.Routed {
 		return nil // unannounced space: no route, no answer
 	}
 	p, isProto := proto.FromPort(tcph.DstPort)
@@ -116,13 +147,13 @@ func (f *Fabric) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
 	}
 	probeIdx := uint64(iph.ID) // scanner stamps the probe index in IP ID
 
-	services, isHost := f.cfg.World.Lookup(dst)
-	if isHost && f.cfg.Churn.Offline(dst, f.trial) {
+	if d.Host && f.cfg.Churn.Offline(dst, f.trial) {
 		// The machine is down this trial: silence, from every origin.
 		return nil
 	}
 
-	q := f.query(src, dst, as, p, t, 0)
+	q := f.query(src, dst, d, p, t, 0)
+	defer f.release(q)
 	q.Probe = int(probeIdx)
 
 	// IDSes observe every probe that reaches their AS, even ones that
@@ -139,23 +170,23 @@ func (f *Fabric) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
 	}
 
 	// Path conditions apply to everything beyond policy drops.
-	if f.pathDown(dst, as, t) {
+	if f.pathDown(dst, d.AS, t) {
 		return nil
 	}
 	// Independent per-packet loss: the probe (direction 0) and its
 	// response (direction 1) can each be dropped.
-	if f.cfg.Loss.PacketLost(f.org.ID, dst, as.Number, f.trial, probeIdx*2, t) ||
-		f.cfg.Loss.PacketLost(f.org.ID, dst, as.Number, f.trial, probeIdx*2+1, t) {
+	if f.cfg.Loss.PacketLost(f.org.ID, dst, d.AS.Number, f.trial, probeIdx*2, t) ||
+		f.cfg.Loss.PacketLost(f.org.ID, dst, d.AS.Number, f.trial, probeIdx*2+1, t) {
 		return nil
 	}
 
 	if verdict == policy.RefuseTCP {
 		return packet.MakeRST(dst, src, tcph.DstPort, tcph.SrcPort, 0, tcph.Seq+1)
 	}
-	if !isHost || !services.Has(p) {
+	if !d.Host || !d.Services.Has(p) {
 		// Live networks answer closed ports with RST only when a
 		// machine owns the address; empty space stays silent.
-		if isHost {
+		if d.Host {
 			return packet.MakeRST(dst, src, tcph.DstPort, tcph.SrcPort, 0, tcph.Seq+1)
 		}
 		return nil
@@ -175,20 +206,20 @@ func (f *Fabric) Dial(ctx context.Context, dst ip.Addr, port uint16, t time.Dura
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	as, routed := f.cfg.World.ASOf(dst)
-	if !routed {
+	d := f.fib.Resolve(dst)
+	if !d.Routed {
 		return nil, zgrab.ErrTimeout
 	}
 	p, isProto := proto.FromPort(port)
 	if !isProto {
 		return nil, zgrab.ErrRefused
 	}
-	services, isHost := f.cfg.World.Lookup(dst)
-	if isHost && f.cfg.Churn.Offline(dst, f.trial) {
+	if d.Host && f.cfg.Churn.Offline(dst, f.trial) {
 		return nil, zgrab.ErrTimeout
 	}
 	src := origin.SourceFor(f.org.SourceIPs, dst)
-	q := f.query(src, dst, as, p, t, attempt)
+	q := f.query(src, dst, d, p, t, attempt)
+	defer f.release(q)
 
 	verdict, _ := f.cfg.Engine.Evaluate(q)
 	for _, ids := range f.cfg.IDSes {
@@ -202,15 +233,15 @@ func (f *Fabric) Dial(ctx context.Context, dst ip.Addr, port uint16, t time.Dura
 	case policy.RefuseTCP:
 		return nil, zgrab.ErrRefused
 	}
-	if f.pathDown(dst, as, t) {
+	if f.pathDown(dst, d.AS, t) {
 		return nil, zgrab.ErrTimeout
 	}
-	if !isHost || !services.Has(p) {
+	if !d.Host || !d.Services.Has(p) {
 		return nil, zgrab.ErrRefused
 	}
 	// Per-packet loss over the whole handshake exchange: on loss the
 	// connection times out mid-handshake.
-	if f.cfg.Loss.HandshakeFailed(f.org.ID, dst, as.Number, f.trial, attempt) {
+	if f.cfg.Loss.HandshakeFailed(f.org.ID, dst, d.AS.Number, f.trial, attempt) {
 		return nil, zgrab.ErrTimeout
 	}
 

@@ -289,6 +289,65 @@ func TestDrainWaitsForConnTeardown(t *testing.T) {
 	}
 }
 
+// TestSendZeroAllocs is the probe-evaluation allocation guard, mirroring
+// the sweep guard in internal/zmap: Send must allocate nothing for probes
+// it answers with silence — unrouted space, routed-but-empty space, and a
+// churned-offline host — which is the overwhelming majority of a sweep's
+// positions. (An answered probe allocates exactly its response packet.)
+func TestSendZeroAllocs(t *testing.T) {
+	cfg, w := quietConfig(t)
+	cfg.Churn = world.NewChurn(rng.NewKey(7), 0.3, 3)
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	src := w.Origins.Get(origin.US1).SourceIPs[0]
+
+	var empty ip.Addr
+	for _, a := range w.Routes.All() {
+		pfx := a.Prefixes[0]
+		for i := uint64(0); i < pfx.NumAddrs() && empty == 0; i++ {
+			if _, isHost := w.Lookup(pfx.Nth(i)); !isHost {
+				empty = pfx.Nth(i)
+			}
+		}
+		if empty != 0 {
+			break
+		}
+	}
+	if empty == 0 {
+		t.Fatal("no empty routed address")
+	}
+	var offline ip.Addr
+	for _, h := range w.Hosts() {
+		if cfg.Churn.Offline(h.Addr, 0) {
+			offline = h.Addr
+			break
+		}
+	}
+	if offline == 0 {
+		t.Fatal("churn left every host online")
+	}
+	for _, tc := range []struct {
+		name string
+		dst  ip.Addr
+	}{
+		{"unrouted", src + 1},
+		{"routed-empty", empty},
+		{"churned-offline-host", offline},
+	} {
+		syn := packet.MakeSYN(src, tc.dst, 40000, 80, 1, 0)
+		// Warm the query pool outside the measured runs so the guard
+		// measures the steady state the sweep sees.
+		fab.Send(src, syn, time.Hour)
+		allocs := testing.AllocsPerRun(100, func() {
+			if fab.Send(src, syn, time.Hour) != nil {
+				t.Fatal("silent destination answered")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Send allocates %.1f per probe, want 0", tc.name, allocs)
+		}
+	}
+}
+
 func TestFabricDeterministic(t *testing.T) {
 	cfg, w := quietConfig(t)
 	host, _ := pickHost(t, w, proto.HTTP)

@@ -6,10 +6,10 @@
 package hostsim
 
 import (
-	"bufio"
 	"fmt"
 	"net"
 
+	"repro/internal/bufpool"
 	"repro/internal/httpwire"
 	"repro/internal/ip"
 	"repro/internal/proto"
@@ -51,7 +51,8 @@ var httpServers = []string{
 
 // serveHTTP answers one GET with a small page.
 func (s *Server) serveHTTP(conn net.Conn, host ip.Addr) {
-	br := bufio.NewReader(conn)
+	br := bufpool.Reader(conn)
+	defer bufpool.PutReader(br)
 	req, err := httpwire.ReadRequest(br)
 	if err != nil {
 		return
@@ -139,7 +140,8 @@ func (s *Server) serveSSH(conn net.Conn, host ip.Addr) {
 	if err := sshwire.WritePacket(conn, kex.Marshal()); err != nil {
 		return
 	}
-	br := bufio.NewReader(conn)
+	br := bufpool.Reader(conn)
+	defer bufpool.PutReader(br)
 	if _, err := sshwire.ReadID(br); err != nil {
 		return
 	}

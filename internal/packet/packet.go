@@ -162,20 +162,39 @@ func SerializeTCP4Into(buf []byte, iph *IPv4Header, tcph *TCPHeader, payload []b
 // headers and the payload. Checksums are verified; a packet that fails
 // verification is rejected exactly as a kernel or ZMap would drop it.
 func DecodeTCP4(data []byte) (*IPv4Header, *TCPHeader, []byte, error) {
+	iph, tcph := new(IPv4Header), new(TCPHeader)
+	payload, err := DecodeTCP4Into(iph, tcph, data)
+	if err != nil {
+		if iph.HdrLen == 0 {
+			return nil, nil, nil, err
+		}
+		return iph, nil, nil, err
+	}
+	return iph, tcph, payload, nil
+}
+
+// DecodeTCP4Into is DecodeTCP4 decoding into caller-provided headers, so a
+// hot loop evaluating millions of probes keeps both on the stack instead of
+// allocating per packet. Both structs are reset first; iph is filled as far
+// as parsing got (its HdrLen stays 0 until the IPv4 header verified), tcph
+// only on full success. The payload and tcph.Options alias data.
+func DecodeTCP4Into(iph *IPv4Header, tcph *TCPHeader, data []byte) ([]byte, error) {
+	*iph = IPv4Header{}
+	*tcph = TCPHeader{}
 	if len(data) < 20 {
-		return nil, nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	if data[0]>>4 != 4 {
-		return nil, nil, nil, ErrBadVersion
+		return nil, ErrBadVersion
 	}
 	ihl := int(data[0]&0x0f) * 4
 	if ihl < 20 || len(data) < ihl {
-		return nil, nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	if Checksum(data[:ihl], 0) != 0 {
-		return nil, nil, nil, ErrBadChecksum
+		return nil, ErrBadChecksum
 	}
-	iph := &IPv4Header{
+	*iph = IPv4Header{
 		TOS:      data[1],
 		TotalLen: binary.BigEndian.Uint16(data[2:]),
 		ID:       binary.BigEndian.Uint16(data[4:]),
@@ -189,23 +208,23 @@ func DecodeTCP4(data []byte) (*IPv4Header, *TCPHeader, []byte, error) {
 		HdrLen:   ihl,
 	}
 	if iph.Protocol != ProtoTCP {
-		return iph, nil, nil, ErrNotTCP
+		return nil, ErrNotTCP
 	}
 	if int(iph.TotalLen) > len(data) || int(iph.TotalLen) < ihl+20 {
-		return iph, nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	seg := data[ihl:iph.TotalLen]
 	if len(seg) < 20 {
-		return iph, nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	dataOff := int(seg[12]>>4) * 4
 	if dataOff < 20 || dataOff > len(seg) {
-		return iph, nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	if Checksum(seg, pseudoHeaderSum(iph.Src, iph.Dst, len(seg))) != 0 {
-		return iph, nil, nil, ErrBadChecksum
+		return nil, ErrBadChecksum
 	}
-	tcph := &TCPHeader{
+	*tcph = TCPHeader{
 		SrcPort:  binary.BigEndian.Uint16(seg[0:]),
 		DstPort:  binary.BigEndian.Uint16(seg[2:]),
 		Seq:      binary.BigEndian.Uint32(seg[4:]),
@@ -219,7 +238,7 @@ func DecodeTCP4(data []byte) (*IPv4Header, *TCPHeader, []byte, error) {
 	if dataOff > 20 {
 		tcph.Options = seg[20:dataOff]
 	}
-	return iph, tcph, seg[dataOff:], nil
+	return seg[dataOff:], nil
 }
 
 // MakeSYN builds a SYN probe packet (the ZMap probe): MSS option included,

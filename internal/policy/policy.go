@@ -59,6 +59,12 @@ func (v Verdict) L4Responsive() bool {
 }
 
 // Query carries the coordinates of one connection attempt.
+//
+// Callers on the probe hot path recycle queries (the fabric fills one from
+// a pool per Send/Dial and releases it on return), so a *Query is only
+// valid for the duration of the Rule/Detector call it is passed to. Rules
+// that need any of its coordinates later must copy the field values, never
+// the pointer.
 type Query struct {
 	Origin     origin.ID
 	SrcIP      ip.Addr
@@ -85,6 +91,8 @@ type Query struct {
 
 // Rule is one destination-side behaviour. Evaluate returns (verdict, true)
 // when the rule has an opinion about the query, or (_, false) to defer.
+// Evaluate must not retain q: the caller may reuse it for the next probe
+// the moment Evaluate returns (see Query).
 type Rule interface {
 	// Name identifies the rule in diagnostics and cause attribution.
 	Name() string

@@ -32,6 +32,7 @@ type World struct {
 	hosts   []Host // sorted by address
 	hostIdx map[ip.Addr]int32
 	byAS    map[asn.ASN][]int32
+	fib     *FIB // flat per-/24 destination index (hot-path lookups)
 
 	profileASN map[string]asn.ASN
 
@@ -208,6 +209,9 @@ func Build(ctx context.Context, spec Spec) (*World, error) {
 			w.byAS[a.Number] = append(w.byAS[a.Number], w.hostIdx[h.Addr])
 		}
 	}
+
+	// --- 8. Flat destination index over the finished topology. ---
+	w.fib = buildFIB(w)
 	return w, nil
 }
 

@@ -53,6 +53,11 @@ func (c *Churn) lifecycle(dst ip.Addr) (birth, death int) {
 }
 
 // Offline reports whether the host is down for the whole trial.
+//
+// Offline is explicitly nil-receiver safe: a nil *Churn models a world with
+// no churn, and every host is always online. The fabric relies on this — it
+// calls Offline unconditionally on the probe hot path without checking
+// whether its config carries a churn model.
 func (c *Churn) Offline(dst ip.Addr, trial int) bool {
 	if c == nil || c.Rate <= 0 {
 		return false

@@ -1,0 +1,273 @@
+package world
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/ip"
+	"repro/internal/proto"
+)
+
+// FIB is the flat forwarding/annotation table the scan hot path reads: one
+// packed entry per /24 of the scan space resolving any address to its
+// routedness, announcing AS, geolocated country, and (via a per-/24 host
+// presence bitmap ranking into a flat side array) the service mask of the
+// host living there. It is precomputed once at Build time from the same
+// prefix lists that feed the radix structures, so a destination lookup on
+// the probe path costs two array indexes and a popcount instead of two
+// radix walks and a map hash.
+//
+// The radix tables (World.Routes, World.Countries) and the host map remain
+// the reference representation; Validate proves the FIB agrees with them
+// for every address in the space, and the world accessors (ASOf, CountryOf,
+// Lookup) answer from the FIB.
+type FIB struct {
+	blocks    []fibBlock
+	mixed     []fibAddr    // per-address overflow for non-uniform /24s
+	ases      []*asn.AS    // interned AS list, sorted by AS number
+	countries []geo.Country // interned country list, first-seen order
+	masks     []proto.Mask // service masks of all hosts, in address order
+	spaceBits uint8
+}
+
+// Sentinel values for fibBlock.asIdx.
+const (
+	fibUnrouted = -1 // the whole /24 is unannounced space
+	fibMixed    = -2 // AS/country vary inside the /24: consult FIB.mixed
+)
+
+// fibBlock is the FIB's entry for one /24 of the scan space.
+type fibBlock struct {
+	// present has bit i set when base+i is a live host; the rank of a set
+	// bit indexes the block's span of FIB.masks.
+	present [4]uint64
+	// maskOff is the offset of this block's first host in FIB.masks
+	// (meaningless when the block has no hosts).
+	maskOff uint32
+	// asIdx is the uniform AS index for every address in the block, or
+	// fibUnrouted / fibMixed.
+	asIdx int32
+	// ctryIdx is the uniform country index, or -1 for no geolocation.
+	ctryIdx int32
+	// mixedOff is the block's offset into FIB.mixed (256 entries per
+	// mixed block); valid only when asIdx == fibMixed.
+	mixedOff int32
+}
+
+// fibAddr is the per-address overflow entry of a mixed block.
+type fibAddr struct {
+	as   int32 // index into FIB.ases, or fibUnrouted
+	ctry int32 // index into FIB.countries, or -1
+}
+
+// Dest is the FIB's resolution of one destination address. It is returned
+// by value so the probe hot path stays allocation-free.
+type Dest struct {
+	// AS is the announcing AS (nil when the address is unrouted).
+	AS *asn.AS
+	// Country is the geolocation ("" when the address has none).
+	Country geo.Country
+	// Services is the host's service mask (0 when no host lives here).
+	Services proto.Mask
+	// Host reports whether a live machine owns the address.
+	Host bool
+	// Routed reports whether the address is inside announced space.
+	Routed bool
+}
+
+// buildFIB constructs the FIB from the world's AS prefix lists, country
+// assignments, and sorted host slice. Construction is deterministic: ASes
+// are walked in number order and prefixes in announcement order, so the
+// same world yields the same FIB layout bit for bit.
+func buildFIB(w *World) *FIB {
+	space := uint64(1) << w.SpaceBits
+	nBlocks := (space + 255) >> 8
+	f := &FIB{
+		blocks:    make([]fibBlock, nBlocks),
+		ases:      w.Routes.All(),
+		spaceBits: w.SpaceBits,
+	}
+	for i := range f.blocks {
+		f.blocks[i].asIdx = fibUnrouted
+		f.blocks[i].ctryIdx = -1
+	}
+
+	ctryIdxOf := make(map[geo.Country]int32)
+	internCountry := func(c geo.Country, ok bool) int32 {
+		if !ok {
+			return -1
+		}
+		if i, seen := ctryIdxOf[c]; seen {
+			return i
+		}
+		i := int32(len(f.countries))
+		f.countries = append(f.countries, c)
+		ctryIdxOf[c] = i
+		return i
+	}
+
+	// Paint blocks. Prefixes of /24 or shorter cover whole blocks; finer
+	// prefixes (the generator allocates chunks as small as 8 addresses)
+	// share their /24 with other prefixes or unrouted gaps, so those
+	// blocks get per-address entries first and collapse back to uniform
+	// when every address agrees.
+	fine := make(map[uint32]*[256]fibAddr)
+	for ai, a := range f.ases {
+		for _, pfx := range a.Prefixes {
+			ci := internCountry(w.Countries.Lookup(pfx.First()))
+			if pfx.Bits <= 24 {
+				for b := uint64(pfx.Base) >> 8; b <= uint64(pfx.Last())>>8; b++ {
+					f.blocks[b].asIdx = int32(ai)
+					f.blocks[b].ctryIdx = ci
+				}
+				continue
+			}
+			bi := uint32(pfx.Base) >> 8
+			pa := fine[bi]
+			if pa == nil {
+				pa = new([256]fibAddr)
+				for i := range pa {
+					pa[i] = fibAddr{as: fibUnrouted, ctry: -1}
+				}
+				fine[bi] = pa
+			}
+			lo := uint32(pfx.Base) & 0xff
+			for off := uint64(0); off < pfx.NumAddrs(); off++ {
+				pa[lo+uint32(off)] = fibAddr{as: int32(ai), ctry: ci}
+			}
+		}
+	}
+	fineIdx := make([]uint32, 0, len(fine))
+	for bi := range fine {
+		fineIdx = append(fineIdx, bi)
+	}
+	sort.Slice(fineIdx, func(i, j int) bool { return fineIdx[i] < fineIdx[j] })
+	for _, bi := range fineIdx {
+		pa := fine[bi]
+		uniform := true
+		for i := 1; i < 256; i++ {
+			if pa[i] != pa[0] {
+				uniform = false
+				break
+			}
+		}
+		blk := &f.blocks[bi]
+		if uniform {
+			blk.asIdx = pa[0].as
+			blk.ctryIdx = pa[0].ctry
+			continue
+		}
+		blk.asIdx = fibMixed
+		blk.mixedOff = int32(len(f.mixed))
+		f.mixed = append(f.mixed, pa[:]...)
+	}
+
+	// Hosts: presence bits plus the flat mask array. Hosts are sorted by
+	// address, so each block's masks are contiguous and maskOff is just
+	// the index of the block's first host.
+	f.masks = make([]proto.Mask, len(w.hosts))
+	for i, h := range w.hosts {
+		blk := &f.blocks[uint32(h.Addr)>>8]
+		if blk.present == ([4]uint64{}) {
+			blk.maskOff = uint32(i)
+		}
+		lo := uint(h.Addr) & 0xff
+		blk.present[lo>>6] |= 1 << (lo & 63)
+		f.masks[i] = h.Services
+	}
+	return f
+}
+
+// Resolve answers everything the fabric needs to know about a destination
+// in one pass: two array indexes plus a popcount when a host is present.
+// Addresses outside the scan space resolve to the zero Dest.
+func (f *FIB) Resolve(a ip.Addr) Dest {
+	bi := uint64(a) >> 8
+	if bi >= uint64(len(f.blocks)) {
+		return Dest{}
+	}
+	blk := &f.blocks[bi]
+	var d Dest
+	ai, ci := blk.asIdx, blk.ctryIdx
+	if ai == fibMixed {
+		e := &f.mixed[uint32(blk.mixedOff)+uint32(a&0xff)]
+		ai, ci = e.as, e.ctry
+	}
+	if ai >= 0 {
+		d.AS = f.ases[ai]
+		d.Routed = true
+	}
+	if ci >= 0 {
+		d.Country = f.countries[ci]
+	}
+	lo := uint(a) & 0xff
+	word := lo >> 6
+	bit := uint64(1) << (lo & 63)
+	if blk.present[word]&bit != 0 {
+		rank := bits.OnesCount64(blk.present[word] & (bit - 1))
+		for w := uint(0); w < word; w++ {
+			rank += bits.OnesCount64(blk.present[w])
+		}
+		d.Services = f.masks[blk.maskOff+uint32(rank)]
+		d.Host = true
+	}
+	return d
+}
+
+// Routed reports whether the address is inside announced space: the routed
+// bit the sweep's short-circuit consults before paying for a probe.
+func (f *FIB) Routed(a ip.Addr) bool {
+	bi := uint64(a) >> 8
+	if bi >= uint64(len(f.blocks)) {
+		return false
+	}
+	blk := &f.blocks[bi]
+	if blk.asIdx == fibMixed {
+		return f.mixed[uint32(blk.mixedOff)+uint32(a&0xff)].as >= 0
+	}
+	return blk.asIdx >= 0
+}
+
+// Validate walks the whole scan space comparing the FIB against the radix
+// and map structures it was built from: Routes.Lookup for routedness and
+// AS, Countries.Lookup for geolocation, and the host index for service
+// masks. Any disagreement is a world-construction bug.
+func (f *FIB) Validate(w *World) error {
+	for a := uint64(0); a < w.SpaceSize(); a++ {
+		if err := f.ValidateAddr(w, ip.Addr(a)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateAddr checks the FIB against the reference structures for one
+// address.
+func (f *FIB) ValidateAddr(w *World, addr ip.Addr) error {
+	d := f.Resolve(addr)
+	as, routed := w.Routes.Lookup(addr)
+	if d.Routed != routed {
+		return fmt.Errorf("world: fib %v routed=%v, radix routed=%v", addr, d.Routed, routed)
+	}
+	if routed && d.AS != as {
+		return fmt.Errorf("world: fib %v AS=%v, radix AS=%v", addr, d.AS.Number, as.Number)
+	}
+	country, hasCountry := w.Countries.Lookup(addr)
+	if (d.Country != "") != hasCountry || d.Country != country && hasCountry {
+		return fmt.Errorf("world: fib %v country=%q, radix country=%q (present=%v)", addr, d.Country, country, hasCountry)
+	}
+	i, isHost := w.hostIdx[addr]
+	if d.Host != isHost {
+		return fmt.Errorf("world: fib %v host=%v, index host=%v", addr, d.Host, isHost)
+	}
+	if isHost && d.Services != w.hosts[i].Services {
+		return fmt.Errorf("world: fib %v services=%v, index services=%v", addr, d.Services, w.hosts[i].Services)
+	}
+	if !isHost && d.Services != 0 {
+		return fmt.Errorf("world: fib %v services=%v for a non-host", addr, d.Services)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package world
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/rng"
+)
+
+// TestFIBDifferentialFullSpace is the FIB's correctness proof: for every
+// address in the scan space, the flat index must agree with the radix
+// routing table, the radix geolocation database, and the host map it was
+// built from. The fast path is always on, so any disagreement here would
+// silently change scan results.
+func TestFIBDifferentialFullSpace(t *testing.T) {
+	for _, seed := range []uint64{3, 7, 2020} {
+		w := buildTest(t, seed)
+		if err := w.FIB().Validate(w); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestFIBDifferentialLargeSpaceSampled spot-checks a bigger world (too
+// large to sweep exhaustively in a unit test) at deterministically sampled
+// addresses: uniform random positions plus every host address and the
+// boundaries of every announced prefix, where block-granularity bugs hide.
+func TestFIBDifferentialLargeSpaceSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large world build")
+	}
+	w, err := Build(context.Background(), Spec{Seed: 11, Scale: 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SpaceBits <= 16 {
+		t.Fatalf("SpaceBits = %d, want a larger space than the exhaustive test covers", w.SpaceBits)
+	}
+	f := w.FIB()
+	check := func(a ip.Addr) {
+		t.Helper()
+		if err := f.ValidateAddr(w, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := rng.NewKey(99).Derive("fib-sample").Stream(0, 0)
+	for i := 0; i < 200000; i++ {
+		check(ip.Addr(stream.Uint64() & (w.SpaceSize() - 1)))
+	}
+	for _, h := range w.Hosts() {
+		check(h.Addr)
+	}
+	for _, as := range w.Routes.All() {
+		for _, pfx := range as.Prefixes {
+			check(pfx.First())
+			check(pfx.Last())
+			check(pfx.First() - 1) // the unrouted (or neighbouring) edge
+			check(pfx.Last() + 1)
+		}
+	}
+}
+
+// TestFIBRoutedMatchesResolve pins the cheap Routed accessor to the full
+// Resolve path.
+func TestFIBRoutedMatchesResolve(t *testing.T) {
+	w := buildTest(t, 5)
+	f := w.FIB()
+	for a := uint64(0); a < w.SpaceSize(); a++ {
+		addr := ip.Addr(a)
+		if got, want := f.Routed(addr), f.Resolve(addr).Routed; got != want {
+			t.Fatalf("Routed(%v) = %v, Resolve.Routed = %v", addr, got, want)
+		}
+	}
+	// Outside the space: never routed, zero Dest.
+	outside := ip.Addr(w.SpaceSize() + 12345)
+	if f.Routed(outside) {
+		t.Error("address outside the space reported routed")
+	}
+	if d := f.Resolve(outside); d != (Dest{}) {
+		t.Errorf("Resolve outside the space = %+v, want zero", d)
+	}
+}
+
+// TestChurnOfflineNilReceiver pins the documented contract that a nil
+// *Churn means "no churn": the fabric calls Offline unconditionally on the
+// probe hot path, so a nil receiver must answer false, not panic.
+func TestChurnOfflineNilReceiver(t *testing.T) {
+	var c *Churn
+	for trial := 0; trial < 3; trial++ {
+		if c.Offline(ip.MustParseAddr("10.0.0.1"), trial) {
+			t.Fatalf("nil churn reported a host offline in trial %d", trial)
+		}
+	}
+	// And a zero-rate model behaves the same as nil.
+	zero := NewChurn(rng.NewKey(1), 0, 3)
+	if zero.Offline(ip.MustParseAddr("10.0.0.1"), 1) {
+		t.Error("zero-rate churn reported a host offline")
+	}
+}

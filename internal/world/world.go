@@ -22,22 +22,29 @@ func (w *World) HostCount(p proto.Protocol) int { return w.counts[p] }
 
 // Lookup returns the service mask of the host at addr.
 func (w *World) Lookup(addr ip.Addr) (proto.Mask, bool) {
-	i, ok := w.hostIdx[addr]
-	if !ok {
-		return 0, false
-	}
-	return w.hosts[i].Services, true
+	d := w.fib.Resolve(addr)
+	return d.Services, d.Host
 }
 
 // ASOf returns the AS announcing addr.
 func (w *World) ASOf(addr ip.Addr) (*asn.AS, bool) {
-	return w.Routes.Lookup(addr)
+	d := w.fib.Resolve(addr)
+	return d.AS, d.Routed
 }
 
 // CountryOf returns the geolocation of addr.
 func (w *World) CountryOf(addr ip.Addr) (geo.Country, bool) {
-	return w.Countries.Lookup(addr)
+	d := w.fib.Resolve(addr)
+	return d.Country, d.Country != ""
 }
+
+// FIB returns the world's flat destination index. The fabric resolves probe
+// destinations through it directly.
+func (w *World) FIB() *FIB { return w.fib }
+
+// Resolve answers routedness, AS, country, and host services for an address
+// in one flat-index pass.
+func (w *World) Resolve(addr ip.Addr) Dest { return w.fib.Resolve(addr) }
 
 // ProfileASN returns the AS number of a named profile.
 func (w *World) ProfileASN(name string) (asn.ASN, bool) {

@@ -8,13 +8,13 @@
 package zgrab
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"io"
 	"net"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/httpwire"
 	"repro/internal/ip"
 	"repro/internal/proto"
@@ -224,7 +224,8 @@ func grabHTTP(conn net.Conn, dst ip.Addr, res *Result) {
 		res.Fail = classifyIOError(err, false)
 		return
 	}
-	br := bufio.NewReader(conn)
+	br := bufpool.Reader(conn)
+	defer bufpool.PutReader(br)
 	resp, err := httpwire.ReadResponse(br, 16<<10)
 	if err != nil {
 		if errors.Is(err, httpwire.ErrMalformed) || errors.Is(err, httpwire.ErrLineTooLong) {
@@ -306,7 +307,8 @@ func grabSSH(conn net.Conn, res *Result) {
 		return
 	}
 	cr := &countingReader{r: conn}
-	br := bufio.NewReader(cr)
+	br := bufpool.Reader(cr)
+	defer bufpool.PutReader(br)
 	id, err := sshwire.ReadID(br)
 	if err != nil {
 		if errors.Is(err, sshwire.ErrNotSSH) || errors.Is(err, sshwire.ErrIDTooLong) {

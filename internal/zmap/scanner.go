@@ -37,6 +37,22 @@ type PacketSink interface {
 	Send(src ip.Addr, pkt []byte, t time.Duration) []byte
 }
 
+// Routability is an optional PacketSink capability: a sink that knows the
+// announced address space ahead of time (the simulation fabric's flat FIB;
+// a real deployment's routing-table snapshot) exposes it so the sweep can
+// skip the SYN encode and Send round trip for destinations that can never
+// answer. The scanner still counts the skipped probes in Stats and
+// telemetry exactly as if they had been sent and lost into the void, so
+// statistics, metrics, and loss accounting are identical with or without
+// the short-circuit. Routed must be safe for concurrent use and must agree
+// with Send: an address reported unrouted must be one Send answers with
+// silence before any observable side effect (IDS counting, pcap capture).
+// Wrapper sinks that need to observe every probe (the pcap tee) simply do
+// not implement Routability.
+type Routability interface {
+	Routed(dst ip.Addr) bool
+}
+
 // Config configures one scan.
 type Config struct {
 	// SourceIPs are the scanner's source addresses; probes rotate over
@@ -257,10 +273,17 @@ func (s *Scanner) Targets(ctx context.Context, fn func(dst ip.Addr, t time.Durat
 
 // probeTarget sends the configured probes for one target, validates the
 // responses, and reports the target's reply. synBuf is reused across calls
-// to keep the per-probe hot path allocation-free.
-func (s *Scanner) probeTarget(sink PacketSink, dst ip.Addr, t time.Duration, st *Stats, synBuf *[]byte) (Reply, bool) {
-	src := s.srcFor(dst)
+// to keep the per-probe hot path allocation-free. rt, when non-nil, is the
+// sink's routed-space knowledge: probes into unannounced space are counted
+// as sent-and-lost without paying for the encode/decode round trip, which
+// is exactly what sending them would have produced.
+func (s *Scanner) probeTarget(sink PacketSink, rt Routability, dst ip.Addr, t time.Duration, st *Stats, synBuf *[]byte) (Reply, bool) {
 	reply := Reply{Dst: dst, T: t}
+	if rt != nil && !rt.Routed(dst) {
+		st.ProbesSent += uint64(s.cfg.Probes)
+		return reply, false
+	}
+	src := s.srcFor(dst)
 	for probe := 0; probe < s.cfg.Probes; probe++ {
 		srcPort := s.cfg.SourcePortBase + uint16(probe)
 		seq := s.cookie(src, dst, srcPort)
@@ -302,8 +325,9 @@ func (s *Scanner) Run(ctx context.Context, sink PacketSink, handler func(Reply))
 	if s.cfg.Telemetry != nil {
 		fl = &statsFlusher{m: s.cfg.Telemetry}
 	}
+	rt, _ := sink.(Routability)
 	err := s.sweep(ctx, &st, fl, func(dst ip.Addr, t time.Duration) {
-		if r, ok := s.probeTarget(sink, dst, t, &st, &synBuf); ok {
+		if r, ok := s.probeTarget(sink, rt, dst, t, &st, &synBuf); ok {
 			handler(r)
 		}
 	})
@@ -341,6 +365,7 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 	}
 	outs := make([]shardOut, n)
 	hint := s.cfg.ExpectedReplies/n + 64
+	rt, _ := sink.(Routability)
 	var wg sync.WaitGroup
 	for j := range subs {
 		wg.Add(1)
@@ -357,7 +382,7 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 				defer func() { fl.flush(&o.st) }()
 			}
 			emit := func(dst ip.Addr, t time.Duration) {
-				if r, ok := s.probeTarget(sink, dst, t, &o.st, &synBuf); ok {
+				if r, ok := s.probeTarget(sink, rt, dst, t, &o.st, &synBuf); ok {
 					o.replies = append(o.replies, r)
 				}
 			}

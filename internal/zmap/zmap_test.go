@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -502,6 +504,144 @@ func TestScannerRunShardedCanceled(t *testing.T) {
 	if handled != 0 {
 		t.Errorf("handler saw %d replies after cancellation", handled)
 	}
+}
+
+// routedSink is a fakeSink that also knows which space is routed,
+// implementing Routability. Every host lives in routed space (as in the
+// fabric, where the FIB only places hosts inside announced prefixes), so
+// answering unrouted probes with silence — which fakeSink does for any
+// unknown address — is exactly what the fabric's Send would do.
+type routedSink struct {
+	fakeSink
+	limit         ip.Addr // addresses below limit are routed
+	unroutedSends int     // Sends the short-circuit should have skipped
+}
+
+func (r *routedSink) Routed(dst ip.Addr) bool { return dst < r.limit }
+
+func (r *routedSink) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
+	if iph, _, _, err := packet.DecodeTCP4(pkt); err == nil && !r.Routed(iph.Dst) {
+		r.unroutedSends++
+	}
+	return r.fakeSink.Send(src, pkt, t)
+}
+
+// TestScannerRoutabilityShortCircuit pins the routed-space fast path: a
+// sink exposing Routability must yield bit-identical Stats and replies to
+// an equivalent sink without it (unrouted probes still count as sent, so
+// loss accounting is unchanged), while Send is never invoked for unrouted
+// destinations.
+func TestScannerRoutabilityShortCircuit(t *testing.T) {
+	live := map[ip.Addr]bool{5: true, 100: true, 499: true}
+	closed := map[ip.Addr]bool{50: true}
+	const limit = 512 // half the 2^10 space is unrouted
+
+	run := func(sink PacketSink) (Stats, map[ip.Addr]Reply) {
+		s, err := NewScanner(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[ip.Addr]Reply{}
+		st, err := s.Run(context.Background(), sink, func(r Reply) { got[r.Dst] = r })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, got
+	}
+
+	plain := &fakeSink{live: live, closed: closed}
+	plainStats, plainReplies := run(plain)
+
+	fast := &routedSink{fakeSink: fakeSink{live: live, closed: closed}, limit: limit}
+	fastStats, fastReplies := run(fast)
+
+	if fastStats != plainStats {
+		t.Errorf("stats diverge:\nfast  %+v\nplain %+v", fastStats, plainStats)
+	}
+	if len(fastReplies) != len(plainReplies) {
+		t.Fatalf("reply counts diverge: %d vs %d", len(fastReplies), len(plainReplies))
+	}
+	for dst, r := range plainReplies {
+		if fastReplies[dst] != r {
+			t.Errorf("reply for %v diverges: %+v vs %+v", dst, fastReplies[dst], r)
+		}
+	}
+	if fast.unroutedSends != 0 {
+		t.Errorf("%d unrouted probes reached Send despite Routability", fast.unroutedSends)
+	}
+	// The skipped Sends are exactly the unrouted share of the sweep.
+	skipped := plain.sent - fast.sent
+	if want := 2 * ((1 << 10) - limit); skipped != int(want) {
+		t.Errorf("short-circuit skipped %d Sends, want %d", skipped, want)
+	}
+}
+
+// TestScannerRoutabilityShortCircuitSharded is the same invariant for the
+// sharded sweep, where shard goroutines consult Routability concurrently.
+func TestScannerRoutabilityShortCircuitSharded(t *testing.T) {
+	live := map[ip.Addr]bool{5: true, 100: true, 499: true}
+	const limit = 512
+
+	s, err := NewScanner(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := &fakeSink{live: live}
+	plainGot := map[ip.Addr]uint8{}
+	plainStats, err := s.Run(context.Background(), plain, func(r Reply) { plainGot[r.Dst] = r.ProbeMask })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fast := &shardedRoutedSink{live: live, limit: limit}
+	fastGot := map[ip.Addr]uint8{}
+	var mu sync.Mutex
+	fastStats, err := s.RunSharded(context.Background(), fast, func(r Reply) {
+		mu.Lock()
+		fastGot[r.Dst] = r.ProbeMask
+		mu.Unlock()
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fastStats != plainStats {
+		t.Errorf("stats diverge:\nsharded %+v\nserial  %+v", fastStats, plainStats)
+	}
+	if len(fastGot) != len(plainGot) {
+		t.Fatalf("reply counts diverge: %d vs %d", len(fastGot), len(plainGot))
+	}
+	for dst, mask := range plainGot {
+		if fastGot[dst] != mask {
+			t.Errorf("reply for %v diverges: %#b vs %#b", dst, fastGot[dst], mask)
+		}
+	}
+	if n := fast.unroutedSends.Load(); n != 0 {
+		t.Errorf("%d unrouted probes reached Send despite Routability", n)
+	}
+}
+
+// shardedRoutedSink is a concurrency-safe Routability sink for RunSharded.
+type shardedRoutedSink struct {
+	live          map[ip.Addr]bool
+	limit         ip.Addr
+	unroutedSends atomic.Int64
+}
+
+func (r *shardedRoutedSink) Routed(dst ip.Addr) bool { return dst < r.limit }
+
+func (r *shardedRoutedSink) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
+	iph, tcph, _, err := packet.DecodeTCP4(pkt)
+	if err != nil {
+		return nil
+	}
+	if !r.Routed(iph.Dst) {
+		r.unroutedSends.Add(1)
+	}
+	if r.live[iph.Dst] {
+		return packet.MakeSYNACK(iph.Dst, src, tcph.DstPort, tcph.SrcPort, 1000, tcph.Seq+1)
+	}
+	return nil
 }
 
 func TestScannerConfigValidation(t *testing.T) {
