@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-telemetry bench-sweep
+.PHONY: all ci vet build test race bench bench-telemetry bench-sweep bench-fullspace bench-parallel
 
 all: ci
 
@@ -52,3 +52,29 @@ bench-sweep:
 	        -command "go test -run xxx -bench BenchmarkStudySerial -benchtime 3x -benchmem . && go test -run xxx -bench BenchmarkFabricSend -benchmem ./internal/fabric/" \
 	        -note "Before = radix+map destination lookups with per-probe header and query allocations; after = flat per-/24 FIB resolve, pooled policy queries, stack header decode, the scanner's routed-space short-circuit, and pooled bufio readers on the L7 grab path. BenchmarkFabricSend isolates one probe evaluation (host / routed-empty / unrouted destination); BenchmarkStudySerial is the full end-to-end study. Dataset bytes verified identical via the golden test and TestParallelMatchesSerial. Single-core container; treat absolute numbers as machine-specific and compare ratios." \
 	        -out BENCH_sweepfast.json
+
+# Batched sweep kernel + full-IPv4-scale world. BENCH_fullspace.before.txt is
+# the raw serial-study capture from the pre-batching tree (PR 5); re-running
+# diffs the batched kernel against that fixed baseline. BenchmarkFullSpaceSweep
+# has no "before" -- the 2^32 sweep did not complete on the old tree, which is
+# the point: space24/space32 record what full-scale now costs (one sweep per
+# size via -benchtime 1x; space32 walks all 4.29B addresses).
+bench-fullspace:
+	( $(GO) test -run xxx -bench 'BenchmarkStudySerial$$' -benchtime 3x -benchmem . && \
+	  $(GO) test -run xxx -bench BenchmarkFullSpaceSweep -benchtime 1x -benchmem -timeout 60m . ) | \
+	    $(GO) run ./cmd/benchjson \
+	        -before BENCH_fullspace.before.txt \
+	        -command "go test -run xxx -bench 'BenchmarkStudySerial' -benchtime 3x -benchmem . && go test -run xxx -bench BenchmarkFullSpaceSweep -benchtime 1x -benchmem -timeout 60m ." \
+	        -note "Before = per-address permutation walk (128-bit modmul per step, per-address ctx/telemetry checks) on the pre-batching tree; after = 4096-address batched kernel (Shoup fixed-multiplier modmul, batched FIB routed evaluation, per-batch ctx/flush) with the sparse FIB directory. BenchmarkFullSpaceSweep runs one end-to-end sweep of a forced 2^24 / 2^32 space over a streaming-build world; fib-MiB is the sparse FIB's measured footprint (budget: <= 2 GiB at space32). Batched output is bit-identical to the serial reference (golden dataset, batched-vs-serial differentials incl. sharded and mid-cancel). Single-core container; compare ratios, not absolutes." \
+	        -out BENCH_fullspace.json
+
+# Parallel-engine scaling capture for BENCH_parallel.json. Meaningful only on
+# a multi-core runner (the CI bench job uses one); machine.cores in the JSON
+# records what the capture ran on, so a 1-core capture is self-describing
+# rather than silently flat.
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkStudySerial$$|BenchmarkStudyParallel' -benchtime 3x -benchmem . | \
+	    $(GO) run ./cmd/benchjson \
+	        -command "go test -run xxx -bench 'BenchmarkStudySerial|BenchmarkStudyParallel' -benchtime 3x -benchmem ." \
+	        -note "Serial vs parallel scan engine (2/4/8 workers, plus 8 workers with 4-way sharded sweeps) on the batched kernel. Check machine.cores before reading the ratios: on a single-core runner the parallel variants measure scheduler overhead, not speedup." \
+	        -out BENCH_parallel.json

@@ -1,0 +1,90 @@
+// Full-IPv4-scale sweep benchmark: the batched kernel walking a forced
+// 2^24 / 2^32 scan space end to end against the simulation fabric. The
+// world is built in streaming mode (no retained host slice) with the
+// sparse FIB, so the 2^32 case exercises exactly the memory shape a
+// full-Internet reproduction needs: announced space costs structs,
+// the other ~16.7M unrouted /24 blocks cost one directory bit each.
+//
+// Run via `make bench-fullspace`; results land in BENCH_fullspace.json.
+package scanorigin
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/origin"
+	"repro/internal/policy"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/world"
+	"repro/internal/zmap"
+)
+
+func benchFullSpaceSweep(b *testing.B, spaceBits uint8) {
+	spec := world.DefaultSpec(2020) // 1/1000-scale host population
+	spec.SpaceBits = spaceBits
+	spec.StreamHosts = true
+	w, err := world.Build(context.Background(), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := scenario.New(w, scenario.Config{Trials: 1, NumOrigins: 1})
+	org := w.Origins.Get(origin.US1)
+	fab := fabric.New(&fabric.Config{
+		World:      w,
+		Engine:     sc.Engine,
+		IDSes:      policy.Detectors(sc.IDSes),
+		Loss:       sc.Loss,
+		Outages:    sc.Outages[proto.HTTP],
+		Churn:      sc.Churn,
+		NumOrigins: 1,
+		Hosts:      sc.Hosts,
+	}, org, 0)
+	scanSeed := rng.NewKey(spec.Seed).Derive("scan-seed").Uint64(uint64(proto.HTTP), 0)
+	zs, err := zmap.NewScanner(zmap.Config{
+		SourceIPs:       org.SourceIPs,
+		TargetPort:      proto.HTTP.Port(),
+		Probes:          2,
+		SpaceBits:       w.SpaceBits,
+		Seed:            scanSeed,
+		ScanDuration:    scenario.ScanDuration,
+		ExpectedReplies: w.NumHosts(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var st zmap.Stats
+	replies := 0
+	for i := 0; i < b.N; i++ {
+		replies = 0
+		st, err = zs.Run(context.Background(), fab, func(zmap.Reply) { replies++ })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st.Targets != w.SpaceSize() {
+		b.Fatalf("sweep covered %d targets, want the full %d-address space", st.Targets, w.SpaceSize())
+	}
+	if replies == 0 || st.SynAcks == 0 {
+		b.Fatalf("sweep found no hosts (stats %+v)", st)
+	}
+	b.ReportMetric(float64(replies), "replies")
+	b.ReportMetric(float64(st.ProbesSent), "probes")
+	b.ReportMetric(float64(w.FIB().MemFootprint())/(1<<20), "fib-MiB")
+}
+
+// BenchmarkFullSpaceSweep/space24 is the CI smoke size (16.7M addresses);
+// /space32 is the full IPv4 space (4.29B addresses, ZMap's actual job).
+// Run with -benchtime 1x: one sweep per size is the measurement.
+func BenchmarkFullSpaceSweep(b *testing.B) {
+	for _, bits := range []uint8{24, 32} {
+		b.Run(fmt.Sprintf("space%d", bits), func(b *testing.B) {
+			benchFullSpaceSweep(b, bits)
+		})
+	}
+}

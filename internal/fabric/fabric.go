@@ -114,6 +114,11 @@ func (f *Fabric) release(q *policy.Query) { f.queries.Put(q) }
 // space (which Send would silently eat anyway).
 func (f *Fabric) Routed(dst ip.Addr) bool { return f.fib.Routed(dst) }
 
+// RoutedBatch implements zmap.BatchRoutability: the batched sweep kernel
+// evaluates a whole 4096-address batch against the FIB in one call, letting
+// the FIB reuse its directory rank across same-/24 neighbors.
+func (f *Fabric) RoutedBatch(dst []ip.Addr, routed []bool) { f.fib.RoutedBatch(dst, routed) }
+
 // pathDown reports whether the origin→dst path is unusable at time t due to
 // a burst outage or a correlated loss episode. Both probes of a target and
 // the follow-up connection share this state — loss is not independent.

@@ -362,3 +362,30 @@ func TestFabricDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestFabricRoutedBatchMatchesRouted pins the fabric's batch routability
+// (what the batched sweep kernel consults) to the per-address Routed answer
+// for every address in the world's scan space.
+func TestFabricRoutedBatchMatchesRouted(t *testing.T) {
+	cfg, w := quietConfig(t)
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	const batch = 4096
+	dst := make([]ip.Addr, 0, batch)
+	routed := make([]bool, batch)
+	flush := func() {
+		fab.RoutedBatch(dst, routed[:len(dst)])
+		for i, a := range dst {
+			if routed[i] != fab.Routed(a) {
+				t.Fatalf("RoutedBatch(%v) = %v, Routed = %v", a, routed[i], fab.Routed(a))
+			}
+		}
+		dst = dst[:0]
+	}
+	for a := uint64(0); a < w.SpaceSize(); a++ {
+		dst = append(dst, ip.Addr(a))
+		if len(dst) == batch {
+			flush()
+		}
+	}
+	flush()
+}

@@ -29,10 +29,11 @@ type World struct {
 	Routes    *asn.Table
 	Origins   *origin.Directory
 
-	hosts   []Host // sorted by address
-	hostIdx map[ip.Addr]int32
-	byAS    map[asn.ASN][]int32
-	fib     *FIB // flat per-/24 destination index (hot-path lookups)
+	hosts       []Host // sorted by address; nil when Spec.StreamHosts
+	byAS        map[asn.ASN][]int32
+	asHostCount map[asn.ASN]uint64 // hosts per AS, maintained during placement
+	numHosts    int
+	fib         *FIB // sparse per-/24 destination index (hot-path lookups)
 
 	profileASN map[string]asn.ASN
 
@@ -41,6 +42,42 @@ type World struct {
 	SpaceBits uint8
 
 	counts [proto.N]int
+}
+
+// hostAccum collects what the FIB needs to know about hosts as placement
+// streams them chunk by chunk: the flat service-mask array and per-/24
+// presence bitmaps, both in address order. It is the only per-host state a
+// streaming build (Spec.StreamHosts) retains — one byte per host plus one
+// 44-byte entry per occupied /24 — which is what lets worldgen run without
+// materializing the full host slice or any address-keyed map.
+type hostAccum struct {
+	masks  []proto.Mask
+	blocks []hostBlockAccum
+	last   ip.Addr
+}
+
+// hostBlockAccum is the accumulated host presence of one /24.
+type hostBlockAccum struct {
+	block   uint32
+	maskOff uint32
+	present [4]uint64
+}
+
+// add records one host. Addresses must arrive in strictly increasing
+// order; placement guarantees this (the allocator hands out prefixes
+// bottom-up and each chunk is sorted before streaming).
+func (h *hostAccum) add(addr ip.Addr, m proto.Mask) {
+	if len(h.masks) > 0 && addr <= h.last {
+		panic(fmt.Sprintf("world: host %v placed out of order after %v", addr, h.last))
+	}
+	h.last = addr
+	b := uint32(addr) >> 8
+	if len(h.blocks) == 0 || h.blocks[len(h.blocks)-1].block != b {
+		h.blocks = append(h.blocks, hostBlockAccum{block: b, maskOff: uint32(len(h.masks))})
+	}
+	lo := uint(addr) & 0xff
+	h.blocks[len(h.blocks)-1].present[lo>>6] |= 1 << (lo & 63)
+	h.masks = append(h.masks, m)
 }
 
 // allocator hands out aligned, disjoint prefixes from the bottom of the
@@ -87,13 +124,13 @@ func Build(ctx context.Context, spec Spec) (*World, error) {
 		return nil, pipeline.Tag(pipeline.ErrBadConfig, err)
 	}
 	w := &World{
-		Spec:       spec,
-		Key:        rng.NewKey(spec.Seed).Derive("world"),
-		Countries:  geo.NewRegistry(geo.DefaultCountries()),
-		Routes:     asn.NewTable(),
-		hostIdx:    make(map[ip.Addr]int32),
-		byAS:       make(map[asn.ASN][]int32),
-		profileASN: make(map[string]asn.ASN),
+		Spec:        spec,
+		Key:         rng.NewKey(spec.Seed).Derive("world"),
+		Countries:   geo.NewRegistry(geo.DefaultCountries()),
+		Routes:      asn.NewTable(),
+		byAS:        make(map[asn.ASN][]int32),
+		asHostCount: make(map[asn.ASN]uint64),
+		profileASN:  make(map[string]asn.ASN),
 	}
 	totalHTTP, totalHTTPS, totalSSH := spec.Targets()
 
@@ -164,13 +201,18 @@ func Build(ctx context.Context, spec Spec) (*World, error) {
 		}
 	}
 
-	// --- 3. Place hosts. ---
+	// --- 3. Place hosts, streaming chunk by chunk into the FIB host
+	// accumulator. Each chunk (at most a /16) is generated, sorted by
+	// address, streamed, and dropped; the allocator hands out prefixes
+	// bottom-up, so the concatenation of sorted chunks is globally sorted
+	// and no post-placement sort or address-keyed index is needed. ---
 	var alloc allocator
+	var acc hostAccum
 	for i := range portions {
 		if err := ctx.Err(); err != nil {
 			return nil, pipeline.Canceled(err)
 		}
-		if err := w.place(&alloc, &portions[i]); err != nil {
+		if err := w.place(&alloc, &portions[i], &acc); err != nil {
 			return nil, err
 		}
 	}
@@ -196,27 +238,34 @@ func Build(ctx context.Context, spec Spec) (*World, error) {
 	}
 	w.Origins = origin.NewDirectory(srcPrefix.First())
 
-	// --- 6. Scan space size. ---
-	w.SpaceBits = bitsFor(alloc.next)
-
-	// --- 7. Sort hosts and build indexes. ---
-	sort.Slice(w.hosts, func(i, j int) bool { return w.hosts[i].Addr < w.hosts[j].Addr })
-	for i := range w.hosts {
-		w.hostIdx[w.hosts[i].Addr] = int32(i)
+	// --- 6. Scan space size: forced by the spec (SpaceBits=32 sizes the
+	// full-IPv4 sweep) or derived from the top of allocated space. ---
+	if spec.SpaceBits != 0 {
+		if alloc.next > uint64(1)<<spec.SpaceBits {
+			return nil, pipeline.Tag(pipeline.ErrBadConfig, fmt.Errorf(
+				"world: forced space 2^%d does not cover allocated space (top %d)", spec.SpaceBits, alloc.next))
+		}
+		w.SpaceBits = spec.SpaceBits
+	} else {
+		w.SpaceBits = bitsFor(alloc.next)
 	}
-	for _, h := range w.hosts {
-		if a, ok := w.Routes.Lookup(h.Addr); ok {
-			w.byAS[a.Number] = append(w.byAS[a.Number], w.hostIdx[h.Addr])
+
+	// --- 7. Per-AS host index (hosts are sorted by construction). A
+	// streaming build retains no host slice, so the index stays empty. ---
+	for i := range w.hosts {
+		if a, ok := w.Routes.Lookup(w.hosts[i].Addr); ok {
+			w.byAS[a.Number] = append(w.byAS[a.Number], int32(i))
 		}
 	}
 
-	// --- 8. Flat destination index over the finished topology. ---
-	w.fib = buildFIB(w)
+	// --- 8. Sparse destination index over the finished topology. ---
+	w.fib = buildFIB(w, &acc)
 	return w, nil
 }
 
-// place allocates prefixes for one portion and creates its hosts.
-func (w *World) place(alloc *allocator, p *portion) error {
+// place allocates prefixes for one portion and creates its hosts,
+// streaming each chunk into the accumulator in address order.
+func (w *World) place(alloc *allocator, p *portion, acc *hostAccum) error {
 	web := max(p.nHTTP, p.nHTTPS)
 	both := min(p.nHTTP, p.nHTTPS)
 	sshOnWeb := int(w.Spec.SSHWebOverlap * float64(p.nSSH))
@@ -281,15 +330,25 @@ func (w *World) place(alloc *allocator, p *portion) error {
 			capacity = 1
 		}
 		n := min(left, capacity)
-		// Scatter: keyed permutation of offsets within the prefix.
+		// Scatter: keyed permutation of offsets within the prefix. Masks
+		// are assigned in scatter order — the order `placed` advances in —
+		// BEFORE the chunk is sorted, so each address keeps exactly the
+		// mask the unsorted generator gave it and worlds stay bit-identical
+		// across the streaming refactor.
 		stream := w.Key.Derive("scatter").Stream(uint64(p.as.Number), uint64(pfx.Base))
 		offsets := samplePerm(stream, int(pfx.NumAddrs()), n)
+		chunk := make([]Host, 0, n)
 		for _, off := range offsets {
 			addr := pfx.Nth(uint64(off))
-			m := mask(placed)
-			w.addHost(addr, m)
+			chunk = append(chunk, Host{Addr: addr, Services: mask(placed)})
 			placed++
 		}
+		sort.Slice(chunk, func(i, j int) bool { return chunk[i].Addr < chunk[j].Addr })
+		for _, h := range chunk {
+			acc.add(h.Addr, h.Services)
+			w.addHost(h.Addr, h.Services)
+		}
+		w.asHostCount[p.as.Number] += uint64(len(chunk))
 	}
 	return nil
 }
@@ -314,7 +373,10 @@ func samplePerm(s *rng.SplitMix64, size, n int) []int {
 }
 
 func (w *World) addHost(addr ip.Addr, m proto.Mask) {
-	w.hosts = append(w.hosts, Host{Addr: addr, Services: m})
+	if !w.Spec.StreamHosts {
+		w.hosts = append(w.hosts, Host{Addr: addr, Services: m})
+	}
+	w.numHosts++
 	for _, p := range proto.All() {
 		if m.Has(p) {
 			w.counts[p]++

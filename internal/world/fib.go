@@ -11,25 +11,34 @@ import (
 	"repro/internal/proto"
 )
 
-// FIB is the flat forwarding/annotation table the scan hot path reads: one
-// packed entry per /24 of the scan space resolving any address to its
-// routedness, announcing AS, geolocated country, and (via a per-/24 host
-// presence bitmap ranking into a flat side array) the service mask of the
-// host living there. It is precomputed once at Build time from the same
-// prefix lists that feed the radix structures, so a destination lookup on
-// the probe path costs two array indexes and a popcount instead of two
-// radix walks and a map hash.
+// FIB is the sparse forwarding/annotation table the scan hot path reads:
+// a packed entry per *painted* /24 of the scan space resolving any address
+// to its routedness, announcing AS, geolocated country, and (via a per-/24
+// host presence bitmap ranking into a flat side array) the service mask of
+// the host living there. It is precomputed once at Build time from the
+// same prefix lists that feed the radix structures, so a destination
+// lookup on the probe path costs a bitmap test, a popcount rank, and an
+// array index instead of two radix walks and a map hash.
 //
-// The radix tables (World.Routes, World.Countries) and the host map remain
-// the reference representation; Validate proves the FIB agrees with them
-// for every address in the space, and the world accessors (ASOf, CountryOf,
-// Lookup) answer from the FIB.
+// Sparsity is what makes the SpaceBits=32 world affordable: full IPv4 has
+// 16.7M /24 blocks but only the announced ones carry information, so the
+// FIB keeps a directory bitmap (one bit per /24, 2 MiB for the full
+// space), a per-word rank prefix (1 MiB), and a dense array of only the
+// painted blocks. An absent directory bit IS the answer — unrouted, no
+// country, no host — with no struct behind it.
+//
+// The radix tables (World.Routes, World.Countries) and the host slice
+// remain the reference representation; Validate proves the FIB agrees with
+// them for every address in the space, and the world accessors (ASOf,
+// CountryOf, Lookup) answer from the FIB.
 type FIB struct {
-	blocks    []fibBlock
-	mixed     []fibAddr    // per-address overflow for non-uniform /24s
-	ases      []*asn.AS    // interned AS list, sorted by AS number
+	dir       []uint64      // directory: bit b set when /24 block b is painted
+	dirRank   []uint32      // exclusive prefix popcount of dir per word
+	blocks    []fibBlock    // painted blocks only, in block-number order
+	mixed     []fibAddr     // per-address overflow for non-uniform /24s
+	ases      []*asn.AS     // interned AS list, sorted by AS number
 	countries []geo.Country // interned country list, first-seen order
-	masks     []proto.Mask // service masks of all hosts, in address order
+	masks     []proto.Mask  // service masks of all hosts, in address order
 	spaceBits uint8
 }
 
@@ -78,18 +87,39 @@ type Dest struct {
 	Routed bool
 }
 
-// buildFIB constructs the FIB from the world's AS prefix lists, country
-// assignments, and sorted host slice. Construction is deterministic: ASes
-// are walked in number order and prefixes in announcement order, so the
-// same world yields the same FIB layout bit for bit.
-func buildFIB(w *World) *FIB {
+// buildFIB constructs the sparse FIB from the world's AS prefix lists,
+// country assignments, and the host accumulator filled during placement.
+// Construction is deterministic: ASes are walked in number order and
+// prefixes in announcement order, so the same world yields the same FIB
+// layout bit for bit. Two passes: the first marks every painted /24 in the
+// directory bitmap and sizes the dense block array from the ranks; the
+// second paints annotations into the dense blocks. Unpainted space — the
+// overwhelming majority at SpaceBits=32 — costs one directory bit.
+func buildFIB(w *World, hosts *hostAccum) *FIB {
 	space := uint64(1) << w.SpaceBits
 	nBlocks := (space + 255) >> 8
+	nWords := (nBlocks + 63) >> 6
 	f := &FIB{
-		blocks:    make([]fibBlock, nBlocks),
+		dir:       make([]uint64, nWords),
 		ases:      w.Routes.All(),
 		spaceBits: w.SpaceBits,
 	}
+
+	// Pass 1: directory bits for every block any prefix touches.
+	for _, a := range f.ases {
+		for _, pfx := range a.Prefixes {
+			for b := uint64(pfx.Base) >> 8; b <= uint64(pfx.Last())>>8; b++ {
+				f.dir[b>>6] |= 1 << (b & 63)
+			}
+		}
+	}
+	f.dirRank = make([]uint32, nWords)
+	total := uint32(0)
+	for i, wd := range f.dir {
+		f.dirRank[i] = total
+		total += uint32(bits.OnesCount64(wd))
+	}
+	f.blocks = make([]fibBlock, total)
 	for i := range f.blocks {
 		f.blocks[i].asIdx = fibUnrouted
 		f.blocks[i].ctryIdx = -1
@@ -109,19 +139,20 @@ func buildFIB(w *World) *FIB {
 		return i
 	}
 
-	// Paint blocks. Prefixes of /24 or shorter cover whole blocks; finer
-	// prefixes (the generator allocates chunks as small as 8 addresses)
-	// share their /24 with other prefixes or unrouted gaps, so those
-	// blocks get per-address entries first and collapse back to uniform
-	// when every address agrees.
+	// Pass 2: paint blocks. Prefixes of /24 or shorter cover whole blocks;
+	// finer prefixes (the generator allocates chunks as small as 8
+	// addresses) share their /24 with other prefixes or unrouted gaps, so
+	// those blocks get per-address entries first and collapse back to
+	// uniform when every address agrees.
 	fine := make(map[uint32]*[256]fibAddr)
 	for ai, a := range f.ases {
 		for _, pfx := range a.Prefixes {
 			ci := internCountry(w.Countries.Lookup(pfx.First()))
 			if pfx.Bits <= 24 {
 				for b := uint64(pfx.Base) >> 8; b <= uint64(pfx.Last())>>8; b++ {
-					f.blocks[b].asIdx = int32(ai)
-					f.blocks[b].ctryIdx = ci
+					blk := &f.blocks[f.blockIndex(b)]
+					blk.asIdx = int32(ai)
+					blk.ctryIdx = ci
 				}
 				continue
 			}
@@ -154,7 +185,7 @@ func buildFIB(w *World) *FIB {
 				break
 			}
 		}
-		blk := &f.blocks[bi]
+		blk := &f.blocks[f.blockIndex(uint64(bi))]
 		if uniform {
 			blk.asIdx = pa[0].as
 			blk.ctryIdx = pa[0].ctry
@@ -165,31 +196,50 @@ func buildFIB(w *World) *FIB {
 		f.mixed = append(f.mixed, pa[:]...)
 	}
 
-	// Hosts: presence bits plus the flat mask array. Hosts are sorted by
-	// address, so each block's masks are contiguous and maskOff is just
-	// the index of the block's first host.
-	f.masks = make([]proto.Mask, len(w.hosts))
-	for i, h := range w.hosts {
-		blk := &f.blocks[uint32(h.Addr)>>8]
-		if blk.present == ([4]uint64{}) {
-			blk.maskOff = uint32(i)
-		}
-		lo := uint(h.Addr) & 0xff
-		blk.present[lo>>6] |= 1 << (lo & 63)
-		f.masks[i] = h.Services
+	// Hosts: presence bits plus the flat mask array, accumulated per /24
+	// during placement (hosts arrive in address order, so each block's
+	// masks are contiguous and maskOff is the block's first host). Every
+	// host lives inside an announced prefix, so its block is painted.
+	f.masks = hosts.masks
+	for i := range hosts.blocks {
+		hb := &hosts.blocks[i]
+		blk := &f.blocks[f.blockIndex(uint64(hb.block))]
+		blk.present = hb.present
+		blk.maskOff = hb.maskOff
 	}
 	return f
 }
 
+// blockIndex returns the dense index of /24 block bi, or -1 when the block
+// is unpainted: a directory word bounds check, a bit test, and a popcount
+// rank.
+func (f *FIB) blockIndex(bi uint64) int32 {
+	word := bi >> 6
+	if word >= uint64(len(f.dir)) {
+		return -1
+	}
+	wd := f.dir[word]
+	bit := uint64(1) << (bi & 63)
+	if wd&bit == 0 {
+		return -1
+	}
+	return int32(f.dirRank[word]) + int32(bits.OnesCount64(wd&(bit-1)))
+}
+
 // Resolve answers everything the fabric needs to know about a destination
-// in one pass: two array indexes plus a popcount when a host is present.
-// Addresses outside the scan space resolve to the zero Dest.
+// in one pass: a directory rank, an array index, and a popcount when a
+// host is present. Addresses outside the scan space — and inside it but in
+// unpainted blocks — resolve to the zero Dest.
 func (f *FIB) Resolve(a ip.Addr) Dest {
-	bi := uint64(a) >> 8
-	if bi >= uint64(len(f.blocks)) {
+	idx := f.blockIndex(uint64(a) >> 8)
+	if idx < 0 {
 		return Dest{}
 	}
-	blk := &f.blocks[bi]
+	return f.resolveIn(&f.blocks[idx], a)
+}
+
+// resolveIn resolves an address within its already-located block.
+func (f *FIB) resolveIn(blk *fibBlock, a ip.Addr) Dest {
 	var d Dest
 	ai, ci := blk.asIdx, blk.ctryIdx
 	if ai == fibMixed {
@@ -217,18 +267,83 @@ func (f *FIB) Resolve(a ip.Addr) Dest {
 	return d
 }
 
+// ResolveBatch resolves a whole batch of destinations into out
+// (len(out) == len(dst)), reusing the directory rank when consecutive
+// addresses share a /24 — the block-locality win the batched sweep kernel
+// is shaped around.
+func (f *FIB) ResolveBatch(dst []ip.Addr, out []Dest) {
+	lastBi := uint64(1) << 63 // sentinel: no block cached
+	var lastBlk *fibBlock
+	for i, a := range dst {
+		bi := uint64(a) >> 8
+		if bi != lastBi {
+			lastBi = bi
+			lastBlk = nil
+			if idx := f.blockIndex(bi); idx >= 0 {
+				lastBlk = &f.blocks[idx]
+			}
+		}
+		if lastBlk == nil {
+			out[i] = Dest{}
+			continue
+		}
+		out[i] = f.resolveIn(lastBlk, a)
+	}
+}
+
 // Routed reports whether the address is inside announced space: the routed
-// bit the sweep's short-circuit consults before paying for a probe.
+// bit the sweep's short-circuit consults before paying for a probe. An
+// unpainted block is unrouted by construction.
 func (f *FIB) Routed(a ip.Addr) bool {
-	bi := uint64(a) >> 8
-	if bi >= uint64(len(f.blocks)) {
+	idx := f.blockIndex(uint64(a) >> 8)
+	if idx < 0 {
 		return false
 	}
-	blk := &f.blocks[bi]
+	blk := &f.blocks[idx]
 	if blk.asIdx == fibMixed {
 		return f.mixed[uint32(blk.mixedOff)+uint32(a&0xff)].as >= 0
 	}
 	return blk.asIdx >= 0
+}
+
+// RoutedBatch implements zmap.BatchRoutability's contract for the fabric:
+// fill routed[i] with Routed(dst[i]) for the whole batch, caching the last
+// block decode so consecutive same-/24 addresses cost one bit test.
+func (f *FIB) RoutedBatch(dst []ip.Addr, routed []bool) {
+	lastBi := uint64(1) << 63 // sentinel: no block cached
+	lastRouted := false
+	var lastBlk *fibBlock
+	for i, a := range dst {
+		bi := uint64(a) >> 8
+		if bi != lastBi {
+			lastBi = bi
+			lastBlk = nil
+			lastRouted = false
+			if idx := f.blockIndex(bi); idx >= 0 {
+				lastBlk = &f.blocks[idx]
+				lastRouted = lastBlk.asIdx >= 0
+			}
+		}
+		if lastBlk != nil && lastBlk.asIdx == fibMixed {
+			routed[i] = f.mixed[uint32(lastBlk.mixedOff)+uint32(a&0xff)].as >= 0
+			continue
+		}
+		routed[i] = lastRouted
+	}
+}
+
+// MemFootprint returns the FIB's resident size in bytes by component sum —
+// the number the ≤2 GiB full-IPv4 budget in DESIGN.md is checked against.
+// At SpaceBits=32 the directory and rank arrays are 2 MiB + 1 MiB fixed;
+// everything else scales with painted blocks, not with the space.
+func (f *FIB) MemFootprint() uint64 {
+	const blockBytes = 48 // [4]uint64 + 4×4-byte fields
+	return uint64(len(f.dir))*8 +
+		uint64(len(f.dirRank))*4 +
+		uint64(len(f.blocks))*blockBytes +
+		uint64(len(f.mixed))*8 +
+		uint64(len(f.ases))*8 +
+		uint64(len(f.masks))
 }
 
 // Validate walks the whole scan space comparing the FIB against the radix
@@ -259,7 +374,14 @@ func (f *FIB) ValidateAddr(w *World, addr ip.Addr) error {
 	if (d.Country != "") != hasCountry || d.Country != country && hasCountry {
 		return fmt.Errorf("world: fib %v country=%q, radix country=%q (present=%v)", addr, d.Country, country, hasCountry)
 	}
-	i, isHost := w.hostIdx[addr]
+	if w.hosts == nil {
+		// Streaming build: the host slice was not retained, so the FIB's
+		// presence bits are the only host record and there is no reference
+		// to differ from.
+		return nil
+	}
+	i := sort.Search(len(w.hosts), func(i int) bool { return w.hosts[i].Addr >= addr })
+	isHost := i < len(w.hosts) && w.hosts[i].Addr == addr
 	if d.Host != isHost {
 		return fmt.Errorf("world: fib %v host=%v, index host=%v", addr, d.Host, isHost)
 	}

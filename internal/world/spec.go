@@ -43,6 +43,21 @@ type Spec struct {
 	// a median near 10 machines and rare giants). Smaller values create
 	// more ASes.
 	GenericASHosts int
+	// SpaceBits, when non-zero, forces the scan space to 2^SpaceBits
+	// addresses instead of deriving it from the top of allocated space.
+	// SpaceBits=32 sizes the world for a full-IPv4 sweep: the announced
+	// prefixes stay wherever the allocator put them and the rest of the
+	// space is unrouted, exactly like the real Internet's dark space.
+	// Build fails if the forced space does not cover the allocation.
+	SpaceBits uint8
+	// StreamHosts builds the world without retaining the per-host slice
+	// or the per-AS host index: placement streams each chunk into the
+	// FIB and drops it. Hosts() and HostsInAS then return nil — the FIB
+	// is the only host record — while NumHosts, HostCount, and ASWeights
+	// still answer from counters maintained during placement. This is
+	// what large-scale sweeps use; analyses that walk the host list need
+	// a retained build.
+	StreamHosts bool
 }
 
 // DefaultSpec returns the spec used by cmd/originscan: a 1/1000-scale
@@ -71,6 +86,9 @@ func (s Spec) withDefaults() (Spec, error) {
 	}
 	if s.GenericASHosts == 0 {
 		s.GenericASHosts = 25
+	}
+	if s.SpaceBits > 32 {
+		return s, fmt.Errorf("world: space bits %d out of [0, 32]", s.SpaceBits)
 	}
 	return s, nil
 }

@@ -10,12 +10,14 @@ import (
 	"repro/internal/proto"
 )
 
-// Hosts returns all hosts sorted by address. The slice is shared; callers
-// must not modify it.
+// Hosts returns all hosts sorted by address, or nil for a streaming build
+// (Spec.StreamHosts), which retains no host slice. The slice is shared;
+// callers must not modify it.
 func (w *World) Hosts() []Host { return w.hosts }
 
-// NumHosts returns the number of distinct live machines.
-func (w *World) NumHosts() int { return len(w.hosts) }
+// NumHosts returns the number of distinct live machines. It answers from a
+// placement-time counter, so it works in streaming builds too.
+func (w *World) NumHosts() int { return w.numHosts }
 
 // HostCount returns the number of hosts running the given protocol.
 func (w *World) HostCount(p proto.Protocol) int { return w.counts[p] }
@@ -72,7 +74,8 @@ func (w *World) ProfileNames() []string {
 	return out
 }
 
-// HostsInAS returns the indices (into Hosts()) of the AS's hosts.
+// HostsInAS returns the indices (into Hosts()) of the AS's hosts, or nil
+// for a streaming build (no host slice, no index).
 func (w *World) HostsInAS(n asn.ASN) []int32 { return w.byAS[n] }
 
 // ASHostCount returns the number of hosts in the AS running p.
@@ -87,14 +90,15 @@ func (w *World) ASHostCount(n asn.ASN, p proto.Protocol) int {
 }
 
 // ASWeights returns all AS numbers and their total host counts, in AS
-// order; used to weight burst-outage sampling and analyses.
+// order; used to weight burst-outage sampling and analyses. The counts
+// come from placement-time counters, so streaming builds answer too.
 func (w *World) ASWeights() ([]asn.ASN, []uint64) {
 	ases := w.Routes.All()
 	nums := make([]asn.ASN, len(ases))
 	weights := make([]uint64, len(ases))
 	for i, a := range ases {
 		nums[i] = a.Number
-		weights[i] = uint64(len(w.byAS[a.Number]))
+		weights[i] = w.asHostCount[a.Number]
 	}
 	return nums, weights
 }

@@ -1,0 +1,210 @@
+package zmap
+
+// Batched-vs-serial differential tests: the sweep kernel batches the
+// permutation walk, list filtering, routability, and probe evaluation, and
+// these tests pin its observable output — Stats, the reply stream, and
+// cancellation behavior — byte-identical to a per-address reference that
+// replays the pre-batching loop through emitTarget. CI runs them under
+// -race (the fullspace job); they are the contract that lets the kernel
+// change freely without moving the scan schedule.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/pipeline"
+)
+
+// referenceRun replays the pre-batching serial sweep: one address at a
+// time through emitTarget, per-address Routability short-circuit, context
+// checked at sweepBatch position boundaries. This is the semantics the
+// batched kernel must reproduce exactly.
+func referenceRun(ctx context.Context, s *Scanner, sink PacketSink, handler func(Reply)) (Stats, error) {
+	var st Stats
+	var synBuf []byte
+	rt, _ := sink.(Routability)
+	probe := func(dst ip.Addr, t time.Duration) {
+		if rt != nil && !rt.Routed(dst) {
+			st.ProbesSent += uint64(s.cfg.Probes)
+			return
+		}
+		if r, ok := s.probeTarget(sink, dst, t, &st, &synBuf); ok {
+			handler(r)
+		}
+	}
+	it := s.perm.Iterate()
+	var position uint64
+	for {
+		if position%sweepBatch == 0 {
+			if err := ctx.Err(); err != nil {
+				return st, pipeline.Canceled(err)
+			}
+		}
+		a, ok := it.Next()
+		if !ok {
+			return st, nil
+		}
+		position++
+		s.emitTarget(a, position, &st, probe)
+	}
+}
+
+// batchDiffConfigs returns the sweep configurations the differential tests
+// cover: plain, list-filtered, and a space large enough for several full
+// batches plus a partial one.
+func batchDiffConfigs() map[string]Config {
+	plain := testConfig()
+
+	listed := testConfig()
+	al := ip.NewSet()
+	al.Add(ip.MakePrefix(0, 23)) // allow first two /24s...
+	listed.Allowlist = al
+	bl := ip.NewSet()
+	bl.Add(ip.MakePrefix(256, 25)) // ...but block half of the second
+	listed.Blocklist = bl
+
+	multi := testConfig()
+	multi.SpaceBits = 14 // 4 full batches + skip-tail
+	multi.ProbeDelay = time.Second
+
+	return map[string]Config{"plain": plain, "listed": listed, "multibatch": multi}
+}
+
+func diffSink() *routedSink {
+	return &routedSink{
+		fakeSink: fakeSink{
+			live:      map[ip.Addr]bool{5: true, 100: true, 300: true, 700: true},
+			closed:    map[ip.Addr]bool{7: true},
+			garbage:   map[ip.Addr]bool{9: true},
+			dropProbe: map[ip.Addr]uint8{100: 1 << 1},
+		},
+		limit: 768, // upper quarter of the 2^10 space unrouted
+	}
+}
+
+func compareRuns(t *testing.T, name string, stGot, stWant Stats, repGot, repWant []Reply) {
+	t.Helper()
+	if stGot != stWant {
+		t.Errorf("%s: stats %+v, reference %+v", name, stGot, stWant)
+	}
+	if len(repGot) != len(repWant) {
+		t.Fatalf("%s: %d replies, reference %d", name, len(repGot), len(repWant))
+	}
+	for i := range repGot {
+		if repGot[i] != repWant[i] {
+			t.Errorf("%s: reply %d = %+v, reference %+v", name, i, repGot[i], repWant[i])
+		}
+	}
+}
+
+func TestSweepBatchedMatchesSerialReference(t *testing.T) {
+	for name, cfg := range batchDiffConfigs() {
+		s, err := NewScanner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var repRef []Reply
+		stRef, err := referenceRun(context.Background(), s, diffSink(), func(r Reply) { repRef = append(repRef, r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var repGot []Reply
+		stGot, err := s.Run(context.Background(), diffSink(), func(r Reply) { repGot = append(repGot, r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareRuns(t, name, stGot, stRef, repGot, repRef)
+	}
+}
+
+// TestShardedBatchedMatchesSerialReference runs the batched RunSharded at
+// several shard counts against the per-address serial reference: identical
+// merged statistics and an identical, identically-ordered reply stream.
+func TestShardedBatchedMatchesSerialReference(t *testing.T) {
+	for name, cfg := range batchDiffConfigs() {
+		s, err := NewScanner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The concurrency-safe sharded sink answers SYN-ACKs for live hosts
+		// only (no closed/garbage/drop modes), so the serial reference runs
+		// against an equivalently-behaving single-goroutine sink.
+		refSink := &routedSink{fakeSink: fakeSink{live: diffSink().live}, limit: 768}
+		var repRef []Reply
+		stRef, err := referenceRun(context.Background(), s, refSink, func(r Reply) { repRef = append(repRef, r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{2, 4, 7} {
+			sink := &shardedRoutedSink{live: diffSink().live, limit: 768}
+			var repGot []Reply
+			stGot, err := s.RunSharded(context.Background(), sink, func(r Reply) { repGot = append(repGot, r) }, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareRuns(t, name, stGot, stRef, repGot, repRef)
+		}
+	}
+}
+
+// cancelingCtx cancels itself after the sink has sent a given number of
+// probes, so cancellation lands mid-sweep deterministically.
+type cancelingSink struct {
+	inner  PacketSink
+	cancel context.CancelFunc
+	after  int
+	sent   int
+}
+
+func (c *cancelingSink) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
+	c.sent++
+	if c.sent == c.after {
+		c.cancel()
+	}
+	return c.inner.Send(src, pkt, t)
+}
+
+// TestCancelBatchedMatchesSerialReference cancels mid-sweep after a fixed
+// probe count and checks the batched path stops at exactly the boundary the
+// per-address loop stopped at: same error class, same Stats, same reply
+// prefix. The batch boundaries ARE the old context-check boundaries, so a
+// cancellation is observed at the identical point.
+func TestCancelBatchedMatchesSerialReference(t *testing.T) {
+	cfg := testConfig()
+	cfg.SpaceBits = 13
+	for _, after := range []int{1, 100, 5000} {
+		run := func(exec func(ctx context.Context, s *Scanner, sink PacketSink, h func(Reply)) (Stats, error)) (Stats, []Reply, error) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			sink := &cancelingSink{inner: diffSink(), cancel: cancel, after: after}
+			s, err := NewScanner(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var replies []Reply
+			st, err := exec(ctx, s, sink, func(r Reply) { replies = append(replies, r) })
+			return st, replies, err
+		}
+		stRef, repRef, errRef := run(referenceRun)
+		stGot, repGot, errGot := run(func(ctx context.Context, s *Scanner, sink PacketSink, h func(Reply)) (Stats, error) {
+			return s.Run(ctx, sink, h)
+		})
+		if !errorsMatch(errRef, errGot) {
+			t.Fatalf("after %d: reference err %v, batched err %v", after, errRef, errGot)
+		}
+		compareRuns(t, "cancel", stGot, stRef, repGot, repRef)
+	}
+}
+
+func errorsMatch(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return errors.Is(a, pipeline.ErrCanceled) == errors.Is(b, pipeline.ErrCanceled)
+}

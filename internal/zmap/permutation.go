@@ -12,6 +12,7 @@ package zmap
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -24,15 +25,16 @@ import (
 // as value-1; values exceeding the space are skipped (ZMap's approach for
 // the 2^32 space, generalized to any space size).
 type Permutation struct {
-	p        uint64 // group modulus (prime)
-	g        uint64 // generator of the full group
-	r        uint64 // key-derived starting offset (first = g^(r+shard))
-	first    uint64 // starting element for this shard
-	step     uint64 // g^shards: stride between this shard's elements
-	space    uint64 // number of valid addresses [0, space)
-	shardLen uint64 // group elements this shard owns
-	shard    uint64
-	shards   uint64
+	p         uint64 // group modulus (prime)
+	g         uint64 // generator of the full group
+	r         uint64 // key-derived starting offset (first = g^(r+shard))
+	first     uint64 // starting element for this shard
+	step      uint64 // g^shards: stride between this shard's elements
+	stepShoup uint64 // floor(step<<64 / p): Shoup factor for the walk stride
+	space     uint64 // number of valid addresses [0, space)
+	shardLen  uint64 // group elements this shard owns
+	shard     uint64
+	shards    uint64
 
 	skipOnce sync.Once
 	skips    []uint64 // sorted walk indices of out-of-space elements
@@ -68,8 +70,8 @@ func NewPermutation(key rng.Key, spaceBits uint8, shard, shards int) (*Permutati
 		max++
 	}
 	return &Permutation{
-		p: p, g: g, r: r, first: first, step: step, space: space,
-		shardLen: max, shard: uint64(shard), shards: uint64(shards),
+		p: p, g: g, r: r, first: first, step: step, stepShoup: shoupFactor(step, p),
+		space: space, shardLen: max, shard: uint64(shard), shards: uint64(shards),
 	}, nil
 }
 
@@ -104,17 +106,65 @@ func (it *Iterator) Next() (addr uint32, ok bool) {
 // elements. Sub-shard iteration uses the index to recover the position a
 // single full walk would have assigned the address (see SkipIndices).
 func (it *Iterator) NextIndexed() (addr uint32, elem uint64, ok bool) {
+	pm := it.pm
 	for it.emitted < it.max {
 		v := it.current
-		it.current = mulmod(it.current, it.pm.step, it.pm.p)
+		it.current = mulmodShoup(it.current, pm.step, pm.stepShoup, pm.p)
 		e := it.emitted
 		it.emitted++
 		a := v - 1
-		if a < it.pm.space {
+		if a < pm.space {
 			return uint32(a), e, true
 		}
 	}
 	return 0, 0, false
+}
+
+// NextBatch fills buf with the next addresses of the shard's walk and
+// returns how many it wrote: len(buf) until the walk nears exhaustion, then
+// one final partial batch, then 0. The sequence is exactly the one repeated
+// Next calls yield — batching only amortizes the per-address call overhead
+// so the sweep's permutation walk, context check, and telemetry flush run
+// once per batch. The buffer is caller-owned and reused across calls.
+func (it *Iterator) NextBatch(buf []uint32) int {
+	pm := it.pm
+	cur, emitted := it.current, it.emitted
+	step, shoup, p, space, max := pm.step, pm.stepShoup, pm.p, pm.space, it.max
+	n := 0
+	for n < len(buf) && emitted < max {
+		v := cur
+		cur = mulmodShoup(cur, step, shoup, p)
+		emitted++
+		if a := v - 1; a < space {
+			buf[n] = uint32(a)
+			n++
+		}
+	}
+	it.current, it.emitted = cur, emitted
+	return n
+}
+
+// NextIndexedBatch is NextBatch also recording each address's element index
+// within this shard's walk in elems (the NextIndexed batch form). addrs and
+// elems must be the same length.
+func (it *Iterator) NextIndexedBatch(addrs []uint32, elems []uint64) int {
+	pm := it.pm
+	cur, emitted := it.current, it.emitted
+	step, shoup, p, space, max := pm.step, pm.stepShoup, pm.p, pm.space, it.max
+	n := 0
+	for n < len(addrs) && emitted < max {
+		v := cur
+		cur = mulmodShoup(cur, step, shoup, p)
+		e := emitted
+		emitted++
+		if a := v - 1; a < space {
+			addrs[n] = uint32(a)
+			elems[n] = e
+			n++
+		}
+	}
+	it.current, it.emitted = cur, emitted
+	return n
 }
 
 // SkipIndices returns the sorted element indices within this shard's walk
@@ -170,50 +220,36 @@ func skipsBefore(skips []uint64, elem uint64) uint64 {
 	return uint64(sort.Search(len(skips), func(i int) bool { return skips[i] >= elem }))
 }
 
-// mulmod computes a*b mod m without overflow (m < 2^33 here, but use
-// 128-bit-safe math so any modulus works).
+// mulmod computes a*b mod m without overflow using the 128-bit multiply
+// and divide intrinsics (single hardware instructions on amd64/arm64). Any
+// modulus up to 2^63 works; the walk moduli here are ≤ 2^32+15.
 func mulmod(a, b, m uint64) uint64 {
-	hi, lo := mul64(a, b)
-	if hi == 0 {
-		return lo % m
-	}
-	return mod128(hi, lo, m)
-}
-
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo * bLo
-	lo = t & mask
-	c := t >> 32
-	t = aHi*bLo + c
-	mid := t & mask
-	hi = t >> 32
-	t = aLo*bHi + mid
-	lo |= (t & mask) << 32
-	hi += t >> 32
-	hi += aHi * bHi
-	return hi, lo
-}
-
-// mod128 reduces a 128-bit value modulo m by long division.
-func mod128(hi, lo, m uint64) uint64 {
-	rem := uint64(0)
-	for i := 127; i >= 0; i-- {
-		rem <<= 1
-		var bit uint64
-		if i >= 64 {
-			bit = (hi >> uint(i-64)) & 1
-		} else {
-			bit = (lo >> uint(i)) & 1
-		}
-		rem |= bit
-		if rem >= m {
-			rem -= m
-		}
-	}
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
 	return rem
+}
+
+// shoupFactor precomputes floor(b·2^64 / m) for a fixed multiplicand b < m,
+// the constant mulmodShoup needs. Requires m < 2^63 so the quotient fits.
+func shoupFactor(b, m uint64) uint64 {
+	q, _ := bits.Div64(b, 0, m)
+	return q
+}
+
+// mulmodShoup computes a·b mod m for a fixed b with precomputed
+// bShoup = shoupFactor(b, m), using Shoup's trick: two multiplies and a
+// conditional subtract, no division at all. With q = floor(a·bShoup / 2^64),
+// a·b − q·m is in [0, 2m), so one subtract finishes the reduction. This is
+// what keeps the permutation walk cheap once the modulus outgrows 32 bits
+// (SpaceBits=32 ⇒ p > 2^32) and per-step division would dominate the sweep.
+// Requires a < m, b < m, m < 2^63.
+func mulmodShoup(a, b, bShoup, m uint64) uint64 {
+	q, _ := bits.Mul64(a, bShoup)
+	r := a*b - q*m // wraps mod 2^64; the true remainder survives
+	if r >= m {
+		r -= m
+	}
+	return r
 }
 
 // mulmodPow computes g^e mod m by square-and-multiply.

@@ -38,10 +38,10 @@ type PacketSink interface {
 }
 
 // Routability is an optional PacketSink capability: a sink that knows the
-// announced address space ahead of time (the simulation fabric's flat FIB;
-// a real deployment's routing-table snapshot) exposes it so the sweep can
-// skip the SYN encode and Send round trip for destinations that can never
-// answer. The scanner still counts the skipped probes in Stats and
+// announced address space ahead of time (the simulation fabric's sparse
+// FIB; a real deployment's routing-table snapshot) exposes it so the sweep
+// can skip the SYN encode and Send round trip for destinations that can
+// never answer. The scanner still counts the skipped probes in Stats and
 // telemetry exactly as if they had been sent and lost into the void, so
 // statistics, metrics, and loss accounting are identical with or without
 // the short-circuit. Routed must be safe for concurrent use and must agree
@@ -51,6 +51,17 @@ type PacketSink interface {
 // not implement Routability.
 type Routability interface {
 	Routed(dst ip.Addr) bool
+}
+
+// BatchRoutability is the batch form of Routability: fill routed[i] with
+// Routed(dst[i]) for a whole sweep batch in one call, letting the sink reuse
+// lookup state across consecutive addresses (the FIB keeps its last block
+// decode hot). len(routed) == len(dst); both slices are caller-owned and
+// only valid for the duration of the call. Implementations must be safe for
+// concurrent use and must agree with Routed answer-for-answer — the sweep
+// treats the two as interchangeable.
+type BatchRoutability interface {
+	RoutedBatch(dst []ip.Addr, routed []bool)
 }
 
 // Config configures one scan.
@@ -219,9 +230,12 @@ func (s *Scanner) srcFor(dst ip.Addr) ip.Addr {
 
 // emitTarget applies the allow/blocklists and the virtual clock for the
 // address at the given 1-based scan position, invoking emit for targets
-// that will be probed. This is the single definition of the scan schedule:
-// Run, RunSharded, and Targets all route through it, so an address gets
-// the same probe time no matter how the sweep is executed.
+// that will be probed. This is the reference definition of the scan
+// schedule — one address, one position, one decision. The batched
+// filterBatch must agree with it answer-for-answer (the differential tests
+// replay sweeps through this function), and the virtual-clock expression
+// here and in filterBatch must stay textually identical: float64 rounding
+// is part of the schedule's bit-identity contract.
 func (s *Scanner) emitTarget(a uint32, position uint64, st *Stats, emit func(ip.Addr, time.Duration)) {
 	dst := ip.Addr(a)
 	if s.cfg.Allowlist != nil && !s.cfg.Allowlist.Contains(dst) {
@@ -237,28 +251,102 @@ func (s *Scanner) emitTarget(a uint32, position uint64, st *Stats, emit func(ip.
 	emit(dst, t)
 }
 
-// sweep walks this scanner's whole shard serially, calling emit per target.
-// The context is checked — and live telemetry counters flushed — once per
-// sweepBatch positions; a canceled sweep returns pipeline.ErrCanceled with
-// the walk stopped mid-space.
-func (s *Scanner) sweep(ctx context.Context, st *Stats, fl *statsFlusher, emit func(ip.Addr, time.Duration)) error {
+// sweepKernel is the caller-owned batch state for one sweep goroutine: the
+// permutation fills addrs (and, sharded, elems), filterBatch compacts the
+// surviving targets into dsts/times via pos, and the routability pass fills
+// routed. One kernel is a single ~130 KiB allocation reused for the whole
+// sweep, so the per-address cost is array writes — no per-batch allocation,
+// no interface calls inside the batch.
+type sweepKernel struct {
+	addrs  [sweepBatch]uint32
+	elems  [sweepBatch]uint64
+	pos    [sweepBatch]uint64
+	dsts   [sweepBatch]ip.Addr
+	times  [sweepBatch]time.Duration
+	routed [sweepBatch]bool
+}
+
+// filterBatch is emitTarget over a batch: it applies the allow/blocklists
+// to addrs, assigns each survivor its virtual probe time from the 1-based
+// scan position in pos, and compacts survivors into k.dsts/k.times,
+// returning how many survived. The list checks, counter updates, and clock
+// expression are exactly emitTarget's, just unrolled across the batch so
+// the Set lookups and float math run without closure dispatch per address.
+func (s *Scanner) filterBatch(addrs []uint32, pos []uint64, st *Stats, k *sweepKernel) int {
+	allow, block := s.cfg.Allowlist, s.cfg.Blocklist
+	space, dur := float64(s.perm.Space()), float64(s.cfg.ScanDuration)
+	kept := 0
+	for i, a := range addrs {
+		dst := ip.Addr(a)
+		if allow != nil && !allow.Contains(dst) {
+			st.Blocked++
+			continue
+		}
+		if block != nil && block.Contains(dst) {
+			st.Blocked++
+			continue
+		}
+		st.Targets++
+		k.dsts[kept] = dst
+		k.times[kept] = time.Duration(float64(pos[i]) / space * dur)
+		kept++
+	}
+	return kept
+}
+
+// routedBatch fills k.routed for the first kept destinations from whatever
+// routability the sink offers: the batch interface when available, the
+// per-address one otherwise, all-routed when the sink has neither.
+func routedBatch(brt BatchRoutability, rt Routability, k *sweepKernel, kept int) {
+	switch {
+	case brt != nil:
+		brt.RoutedBatch(k.dsts[:kept], k.routed[:kept])
+	case rt != nil:
+		for i := 0; i < kept; i++ {
+			k.routed[i] = rt.Routed(k.dsts[i])
+		}
+	default:
+		for i := 0; i < kept; i++ {
+			k.routed[i] = true
+		}
+	}
+}
+
+// sweep walks this scanner's whole shard through the batched kernel,
+// invoking emit once per batch with the compacted targets and probe times.
+// The permutation walk, context check, and telemetry flush all amortize to
+// once per sweepBatch addresses; a canceled sweep returns
+// pipeline.ErrCanceled with the walk stopped at a batch boundary — the same
+// boundaries the old per-address loop checked at, so cancellation is
+// observably identical.
+func (s *Scanner) sweep(ctx context.Context, st *Stats, fl *statsFlusher, k *sweepKernel, emit func(dsts []ip.Addr, times []time.Duration)) error {
 	it := s.perm.Iterate()
 	var position uint64
 	for {
-		if position%sweepBatch == 0 {
-			if err := ctx.Err(); err != nil {
-				fl.flush(st)
-				return pipeline.Canceled(err)
-			}
+		if err := ctx.Err(); err != nil {
 			fl.flush(st)
+			return pipeline.Canceled(err)
 		}
-		a, ok := it.Next()
-		if !ok {
+		fl.flush(st)
+		n := it.NextBatch(k.addrs[:])
+		if n == 0 {
 			fl.flush(st)
 			return nil
 		}
-		position++
-		s.emitTarget(a, position, st, emit)
+		for i := 0; i < n; i++ {
+			k.pos[i] = position + uint64(i) + 1
+		}
+		position += uint64(n)
+		if kept := s.filterBatch(k.addrs[:n], k.pos[:n], st, k); kept > 0 {
+			emit(k.dsts[:kept], k.times[:kept])
+		}
+		if n < sweepBatch {
+			// Partial batch: the walk is exhausted. The per-address loop
+			// only re-checked ctx at exact sweepBatch boundaries, so finish
+			// without another check to keep cancellation bit-identical.
+			fl.flush(st)
+			return nil
+		}
 	}
 }
 
@@ -268,21 +356,21 @@ func (s *Scanner) sweep(ctx context.Context, st *Stats, fl *statsFlusher, emit f
 // detection points before scans of the same seed run concurrently.
 func (s *Scanner) Targets(ctx context.Context, fn func(dst ip.Addr, t time.Duration)) error {
 	var st Stats
-	return s.sweep(ctx, &st, nil, fn)
+	k := new(sweepKernel)
+	return s.sweep(ctx, &st, nil, k, func(dsts []ip.Addr, times []time.Duration) {
+		for i := range dsts {
+			fn(dsts[i], times[i])
+		}
+	})
 }
 
 // probeTarget sends the configured probes for one target, validates the
 // responses, and reports the target's reply. synBuf is reused across calls
-// to keep the per-probe hot path allocation-free. rt, when non-nil, is the
-// sink's routed-space knowledge: probes into unannounced space are counted
-// as sent-and-lost without paying for the encode/decode round trip, which
-// is exactly what sending them would have produced.
-func (s *Scanner) probeTarget(sink PacketSink, rt Routability, dst ip.Addr, t time.Duration, st *Stats, synBuf *[]byte) (Reply, bool) {
+// to keep the per-probe hot path allocation-free. Routedness is evaluated
+// per batch before this runs; callers count unrouted targets as
+// sent-and-lost without calling it.
+func (s *Scanner) probeTarget(sink PacketSink, dst ip.Addr, t time.Duration, st *Stats, synBuf *[]byte) (Reply, bool) {
 	reply := Reply{Dst: dst, T: t}
-	if rt != nil && !rt.Routed(dst) {
-		st.ProbesSent += uint64(s.cfg.Probes)
-		return reply, false
-	}
 	src := s.srcFor(dst)
 	for probe := 0; probe < s.cfg.Probes; probe++ {
 		srcPort := s.cfg.SourcePortBase + uint16(probe)
@@ -326,9 +414,22 @@ func (s *Scanner) Run(ctx context.Context, sink PacketSink, handler func(Reply))
 		fl = &statsFlusher{m: s.cfg.Telemetry}
 	}
 	rt, _ := sink.(Routability)
-	err := s.sweep(ctx, &st, fl, func(dst ip.Addr, t time.Duration) {
-		if r, ok := s.probeTarget(sink, rt, dst, t, &st, &synBuf); ok {
-			handler(r)
+	brt, _ := sink.(BatchRoutability)
+	k := new(sweepKernel)
+	probes := uint64(s.cfg.Probes)
+	err := s.sweep(ctx, &st, fl, k, func(dsts []ip.Addr, times []time.Duration) {
+		routedBatch(brt, rt, k, len(dsts))
+		for i := range dsts {
+			if !k.routed[i] {
+				// Unrouted space: count the probes as sent and lost
+				// without the encode/Send round trip — exactly what
+				// sending them would have produced.
+				st.ProbesSent += probes
+				continue
+			}
+			if r, ok := s.probeTarget(sink, dsts[i], times[i], &st, &synBuf); ok {
+				handler(r)
+			}
 		}
 	})
 	return st, err
@@ -366,6 +467,8 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 	outs := make([]shardOut, n)
 	hint := s.cfg.ExpectedReplies/n + 64
 	rt, _ := sink.(Routability)
+	brt, _ := sink.(BatchRoutability)
+	probes := uint64(s.cfg.Probes)
 	var wg sync.WaitGroup
 	for j := range subs {
 		wg.Add(1)
@@ -381,31 +484,47 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 				fl = &statsFlusher{m: s.cfg.Telemetry}
 				defer func() { fl.flush(&o.st) }()
 			}
-			emit := func(dst ip.Addr, t time.Duration) {
-				if r, ok := s.probeTarget(sink, rt, dst, t, &o.st, &synBuf); ok {
-					o.replies = append(o.replies, r)
-				}
-			}
+			k := new(sweepKernel)
 			it := subs[j].Iterate()
-			var walked uint64
+			// Parent walk indices increase strictly within a sub-shard, so
+			// a linear cursor into the sorted skip table replaces the
+			// per-address binary search of skipsBefore.
+			skipCur := uint64(0)
 			for {
-				if walked%sweepBatch == 0 {
-					if ctx.Err() != nil {
-						return
-					}
-					fl.flush(&o.st)
-				}
-				walked++
-				a, elem, ok := it.NextIndexed()
-				if !ok {
+				if ctx.Err() != nil {
 					return
 				}
-				// The element's index in the parent (unsplit) walk, and
-				// from it the serial scan position: elements before it
-				// minus those the serial walk would have skipped.
-				parent := uint64(j) + uint64(n)*elem
-				position := parent + 1 - skipsBefore(skips, parent)
-				s.emitTarget(a, position, &o.st, emit)
+				fl.flush(&o.st)
+				bn := it.NextIndexedBatch(k.addrs[:], k.elems[:])
+				if bn == 0 {
+					return
+				}
+				for i := 0; i < bn; i++ {
+					// The element's index in the parent (unsplit) walk, and
+					// from it the serial scan position: elements before it
+					// minus those the serial walk would have skipped.
+					parent := uint64(j) + uint64(n)*k.elems[i]
+					for skipCur < uint64(len(skips)) && skips[skipCur] < parent {
+						skipCur++
+					}
+					k.pos[i] = parent + 1 - skipCur
+				}
+				kept := s.filterBatch(k.addrs[:bn], k.pos[:bn], &o.st, k)
+				routedBatch(brt, rt, k, kept)
+				for i := 0; i < kept; i++ {
+					if !k.routed[i] {
+						o.st.ProbesSent += probes
+						continue
+					}
+					if r, ok := s.probeTarget(sink, k.dsts[i], k.times[i], &o.st, &synBuf); ok {
+						o.replies = append(o.replies, r)
+					}
+				}
+				if bn < sweepBatch {
+					// Partial batch: walk exhausted; match the per-address
+					// loop, which only re-checked ctx at exact boundaries.
+					return
+				}
 			}
 		}(j)
 	}

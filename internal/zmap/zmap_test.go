@@ -3,7 +3,6 @@ package zmap
 import (
 	"context"
 	"errors"
-	"math/bits"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -103,6 +102,129 @@ func TestPermutationDeterministicAndSeedSensitive(t *testing.T) {
 	}
 }
 
+// TestPermutationNextBatchMatchesNext pins the batched walk to the serial
+// one: for every shard of several shard counts, NextBatch (at an awkward
+// batch size that never divides the shard length evenly) and
+// NextIndexedBatch must emit byte-for-byte the sequence repeated
+// Next/NextIndexed calls produce, including the final partial batch, and
+// the element indices must agree with SkipIndices position recovery.
+func TestPermutationNextBatchMatchesNext(t *testing.T) {
+	key := rng.NewKey(11)
+	for _, shards := range []int{1, 3, 7} {
+		for shard := 0; shard < shards; shard++ {
+			pm, err := NewPermutation(key, 10, shard, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantAddrs []uint32
+			var wantElems []uint64
+			it := pm.Iterate()
+			for {
+				a, e, ok := it.NextIndexed()
+				if !ok {
+					break
+				}
+				wantAddrs = append(wantAddrs, a)
+				wantElems = append(wantElems, e)
+			}
+
+			const batch = 37 // awkward size: forces a partial final batch
+			var gotAddrs []uint32
+			buf := make([]uint32, batch)
+			it = pm.Iterate()
+			for {
+				n := it.NextBatch(buf)
+				if n == 0 {
+					break
+				}
+				gotAddrs = append(gotAddrs, buf[:n]...)
+			}
+			if len(gotAddrs) != len(wantAddrs) {
+				t.Fatalf("shard %d/%d: NextBatch emitted %d addrs, Next emitted %d",
+					shard, shards, len(gotAddrs), len(wantAddrs))
+			}
+			for i := range gotAddrs {
+				if gotAddrs[i] != wantAddrs[i] {
+					t.Fatalf("shard %d/%d: NextBatch addr[%d] = %d, Next = %d",
+						shard, shards, i, gotAddrs[i], wantAddrs[i])
+				}
+			}
+
+			var gotAddrs2 []uint32
+			var gotElems []uint64
+			elems := make([]uint64, batch)
+			it = pm.Iterate()
+			for {
+				n := it.NextIndexedBatch(buf, elems)
+				if n == 0 {
+					break
+				}
+				gotAddrs2 = append(gotAddrs2, buf[:n]...)
+				gotElems = append(gotElems, elems[:n]...)
+			}
+			if len(gotElems) != len(wantElems) {
+				t.Fatalf("shard %d/%d: NextIndexedBatch emitted %d, want %d",
+					shard, shards, len(gotElems), len(wantElems))
+			}
+			skips := pm.SkipIndices()
+			for i := range gotElems {
+				if gotAddrs2[i] != wantAddrs[i] || gotElems[i] != wantElems[i] {
+					t.Fatalf("shard %d/%d: NextIndexedBatch[%d] = (%d, %d), want (%d, %d)",
+						shard, shards, i, gotAddrs2[i], gotElems[i], wantAddrs[i], wantElems[i])
+				}
+				// Position recovery: the in-space ordinal of this element is
+				// its walk index minus the skips before it — for a full walk
+				// that ordinal is exactly i.
+				if shards == 1 {
+					pos := gotElems[i] - skipsBefore(skips, gotElems[i])
+					if pos != uint64(i) {
+						t.Fatalf("elem %d: recovered position %d, want %d", gotElems[i], pos, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPermutationBatchResumable checks a batch walk interrupted and resumed
+// with differently-sized buffers still matches the serial sequence: the
+// iterator state the batch persists must be exact, not merely
+// batch-boundary-aligned.
+func TestPermutationBatchResumable(t *testing.T) {
+	pm, err := NewPermutation(rng.NewKey(5), 9, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	it := pm.Iterate()
+	for {
+		a, ok := it.Next()
+		if !ok {
+			break
+		}
+		want = append(want, a)
+	}
+	var got []uint32
+	it = pm.Iterate()
+	sizes := []int{1, 5, 64, 2, 511, 3}
+	for i := 0; ; i++ {
+		buf := make([]uint32, sizes[i%len(sizes)])
+		n := it.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed batches emitted %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("addr[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
 func TestPermutationOrderIsScattered(t *testing.T) {
 	// The order must not be sequential: adjacent emissions should rarely
 	// be adjacent addresses (that is the whole point of the group walk).
@@ -176,11 +298,55 @@ func TestMathHelpers(t *testing.T) {
 	}
 }
 
-// mulmodNaive is an independent reference using math/bits 128-bit ops.
+// mulmodNaive is an independent reference: schoolbook 32-bit-limb multiply
+// plus bit-by-bit long division, sharing no code path with the production
+// bits.Mul64/bits.Div64/Shoup implementations it checks.
 func mulmodNaive(a, b, m uint64) uint64 {
-	hi, lo := bits.Mul64(a, b)
-	_, rem := bits.Div64(hi%m, lo, m)
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo := t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	hi := t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi += t >> 32
+	hi += aHi * bHi
+	rem := uint64(0)
+	for i := 127; i >= 0; i-- {
+		rem <<= 1
+		var bit uint64
+		if i >= 64 {
+			bit = (hi >> uint(i-64)) & 1
+		} else {
+			bit = (lo >> uint(i)) & 1
+		}
+		rem |= bit
+		if rem >= m {
+			rem -= m
+		}
+	}
 	return rem
+}
+
+// TestMulmodShoup checks the division-free fixed-multiplier path against
+// the naive reference across moduli bracketing the SpaceBits=32 prime.
+func TestMulmodShoup(t *testing.T) {
+	moduli := []uint64{3, 17, 1000003, 1<<32 + 15, 1<<62 - 57}
+	str := rng.NewKey(7).Derive("shouptest").Stream(0)
+	for _, m := range moduli {
+		for i := 0; i < 200; i++ {
+			a := str.Uint64n(m)
+			b := str.Uint64n(m)
+			got := mulmodShoup(a, b, shoupFactor(b, m), m)
+			if want := mulmodNaive(a, b, m); got != want {
+				t.Fatalf("mulmodShoup(%d, %d, %d) = %d, want %d", a, b, m, got, want)
+			}
+		}
+	}
 }
 
 // fakeSink answers SYNs for a configured set of live hosts, optionally
