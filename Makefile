@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-telemetry bench-sweep bench-fullspace bench-parallel
+.PHONY: all ci vet build test race bench bench-telemetry bench-sweep bench-fullspace bench-parallel bench-scale1
 
 all: ci
 
@@ -67,6 +67,19 @@ bench-fullspace:
 	        -command "go test -run xxx -bench 'BenchmarkStudySerial' -benchtime 3x -benchmem . && go test -run xxx -bench BenchmarkFullSpaceSweep -benchtime 1x -benchmem -timeout 60m ." \
 	        -note "Before = per-address permutation walk (128-bit modmul per step, per-address ctx/telemetry checks) on the pre-batching tree; after = 4096-address batched kernel (Shoup fixed-multiplier modmul, batched FIB routed evaluation, per-batch ctx/flush) with the sparse FIB directory. BenchmarkFullSpaceSweep runs one end-to-end sweep of a forced 2^24 / 2^32 space over a streaming-build world; fib-MiB is the sparse FIB's measured footprint (budget: <= 2 GiB at space32). Batched output is bit-identical to the serial reference (golden dataset, batched-vs-serial differentials incl. sharded and mid-cancel). Single-core container; compare ratios, not absolutes." \
 	        -out BENCH_fullspace.json
+
+# Scale-0.1 study under the spill-to-disk result store: one US1/HTTP scan
+# over a ~5.8M-host world with the result budget fixed at 128 MiB. The
+# benchmark fails if the scan never spills or if the process peak RSS
+# (recorded as peak-rss-MiB) exceeds 2 GiB, so BENCH_scale1.json is the
+# proof the budget held — the unspilled store peaks around 2.5 GiB at this
+# scale. One run is the measurement (-benchtime 1x, a few minutes).
+bench-scale1:
+	$(GO) test -run xxx -bench BenchmarkScale1Study -benchtime 1x -benchmem -timeout 30m . | \
+	    $(GO) run ./cmd/benchjson \
+	        -command "go test -run xxx -bench BenchmarkScale1Study -benchtime 1x -benchmem -timeout 30m ." \
+	        -note "Scale=0.1 study (US1/HTTP/1 trial, ~5.8M-host streaming world) through the full experiment path with the spill store under a fixed 128 MiB result budget. peak-rss-MiB is the process VmHWM high-water mark (must stay under the 2 GiB ceiling; the in-memory store peaks ~2.5 GiB here); spill-segments/spilled-MiB/merge-* are the spill store's own counters. Sealed bytes are identical to the in-memory path (differential tests pin this). Single-core container." \
+	        -out BENCH_scale1.json
 
 # Parallel-engine scaling capture for BENCH_parallel.json. Meaningful only on
 # a multi-core runner (the CI bench job uses one); machine.cores in the JSON

@@ -1,0 +1,83 @@
+// Scale-0.1 study benchmark: one US1/HTTP scan over a ~5.8M-host world
+// (1/10 of the paper's Internet) driven through the full experiment path
+// with the spill-to-disk result store under a fixed 128 MiB result budget.
+// The measurement is as much about memory as time: the run records the
+// process peak RSS (VmHWM) alongside the spill counters, so
+// BENCH_scale1.json proves the budget actually held — the in-memory store
+// at this scale peaks around 2.5 GiB; the spilled run must stay far below.
+//
+// Run via `make bench-scale1`; results land in BENCH_scale1.json.
+package scanorigin
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+	"repro/internal/telemetry"
+	"repro/internal/world"
+)
+
+// scale1Budget is the fixed whole-study result-memory budget the benchmark
+// runs under; scale1RSSCeil is the process-wide peak-RSS bound the run must
+// hold (world + scenario + replies + the budgeted store — well under the
+// ≈2.5 GiB the unspilled store peaks at).
+const (
+	scale1Budget  = 128 << 20
+	scale1RSSCeil = 2 << 30
+)
+
+func BenchmarkScale1Study(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.Config{
+			WorldSpec: world.Spec{Seed: 2020, Scale: 0.1, StreamHosts: true},
+			Trials:    1,
+			Origins:   origin.Set{origin.US1},
+			Protocols: []proto.Protocol{proto.HTTP},
+			SpillDir:  b.TempDir(),
+			MemBudget: scale1Budget,
+		}
+		st, err := experiment.NewStudy(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds, err := st.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportScale1(b, ds)
+	}
+}
+
+// reportScale1 validates the run and attaches the memory-proof metrics to
+// the benchmark line (captured into BENCH_scale1.json by cmd/benchjson).
+func reportScale1(b *testing.B, ds *results.Dataset) {
+	b.Helper()
+	res := ds.Scan(origin.US1, proto.HTTP, 0)
+	if res == nil {
+		b.Fatal("study produced no US1/HTTP scan")
+	}
+	rows, _ := res.SealStats()
+	if rows == 0 {
+		b.Fatal("sealed scan is empty")
+	}
+	st := res.SpillStats()
+	if st.Segments == 0 {
+		b.Fatalf("scan never spilled under the %d-byte budget: the benchmark is not measuring the spill path", int64(scale1Budget))
+	}
+	b.ReportMetric(float64(rows), "rows")
+	b.ReportMetric(float64(st.Segments), "spill-segments")
+	b.ReportMetric(float64(st.SpilledBytes)/(1<<20), "spilled-MiB")
+	b.ReportMetric(float64(st.MergeFanIn), "merge-fanin")
+	b.ReportMetric(st.MergeDuration.Seconds(), "merge-seconds")
+	if rss, ok := telemetry.PeakRSSBytes(); ok {
+		b.ReportMetric(float64(rss)/(1<<20), "peak-rss-MiB")
+		if rss > scale1RSSCeil {
+			b.Fatalf("peak RSS %d MiB exceeds the %d MiB ceiling: the budget did not hold",
+				rss>>20, int64(scale1RSSCeil)>>20)
+		}
+	}
+}

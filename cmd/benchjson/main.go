@@ -36,11 +36,15 @@ type machine struct {
 }
 
 // metrics is one benchmark line's measurements. Bytes/allocs are pointers
-// so runs without -benchmem omit them rather than recording zeros.
+// so runs without -benchmem omit them rather than recording zeros. Extra
+// holds any b.ReportMetric columns (unit → value), e.g. the scale
+// benchmark's peak-rss-MiB — that is how a BENCH file proves a memory
+// budget held, not just how fast the run was.
 type metrics struct {
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // diff pairs a benchmark's current measurement with the prior run it is
@@ -178,6 +182,19 @@ func parseBench(r io.Reader, tee bool) (map[string]metrics, error) {
 			case "allocs/op":
 				av := v
 				m.AllocsPerOp = &av
+			default:
+				// Custom b.ReportMetric columns ("5280527 rows", "412
+				// peak-rss-MiB"). A unit token is any field that follows a
+				// number without being one itself — the iteration count at
+				// fields[1] never matches because the field after it is the
+				// ns/op value, which parses as a number.
+				if _, err := strconv.ParseFloat(f, 64); err == nil {
+					continue
+				}
+				if m.Extra == nil {
+					m.Extra = map[string]float64{}
+				}
+				m.Extra[f] = v
 			}
 		}
 		if !found {

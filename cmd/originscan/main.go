@@ -8,10 +8,17 @@
 //
 //	originscan [-seed N] [-scale F] [-trials N] [-dataset out.json]
 //	           [-parallelism N] [-scan-shards N] [-skip-followup]
+//	           [-spill-dir DIR] [-mem-budget SIZE]
 //	           [-telemetry-addr host:port] [-quiet]
 //
 // The default scale (0.001) generates ≈58k HTTP hosts, mirroring the
 // paper's 58M at 1/1000; a full run takes a few minutes on one core.
+//
+// At -scale 0.1 and above the in-memory result columns dominate the
+// process footprint; -spill-dir routes each scan's records through the
+// spill-to-disk store, and -mem-budget caps the study's live result
+// memory (accepts 64MiB/2GiB-style suffixes, split across concurrent
+// scans). Sealed datasets are byte-identical with or without spilling.
 //
 // While scans run, a single-line progress report (scans done/total, probe
 // rate, ETA) refreshes on stderr every 2 seconds; -quiet suppresses it for
@@ -33,6 +40,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,6 +74,8 @@ func main() {
 		blocklist    = flag.String("blocklist", "", "ZMap-style blocklist file applied to every scan")
 		parallelism  = flag.Int("parallelism", 0, "concurrent (origin, protocol, trial) scans (0 = serial)")
 		scanShards   = flag.Int("scan-shards", 0, "goroutine shards per ZMap sweep (0 = unsharded)")
+		spillDir     = flag.String("spill-dir", "", "spill scan results to segment files in this directory")
+		memBudget    = flag.String("mem-budget", "", "live result memory cap, e.g. 256MiB or 2GiB (requires -spill-dir)")
 		telemAddr    = flag.String("telemetry-addr", "", "serve live metrics, pprof, and expvar on this address")
 		quiet        = flag.Bool("quiet", false, "suppress the periodic stderr progress line")
 	)
@@ -98,7 +109,23 @@ func main() {
 		IncludeCarinet: *carinet,
 		Parallelism:    *parallelism,
 		ScanShards:     *scanShards,
+		SpillDir:       *spillDir,
 		Telemetry:      reg,
+	}
+	if *memBudget != "" {
+		if *spillDir == "" {
+			fatalf("-mem-budget requires -spill-dir")
+		}
+		b, err := parseByteSize(*memBudget)
+		if err != nil {
+			fatalf("parsing -mem-budget: %v", err)
+		}
+		cfg.MemBudget = b
+	}
+	if *spillDir != "" {
+		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
+			fatalf("creating spill dir: %v", err)
+		}
 	}
 	if *blocklist != "" {
 		f, err := os.Open(*blocklist)
@@ -286,6 +313,41 @@ func writeCSVs(ctx context.Context, dir string, study *core.Study) error {
 		}
 	}
 	return nil
+}
+
+// parseByteSize parses a human byte size: a plain integer is bytes, and
+// the binary suffixes KiB/MiB/GiB (plus bare K/M/G and KB/MB/GB, all
+// treated as powers of two — scan tooling convention) scale it.
+func parseByteSize(s string) (int64, error) {
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	shift := 0
+	// Longest suffixes first so "MIB" wins over "B".
+	for _, suf := range []struct {
+		text  string
+		shift int
+	}{
+		{"KIB", 10}, {"MIB", 20}, {"GIB", 30},
+		{"KB", 10}, {"MB", 20}, {"GB", 30},
+		{"K", 10}, {"M", 20}, {"G", 30}, {"B", 0},
+	} {
+		if strings.HasSuffix(upper, suf.text) && len(upper) > len(suf.text) {
+			upper = strings.TrimSpace(strings.TrimSuffix(upper, suf.text))
+			shift = suf.shift
+			break
+		}
+	}
+	n, err := strconv.ParseInt(upper, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	v := n << shift
+	if shift > 0 && v>>shift != n {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return v, nil
 }
 
 func fatalf(format string, args ...any) {

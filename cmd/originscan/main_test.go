@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"123", 123, true},
+		{"64B", 64, true},
+		{"1K", 1 << 10, true},
+		{"1KB", 1 << 10, true},
+		{"1KiB", 1 << 10, true},
+		{"256MiB", 256 << 20, true},
+		{"256mib", 256 << 20, true},
+		{" 2 GiB ", 2 << 30, true},
+		{"2G", 2 << 30, true},
+		{"", 0, false},
+		{"MiB", 0, false},
+		{"-1MiB", 0, false},
+		{"1.5GiB", 0, false},
+		{"9999999999G", 0, false}, // overflows int64
+	}
+	for _, tc := range cases {
+		got, err := parseByteSize(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseByteSize(%q): err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseByteSize(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

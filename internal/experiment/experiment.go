@@ -87,9 +87,29 @@ type Config struct {
 	// shards (0 or 1 = unsharded). Deterministic: shard results merge
 	// back into the serial emission order.
 	ScanShards int
+	// SpillDir, when set, backs every scan's result store with the
+	// spill-to-disk strategy: records buffer up to a per-scan budget,
+	// overflow flushes to sorted segment files under this directory, and
+	// Seal externally merges them. Sealed datasets are byte-identical to
+	// an in-memory run; only the memory profile changes. The directory
+	// must exist.
+	SpillDir string
+	// MemBudget caps the study's total live result-store memory in
+	// bytes, split evenly across the scans that can be in flight at once
+	// (Parallelism): each scan's store spills once its share is
+	// exceeded. <= 0 with SpillDir set leaves every store on
+	// results.DefaultSpillBudget. Ignored without SpillDir.
+	MemBudget int64
 	// ScenarioConfig tweaks behaviour models (ablations).
 	ScenarioConfig scenario.Config
 }
+
+// grabWindow is the windowed grab hand-off's batch size: workers claim
+// indices inside one window, and each completed window appends through the
+// ResultSink in reply order. Matches the sweep kernel's 4096-address batch
+// — small enough that the in-flight record buffer is negligible, large
+// enough that the per-window barrier is amortized away.
+const grabWindow = 4096
 
 func (c *Config) withDefaults() Config {
 	out := *c
@@ -345,6 +365,28 @@ func scanLabels(o origin.ID, p proto.Protocol, trial int) []telemetry.Label {
 	}
 }
 
+// newScanResult builds the result store for one scan: the in-memory
+// columns by default, or a spill-backed store when cfg.SpillDir is set.
+// The study-wide MemBudget is split across the scans that can run
+// concurrently, so the study's total live column memory stays bounded
+// regardless of parallelism; the store clamps the capacity hint by its
+// share.
+func (st *Study) newScanResult(o origin.ID, p proto.Protocol, trial, hint int) (*results.ScanResult, error) {
+	cfg := st.Config
+	if cfg.SpillDir == "" {
+		return results.NewScanResultSized(o, p, trial, hint), nil
+	}
+	spill := results.SpillConfig{Dir: cfg.SpillDir}
+	if cfg.MemBudget > 0 {
+		par := cfg.Parallelism
+		if par <= 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		spill.Budget = cfg.MemBudget / int64(par)
+	}
+	return results.NewSpilledScanResult(o, p, trial, hint, spill)
+}
+
 // originRecord resolves the origin, applying the follow-up Censys IP swap.
 func (st *Study) originRecord(o origin.ID) *origin.Origin {
 	org := st.World.Origins.Get(o)
@@ -385,6 +427,10 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 	sweepM := telemetry.NewSweepMetrics(cfg.Telemetry, labels...)
 	grabM := telemetry.NewGrabMetrics(cfg.Telemetry, labels...)
 	sealM := telemetry.NewSealMetrics(cfg.Telemetry, labels...)
+	var spillM *telemetry.SpillMetrics
+	if cfg.SpillDir != "" {
+		spillM = telemetry.NewSpillMetrics(cfg.Telemetry, labels...)
+	}
 	fab := fabric.New(&fabric.Config{
 		World:      st.World,
 		Engine:     st.Scenario.Engine,
@@ -439,7 +485,6 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 	// State threaded between stages.
 	replies := make([]zmap.Reply, 0, numHosts)
 	var stats zmap.Stats
-	var recs []results.HostRecord
 	var res *results.ScanResult
 
 	runner := pipeline.Runner{Hooks: telemetry.ScanHooks(cfg.Telemetry, cfg.Hooks, labels...)}
@@ -452,13 +497,24 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 			return err
 		}},
 		pipeline.StageFunc{Stage: pipeline.StageGrab, Run: func(ctx context.Context) error {
-			// Batched grab hand-off: workers claim reply indices and
-			// write records into matching slots — no channel per record,
-			// and the final AddBatch runs in reply order so the columns
-			// build deterministically. Workers re-check ctx per claim
-			// (a pure read: uncancelled runs are unaffected), so a
-			// canceled grab stops within one claim per worker.
-			recs = make([]results.HostRecord, len(replies))
+			// Windowed grab hand-off through the ResultSink: workers
+			// claim reply indices inside a bounded window, writing
+			// records into matching slots — no channel per record — and
+			// each window barrier appends its records through the sink
+			// in reply order, so the columns build deterministically
+			// (identical to the old whole-scan record buffer). Handing
+			// records over per window instead of buffering the entire
+			// scan is what lets a spill-backed store bound memory: the
+			// sink may flush sorted runs to disk mid-scan. Workers
+			// re-check ctx per claim (a pure read: uncancelled runs are
+			// unaffected), so a canceled grab stops within one claim per
+			// worker, and a partially grabbed window is never appended.
+			var err error
+			res, err = st.newScanResult(o, p, trial, len(replies))
+			if err != nil {
+				return err
+			}
+			var sink results.ResultSink = res
 			grabber := &zgrab.Grabber{
 				Dialer:    dialer,
 				Retries:   cfg.Retries,
@@ -466,62 +522,93 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 				IOTimeout: 10 * time.Second,
 				Metrics:   grabM,
 			}
-			workers := cfg.GrabWorkers
-			if workers > len(replies) {
-				workers = len(replies)
+			size := grabWindow
+			if size > len(replies) {
+				size = len(replies)
 			}
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for ctx.Err() == nil {
-						i := int(next.Add(1)) - 1
-						if i >= len(replies) {
-							return
+			window := make([]results.HostRecord, size)
+			for base := 0; base < len(replies); base += size {
+				n := len(replies) - base
+				if n > size {
+					n = size
+				}
+				win := window[:n]
+				workers := cfg.GrabWorkers
+				if workers > n {
+					workers = n
+				}
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for ctx.Err() == nil {
+							i := int(next.Add(1)) - 1
+							if i >= n {
+								return
+							}
+							r := replies[base+i]
+							rec := results.HostRecord{
+								Addr: r.Dst, ProbeMask: r.ProbeMask, RST: r.RST, T: r.T,
+							}
+							if r.ProbeMask != 0 {
+								g := grabber.Grab(ctx, p, r.Dst, r.T)
+								rec.L7 = g.Success
+								rec.Fail = g.Fail
+								rec.Attempts = g.Attempts
+								rec.Banner = g.Banner
+							}
+							win[i] = rec
 						}
-						r := replies[i]
-						rec := results.HostRecord{
-							Addr: r.Dst, ProbeMask: r.ProbeMask, RST: r.RST, T: r.T,
-						}
-						if r.ProbeMask != 0 {
-							g := grabber.Grab(ctx, p, r.Dst, r.T)
-							rec.L7 = g.Success
-							rec.Fail = g.Fail
-							rec.Attempts = g.Attempts
-							rec.Banner = g.Banner
-						}
-						recs[i] = rec
-					}
-				}()
+					}()
+				}
+				wg.Wait()
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				sink.AddBatch(win)
 			}
-			wg.Wait()
 			return ctx.Err()
 		}},
 		pipeline.StageFunc{Stage: pipeline.StageSeal, Run: func(ctx context.Context) error {
-			// Records append in deterministic (T, Dst) reply order; Seal
-			// re-sorts the columns by address once, here at commit, so
-			// the stored scan is an immutable sorted view before any
+			// Records appended in deterministic (T, Dst) reply order;
+			// Seal commits the sorted columns — one in-memory sort for
+			// the fast path, or the keep-last external merge of on-disk
+			// segments plus the live run for a spill-backed store (the
+			// segments are deleted as the merge consumes them). Either
+			// way the stored scan is an immutable sorted view before any
 			// analysis touches it. The fabric drain guarantees every
 			// per-connection goroutine exited before the scan commits.
-			res = results.NewScanResultSized(o, p, trial, len(replies))
 			res.Targets = stats.Targets
 			res.ProbesSent = stats.ProbesSent
 			res.SynAcks = stats.SynAcks
 			res.Rsts = stats.Rsts
 			res.Invalid = stats.Invalid
-			res.AddBatch(recs)
-			res.Seal()
+			if err := res.SealErr(); err != nil {
+				return err
+			}
 			if sealM != nil {
 				rows, deduped := res.SealStats()
 				sealM.Rows.Add(uint64(rows))
 				sealM.Deduped.Add(uint64(deduped))
 			}
+			if spillM != nil {
+				sst := res.SpillStats()
+				spillM.Segments.Add(uint64(sst.Segments))
+				spillM.Bytes.Add(uint64(sst.SpilledBytes))
+				spillM.FanIn.Set(int64(sst.MergeFanIn))
+				spillM.Merge.ObserveDuration(sst.MergeDuration)
+			}
 			return fab.Drain(ctx)
 		}},
 	)
 	if err != nil {
+		// An interrupted or failed scan's partial store is abandoned:
+		// delete any spilled segments so a canceled study leaks no disk.
+		if res != nil {
+			_ = res.Discard()
+		}
 		return nil, err
 	}
 	return res, nil

@@ -32,8 +32,9 @@ const (
 	StageSweep
 	// StageGrab is the L7 ZGrab handshake pass over the sweep's replies.
 	StageGrab
-	// StageSeal commits the scan's columns (sort + dedup) and tears down
-	// the scan's fabric connections.
+	// StageSeal commits the scan's columns (sort + dedup; for a
+	// spill-backed store, the external merge of on-disk segments plus
+	// segment cleanup) and tears down the scan's fabric connections.
 	StageSeal
 	// StageAnalyze runs the paper's analyses over the sealed dataset.
 	StageAnalyze

@@ -81,6 +81,11 @@ type ScanResult struct {
 	banner    []string
 
 	sealed bool
+	// spill, when non-nil, backs the append path with the spill-to-disk
+	// store strategy (see spill.go): Add flushes budget-exceeding runs as
+	// sorted segment files and Seal externally merges them. nil keeps the
+	// all-in-memory fast path.
+	spill *spillState
 	// dedupDropped counts rows discarded by Seal's keep-last dedup —
 	// repeat Adds for one host. Telemetry reads it through SealStats.
 	dedupDropped int
@@ -89,13 +94,28 @@ type ScanResult struct {
 	l7Addrs ip.AddrSlice
 }
 
-// NewScanResult returns an empty result set.
+// ResultSink is the append half of a result store: the interface the grab
+// hand-off writes records through, so the experiment layer is agnostic to
+// whether the store behind it is the in-memory fast path or the
+// spill-to-disk store. Appends must arrive in deterministic order (the
+// windowed grab hand-off guarantees reply order); the store may flush to
+// disk mid-batch without changing the sealed bytes.
+type ResultSink interface {
+	Add(HostRecord)
+	AddBatch([]HostRecord)
+}
+
+// NewScanResult returns an empty in-memory result set.
 func NewScanResult(o origin.ID, p proto.Protocol, trial int) *ScanResult {
 	return NewScanResultSized(o, p, trial, 0)
 }
 
-// NewScanResultSized returns an empty result set with column storage sized
-// for n hosts, avoiding regrowth when the caller knows the reply count.
+// NewScanResultSized returns an empty in-memory result set with column
+// storage sized for n hosts, avoiding regrowth when the caller knows the
+// reply count. The hint is trusted as given here — an in-memory result has
+// no memory ceiling; NewSpilledScanResult applies the same hint but clamps
+// it by the spill budget, so callers sizing from a population estimate
+// cannot pre-allocate past the ceiling the budget promises.
 func NewScanResultSized(o origin.ID, p proto.Protocol, trial int, n int) *ScanResult {
 	s := &ScanResult{Origin: o, Proto: p, Trial: trial}
 	if n > 0 {
@@ -129,6 +149,10 @@ func (s *ScanResult) Add(r HostRecord) {
 	s.attempts = append(s.attempts, int32(r.Attempts))
 	s.t = append(s.t, r.T)
 	s.banner = append(s.banner, r.Banner)
+	if s.spill != nil {
+		s.spill.liveBytes += spillRowBytes + int64(len(r.Banner))
+		s.maybeSpill()
+	}
 }
 
 // AddBatch appends a block of records — the batched grab hand-off writes
@@ -143,7 +167,27 @@ func (s *ScanResult) AddBatch(rs []HostRecord) {
 // wins). It is idempotent; readers call it lazily, and Dataset.Put calls it
 // eagerly so stored scans are immutable, concurrency-safe views. Scan
 // results arriving already sorted (decoded datasets) seal without sorting.
+//
+// For a spill-backed result Seal runs the external merge and panics if the
+// merge itself fails (readers have no error channel); callers that can
+// handle I/O failure should prefer SealErr.
 func (s *ScanResult) Seal() {
+	if s.sealed {
+		return
+	}
+	if s.spill != nil {
+		if err := s.SealErr(); err != nil && !s.sealed {
+			panic(fmt.Sprintf("results: sealing spilled result: %v", err))
+		}
+		return
+	}
+	s.sealMem()
+}
+
+// sealMem is the in-memory seal: one stable sort + keep-last dedup over
+// the columns, then the L7 cache. The spill store's Seal ends here too,
+// after the external merge has already left the columns sorted.
+func (s *ScanResult) sealMem() {
 	if s.sealed {
 		return
 	}

@@ -1,0 +1,726 @@
+package results
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/zgrab"
+)
+
+// Spill-to-disk store strategy. A ScanResult normally keeps its columns in
+// RAM until Seal; at Scale ≥ 0.1 a single (origin, proto, trial) scan is
+// hundreds of MiB of columns, and a full study holds many such scans in
+// flight. The spill store bounds the append path instead: records buffer in
+// the ordinary columns up to a memory budget, then the buffered run is
+// stable-sorted, deduplicated keep-last, and flushed to disk as a sorted
+// binary columnar segment file. Seal becomes a k-way external merge over
+// the on-disk segments plus the live run.
+//
+// Determinism argument (why the sealed bytes are identical to the
+// in-memory path at any threshold): the in-memory Seal is a stable sort
+// followed by keep-last dedup, i.e. for every address the record of the
+// LAST Add wins. The spill store cuts the same Add sequence into
+// consecutive runs. Within a run, flush applies the same stable sort +
+// keep-last, so a run keeps its own last Add per address. Across runs, the
+// merge resolves an address appearing in several runs by keeping the
+// record from the newest run (the highest run sequence number; the live
+// run is newest of all). Newest-run-wins composed with last-within-run is
+// exactly global last-Add-wins, so the merged columns equal the in-memory
+// sealed columns row for row — and the JSON encoder is a pure function of
+// the sealed columns and the scan stats.
+//
+// Segment file layout ("sorted binary columnar segment"): an 8-byte magic
+// followed by a sequence of frames until EOF. Each frame holds up to
+// spillFrameRows records as little-endian column sections:
+//
+//	magic   "ORSEG001"
+//	frame:  u32 rows, u32 bannerBytes,
+//	        rows×u32 addr, rows×u8 probeMask, rows×u8 flags, rows×u8 fail,
+//	        rows×u32 attempts, rows×u64 t, rows×u32 bannerLen, bannerData
+//
+// Frames keep both ends streaming: the writer never seeks (a merge's row
+// count is unknown until it finishes), and a reader decodes one frame at a
+// time into small column buffers, so an open segment costs O(frame) memory
+// regardless of its size.
+
+const (
+	segMagic = "ORSEG001"
+	// spillFrameRows caps rows per segment frame: the unit of reader
+	// memory and writer buffering.
+	spillFrameRows = 4096
+	// spillMergeFanIn caps segments merged in one pass (bounds open file
+	// handles and reader buffers); more segments merge hierarchically,
+	// oldest group first, which preserves run ordering.
+	spillMergeFanIn = 64
+	// spillRowBytes estimates the in-memory cost of one buffered record
+	// (column elements plus the banner string header); the banner bytes
+	// themselves are accounted separately. Used for both the budget
+	// accounting and the capacity-hint clamp.
+	spillRowBytes = 40
+	// DefaultSpillBudget is the per-result live-run budget when
+	// SpillConfig.Budget is unset: large enough that Scale ≤ 0.001
+	// studies never spill, small enough that a Scale 0.1 scan stays
+	// bounded.
+	DefaultSpillBudget = 64 << 20
+)
+
+// SpillConfig configures a spill-backed ScanResult.
+type SpillConfig struct {
+	// Dir is the directory segment files are created under (one
+	// temporary subdirectory per result). It must exist.
+	Dir string
+	// Budget is the live-run memory budget in bytes: once the buffered
+	// columns exceed it, the run is flushed to a segment. <= 0 means
+	// DefaultSpillBudget. A tiny budget (even 1) is valid and only
+	// costs more segments — the sealed bytes do not change.
+	Budget int64
+}
+
+func (c SpillConfig) budget() int64 {
+	if c.Budget <= 0 {
+		return DefaultSpillBudget
+	}
+	return c.Budget
+}
+
+// maxRows is the capacity-hint clamp: the largest row count worth
+// pre-allocating columns for under the budget (one extra row so the
+// threshold check, which runs after the append, has room).
+func (c SpillConfig) maxRows() int {
+	n := c.budget()/spillRowBytes + 1
+	if n > int64(1)<<31 {
+		n = int64(1) << 31
+	}
+	return int(n)
+}
+
+// SpillStats reports a spill-backed result's disk and merge activity.
+type SpillStats struct {
+	// Segments is the number of segment files flushed over the result's
+	// lifetime (they are deleted again as merges consume them).
+	Segments int
+	// SpilledBytes is the total bytes written to segment files.
+	SpilledBytes int64
+	// MergeFanIn is the fan-in of the final Seal merge: on-disk segments
+	// plus the live run. 0 when the result never spilled.
+	MergeFanIn int
+	// MergePasses counts merge passes (1 unless hierarchical merging
+	// was needed because segments exceeded the fan-in cap).
+	MergePasses int
+	// MergeDuration is the wall time of the Seal merge.
+	MergeDuration time.Duration
+}
+
+// spillState is the spill store's bookkeeping hung off a ScanResult.
+type spillState struct {
+	cfg       SpillConfig
+	dir       string // per-result temp dir, created on first flush
+	liveBytes int64  // estimated bytes buffered in the live columns
+	segments  []spillSegment
+	err       error // sticky first I/O failure; disables further spilling
+	stats     SpillStats
+}
+
+// spillSegment is one on-disk sorted run. Sequence order is the slice
+// order: segments[i] is older than segments[i+1], and the live run is
+// newer than all of them.
+type spillSegment struct {
+	path string
+	rows int
+}
+
+// NewSpilledScanResult returns a result whose append path spills to disk:
+// records buffer in the columns until cfg's budget, then flush as sorted
+// segment files under cfg.Dir, and Seal externally merges them. The
+// capacity hint n is clamped by the budget (see NewScanResultSized), so a
+// mis-sized hint cannot pre-allocate past the memory ceiling. The sealed
+// result is byte-identical to an in-memory result fed the same records.
+//
+// Spill-backed results report I/O failures: prefer SealErr over Seal (which
+// panics on merge failure), and call Discard to delete segments when the
+// scan is abandoned.
+func NewSpilledScanResult(o origin.ID, p proto.Protocol, trial int, n int, cfg SpillConfig) (*ScanResult, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("results: spill dir not set")
+	}
+	if fi, err := os.Stat(cfg.Dir); err != nil {
+		return nil, fmt.Errorf("results: spill dir: %w", err)
+	} else if !fi.IsDir() {
+		return nil, fmt.Errorf("results: spill dir %s is not a directory", cfg.Dir)
+	}
+	if max := cfg.maxRows(); n > max {
+		n = max
+	}
+	s := NewScanResultSized(o, p, trial, n)
+	s.spill = &spillState{cfg: cfg}
+	return s, nil
+}
+
+// SpillStats returns the result's spill activity. Zero for in-memory
+// results.
+func (s *ScanResult) SpillStats() SpillStats {
+	if s.spill == nil {
+		return SpillStats{}
+	}
+	return s.spill.stats
+}
+
+// SealErr is Seal with an error return: it merges any on-disk segments
+// with the live run, deletes the segments, and seals the columns. For a
+// spill-backed result this is the preferred form — Seal panics where
+// SealErr reports. A sticky I/O failure from an earlier flush is returned
+// here even though the columns themselves seal correctly (the failed run
+// stayed buffered in RAM), so operators learn the spill device broke.
+func (s *ScanResult) SealErr() error {
+	if s.spill == nil {
+		s.sealMem()
+		return nil
+	}
+	if !s.sealed {
+		if len(s.spill.segments) > 0 {
+			if err := s.mergeSpilled(); err != nil {
+				return err
+			}
+		}
+		s.sealMem()
+		// Estimate what the sealed columns occupy so a later Add →
+		// flush cycle accounts for re-spilling them as one run.
+		s.spill.liveBytes = s.liveColumnBytes()
+		s.spill.cleanupDir()
+	}
+	return s.spill.err
+}
+
+// Discard deletes the result's on-disk segments without sealing. The
+// result remains usable (the live columns are untouched), but spilled
+// records are gone; use it only when abandoning the scan.
+func (s *ScanResult) Discard() error {
+	if s.spill == nil {
+		return nil
+	}
+	s.spill.segments = nil
+	if s.spill.dir == "" {
+		return nil
+	}
+	err := os.RemoveAll(s.spill.dir)
+	s.spill.dir = ""
+	return err
+}
+
+func (sp *spillState) cleanupDir() {
+	for _, seg := range sp.segments {
+		os.Remove(seg.path)
+	}
+	sp.segments = nil
+	if sp.dir != "" {
+		os.Remove(sp.dir) // best-effort: empty after segment removal
+		sp.dir = ""
+	}
+}
+
+// liveColumnBytes estimates the memory the current columns occupy, in the
+// same units the Add-path accounting uses.
+func (s *ScanResult) liveColumnBytes() int64 {
+	b := int64(len(s.addrs)) * spillRowBytes
+	for _, banner := range s.banner {
+		b += int64(len(banner))
+	}
+	return b
+}
+
+// maybeSpill flushes the live run once the budget is exceeded. Called
+// from Add; a no-op for in-memory results (s.spill == nil is checked by
+// the caller).
+func (s *ScanResult) maybeSpill() {
+	sp := s.spill
+	if sp.err != nil || sp.liveBytes < sp.cfg.budget() || len(s.addrs) == 0 {
+		return
+	}
+	if err := s.flushRun(); err != nil {
+		// Sticky degradation: stop spilling, keep buffering in RAM so no
+		// record is lost, and surface the failure at SealErr.
+		sp.err = err
+	}
+}
+
+// flushRun sorts + dedups the live columns (the same stable keep-last the
+// in-memory Seal applies) and writes them as a new segment, then resets
+// the columns for the next run.
+func (s *ScanResult) flushRun() error {
+	sp := s.spill
+	if sp.dir == "" {
+		dir, err := os.MkdirTemp(sp.cfg.Dir, fmt.Sprintf("scan-%d-%d-%d-*", uint8(s.Origin), uint8(s.Proto), s.Trial))
+		if err != nil {
+			return fmt.Errorf("results: creating spill dir: %w", err)
+		}
+		sp.dir = dir
+	}
+	if !s.addrs.IsSorted() {
+		sort.Stable((*byAddr)(s))
+		s.dedup()
+	}
+	path := filepath.Join(sp.dir, fmt.Sprintf("run-%06d.seg", sp.stats.Segments))
+	n, bytes, err := writeSegment(path, func(emit func(spillRow)) {
+		for i := range s.addrs {
+			emit(s.rowAt(i))
+		}
+	})
+	if err != nil {
+		os.Remove(path)
+		return err
+	}
+	sp.segments = append(sp.segments, spillSegment{path: path, rows: n})
+	sp.stats.Segments++
+	sp.stats.SpilledBytes += bytes
+	s.resetColumns()
+	sp.liveBytes = 0
+	return nil
+}
+
+// resetColumns empties the columns, keeping their capacity (bounded by the
+// budget clamp) for the next run.
+func (s *ScanResult) resetColumns() {
+	s.addrs = s.addrs[:0]
+	s.probeMask = s.probeMask[:0]
+	s.flags = s.flags[:0]
+	s.fail = s.fail[:0]
+	s.attempts = s.attempts[:0]
+	s.t = s.t[:0]
+	s.banner = s.banner[:0]
+}
+
+// spillRow is one record in segment-file terms: the raw column values,
+// flags already packed.
+type spillRow struct {
+	addr      ip.Addr
+	probeMask uint8
+	flags     uint8
+	fail      zgrab.FailMode
+	attempts  int32
+	t         time.Duration
+	banner    string
+}
+
+func (s *ScanResult) rowAt(i int) spillRow {
+	return spillRow{
+		addr:      s.addrs[i],
+		probeMask: s.probeMask[i],
+		flags:     s.flags[i],
+		fail:      s.fail[i],
+		attempts:  s.attempts[i],
+		t:         s.t[i],
+		banner:    s.banner[i],
+	}
+}
+
+func (s *ScanResult) appendRow(r spillRow) {
+	s.addrs = append(s.addrs, r.addr)
+	s.probeMask = append(s.probeMask, r.probeMask)
+	s.flags = append(s.flags, r.flags)
+	s.fail = append(s.fail, r.fail)
+	s.attempts = append(s.attempts, r.attempts)
+	s.t = append(s.t, r.t)
+	s.banner = append(s.banner, r.banner)
+}
+
+// mergeSpilled replaces the columns with the keep-last merge of every
+// on-disk segment plus the live run, hierarchically when the segment count
+// exceeds the fan-in cap. On success the columns are sorted and duplicate
+// free, so the subsequent sealMem skips its sort.
+func (s *ScanResult) mergeSpilled() error {
+	sp := s.spill
+	begin := time.Now()
+	// The live run becomes the newest sorted run, in memory.
+	if !s.addrs.IsSorted() {
+		sort.Stable((*byAddr)(s))
+		s.dedup()
+	}
+	live := *s // snapshot of the live columns for the memory reader
+	s.addrs, s.probeMask, s.flags, s.fail = nil, nil, nil, nil
+	s.attempts, s.t, s.banner = nil, nil, nil
+
+	// Hierarchical pre-merges: reduce the oldest segments first so run
+	// ordering (and therefore keep-last) is preserved; the live run only
+	// ever joins the final pass, where it is newest.
+	passes := 1
+	for len(sp.segments)+1 > spillMergeFanIn {
+		group := sp.segments[:spillMergeFanIn]
+		merged, err := s.mergeToSegment(group)
+		if err != nil {
+			return err
+		}
+		for _, seg := range group {
+			os.Remove(seg.path)
+		}
+		sp.segments = append([]spillSegment{merged}, sp.segments[spillMergeFanIn:]...)
+		passes++
+	}
+
+	readers := make([]runReader, 0, len(sp.segments)+1)
+	defer func() {
+		for _, r := range readers {
+			r.close()
+		}
+	}()
+	total := len(live.addrs)
+	for _, seg := range sp.segments {
+		sr, err := openSegment(seg.path)
+		if err != nil {
+			return err
+		}
+		readers = append(readers, sr)
+		total += seg.rows
+	}
+	readers = append(readers, &memRunReader{s: &live, i: -1})
+
+	out := NewScanResultSized(s.Origin, s.Proto, s.Trial, total)
+	dropped, err := mergeRuns(readers, out.appendRow)
+	if err != nil {
+		return err
+	}
+	s.addrs, s.probeMask, s.flags = out.addrs, out.probeMask, out.flags
+	s.fail, s.attempts, s.t, s.banner = out.fail, out.attempts, out.t, out.banner
+	s.dedupDropped += dropped
+	sp.stats.MergeFanIn = len(readers)
+	sp.stats.MergePasses = passes
+	sp.stats.MergeDuration = time.Since(begin)
+	return nil
+}
+
+// mergeToSegment merges a group of segments into one new segment file (an
+// intermediate pass of the hierarchical merge).
+func (s *ScanResult) mergeToSegment(group []spillSegment) (spillSegment, error) {
+	sp := s.spill
+	readers := make([]runReader, 0, len(group))
+	defer func() {
+		for _, r := range readers {
+			r.close()
+		}
+	}()
+	for _, seg := range group {
+		sr, err := openSegment(seg.path)
+		if err != nil {
+			return spillSegment{}, err
+		}
+		readers = append(readers, sr)
+	}
+	path := filepath.Join(sp.dir, fmt.Sprintf("run-%06d.seg", sp.stats.Segments))
+	var dropped int
+	n, bytes, err := writeSegmentErr(path, func(emit func(spillRow)) error {
+		var err error
+		dropped, err = mergeRuns(readers, emit)
+		return err
+	})
+	if err != nil {
+		os.Remove(path)
+		return spillSegment{}, err
+	}
+	sp.stats.Segments++
+	sp.stats.SpilledBytes += bytes
+	s.dedupDropped += dropped
+	return spillSegment{path: path, rows: n}, nil
+}
+
+// mergeRuns streams the keep-last k-way merge: readers are ordered oldest
+// to newest; for each distinct address, the newest run holding it wins and
+// every older duplicate is dropped. Each run is internally sorted and
+// duplicate free, so each reader advances at most once per output address.
+func mergeRuns(readers []runReader, emit func(spillRow)) (dropped int, err error) {
+	rows := make([]spillRow, len(readers))
+	alive := make([]bool, len(readers))
+	for i, r := range readers {
+		alive[i], err = r.next(&rows[i])
+		if err != nil {
+			return dropped, err
+		}
+	}
+	for {
+		min := -1
+		for i := range readers {
+			if alive[i] && (min < 0 || rows[i].addr < rows[min].addr) {
+				min = i
+			}
+		}
+		if min < 0 {
+			return dropped, nil
+		}
+		addr := rows[min].addr
+		// Newest run with this address wins; advance every run holding it.
+		winner := -1
+		for i := range readers {
+			if alive[i] && rows[i].addr == addr {
+				winner = i
+			}
+		}
+		emit(rows[winner])
+		for i := range readers {
+			if alive[i] && rows[i].addr == addr {
+				if i != winner {
+					dropped++
+				}
+				alive[i], err = readers[i].next(&rows[i])
+				if err != nil {
+					return dropped, err
+				}
+			}
+		}
+	}
+}
+
+// runReader yields one sorted run's rows in address order.
+type runReader interface {
+	// next fills *row with the next record, reporting false at end.
+	next(row *spillRow) (bool, error)
+	close() error
+}
+
+// memRunReader serves the live run straight from a column snapshot.
+type memRunReader struct {
+	s *ScanResult
+	i int
+}
+
+func (m *memRunReader) next(row *spillRow) (bool, error) {
+	m.i++
+	if m.i >= len(m.s.addrs) {
+		return false, nil
+	}
+	*row = m.s.rowAt(m.i)
+	return true, nil
+}
+
+func (m *memRunReader) close() error { return nil }
+
+// Segment file writer.
+
+type segmentWriter struct {
+	bw    *bufio.Writer
+	frame []spillRow
+	rows  int
+	err   error
+}
+
+// writeSegment streams rows produced by fill into a new segment file at
+// path, returning the row count and file size.
+func writeSegment(path string, fill func(emit func(spillRow))) (rows int, size int64, err error) {
+	return writeSegmentErr(path, func(emit func(spillRow)) error {
+		fill(emit)
+		return nil
+	})
+}
+
+func writeSegmentErr(path string, fill func(emit func(spillRow)) error) (rows int, size int64, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("results: creating segment: %w", err)
+	}
+	w := &segmentWriter{
+		bw:    bufio.NewWriterSize(f, 1<<16),
+		frame: make([]spillRow, 0, spillFrameRows),
+	}
+	w.bw.WriteString(segMagic)
+	fillErr := fill(w.emit)
+	w.flushFrame()
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	closeErr := f.Close()
+	switch {
+	case fillErr != nil:
+		return 0, 0, fillErr
+	case w.err != nil:
+		return 0, 0, fmt.Errorf("results: writing segment: %w", w.err)
+	case closeErr != nil:
+		return 0, 0, fmt.Errorf("results: closing segment: %w", closeErr)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("results: sizing segment: %w", err)
+	}
+	return w.rows, fi.Size(), nil
+}
+
+func (w *segmentWriter) emit(r spillRow) {
+	w.frame = append(w.frame, r)
+	w.rows++
+	if len(w.frame) == spillFrameRows {
+		w.flushFrame()
+	}
+}
+
+// flushFrame encodes the buffered rows as one columnar frame.
+func (w *segmentWriter) flushFrame() {
+	if w.err != nil || len(w.frame) == 0 {
+		w.frame = w.frame[:0]
+		return
+	}
+	var scratch [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		w.bw.Write(scratch[:4])
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		w.bw.Write(scratch[:8])
+	}
+	bannerBytes := 0
+	for i := range w.frame {
+		bannerBytes += len(w.frame[i].banner)
+	}
+	u32(uint32(len(w.frame)))
+	u32(uint32(bannerBytes))
+	for i := range w.frame {
+		u32(uint32(w.frame[i].addr))
+	}
+	for i := range w.frame {
+		w.bw.WriteByte(w.frame[i].probeMask)
+	}
+	for i := range w.frame {
+		w.bw.WriteByte(w.frame[i].flags)
+	}
+	for i := range w.frame {
+		w.bw.WriteByte(uint8(w.frame[i].fail))
+	}
+	for i := range w.frame {
+		u32(uint32(w.frame[i].attempts))
+	}
+	for i := range w.frame {
+		u64(uint64(w.frame[i].t))
+	}
+	for i := range w.frame {
+		u32(uint32(len(w.frame[i].banner)))
+	}
+	for i := range w.frame {
+		w.bw.WriteString(w.frame[i].banner)
+	}
+	w.frame = w.frame[:0]
+	// bufio.Writer latches its first error; record it once per frame.
+	if _, err := w.bw.Write(nil); err != nil && w.err == nil {
+		w.err = err
+	}
+}
+
+// Segment file reader: decodes one frame at a time into column buffers, so
+// an open segment costs O(spillFrameRows) memory.
+
+type segmentReader struct {
+	f   *os.File
+	br  *bufio.Reader
+	buf []spillRow
+	i   int
+}
+
+func openSegment(path string) (*segmentReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("results: opening segment: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
+		f.Close()
+		return nil, fmt.Errorf("results: %s: bad segment magic", path)
+	}
+	return &segmentReader{f: f, br: br}, nil
+}
+
+func (r *segmentReader) next(row *spillRow) (bool, error) {
+	if r.i >= len(r.buf) {
+		ok, err := r.readFrame()
+		if !ok || err != nil {
+			return false, err
+		}
+	}
+	*row = r.buf[r.i]
+	r.i++
+	return true, nil
+}
+
+func (r *segmentReader) readFrame() (bool, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return false, nil // clean end: no more frames
+		}
+		return false, fmt.Errorf("results: reading segment frame: %w", err)
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[:4]))
+	bannerBytes := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if rows <= 0 || rows > spillFrameRows {
+		return false, fmt.Errorf("results: corrupt segment frame (%d rows)", rows)
+	}
+	if cap(r.buf) < rows {
+		r.buf = make([]spillRow, rows)
+	}
+	r.buf = r.buf[:rows]
+	r.i = 0
+	var err error
+	u32s := make([]byte, 4*rows)
+	readU32s := func(dst func(i int, v uint32)) {
+		if err != nil {
+			return
+		}
+		if _, err = io.ReadFull(r.br, u32s); err != nil {
+			return
+		}
+		for i := 0; i < rows; i++ {
+			dst(i, binary.LittleEndian.Uint32(u32s[4*i:]))
+		}
+	}
+	readU8s := func(dst func(i int, v byte)) {
+		if err != nil {
+			return
+		}
+		b := u32s[:rows]
+		if _, err = io.ReadFull(r.br, b); err != nil {
+			return
+		}
+		for i := 0; i < rows; i++ {
+			dst(i, b[i])
+		}
+	}
+	readU32s(func(i int, v uint32) { r.buf[i].addr = ip.Addr(v) })
+	readU8s(func(i int, v byte) { r.buf[i].probeMask = v })
+	readU8s(func(i int, v byte) { r.buf[i].flags = v })
+	readU8s(func(i int, v byte) { r.buf[i].fail = zgrab.FailMode(v) })
+	readU32s(func(i int, v uint32) { r.buf[i].attempts = int32(v) })
+	if err == nil {
+		u64s := make([]byte, 8*rows)
+		if _, err = io.ReadFull(r.br, u64s); err == nil {
+			for i := 0; i < rows; i++ {
+				r.buf[i].t = time.Duration(binary.LittleEndian.Uint64(u64s[8*i:]))
+			}
+		}
+	}
+	lens := make([]uint32, rows)
+	readU32s(func(i int, v uint32) { lens[i] = v })
+	if err == nil {
+		data := make([]byte, bannerBytes)
+		if _, err = io.ReadFull(r.br, data); err == nil {
+			off := uint32(0)
+			for i := 0; i < rows; i++ {
+				if int(off+lens[i]) > len(data) {
+					err = fmt.Errorf("banner lengths exceed frame data")
+					break
+				}
+				r.buf[i].banner = string(data[off : off+lens[i]])
+				off += lens[i]
+			}
+		}
+	}
+	if err != nil {
+		return false, fmt.Errorf("results: reading segment frame: %w", err)
+	}
+	return true, nil
+}
+
+func (r *segmentReader) close() error { return r.f.Close() }

@@ -35,6 +35,15 @@ const (
 	MetricRowsSealed  = "results_rows_sealed_total"
 	MetricRowsDeduped = "results_rows_deduped_total"
 
+	// Result spilling (the spill-to-disk store), labeled
+	// origin/proto/trial. Fan-in is a gauge — the final merge's input run
+	// count for that scan; the duration histogram aggregates merge wall
+	// time across scans.
+	MetricSpillSegments = "results_spill_segments_total"
+	MetricSpillBytes    = "results_spill_bytes_total"
+	MetricMergeFanIn    = "results_merge_fanin"
+	MetricMergeSeconds  = "results_merge_duration_seconds"
+
 	// Study orchestration (internal/experiment).
 	MetricScansTotal   = "experiment_scans_total"
 	MetricScansDone    = "experiment_scans_done_total"
@@ -156,5 +165,30 @@ func NewSealMetrics(r *Registry, labels ...Label) *SealMetrics {
 	return &SealMetrics{
 		Rows:    r.Counter(MetricRowsSealed, labels...),
 		Deduped: r.Counter(MetricRowsDeduped, labels...),
+	}
+}
+
+// SpillMetrics observe the spill-to-disk result store: segment files
+// flushed, bytes spilled, the Seal merge's fan-in, and merge wall time.
+// Like SealStats, the experiment layer pushes these after sealing — the
+// results package stays telemetry-free.
+type SpillMetrics struct {
+	Segments *Counter
+	Bytes    *Counter
+	FanIn    *Gauge
+	Merge    *Histogram
+}
+
+// NewSpillMetrics resolves the spill instruments for one scan's labels.
+// Returns nil (a no-op bundle) when r is nil.
+func NewSpillMetrics(r *Registry, labels ...Label) *SpillMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SpillMetrics{
+		Segments: r.Counter(MetricSpillSegments, labels...),
+		Bytes:    r.Counter(MetricSpillBytes, labels...),
+		FanIn:    r.Gauge(MetricMergeFanIn, labels...),
+		Merge:    r.Histogram(MetricMergeSeconds, DurationBuckets, labels...),
 	}
 }

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSBytes reports the process's peak resident set size — the
+// high-water mark the kernel tracked since process start, not the current
+// footprint. Benchmarks record it to prove a memory budget actually held
+// (a point-in-time HeapAlloc sample can miss a transient spike; VmHWM
+// cannot). It reads /proc/self/status VmHWM and falls back to getrusage
+// where procfs is unavailable; ok is false only when neither source works.
+func PeakRSSBytes() (bytes int64, ok bool) {
+	if b, ok := procStatusHWM(); ok {
+		return b, true
+	}
+	return peakRSSFallback()
+}
+
+// procStatusHWM parses the VmHWM line ("VmHWM:     1234 kB") from
+// /proc/self/status.
+func procStatusHWM() (int64, bool) {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb << 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,15 @@
+//go:build linux
+
+package telemetry
+
+import "syscall"
+
+// peakRSSFallback asks getrusage for the peak RSS; ru_maxrss is KiB on
+// Linux.
+func peakRSSFallback() (int64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return ru.Maxrss << 10, true
+}

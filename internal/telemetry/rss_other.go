@@ -1,0 +1,7 @@
+//go:build !linux
+
+package telemetry
+
+// peakRSSFallback has no portable source outside Linux (ru_maxrss units
+// differ per platform); callers see ok=false and skip the RSS column.
+func peakRSSFallback() (int64, bool) { return 0, false }

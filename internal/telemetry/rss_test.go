@@ -1,0 +1,15 @@
+package telemetry
+
+import "testing"
+
+func TestPeakRSSBytes(t *testing.T) {
+	b, ok := PeakRSSBytes()
+	if !ok {
+		t.Skip("no peak-RSS source on this platform")
+	}
+	// Any live Go process has resident at least a few hundred KiB; treat a
+	// tiny or zero reading as a parse bug.
+	if b < 100<<10 {
+		t.Fatalf("peak RSS %d bytes is implausibly small", b)
+	}
+}

@@ -158,7 +158,25 @@ func Build(ctx context.Context, spec Spec) (*World, error) {
 	// --- 2. Generic AS portions filling each country's budget. ---
 	countries := w.Countries.Countries()
 	totalW := w.Countries.TotalWeight()
+	// Generic ASNs count up from 100000 but must never collide with a
+	// profile ASN: a collision makes Routes.Register drop one of the two
+	// ASes, leaving its hosts unannounced (buildFIB then fails on the
+	// unpainted block). Small worlds never reach the first profile number
+	// above 100000 (132827), so skipping keeps them bit-identical; large
+	// worlds (Scale >= ~0.07, where genASN crosses it) need the skip.
+	profileNums := make(map[asn.ASN]bool, len(profiles))
+	for i := range profiles {
+		profileNums[profiles[i].ASN] = true
+	}
 	genASN := asn.ASN(100000)
+	nextGenASN := func() asn.ASN {
+		for profileNums[genASN] {
+			genASN++
+		}
+		n := genASN
+		genASN++
+		return n
+	}
 	for _, c := range countries {
 		share := c.Weight / totalW
 		remH := int(float64(totalHTTP)*share) - profByCountry[c.Code][0]
@@ -187,13 +205,13 @@ func Build(ctx context.Context, spec Spec) (*World, error) {
 				// Remainders too small to split: dump them.
 				nH, nS, nSSH = remH, remS, remSSH
 			}
+			num := nextGenASN()
 			a := &asn.AS{
-				Number:  genASN,
-				Name:    fmt.Sprintf("%s Network %d", c.Code, genASN),
+				Number:  num,
+				Name:    fmt.Sprintf("%s Network %d", c.Code, num),
 				Country: c.Code,
 				Kind:    genericKind(stream, c.Code),
 			}
-			genASN++
 			portions = append(portions, portion{as: a, country: c.Code, nHTTP: nH, nHTTPS: nS, nSSH: nSSH})
 			remH -= nH
 			remS -= nS

@@ -332,6 +332,12 @@ func (f *FIB) RoutedBatch(dst []ip.Addr, routed []bool) {
 	}
 }
 
+// NumBlocks returns the number of painted /24 blocks — the dense entries
+// behind the directory bitmap. By construction it equals the number of
+// distinct /24s any announced prefix touches; the streaming-worldgen audit
+// recomputes that count from the prefix lists and checks the two agree.
+func (f *FIB) NumBlocks() int { return len(f.blocks) }
+
 // MemFootprint returns the FIB's resident size in bytes by component sum —
 // the number the ≤2 GiB full-IPv4 budget in DESIGN.md is checked against.
 // At SpaceBits=32 the directory and rank arrays are 2 MiB + 1 MiB fixed;

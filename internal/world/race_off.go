@@ -1,0 +1,9 @@
+//go:build !race
+
+package world
+
+// raceEnabled reports whether the race detector is compiled in; the
+// full-scale audit test skips under it (a 68M-host build under the race
+// runtime takes tens of minutes for no extra coverage — the build is
+// single-goroutine).
+const raceEnabled = false
