@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-telemetry bench-sweep bench-fullspace bench-parallel bench-scale1
+.PHONY: all ci vet build test race test-v6 bench bench-telemetry bench-sweep bench-fullspace bench-parallel bench-scale1 bench-v6
 
 all: ci
 
@@ -21,6 +21,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+
+# The IPv6 surface under the race detector: the dual-stack address core,
+# hitlist iterator, seeded v6 world, v6 packet paths, and the end-to-end v6
+# study differentials (deterministic, parallel-vs-serial, hitlist-only).
+test-v6:
+	$(GO) test -race -run 'V6|Hitlist|ParseFamily|IPv6' ./internal/ip/ ./internal/packet/ ./internal/world/ ./internal/zmap/ ./internal/results/ ./internal/experiment/
 
 # Perf trajectory of the parallel scan engine and the columnar result
 # store; results are recorded in BENCH_parallel.json and
@@ -91,3 +97,14 @@ bench-parallel:
 	        -command "go test -run xxx -bench 'BenchmarkStudySerial|BenchmarkStudyParallel' -benchtime 3x -benchmem ." \
 	        -note "Serial vs parallel scan engine (2/4/8 workers, plus 8 workers with 4-way sharded sweeps) on the batched kernel. Check machine.cores before reading the ratios: on a single-core runner the parallel variants measure scheduler overhead, not speedup." \
 	        -out BENCH_parallel.json
+
+# IPv6 hitlist study capture, plus the v4 serial study re-measured on the
+# dual-stack address core: BenchmarkStudySerial here vs the capture in
+# BENCH_fullspace.json is the no-regression check for the 128-bit widening
+# (budget: within ~5%). Results land in BENCH_v6.json.
+bench-v6:
+	$(GO) test -run xxx -bench 'BenchmarkV6HitlistStudy|BenchmarkStudySerial$$' -benchtime 3x -benchmem . | \
+	    $(GO) run ./cmd/benchjson \
+	        -command "go test -run xxx -bench 'BenchmarkV6HitlistStudy|BenchmarkStudySerial' -benchtime 3x -benchmem ." \
+	        -note "V6HitlistStudy = end-to-end IPv6 study (seeded /32-provider world, ~2.9k-target hitlist walk, 2 trials HTTP+SSH, 4 origins) serial and on 4 workers with 4-way sharded walks. StudySerial is the unchanged v4 reference on the widened 128-bit address core; compare against BENCH_fullspace.json's after capture (budget: within ~5%, proving the dual-stack genericization costs the v4 hot path nothing). Single-core container; compare ratios, not absolutes." \
+	        -out BENCH_v6.json

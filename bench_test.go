@@ -556,3 +556,42 @@ func BenchmarkStudyParallel8(b *testing.B) { benchStudyRun(b, 8, 1) }
 // BenchmarkStudyParallel8Sharded4 adds intra-scan sweep sharding on top of
 // the 8-worker pool.
 func BenchmarkStudyParallel8Sharded4(b *testing.B) { benchStudyRun(b, 8, 4) }
+
+// benchV6StudyRun times the IPv6 hitlist study (default v6 world, ≈2.3k
+// hosts + stale/unrouted hitlist tails) for one parallelism configuration.
+// The v4 benchmarks above are untouched by the dual-stack core — comparing
+// BenchmarkStudySerial against BENCH_fullspace.json's capture is the
+// no-regression check for the 128-bit address widening.
+func benchV6StudyRun(b *testing.B, par, shards int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := experiment.NewStudy(context.Background(), experiment.Config{
+			WorldSpec:   world.Spec{Seed: 2020},
+			Family:      world.FamilyIPv6,
+			V6Spec:      world.DefaultV6Spec(2020),
+			Trials:      2,
+			Protocols:   []proto.Protocol{proto.HTTP, proto.SSH},
+			Origins:     origin.Set{origin.AU, origin.US1, origin.US64, origin.CEN},
+			Parallelism: par,
+			ScanShards:  shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(st.World.Hitlist())), "hitlist-targets")
+		}
+		b.StartTimer()
+		if _, err := st.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkV6HitlistStudySerial is the v6 serial reference path.
+func BenchmarkV6HitlistStudySerial(b *testing.B) { benchV6StudyRun(b, 1, 1) }
+
+// BenchmarkV6HitlistStudyParallel4 runs the same v6 study on 4 scan workers
+// with 4-way sharded hitlist walks.
+func BenchmarkV6HitlistStudyParallel4(b *testing.B) { benchV6StudyRun(b, 4, 4) }

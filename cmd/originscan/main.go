@@ -9,10 +9,18 @@
 //	originscan [-seed N] [-scale F] [-trials N] [-dataset out.json]
 //	           [-parallelism N] [-scan-shards N] [-skip-followup]
 //	           [-spill-dir DIR] [-mem-budget SIZE]
+//	           [-family ipv4|ipv6] [-hitlist FILE]
 //	           [-telemetry-addr host:port] [-quiet]
 //
 // The default scale (0.001) generates ≈58k HTTP hosts, mirroring the
 // paper's 58M at 1/1000; a full run takes a few minutes on one core.
+//
+// -family ipv6 switches the study to the seeded IPv6 world: scans walk a
+// hitlist (the world's own seeded hitlist, or -hitlist FILE with one
+// address per line) instead of sweeping an address space, and the run
+// prints per-origin coverage and exclusivity over the hitlist targets in
+// place of the paper's IPv4 report (whose figures are calibrated against
+// v4 profile networks). See DESIGN.md § 12.
 //
 // At -scale 0.1 and above the in-memory result columns dominate the
 // process footprint; -spill-dir routes each scan's records through the
@@ -78,8 +86,18 @@ func main() {
 		memBudget    = flag.String("mem-budget", "", "live result memory cap, e.g. 256MiB or 2GiB (requires -spill-dir)")
 		telemAddr    = flag.String("telemetry-addr", "", "serve live metrics, pprof, and expvar on this address")
 		quiet        = flag.Bool("quiet", false, "suppress the periodic stderr progress line")
+		familyStr    = flag.String("family", "ipv4", "address family to study: ipv4 (space sweep) or ipv6 (hitlist walk)")
+		hitlistPath  = flag.String("hitlist", "", "scan targets from this file (one address per line; requires -family ipv6)")
 	)
 	flag.Parse()
+
+	family, err := world.ParseFamily(*familyStr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *hitlistPath != "" && family != world.FamilyIPv6 {
+		fatalf("-hitlist requires -family ipv6")
+	}
 
 	// SIGINT/SIGTERM cancel the study context; the lifecycle layer stops
 	// scans at the next batch boundary and hands back partial results.
@@ -105,12 +123,21 @@ func main() {
 
 	cfg := experiment.Config{
 		WorldSpec:      world.Spec{Seed: *seed, Scale: *scale},
+		Family:         family,
 		Trials:         *trials,
 		IncludeCarinet: *carinet,
 		Parallelism:    *parallelism,
 		ScanShards:     *scanShards,
 		SpillDir:       *spillDir,
 		Telemetry:      reg,
+	}
+	if *hitlistPath != "" {
+		targets, err := readHitlist(*hitlistPath)
+		if err != nil {
+			fatalf("reading -hitlist: %v", err)
+		}
+		cfg.Hitlist = targets
+		fmt.Printf("hitlist: %d targets from %s\n", len(targets), *hitlistPath)
 	}
 	if *memBudget != "" {
 		if *spillDir == "" {
@@ -148,9 +175,19 @@ func main() {
 		fatalf("preparing study: %v", err)
 	}
 	w := study.World()
-	fmt.Printf("world: %d hosts (HTTP %d, HTTPS %d, SSH %d), %d ASes, scan space 2^%d\n",
-		w.NumHosts(), w.HostCount(proto.HTTP), w.HostCount(proto.HTTPS),
-		w.HostCount(proto.SSH), w.Routes.Len(), w.SpaceBits)
+	if w.Family == world.FamilyIPv6 {
+		targets := len(w.Hitlist())
+		if cfg.Hitlist != nil {
+			targets = len(cfg.Hitlist)
+		}
+		fmt.Printf("world: IPv6, %d hosts (HTTP %d, HTTPS %d, SSH %d), %d ASes, %d hitlist targets\n",
+			w.NumHosts(), w.HostCount(proto.HTTP), w.HostCount(proto.HTTPS),
+			w.HostCount(proto.SSH), w.Routes.Len(), targets)
+	} else {
+		fmt.Printf("world: %d hosts (HTTP %d, HTTPS %d, SSH %d), %d ASes, scan space 2^%d\n",
+			w.NumHosts(), w.HostCount(proto.HTTP), w.HostCount(proto.HTTPS),
+			w.HostCount(proto.SSH), w.Routes.Len(), w.SpaceBits)
+	}
 
 	start := time.Now()
 	fmt.Printf("running %d trials × 3 protocols × %d origins...\n", *trials, len(origin.StudySet()))
@@ -175,6 +212,13 @@ func main() {
 
 	flushDataset(*datasetPath, study)
 
+	if w.Family == world.FamilyIPv6 {
+		// The paper's figures are calibrated against v4 profile networks;
+		// the v6 study's deliverable is the origin-bias table itself.
+		v6Report(os.Stdout, study)
+		return
+	}
+
 	if err := report.All(ctx, os.Stdout, study); err != nil {
 		if errors.Is(err, core.ErrCanceled) {
 			exitf(exitCanceled, "interrupted during the report stage")
@@ -192,6 +236,51 @@ func main() {
 	if !*skipFollowUp {
 		runFollowUp(ctx, world.Spec{Seed: *seed, Scale: *scale})
 	}
+}
+
+// v6Report prints the IPv6 study's origin-bias summary: per-origin mean
+// coverage of the hitlist's live hosts for each protocol, and how many
+// hosts only a single origin could reach (exclusivity, the paper's core
+// result restated over hitlist targets).
+func v6Report(out *os.File, study *core.Study) {
+	ds := study.DS
+	fmt.Fprintln(out, "\nIPv6 hitlist study: per-origin coverage and exclusivity")
+	fmt.Fprintln(out, "=======================================================")
+	for _, p := range proto.All() {
+		tab := analysis.Coverage(ds, p)
+		cls := analysis.NewClassifier(ds, p)
+		ex := analysis.Exclusive(cls)
+		fmt.Fprintf(out, "%v: union of hosts seen by any origin: %d\n", p, len(cls.Union()))
+		fmt.Fprintf(out, "%-8s%10s%12s\n", "origin", "coverage", "exclusive")
+		for _, o := range origin.StudySet() {
+			fmt.Fprintf(out, "%-8v%9.2f%%%12d\n", o, 100*tab.Mean(o, false), len(ex.Accessible[o]))
+		}
+	}
+}
+
+// readHitlist parses a scan target file: one address per line, blank lines
+// and #-comments skipped.
+func readHitlist(path string) ([]ip.Addr, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var targets []ip.Addr
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, err := ip.ParseAddr(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, ln+1, err)
+		}
+		targets = append(targets, a)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("%s: no targets", path)
+	}
+	return targets, nil
 }
 
 // interruptionMessage describes where a canceled run stopped: the lifecycle

@@ -21,13 +21,13 @@ type fakeTopo struct {
 	countries map[byte]geo.Country
 }
 
-func (f fakeTopo) ASOf(a ip.Addr) (asn.ASN, bool) { return asn.ASN(a >> 24), true }
+func (f fakeTopo) ASOf(a ip.Addr) (asn.ASN, bool) { return asn.ASN(a.V4() >> 24), true }
 func (f fakeTopo) ASName(n asn.ASN) string        { return "AS" + string(rune('A'+n%26)) }
 func (f fakeTopo) CountryOf(a ip.Addr) (geo.Country, bool) {
 	if f.countries == nil {
 		return "US", true
 	}
-	c, ok := f.countries[byte(a>>24)]
+	c, ok := f.countries[byte(a.V4()>>24)]
 	if !ok {
 		return "US", true
 	}
@@ -247,7 +247,7 @@ func TestPairwiseMcNemar(t *testing.T) {
 	auMap := map[ip.Addr]bool{}
 	brMap := map[ip.Addr]bool{}
 	for i := 0; i < 200; i++ {
-		a := ip.Addr(0x01000000 + uint32(i))
+		a := ip.AddrFrom4(0x01000000 + uint32(i))
 		auMap[a] = true
 		brMap[a] = i >= 40
 	}
@@ -472,7 +472,7 @@ func TestProbesBothLost(t *testing.T) {
 	// 10 hosts: AU sees all with both probes. BR: 6 both probes, 1 with
 	// one probe, 3 with none (both lost, L7 fails).
 	for i := 0; i < 10; i++ {
-		a := ip.Addr(0x01000000 + uint32(i))
+		a := ip.AddrFrom4(0x01000000 + uint32(i))
 		sAU.Add(results.HostRecord{Addr: a, ProbeMask: 0b11, L7: true})
 		rec := results.HostRecord{Addr: a}
 		switch {
@@ -509,14 +509,14 @@ func TestPacketLossEstimator(t *testing.T) {
 	// 20 responding hosts, 2 with exactly one probe answered, 1 RST-only
 	// (excluded), 1 unresponsive (excluded).
 	for i := 0; i < 20; i++ {
-		a := ip.Addr(0x01000000 + uint32(i))
+		a := ip.AddrFrom4(0x01000000 + uint32(i))
 		mask := uint8(0b11)
 		if i < 2 {
 			mask = 0b01
 		}
 		s.Add(results.HostRecord{Addr: a, ProbeMask: mask, L7: true})
 	}
-	s.Add(results.HostRecord{Addr: ip.Addr(0x01000100), RST: true, L7: false})
+	s.Add(results.HostRecord{Addr: ip.AddrFrom4(0x01000100), RST: true, L7: false})
 	ds.Put(s)
 	est := PacketLoss(ds, fakeTopo{}, proto.HTTP, origin.AU, 0, 2)
 	if est.Rate != 0.1 {

@@ -60,10 +60,10 @@ func BannerDisagreement(ds *results.Dataset, p proto.Protocol, a, b origin.ID, t
 	aAddrs, bAddrs := sa.Addrs(), sb.Addrs()
 	ai, bi := 0, 0
 	for _, h := range ds.GroundTruth(p, trial) {
-		for ai < len(aAddrs) && aAddrs[ai] < h {
+		for ai < len(aAddrs) && aAddrs[ai].Less(h) {
 			ai++
 		}
-		for bi < len(bAddrs) && bAddrs[bi] < h {
+		for bi < len(bAddrs) && bAddrs[bi].Less(h) {
 			bi++
 		}
 		if ai >= len(aAddrs) || aAddrs[ai] != h || bi >= len(bAddrs) || bAddrs[bi] != h {

@@ -97,9 +97,9 @@ func MissingBreakdown(c *Classifier) []Breakdown {
 	ds := c.DS
 	// Precompute /24 membership over the union of live hosts, as indices
 	// into the sorted union spine.
-	by24 := map[ip.Addr][]int{}
+	by24 := map[ip.Prefix][]int{}
 	for i, a := range c.Union() {
-		k := a &^ 0xff
+		k := a.Slash24()
 		by24[k] = append(by24[k], i)
 	}
 
@@ -108,9 +108,9 @@ func MissingBreakdown(c *Classifier) []Breakdown {
 	// classified unknown (present in a single trial, usually churn)
 	// carry no signal about the network's policy and are ignored when
 	// judging consistency.
-	netUnit := map[origin.ID]map[ip.Addr]Class{}
+	netUnit := map[origin.ID]map[ip.Prefix]Class{}
 	for _, o := range ds.Origins {
-		m := map[ip.Addr]Class{}
+		m := map[ip.Prefix]Class{}
 		for k, hosts := range by24 {
 			informative := 0
 			var cl Class
@@ -147,11 +147,11 @@ func MissingBreakdown(c *Classifier) []Breakdown {
 			union := c.union
 			ui := 0
 			for _, a := range c.MissedInTrial(o, t) {
-				for union[ui] < a {
+				for union[ui].Less(a) {
 					ui++
 				}
 				cl := c.OfAt(o, ui)
-				_, isNet := netUnit[o][a&^0xff]
+				_, isNet := netUnit[o][a.Slash24()]
 				switch cl {
 				case ClassTransient:
 					if isNet {

@@ -79,7 +79,7 @@ func Bursts(c *Classifier, topo Topology, scanHours int) BurstReport {
 			union := c.union
 			ui, j := 0, 0
 			for _, a := range c.MissedInTrial(o, t) {
-				for union[ui] < a {
+				for union[ui].Less(a) {
 					ui++
 				}
 				if c.OfAt(o, ui) != ClassTransient {
@@ -94,7 +94,7 @@ func Bursts(c *Classifier, topo Topology, scanHours int) BurstReport {
 				if series[k] == nil {
 					series[k] = make([]float64, scanHours)
 				}
-				for j < len(addrs) && addrs[j] < a {
+				for j < len(addrs) && addrs[j].Less(a) {
 					j++
 				}
 				h := 0

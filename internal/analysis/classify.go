@@ -89,7 +89,7 @@ func NewClassifier(ds *results.Dataset, p proto.Protocol) *Classifier {
 	for t, gt := range gts {
 		ui := 0
 		for _, a := range gt {
-			for c.union[ui] < a {
+			for c.union[ui].Less(a) {
 				ui++
 			}
 			c.presence[ui] |= 1 << t
@@ -117,10 +117,10 @@ func (c *Classifier) classifyOrigin(o origin.ID, gts []ip.AddrSlice) []Class {
 		addrs := s.Addrs()
 		ui, j := 0, 0
 		for _, a := range gt {
-			for c.union[ui] < a {
+			for c.union[ui].Less(a) {
 				ui++
 			}
-			for j < len(addrs) && addrs[j] < a {
+			for j < len(addrs) && addrs[j].Less(a) {
 				j++
 			}
 			present[ui]++
@@ -220,7 +220,7 @@ func (c *Classifier) MissedInTrial(o origin.ID, trial int) []ip.Addr {
 	var out []ip.Addr
 	j := 0
 	for _, a := range c.DS.GroundTruth(c.Proto, trial) {
-		for j < len(addrs) && addrs[j] < a {
+		for j < len(addrs) && addrs[j].Less(a) {
 			j++
 		}
 		if !(j < len(addrs) && addrs[j] == a && s.SuccessAt(j, false)) {

@@ -98,10 +98,10 @@ func PairwiseMcNemar(ds *results.Dataset, p proto.Protocol, trial int) []McNemar
 			var onlyA, onlyB uint64
 			ai, bi := 0, 0
 			for _, h := range gt {
-				for ai < len(aAddrs) && aAddrs[ai] < h {
+				for ai < len(aAddrs) && aAddrs[ai].Less(h) {
 					ai++
 				}
-				for bi < len(bAddrs) && bAddrs[bi] < h {
+				for bi < len(bAddrs) && bAddrs[bi].Less(h) {
 					bi++
 				}
 				va := ai < len(aAddrs) && aAddrs[ai] == h && sa.SuccessAt(ai, false)
@@ -144,7 +144,7 @@ func CochranQ(ds *results.Dataset, p proto.Protocol, trial int) (q float64, df i
 		row := make([]bool, len(origins))
 		for i := range origins {
 			j, as := cursors[i], addrs[i]
-			for j < len(as) && as[j] < h {
+			for j < len(as) && as[j].Less(h) {
 				j++
 			}
 			cursors[i] = j
@@ -180,7 +180,7 @@ func Probes(ds *results.Dataset, p proto.Protocol, o origin.ID, trial int) Probe
 	addrs := s.Addrs()
 	j := 0
 	for _, h := range ds.GroundTruth(p, trial) {
-		for j < len(addrs) && addrs[j] < h {
+		for j < len(addrs) && addrs[j].Less(h) {
 			j++
 		}
 		mask := uint8(0)

@@ -40,7 +40,7 @@ func PacketLoss(ds *results.Dataset, topo Topology, p proto.Protocol, o origin.I
 	addrs := s.Addrs()
 	j := 0
 	for _, h := range ds.GroundTruth(p, trial) {
-		for j < len(addrs) && addrs[j] < h {
+		for j < len(addrs) && addrs[j].Less(h) {
 			j++
 		}
 		if j >= len(addrs) || addrs[j] != h {

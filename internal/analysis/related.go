@@ -36,9 +36,9 @@ func AgreementWithin(ds *results.Dataset, p proto.Protocol, trial int, minHosts 
 		minHosts = 2
 	}
 	gt := ds.GroundTruth(p, trial)
-	blocks := map[ip.Addr][]ip.Addr{}
+	blocks := map[ip.Prefix][]ip.Addr{}
 	for _, a := range gt {
-		k := a &^ 0xff
+		k := a.Slash24()
 		blocks[k] = append(blocks[k], a)
 	}
 	var usable []([]ip.Addr)

@@ -66,7 +66,7 @@ func SSHCauses(c *Classifier, topo Topology, temporalASes []asn.ASN) []SSHBreakd
 			j := 0
 			for _, a := range c.MissedInTrial(o, t) {
 				b.Missing++
-				for j < len(addrs) && addrs[j] < a {
+				for j < len(addrs) && addrs[j].Less(a) {
 					j++
 				}
 				ok := j < len(addrs) && addrs[j] == a
@@ -126,7 +126,7 @@ func CloseVsDrop(c *Classifier, excludeASes []asn.ASN, topo Topology) float64 {
 			union := c.union
 			ui, j := 0, 0
 			for _, a := range c.MissedInTrial(o, t) {
-				for union[ui] < a {
+				for union[ui].Less(a) {
 					ui++
 				}
 				if c.OfAt(o, ui) != ClassTransient {
@@ -135,7 +135,7 @@ func CloseVsDrop(c *Classifier, excludeASes []asn.ASN, topo Topology) float64 {
 				if as, ok := topo.ASOf(a); ok && skip[as] {
 					continue
 				}
-				for j < len(addrs) && addrs[j] < a {
+				for j < len(addrs) && addrs[j].Less(a) {
 					j++
 				}
 				if j >= len(addrs) || addrs[j] != a {

@@ -33,6 +33,17 @@ import (
 type Config struct {
 	// WorldSpec generates the synthetic Internet.
 	WorldSpec world.Spec
+	// Family selects the world's address family. The default (FamilyIPv4)
+	// runs the paper's space sweep; FamilyIPv6 generates the seeded sparse
+	// v6 world (V6Spec) and every scan walks a hitlist instead of sweeping
+	// an address space — the scan strategy v6's 2^128 space forces.
+	Family world.Family
+	// V6Spec shapes the IPv6 world when Family is FamilyIPv6; the zero
+	// value means world.DefaultV6Spec(WorldSpec.Seed).
+	V6Spec world.V6Spec
+	// Hitlist, when non-empty, replaces the v6 world's seeded hitlist as
+	// the scan target list (cmd/originscan -hitlist). Ignored for IPv4.
+	Hitlist []ip.Addr
 	// Trials is the number of repetitions (the paper runs 3).
 	Trials int
 	// Origins scan in every trial.
@@ -150,7 +161,15 @@ func NewStudy(ctx context.Context, cfg Config) (*Study, error) {
 		Stage: pipeline.StageWorldgen,
 		Run: func(ctx context.Context) error {
 			var err error
-			w, err = world.Build(ctx, cfg.WorldSpec)
+			if cfg.Family == world.FamilyIPv6 {
+				spec := cfg.V6Spec
+				if spec == (world.V6Spec{}) {
+					spec = world.DefaultV6Spec(cfg.WorldSpec.Seed)
+				}
+				w, err = world.BuildV6(ctx, spec)
+			} else {
+				w, err = world.Build(ctx, cfg.WorldSpec)
+			}
 			if err != nil && !errors.Is(err, pipeline.ErrCanceled) {
 				return pipeline.Tag(pipeline.ErrWorldGen, err)
 			}
@@ -357,12 +376,25 @@ func (st *Study) Run(ctx context.Context) (*results.Dataset, error) {
 }
 
 // scanLabels are the telemetry labels identifying one scan's metrics.
-func scanLabels(o origin.ID, p proto.Protocol, trial int) []telemetry.Label {
+func scanLabels(f world.Family, o origin.ID, p proto.Protocol, trial int) []telemetry.Label {
 	return []telemetry.Label{
+		telemetry.L("family", f.String()),
 		telemetry.L("origin", o.String()),
 		telemetry.L("proto", p.String()),
 		telemetry.L("trial", strconv.Itoa(trial)),
 	}
+}
+
+// hitlist returns the scan target list: nil for IPv4 worlds (scans sweep
+// the space), and the configured or world-seeded hitlist for IPv6.
+func (st *Study) hitlist() []ip.Addr {
+	if st.World.Family != world.FamilyIPv6 {
+		return nil
+	}
+	if len(st.Config.Hitlist) > 0 {
+		return st.Config.Hitlist
+	}
+	return st.World.Hitlist()
 }
 
 // newScanResult builds the result store for one scan: the in-memory
@@ -395,7 +427,7 @@ func (st *Study) originRecord(o origin.ID) *origin.Origin {
 		fresh.ScanReputation = origin.RepFresh
 		// The reserved source block has spare addresses beyond the
 		// directory's allocations; take the last one.
-		fresh.SourceIPs = []ip.Addr{org.SourceIPs[0] + 50}
+		fresh.SourceIPs = []ip.Addr{org.SourceIPs[0].Add(50)}
 		return &fresh
 	}
 	return org
@@ -423,7 +455,7 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 	// by the scan's identity, and the hot paths below touch only the
 	// pre-resolved atomic counters. With no registry every bundle is nil
 	// and the instruments no-op.
-	labels := scanLabels(o, p, trial)
+	labels := scanLabels(st.World.Family, o, p, trial)
 	sweepM := telemetry.NewSweepMetrics(cfg.Telemetry, labels...)
 	grabM := telemetry.NewGrabMetrics(cfg.Telemetry, labels...)
 	sealM := telemetry.NewSealMetrics(cfg.Telemetry, labels...)
@@ -461,6 +493,7 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 		Probes:          cfg.Probes,
 		ProbeDelay:      cfg.ProbeDelay,
 		SpaceBits:       st.World.SpaceBits,
+		Hitlist:         st.hitlist(),
 		Seed:            scanSeed,
 		Shard:           cfg.Shard,
 		Shards:          cfg.Shards,

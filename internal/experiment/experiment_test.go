@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/ip"
 	"repro/internal/origin"
 	"repro/internal/proto"
 	"repro/internal/results"
@@ -380,14 +381,14 @@ func TestShardedScansPartitionAndMerge(t *testing.T) {
 		t.Errorf("shard targets %d+%d != full %d", s0.Targets, s1.Targets, full.Targets)
 	}
 	// No host appears in both shards, and the union covers the full scan.
-	merged := map[uint32]bool{}
-	s0.Each(func(r results.HostRecord) { merged[uint32(r.Addr)] = true })
+	merged := map[ip.Addr]bool{}
+	s0.Each(func(r results.HostRecord) { merged[r.Addr] = true })
 	overlap := 0
 	s1.Each(func(r results.HostRecord) {
-		if merged[uint32(r.Addr)] {
+		if merged[r.Addr] {
 			overlap++
 		}
-		merged[uint32(r.Addr)] = true
+		merged[r.Addr] = true
 	})
 	if overlap != 0 {
 		t.Errorf("%d hosts appear in both shards", overlap)
@@ -396,7 +397,7 @@ func TestShardedScansPartitionAndMerge(t *testing.T) {
 	missing := 0
 	full.Each(func(r results.HostRecord) {
 		fullCount++
-		if !merged[uint32(r.Addr)] {
+		if !merged[r.Addr] {
 			missing++
 		}
 	})

@@ -156,7 +156,7 @@ func (st *Study) planIDS(ctx context.Context, dsOrigins origin.Set) (*idsPlan, e
 				for _, p := range cfg.Protocols {
 					schedules := st.replayScan(org, p, trial, sims, walks[walkKey{p, trial}])
 					dets := make([]policy.Detector, len(live))
-					labels := scanLabels(o, p, trial)
+					labels := scanLabels(st.World.Family, o, p, trial)
 					for i, d := range live {
 						sids := policy.NewScheduledIDS(d, cfg.ProbeDelay, schedules[i])
 						sids.Metrics = telemetry.NewIDSMetrics(cfg.Telemetry,
@@ -189,11 +189,12 @@ func (st *Study) monitoredTargets(ctx context.Context, p proto.Protocol, trial i
 	cfg := st.Config
 	scanSeed := rng.NewKey(st.World.Spec.Seed).Derive("scan-seed").Uint64(uint64(p), uint64(trial))
 	sc, err := zmap.NewScanner(zmap.Config{
-		SourceIPs:    []ip.Addr{1}, // unused: Targets never sends
+		SourceIPs:    []ip.Addr{ip.AddrFrom4(1)}, // unused: Targets never sends
 		TargetPort:   p.Port(),
 		Probes:       cfg.Probes,
 		ProbeDelay:   cfg.ProbeDelay,
 		SpaceBits:    st.World.SpaceBits,
+		Hitlist:      st.hitlist(),
 		Seed:         scanSeed,
 		Shard:        cfg.Shard,
 		Shards:       cfg.Shards,

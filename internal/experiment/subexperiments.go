@@ -96,19 +96,19 @@ func (st *Study) SSHRetry(ctx context.Context, ds *results.Dataset, topASes int,
 // sshHostsOfBusiest24 returns the SSH hosts of the AS's /24 with the most
 // SSH hosts.
 func (st *Study) sshHostsOfBusiest24(as asn.ASN) []ip.Addr {
-	by24 := map[ip.Addr][]ip.Addr{}
+	by24 := map[ip.Prefix][]ip.Addr{}
 	for _, idx := range st.World.HostsInAS(as) {
 		h := st.World.Hosts()[idx]
 		if !h.Services.Has(proto.SSH) {
 			continue
 		}
-		k := h.Addr &^ 0xff
+		k := h.Addr.Slash24()
 		by24[k] = append(by24[k], h.Addr)
 	}
 	var best []ip.Addr
-	var bestKey ip.Addr
+	var bestKey ip.Prefix
 	for k, hs := range by24 {
-		if len(hs) > len(best) || (len(hs) == len(best) && k < bestKey) {
+		if len(hs) > len(best) || (len(hs) == len(best) && k.First().Less(bestKey.First())) {
 			best, bestKey = hs, k
 		}
 	}

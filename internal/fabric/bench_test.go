@@ -48,15 +48,15 @@ func benchFabric(b *testing.B) (fab *Fabric, src ip.Addr, host, empty, unrouted 
 				break
 			}
 		}
-		if emptyAddr != 0 {
+		if emptyAddr != (ip.Addr{}) {
 			break
 		}
 	}
-	if emptyAddr == 0 {
+	if emptyAddr == (ip.Addr{}) {
 		b.Fatal("no empty routed address found")
 	}
 	// The scanner source block is allocated outside announced space.
-	unroutedAddr := src + 1
+	unroutedAddr := src.Add(1)
 	if _, ok := w.ASOf(unroutedAddr); ok {
 		b.Fatal("expected unrouted address")
 	}

@@ -123,7 +123,7 @@ func (f *Fabric) RoutedBatch(dst []ip.Addr, routed []bool) { f.fib.RoutedBatch(d
 // a burst outage or a correlated loss episode. Both probes of a target and
 // the follow-up connection share this state — loss is not independent.
 func (f *Fabric) pathDown(dst ip.Addr, as *asn.AS, t time.Duration) bool {
-	if f.cfg.Outages != nil && f.cfg.Outages.Affected(f.trial, f.org.ID, as.Number, uint32(dst), t) {
+	if f.cfg.Outages != nil && f.cfg.Outages.Affected(f.trial, f.org.ID, as.Number, dst, t) {
 		return true
 	}
 	return f.cfg.Loss.EpisodeActive(f.org.ID, dst, as.Number, f.trial)
@@ -135,13 +135,26 @@ func (f *Fabric) pathDown(dst ip.Addr, as *asn.AS, t time.Duration) bool {
 // from the fabric's pool — so only an answered probe costs an allocation
 // (its response packet).
 func (f *Fabric) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
-	var iph packet.IPv4Header
+	var dst ip.Addr
 	var tcph packet.TCPHeader
-	if _, err := packet.DecodeTCP4Into(&iph, &tcph, pkt); err != nil ||
-		!tcph.HasFlag(packet.FlagSYN) || tcph.HasFlag(packet.FlagACK) {
-		return nil // the network silently eats malformed probes
+	var probeIdx uint64
+	if packet.Version(pkt) == 6 {
+		var ip6 packet.IPv6Header
+		if _, err := packet.DecodeTCP6Into(&ip6, &tcph, pkt); err != nil ||
+			!tcph.HasFlag(packet.FlagSYN) || tcph.HasFlag(packet.FlagACK) {
+			return nil // the network silently eats malformed probes
+		}
+		dst = ip6.Dst
+		probeIdx = uint64(ip6.FlowLabel) // v6 probes stamp the index in FlowLabel
+	} else {
+		var iph packet.IPv4Header
+		if _, err := packet.DecodeTCP4Into(&iph, &tcph, pkt); err != nil ||
+			!tcph.HasFlag(packet.FlagSYN) || tcph.HasFlag(packet.FlagACK) {
+			return nil // the network silently eats malformed probes
+		}
+		dst = iph.Dst
+		probeIdx = uint64(iph.ID) // scanner stamps the probe index in IP ID
 	}
-	dst := iph.Dst
 	d := f.fib.Resolve(dst)
 	if !d.Routed {
 		return nil // unannounced space: no route, no answer
@@ -150,7 +163,6 @@ func (f *Fabric) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
 	if !isProto {
 		return nil
 	}
-	probeIdx := uint64(iph.ID) // scanner stamps the probe index in IP ID
 
 	if d.Host && f.cfg.Churn.Offline(dst, f.trial) {
 		// The machine is down this trial: silence, from every origin.
@@ -200,7 +212,7 @@ func (f *Fabric) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
 	// Host answers. ResetAfterAccept/CloseAfterAccept hosts still
 	// SYN-ACK (they kill the connection later, as Alibaba's SSH hosts
 	// do).
-	seq := f.cfg.World.Key.Derive("isn").Uint64(uint64(dst), uint64(t))
+	seq := f.cfg.World.Key.Derive("isn").Uint64(dst.Word64(), uint64(t))
 	return packet.MakeSYNACK(dst, src, tcph.DstPort, tcph.SrcPort, uint32(seq), tcph.Seq+1)
 }
 

@@ -56,7 +56,7 @@ func pickHost(t *testing.T, w *world.World, p proto.Protocol) (with ip.Addr, wit
 		}
 	}
 	t.Fatal("world lacks required hosts")
-	return 0, 0
+	return ip.Addr{}, ip.Addr{}
 }
 
 func synTo(w *world.World, o origin.ID, dst ip.Addr, port uint16) (src ip.Addr, pkt []byte, seq uint32) {
@@ -110,7 +110,7 @@ func TestSendSilenceForEmptySpaceAndUnrouted(t *testing.T) {
 	// An address inside the space but (very likely) not announced:
 	// scanner source addresses are outside announced prefixes.
 	src := w.Origins.Get(origin.US1).SourceIPs[0]
-	syn := packet.MakeSYN(src, src+1, 40000, 80, 1, 0)
+	syn := packet.MakeSYN(src, src.Add(1), 40000, 80, 1, 0)
 	if resp := fab.Send(src, syn, 0); resp != nil {
 		t.Error("unrouted space answered")
 	}
@@ -134,7 +134,7 @@ func TestSendSilenceForEmptySpaceAndUnrouted(t *testing.T) {
 func TestSendIgnoresGarbageAndNonSYN(t *testing.T) {
 	cfg, w := quietConfig(t)
 	fab := New(cfg, w.Origins.Get(origin.US1), 0)
-	if fab.Send(1, []byte{1, 2, 3}, 0) != nil {
+	if fab.Send(ip.AddrFrom4(1), []byte{1, 2, 3}, 0) != nil {
 		t.Error("garbage packet answered")
 	}
 	host, _ := pickHost(t, w, proto.HTTP)
@@ -303,16 +303,16 @@ func TestSendZeroAllocs(t *testing.T) {
 	var empty ip.Addr
 	for _, a := range w.Routes.All() {
 		pfx := a.Prefixes[0]
-		for i := uint64(0); i < pfx.NumAddrs() && empty == 0; i++ {
+		for i := uint64(0); i < pfx.NumAddrs() && empty == (ip.Addr{}); i++ {
 			if _, isHost := w.Lookup(pfx.Nth(i)); !isHost {
 				empty = pfx.Nth(i)
 			}
 		}
-		if empty != 0 {
+		if empty != (ip.Addr{}) {
 			break
 		}
 	}
-	if empty == 0 {
+	if empty == (ip.Addr{}) {
 		t.Fatal("no empty routed address")
 	}
 	var offline ip.Addr
@@ -322,14 +322,14 @@ func TestSendZeroAllocs(t *testing.T) {
 			break
 		}
 	}
-	if offline == 0 {
+	if offline == (ip.Addr{}) {
 		t.Fatal("churn left every host online")
 	}
 	for _, tc := range []struct {
 		name string
 		dst  ip.Addr
 	}{
-		{"unrouted", src + 1},
+		{"unrouted", src.Add(1)},
 		{"routed-empty", empty},
 		{"churned-offline-host", offline},
 	} {
@@ -382,7 +382,7 @@ func TestFabricRoutedBatchMatchesRouted(t *testing.T) {
 		dst = dst[:0]
 	}
 	for a := uint64(0); a < w.SpaceSize(); a++ {
-		dst = append(dst, ip.Addr(a))
+		dst = append(dst, ip.AddrFrom4(uint32(a)))
 		if len(dst) == batch {
 			flush()
 		}

@@ -57,7 +57,7 @@ func (s *Server) serveHTTP(conn net.Conn, host ip.Addr) {
 	if err != nil {
 		return
 	}
-	software := httpServers[int(s.key.Uint64(uint64(host), 1)%uint64(len(httpServers)))]
+	software := httpServers[int(s.key.Uint64(host.Word64(), 1)%uint64(len(httpServers)))]
 	body := fmt.Sprintf("<html><head><title>%s</title></head><body>host %s says hello to %s %s</body></html>",
 		host, host, req.Method, req.Target)
 	_ = httpwire.WriteResponse(conn, 200, "OK",
@@ -87,7 +87,7 @@ func (s *Server) serveTLS(conn net.Conn, host ip.Addr) {
 		Version:     tlslite.VersionTLS12,
 		CipherSuite: ch.CipherSuites[0],
 	}
-	stream := s.key.Stream(uint64(host), 2)
+	stream := s.key.Stream(host.Word64(), 2)
 	for i := 0; i < 32; i += 8 {
 		v := stream.Uint64()
 		for j := 0; j < 8; j++ {
@@ -107,7 +107,7 @@ func (s *Server) serveTLS(conn net.Conn, host ip.Addr) {
 // certBlob synthesizes a stable pseudo-DER certificate for the host. It is
 // opaque bytes with a DER-ish SEQUENCE framing, unique per host.
 func (s *Server) certBlob(host ip.Addr) []byte {
-	stream := s.key.Stream(uint64(host), 3)
+	stream := s.key.Stream(host.Word64(), 3)
 	n := 600 + int(stream.Uint64()%400)
 	blob := make([]byte, n)
 	for i := 0; i < n; i += 8 {
@@ -132,11 +132,11 @@ var sshVersions = []string{
 // reads the client's ID and KEXINIT before closing. The grab terminates
 // after the version exchange per the paper's methodology.
 func (s *Server) serveSSH(conn net.Conn, host ip.Addr) {
-	version := sshVersions[int(s.key.Uint64(uint64(host), 4)%uint64(len(sshVersions)))]
+	version := sshVersions[int(s.key.Uint64(host.Word64(), 4)%uint64(len(sshVersions)))]
 	if err := sshwire.WriteID(conn, sshwire.ID{ProtoVersion: "2.0", SoftwareVersion: version}); err != nil {
 		return
 	}
-	kex := sshwire.DefaultKexInit(s.key.Derive("kex").DeriveN("host", uint64(host)))
+	kex := sshwire.DefaultKexInit(s.key.Derive("kex").DeriveN("host", host.Word64()))
 	if err := sshwire.WritePacket(conn, kex.Marshal()); err != nil {
 		return
 	}

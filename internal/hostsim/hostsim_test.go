@@ -164,7 +164,7 @@ func TestPersonalitiesStableAndDiverse(t *testing.T) {
 	}
 	versions := map[string]bool{}
 	for i := 0; i < 20; i++ {
-		versions[banner(ip.Addr(0x0a020000+uint32(i)))] = true
+		versions[banner(ip.AddrFrom4(0x0a020000+uint32(i)))] = true
 	}
 	if len(versions) < 2 {
 		t.Error("SSH versions not diverse across hosts")

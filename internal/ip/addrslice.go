@@ -19,7 +19,7 @@ func (s AddrSlice) Search(a Addr) int {
 	lo, hi := 0, len(s)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if s[mid] < a {
+		if s[mid].Less(a) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -38,7 +38,7 @@ func (s AddrSlice) Contains(a Addr) bool {
 // duplicates) — the sealed-column invariant.
 func (s AddrSlice) IsSorted() bool {
 	for i := 1; i < len(s); i++ {
-		if s[i] <= s[i-1] {
+		if !s[i-1].Less(s[i]) {
 			return false
 		}
 	}
@@ -67,7 +67,7 @@ func Union(lists ...AddrSlice) AddrSlice {
 		var min Addr
 		found := false
 		for i, l := range lists {
-			if pos[i] < len(l) && (!found || l[pos[i]] < min) {
+			if pos[i] < len(l) && (!found || l[pos[i]].Less(min)) {
 				min, found = l[pos[i]], true
 			}
 		}
@@ -89,10 +89,10 @@ func (s AddrSlice) Intersect(o AddrSlice) AddrSlice {
 	var out AddrSlice
 	i, j := 0, 0
 	for i < len(s) && j < len(o) {
-		switch {
-		case s[i] < o[j]:
+		switch s[i].Compare(o[j]) {
+		case -1:
 			i++
-		case s[i] > o[j]:
+		case 1:
 			j++
 		default:
 			out = append(out, s[i])
@@ -123,7 +123,7 @@ func IntersectAll(lists ...AddrSlice) AddrSlice {
 func (s AddrSlice) intersectInto(o AddrSlice) AddrSlice {
 	n, j := 0, 0
 	for i := 0; i < len(s); i++ {
-		for j < len(o) && o[j] < s[i] {
+		for j < len(o) && o[j].Less(s[i]) {
 			j++
 		}
 		if j < len(o) && o[j] == s[i] {
@@ -140,7 +140,7 @@ func (s AddrSlice) Diff(o AddrSlice) AddrSlice {
 	var out AddrSlice
 	j := 0
 	for _, a := range s {
-		for j < len(o) && o[j] < a {
+		for j < len(o) && o[j].Less(a) {
 			j++
 		}
 		if j >= len(o) || o[j] != a {

@@ -4,13 +4,17 @@ package ip
 // values, with longest-prefix-match lookup. It backs the scanner's
 // block/allowlists, the routing-table snapshot, and the geolocation database.
 //
-// The implementation is a simple bit-trie: one node per prefix bit. Inserts
-// of the address space in use (tens of thousands of prefixes) build trees of
-// a few hundred thousand nodes, and Lookup walks at most 32 nodes, so this is
-// both compact and fast without path compression.
+// The implementation is a simple bit-trie: one node per prefix bit, with one
+// root per address family. IPv4 prefixes walk at most 32 nodes (exactly the
+// v4-only tree of old), IPv6 prefixes at most 128; the two families never
+// share nodes, so dual-stack sets cost v4 lookups nothing. Inserts of the
+// address space in use (tens of thousands of prefixes) build trees of a few
+// hundred thousand nodes, so this is both compact and fast without path
+// compression.
 type RadixTree[V any] struct {
-	root *radixNode[V]
-	size int
+	root4 *radixNode[V]
+	root6 *radixNode[V]
+	size  int
 }
 
 type radixNode[V any] struct {
@@ -21,24 +25,56 @@ type radixNode[V any] struct {
 
 // NewRadixTree returns an empty tree.
 func NewRadixTree[V any]() *RadixTree[V] {
-	return &RadixTree[V]{root: &radixNode[V]{}}
+	return &RadixTree[V]{root4: &radixNode[V]{}, root6: &radixNode[V]{}}
 }
 
 // Len returns the number of distinct prefixes stored.
 func (t *RadixTree[V]) Len() int { return t.size }
 
-// Insert associates val with the prefix, replacing any existing value for
-// exactly that prefix.
-func (t *RadixTree[V]) Insert(p Prefix, val V) {
-	p = p.Canonical()
-	n := t.root
+// bit6 returns bit i (0 = most significant) of the 128-bit form of a.
+func bit6(a Addr, i uint8) uint64 {
+	if i < 64 {
+		return (a.hi >> (63 - i)) & 1
+	}
+	return (a.lo >> (127 - i)) & 1
+}
+
+// walkTo descends from the family root along p's bits, creating nodes when
+// create is set; it returns nil when a node is missing and create is unset.
+func (t *RadixTree[V]) walkTo(p Prefix, create bool) *radixNode[V] {
+	if p.Base.Is4() {
+		n := t.root4
+		v4 := uint32(p.Base.lo)
+		for i := uint8(0); i < p.Bits; i++ {
+			b := (v4 >> (31 - i)) & 1
+			if n.child[b] == nil {
+				if !create {
+					return nil
+				}
+				n.child[b] = &radixNode[V]{}
+			}
+			n = n.child[b]
+		}
+		return n
+	}
+	n := t.root6
 	for i := uint8(0); i < p.Bits; i++ {
-		b := (p.Base >> (31 - i)) & 1
+		b := bit6(p.Base, i)
 		if n.child[b] == nil {
+			if !create {
+				return nil
+			}
 			n.child[b] = &radixNode[V]{}
 		}
 		n = n.child[b]
 	}
+	return n
+}
+
+// Insert associates val with the prefix, replacing any existing value for
+// exactly that prefix.
+func (t *RadixTree[V]) Insert(p Prefix, val V) {
+	n := t.walkTo(p.Canonical(), true)
 	if !n.set {
 		t.size++
 	}
@@ -48,12 +84,30 @@ func (t *RadixTree[V]) Insert(p Prefix, val V) {
 
 // Lookup returns the value of the longest prefix containing a.
 func (t *RadixTree[V]) Lookup(a Addr) (val V, ok bool) {
-	n := t.root
+	if a.Is4() {
+		n := t.root4
+		if n.set {
+			val, ok = n.val, true
+		}
+		v4 := uint32(a.lo)
+		for i := uint8(0); i < 32; i++ {
+			b := (v4 >> (31 - i)) & 1
+			n = n.child[b]
+			if n == nil {
+				return val, ok
+			}
+			if n.set {
+				val, ok = n.val, true
+			}
+		}
+		return val, ok
+	}
+	n := t.root6
 	if n.set {
 		val, ok = n.val, true
 	}
-	for i := uint8(0); i < 32; i++ {
-		b := (a >> (31 - i)) & 1
+	for i := uint8(0); i < 128; i++ {
+		b := bit6(a, i)
 		n = n.child[b]
 		if n == nil {
 			return val, ok
@@ -68,12 +122,23 @@ func (t *RadixTree[V]) Lookup(a Addr) (val V, ok bool) {
 // LookupPrefix returns the value and the matched prefix of the longest
 // prefix containing a.
 func (t *RadixTree[V]) LookupPrefix(a Addr) (p Prefix, val V, ok bool) {
-	n := t.root
-	if n.set {
-		p, val, ok = Prefix{}, n.val, true
+	is4 := a.Is4()
+	n := t.root6
+	width := uint8(128)
+	if is4 {
+		n = t.root4
+		width = 32
 	}
-	for i := uint8(0); i < 32; i++ {
-		b := (a >> (31 - i)) & 1
+	if n.set {
+		p, val, ok = MakePrefix(a, 0), n.val, true
+	}
+	for i := uint8(0); i < width; i++ {
+		var b uint64
+		if is4 {
+			b = uint64((uint32(a.lo) >> (31 - i)) & 1)
+		} else {
+			b = bit6(a, i)
+		}
 		n = n.child[b]
 		if n == nil {
 			return p, val, ok
@@ -88,17 +153,8 @@ func (t *RadixTree[V]) LookupPrefix(a Addr) (p Prefix, val V, ok bool) {
 
 // Get returns the value stored for exactly the given prefix.
 func (t *RadixTree[V]) Get(p Prefix) (val V, ok bool) {
-	p = p.Canonical()
-	n := t.root
-	for i := uint8(0); i < p.Bits; i++ {
-		b := (p.Base >> (31 - i)) & 1
-		n = n.child[b]
-		if n == nil {
-			var zero V
-			return zero, false
-		}
-	}
-	if !n.set {
+	n := t.walkTo(p.Canonical(), false)
+	if n == nil || !n.set {
 		var zero V
 		return zero, false
 	}
@@ -109,16 +165,8 @@ func (t *RadixTree[V]) Get(p Prefix) (val V, ok bool) {
 // whether it was present. Interior nodes are left in place (deletion is rare
 // in this codebase; trees are built once).
 func (t *RadixTree[V]) Delete(p Prefix) bool {
-	p = p.Canonical()
-	n := t.root
-	for i := uint8(0); i < p.Bits; i++ {
-		b := (p.Base >> (31 - i)) & 1
-		n = n.child[b]
-		if n == nil {
-			return false
-		}
-	}
-	if !n.set {
+	n := t.walkTo(p.Canonical(), false)
+	if n == nil || !n.set {
 		return false
 	}
 	var zero V
@@ -127,11 +175,33 @@ func (t *RadixTree[V]) Delete(p Prefix) bool {
 	return true
 }
 
-// Walk visits every stored prefix in address order, shortest prefix first at
-// equal bases. It stops early if fn returns false.
+// Walk visits every stored prefix in address order (all IPv4 before all
+// IPv6, matching Addr ordering), shortest prefix first at equal bases. It
+// stops early if fn returns false.
 func (t *RadixTree[V]) Walk(fn func(p Prefix, val V) bool) {
-	var rec func(n *radixNode[V], base Addr, depth uint8) bool
-	rec = func(n *radixNode[V], base Addr, depth uint8) bool {
+	var rec4 func(n *radixNode[V], base uint32, depth uint8) bool
+	rec4 = func(n *radixNode[V], base uint32, depth uint8) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			if !fn(Prefix{Base: AddrFrom4(base), Bits: depth}, n.val) {
+				return false
+			}
+		}
+		if depth == 32 {
+			return true
+		}
+		if !rec4(n.child[0], base, depth+1) {
+			return false
+		}
+		return rec4(n.child[1], base|1<<(31-depth), depth+1)
+	}
+	if !rec4(t.root4, 0, 0) {
+		return
+	}
+	var rec6 func(n *radixNode[V], base Addr, depth uint8) bool
+	rec6 = func(n *radixNode[V], base Addr, depth uint8) bool {
 		if n == nil {
 			return true
 		}
@@ -140,15 +210,21 @@ func (t *RadixTree[V]) Walk(fn func(p Prefix, val V) bool) {
 				return false
 			}
 		}
-		if depth == 32 {
+		if depth == 128 {
 			return true
 		}
-		if !rec(n.child[0], base, depth+1) {
+		if !rec6(n.child[0], base, depth+1) {
 			return false
 		}
-		return rec(n.child[1], base|1<<(31-depth), depth+1)
+		one := base
+		if depth < 64 {
+			one.hi |= 1 << (63 - depth)
+		} else {
+			one.lo |= 1 << (127 - depth)
+		}
+		return rec6(n.child[1], one, depth+1)
 	}
-	rec(t.root, 0, 0)
+	rec6(t.root6, Addr{}, 0)
 }
 
 // Set is a prefix set with membership-by-containment semantics, used for
@@ -186,7 +262,8 @@ func (s *Set) Len() int { return s.t.Len() }
 
 // NumAddrs returns the total number of addresses covered, counting
 // overlapping prefixes once. It walks covering prefixes in order and skips
-// nested ones.
+// nested ones. The count saturates at MaxUint64 (any IPv6 prefix wider
+// than /64 alone covers more addresses than a uint64 holds).
 func (s *Set) NumAddrs() uint64 {
 	var total uint64
 	var haveLast bool
@@ -197,7 +274,12 @@ func (s *Set) NumAddrs() uint64 {
 			// shorter, earlier prefix comes first).
 			return true
 		}
-		total += p.NumAddrs()
+		n := p.NumAddrs()
+		if total+n < total {
+			total = ^uint64(0)
+		} else {
+			total += n
+		}
 		last, haveLast = p, true
 		return true
 	})

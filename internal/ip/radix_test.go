@@ -137,7 +137,7 @@ func TestRadixAgainstLinearScan(t *testing.T) {
 	tr := NewRadixTree[int]()
 	var prefixes []Prefix
 	for i := 0; i < 500; i++ {
-		p := MakePrefix(Addr(s.Uint32()), uint8(s.Intn(33)))
+		p := MakePrefix(AddrFrom4(s.Uint32()), uint8(s.Intn(33)))
 		tr.Insert(p, i)
 		prefixes = append(prefixes, p)
 	}
@@ -147,7 +147,7 @@ func TestRadixAgainstLinearScan(t *testing.T) {
 		final[p] = i
 	}
 	for trial := 0; trial < 2000; trial++ {
-		a := Addr(s.Uint32())
+		a := AddrFrom4(s.Uint32())
 		bestBits := -1
 		bestVal := 0
 		for p, v := range final {
@@ -213,7 +213,7 @@ func TestSetNumAddrsDisjoint(t *testing.T) {
 
 func TestRadixPropertyInsertedAlwaysFound(t *testing.T) {
 	f := func(base uint32, bits uint8) bool {
-		p := MakePrefix(Addr(base), bits%33)
+		p := MakePrefix(AddrFrom4(base), bits%33)
 		tr := NewRadixTree[bool]()
 		tr.Insert(p, true)
 		v, ok := tr.Lookup(p.First())
@@ -228,11 +228,11 @@ func BenchmarkRadixLookup(b *testing.B) {
 	s := rng.NewSplitMix64(1)
 	tr := NewRadixTree[int]()
 	for i := 0; i < 10000; i++ {
-		tr.Insert(MakePrefix(Addr(s.Uint32()), uint8(8+s.Intn(17))), i)
+		tr.Insert(MakePrefix(AddrFrom4(s.Uint32()), uint8(8+s.Intn(17))), i)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Lookup(Addr(uint32(i) * 2654435761))
+		tr.Lookup(AddrFrom4(uint32(i) * 2654435761))
 	}
 }
 
@@ -251,7 +251,7 @@ func TestSetNumAddrsProperty(t *testing.T) {
 			return s.NumAddrs() == 0
 		}
 		for i := 0; i < n; i++ {
-			p := MakePrefix(Addr(bases[i]), 8+lens[i]%25)
+			p := MakePrefix(AddrFrom4(bases[i]), 8+lens[i]%25)
 			s.Add(p)
 			sum += p.NumAddrs()
 			if p.NumAddrs() > maxSingle {
@@ -269,12 +269,107 @@ func TestSetNumAddrsProperty(t *testing.T) {
 func TestSetContainsMatchesMembersProperty(t *testing.T) {
 	// Any address inside an added prefix is contained.
 	f := func(base uint32, bits uint8, off uint64) bool {
-		p := MakePrefix(Addr(base), bits%33)
+		p := MakePrefix(AddrFrom4(base), bits%33)
 		s := NewSet()
 		s.Add(p)
 		return s.Contains(p.Nth(off % p.NumAddrs()))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- dual-stack tests ---
+
+func TestRadixDualStack(t *testing.T) {
+	tr := NewRadixTree[string]()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "v4-ten")
+	tr.Insert(MustParsePrefix("2001:db8::/32"), "v6-db8")
+	tr.Insert(MustParsePrefix("2001:db8:5::/48"), "v6-db8-5")
+
+	cases := []struct {
+		addr string
+		want string
+		ok   bool
+	}{
+		{"10.1.2.3", "v4-ten", true},
+		{"2001:db8::1", "v6-db8", true},
+		{"2001:db8:5::9", "v6-db8-5", true}, // longest match wins
+		{"2001:db9::1", "", false},
+		{"32.1.13.184", "", false}, // v4 alias of 2001:db8 first bytes: families don't mix
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(MustParseAddr(c.addr))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q,%v want %q,%v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+	p, v, ok := tr.LookupPrefix(MustParseAddr("2001:db8:5::9"))
+	if !ok || v != "v6-db8-5" || p != MustParsePrefix("2001:db8:5::/48") {
+		t.Errorf("LookupPrefix = %v,%q,%v", p, v, ok)
+	}
+}
+
+func TestRadixWalkOrderDualStack(t *testing.T) {
+	tr := NewRadixTree[int]()
+	ins := []string{"2001:db8::/32", "10.0.0.0/8", "2001:db8::/64", "9.0.0.0/8"}
+	for i, s := range ins {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"9.0.0.0/8", "10.0.0.0/8", "2001:db8::/32", "2001:db8::/64"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRadix6AgainstLinearScan cross-checks v6 longest-prefix match against
+// a brute-force scan, mirroring the v4 differential test.
+func TestRadix6AgainstLinearScan(t *testing.T) {
+	s := rng.NewSplitMix64(77)
+	tr := NewRadixTree[int]()
+	final := map[Prefix]int{}
+	for i := 0; i < 300; i++ {
+		base := AddrFrom128(0x2001_0db8_0000_0000|s.Uint64()&0xff, s.Uint64()&0xf)
+		p := MakePrefix(base, uint8(48+s.Intn(81)))
+		tr.Insert(p, i)
+		final[p] = i
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := AddrFrom128(0x2001_0db8_0000_0000|s.Uint64()&0xff, s.Uint64()&0xf)
+		bestBits, bestVal := -1, 0
+		for p, v := range final {
+			if p.Contains(a) && int(p.Bits) > bestBits {
+				bestBits, bestVal = int(p.Bits), v
+			}
+		}
+		got, ok := tr.Lookup(a)
+		if bestBits < 0 {
+			if ok {
+				t.Fatalf("Lookup(%v) = %d, want miss", a, got)
+			}
+			continue
+		}
+		if !ok || got != bestVal {
+			t.Fatalf("Lookup(%v) = %d,%v, want %d", a, got, ok, bestVal)
+		}
+	}
+}
+
+func TestSetNumAddrs6Saturates(t *testing.T) {
+	s := NewSet()
+	s.Add(MustParsePrefix("2001:db8::/32"))
+	s.Add(MustParsePrefix("10.0.0.0/8"))
+	if got := s.NumAddrs(); got != ^uint64(0) {
+		t.Errorf("NumAddrs = %d, want saturation at MaxUint64", got)
 	}
 }

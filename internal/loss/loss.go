@@ -294,7 +294,7 @@ func (m *Matrix) DropFor(o origin.ID, dst ip.Addr, as asn.ASN, trial int) float6
 	p := m.Params(o, as, trial)
 	if p.BadPrefixFrac > 0 {
 		s24 := dst.Slash24()
-		if m.badnetKey.Bool(p.BadPrefixFrac, uint64(o), uint64(s24.Base)) {
+		if m.badnetKey.Bool(p.BadPrefixFrac, uint64(o), s24.Base.Word64()) {
 			return p.BadDrop
 		}
 	}
@@ -329,10 +329,10 @@ func (m *Matrix) PacketLost(o origin.ID, dst ip.Addr, as asn.ASN, trial int, pkt
 	q := m.DropFor(o, dst, as, trial)
 	c := m.cfg.PairCorrelation
 	window := uint64(t / MicroBurstWindow)
-	if m.microKey.Bool(q*c, uint64(m.alias(o))+siteKeyOffset, uint64(dst), uint64(trial), window) {
+	if m.microKey.Bool(q*c, uint64(m.alias(o))+siteKeyOffset, dst.Word64(), uint64(trial), window) {
 		return true
 	}
-	return m.pktKey.Bool(q*(1-c), uint64(o), uint64(dst), uint64(trial), pktIdx)
+	return m.pktKey.Bool(q*(1-c), uint64(o), dst.Word64(), uint64(trial), pktIdx)
 }
 
 // siteKeyOffset separates site-keyed draws from origin-keyed draws so a
@@ -348,10 +348,10 @@ const siteKeyOffset = 4096
 // least coverage of any three origins.
 func (m *Matrix) EpisodeActive(o origin.ID, dst ip.Addr, as asn.ASN, trial int) bool {
 	p := m.Params(o, as, trial)
-	if m.episodeKey.Bool(p.EpisodeRate*0.85, uint64(m.alias(o))+siteKeyOffset, uint64(dst), uint64(trial)) {
+	if m.episodeKey.Bool(p.EpisodeRate*0.85, uint64(m.alias(o))+siteKeyOffset, dst.Word64(), uint64(trial)) {
 		return true
 	}
-	return m.episodeKey.Bool(p.EpisodeRate*0.15, uint64(o), uint64(dst), uint64(trial))
+	return m.episodeKey.Bool(p.EpisodeRate*0.15, uint64(o), dst.Word64(), uint64(trial))
 }
 
 // ConnFailProb returns the probability a full TCP connection plus
@@ -376,5 +376,5 @@ func ConnFailProb(q float64) float64 {
 // draw independently.
 func (m *Matrix) HandshakeFailed(o origin.ID, dst ip.Addr, as asn.ASN, trial int, attempt int) bool {
 	q := m.DropFor(o, dst, as, trial)
-	return m.hsKey.Bool(ConnFailProb(q), uint64(o), uint64(dst), uint64(trial), uint64(attempt))
+	return m.hsKey.Bool(ConnFailProb(q), uint64(o), dst.Word64(), uint64(trial), uint64(attempt))
 }

@@ -150,7 +150,7 @@ func TestEpisodeRateEmpirical(t *testing.T) {
 	hits := 0
 	const n = 50000
 	for i := 0; i < n; i++ {
-		if m.EpisodeActive(origin.US1, ip.Addr(uint32(i)), as, 0) {
+		if m.EpisodeActive(origin.US1, ip.AddrFrom4(uint32(i)), as, 0) {
 			hits++
 		}
 	}
@@ -169,7 +169,7 @@ func TestPacketLossPairCorrelation(t *testing.T) {
 	var lost0, either, both int
 	const n = 200000
 	for i := 0; i < n; i++ {
-		dst := ip.Addr(uint32(i))
+		dst := ip.AddrFrom4(uint32(i))
 		l0 := m.PacketLost(origin.US1, dst, as, 0, 0, 0)
 		l1 := m.PacketLost(origin.US1, dst, as, 0, 1, 0)
 		if l0 {
@@ -204,7 +204,7 @@ func TestPacketLossZeroCorrelationIndependent(t *testing.T) {
 	var both, either int
 	const n = 200000
 	for i := 0; i < n; i++ {
-		dst := ip.Addr(uint32(i))
+		dst := ip.AddrFrom4(uint32(i))
 		l0 := m.PacketLost(origin.US1, dst, as, 0, 0, 0)
 		l1 := m.PacketLost(origin.US1, dst, as, 0, 1, 0)
 		if l0 || l1 {
@@ -249,7 +249,7 @@ func TestBadPrefixOverride(t *testing.T) {
 	m.Override(origin.DE, 3269, Params{PacketDrop: 0.16, BadPrefixFrac: 0.38, BadDrop: 0.55})
 	bad, good := 0, 0
 	for i := 0; i < 2000; i++ {
-		dst := ip.Addr(uint32(i) << 8) // distinct /24s
+		dst := ip.AddrFrom4(uint32(i) << 8) // distinct /24s
 		q := m.DropFor(origin.DE, dst, 3269, 0)
 		switch q {
 		case 0.55:
@@ -315,7 +315,7 @@ func TestDelayedProbesEscapeMicroBursts(t *testing.T) {
 	var bothBack, bothDelay, eitherBack, eitherDelay int
 	const n = 100000
 	for i := 0; i < n; i++ {
-		dst := ip.Addr(uint32(i))
+		dst := ip.AddrFrom4(uint32(i))
 		b0 := m.PacketLost(origin.US1, dst, as, 0, 0, 0)
 		b1 := m.PacketLost(origin.US1, dst, as, 0, 1, 0)
 		d1 := m.PacketLost(origin.US1, dst, as, 0, 1, 10*MicroBurstWindow)

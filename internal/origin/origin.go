@@ -85,7 +85,7 @@ const (
 // desynchronized probe and handshake attribution would corrupt every
 // detection-dependent result.
 func SourceFor(ips []ip.Addr, dst ip.Addr) ip.Addr {
-	return ips[uint32(dst)%uint32(len(ips))]
+	return ips[dst.Word32()%uint32(len(ips))]
 }
 
 // Set is an ordered list of distinct origins.
@@ -124,7 +124,7 @@ func NewDirectory(srcBase ip.Addr) *Directory {
 		ips := make([]ip.Addr, n)
 		for i := range ips {
 			ips[i] = next
-			next++
+			next = next.Next()
 		}
 		return ips
 	}

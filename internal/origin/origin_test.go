@@ -33,7 +33,7 @@ func TestDirectoryShape(t *testing.T) {
 }
 
 func TestReputations(t *testing.T) {
-	d := NewDirectory(0)
+	d := NewDirectory(ip.Addr{})
 	cases := map[ID]Reputation{
 		CEN: RepHeavy, AU: RepUsed, DE: RepUsed,
 		BR: RepFresh, JP: RepFresh, US1: RepSubnet, US64: RepSubnet,
@@ -76,5 +76,5 @@ func TestGetUnknownPanics(t *testing.T) {
 			t.Fatal("Get(unknown) did not panic")
 		}
 	}()
-	NewDirectory(0).Get(ID(99))
+	NewDirectory(ip.Addr{}).Get(ID(99))
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/asn"
+	"repro/internal/ip"
 	"repro/internal/origin"
 	"repro/internal/rng"
 )
@@ -180,13 +181,13 @@ func (s *Schedule) Events() []Event { return s.events }
 // Affected reports whether origin o's path to host dst in AS as is inside a
 // burst outage at time t, considering both ordinary and wide events.
 // Severity is applied per host with a stable keyed draw.
-func (s *Schedule) Affected(trial int, o origin.ID, as asn.ASN, dst uint32, t time.Duration) bool {
+func (s *Schedule) Affected(trial int, o origin.ID, as asn.ASN, dst ip.Addr, t time.Duration) bool {
 	for _, idx := range s.byTrialAS[trialAS{trial, as}] {
 		ev := &s.events[idx]
 		if !ev.Active(trial, t) || !ev.Origins.Contains(o) {
 			continue
 		}
-		if s.key.Derive("sev").Bool(ev.Severity, uint64(idx), uint64(dst)) {
+		if s.key.Derive("sev").Bool(ev.Severity, uint64(idx), dst.Word64()) {
 			return true
 		}
 	}
@@ -199,7 +200,7 @@ func (s *Schedule) Affected(trial int, o origin.ID, as asn.ASN, dst uint32, t ti
 		if !s.key.Derive("wide-as").Bool(w.ASFraction, uint64(i), uint64(as)) {
 			continue
 		}
-		if s.key.Derive("wide-sev").Bool(w.Severity, uint64(i), uint64(dst)) {
+		if s.key.Derive("wide-sev").Bool(w.Severity, uint64(i), dst.Word64()) {
 			return true
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/asn"
+	"repro/internal/ip"
 	"repro/internal/origin"
 	"repro/internal/rng"
 )
@@ -100,7 +101,7 @@ func TestAffectedRespectsWindowAndOrigin(t *testing.T) {
 	o := ev.Origins[0]
 	hits := 0
 	for dst := uint32(0); dst < 2000; dst++ {
-		if s.Affected(ev.Trial, o, ev.AS, dst, mid) {
+		if s.Affected(ev.Trial, o, ev.AS, ip.AddrFrom4(dst), mid) {
 			hits++
 		}
 	}
@@ -113,7 +114,7 @@ func TestAffectedRespectsWindowAndOrigin(t *testing.T) {
 	if before > 0 {
 		miss := 0
 		for dst := uint32(0); dst < 2000; dst++ {
-			if s.Affected(ev.Trial, o, ev.AS, dst, before) {
+			if s.Affected(ev.Trial, o, ev.AS, ip.AddrFrom4(dst), before) {
 				miss++
 			}
 		}
@@ -144,7 +145,7 @@ func TestWideEvent(t *testing.T) {
 	for as := asn.ASN(1); as <= 50; as++ {
 		hit := false
 		for dst := uint32(0); dst < 200 && !hit; dst++ {
-			if s.Affected(2, origin.BR, as, dst, 10*time.Hour+30*time.Minute) {
+			if s.Affected(2, origin.BR, as, ip.AddrFrom4(dst), 10*time.Hour+30*time.Minute) {
 				hit = true
 			}
 		}
@@ -158,7 +159,7 @@ func TestWideEvent(t *testing.T) {
 	// Other origins must be untouched by the wide event at that time.
 	for as := asn.ASN(1); as <= 50; as++ {
 		for dst := uint32(0); dst < 50; dst++ {
-			if s.Affected(2, origin.JP, as, dst, 10*time.Hour+30*time.Minute) {
+			if s.Affected(2, origin.JP, as, ip.AddrFrom4(dst), 10*time.Hour+30*time.Minute) {
 				// Could be an ordinary event; verify it is.
 				if len(s.ActiveEvents(2, as, 10*time.Hour+30*time.Minute)) == 0 {
 					t.Fatalf("wide event leaked to JP (AS%d)", as)
@@ -173,7 +174,7 @@ func TestEmptyASListYieldsEmptySchedule(t *testing.T) {
 	if len(s.Events()) != 0 {
 		t.Error("schedule should be empty with no ASes")
 	}
-	if s.Affected(0, origin.AU, 1, 1, time.Hour) {
+	if s.Affected(0, origin.AU, 1, ip.AddrFrom4(1), time.Hour) {
 		t.Error("empty schedule affected a host")
 	}
 }

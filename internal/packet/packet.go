@@ -83,13 +83,27 @@ func Checksum(data []byte, initial uint32) uint16 {
 	return ^uint16(sum)
 }
 
-// pseudoHeaderSum computes the TCP pseudo-header partial sum.
-func pseudoHeaderSum(src, dst ip.Addr, tcpLen int) uint32 {
+// pseudoHeaderSum4 computes the IPv4 TCP pseudo-header partial sum over
+// host-order address words.
+func pseudoHeaderSum4(src, dst uint32, tcpLen int) uint32 {
 	var sum uint32
-	sum += uint32(src >> 16)
-	sum += uint32(src & 0xffff)
-	sum += uint32(dst >> 16)
-	sum += uint32(dst & 0xffff)
+	sum += src >> 16
+	sum += src & 0xffff
+	sum += dst >> 16
+	sum += dst & 0xffff
+	sum += ProtoTCP
+	sum += uint32(tcpLen)
+	return sum
+}
+
+// pseudoHeaderSum6 computes the IPv6 TCP pseudo-header partial sum
+// (RFC 8200 §8.1): both 128-bit addresses, the upper-layer length, and the
+// next-header value, as 16-bit words.
+func pseudoHeaderSum6(src, dst ip.Addr, tcpLen int) uint32 {
+	var sum uint32
+	for _, w := range [...]uint64{src.Hi(), src.Lo(), dst.Hi(), dst.Lo()} {
+		sum += uint32(w>>48) + uint32(w>>32&0xffff) + uint32(w>>16&0xffff) + uint32(w&0xffff)
+	}
 	sum += ProtoTCP
 	sum += uint32(tcpLen)
 	return sum
@@ -130,8 +144,8 @@ func SerializeTCP4Into(buf []byte, iph *IPv4Header, tcph *TCPHeader, payload []b
 	}
 	buf[8] = ttl
 	buf[9] = ProtoTCP
-	binary.BigEndian.PutUint32(buf[12:], uint32(iph.Src))
-	binary.BigEndian.PutUint32(buf[16:], uint32(iph.Dst))
+	binary.BigEndian.PutUint32(buf[12:], iph.Src.V4())
+	binary.BigEndian.PutUint32(buf[16:], iph.Dst.V4())
 	buf[10], buf[11] = 0, 0 // checksum field must be zero while summing
 	binary.BigEndian.PutUint16(buf[10:], Checksum(buf[:20], 0))
 
@@ -153,7 +167,7 @@ func SerializeTCP4Into(buf []byte, iph *IPv4Header, tcph *TCPHeader, payload []b
 	copy(t[20:], tcph.Options)
 	copy(t[20+len(tcph.Options):], payload)
 	t[16], t[17] = 0, 0 // checksum field must be zero while summing
-	binary.BigEndian.PutUint16(t[16:], Checksum(t[:tcpLen], pseudoHeaderSum(iph.Src, iph.Dst, tcpLen)))
+	binary.BigEndian.PutUint16(t[16:], Checksum(t[:tcpLen], pseudoHeaderSum4(iph.Src.V4(), iph.Dst.V4(), tcpLen)))
 
 	return buf
 }
@@ -203,8 +217,8 @@ func DecodeTCP4Into(iph *IPv4Header, tcph *TCPHeader, data []byte) ([]byte, erro
 		TTL:      data[8],
 		Protocol: data[9],
 		Checksum: binary.BigEndian.Uint16(data[10:]),
-		Src:      ip.Addr(binary.BigEndian.Uint32(data[12:])),
-		Dst:      ip.Addr(binary.BigEndian.Uint32(data[16:])),
+		Src:      ip.AddrFrom4(binary.BigEndian.Uint32(data[12:])),
+		Dst:      ip.AddrFrom4(binary.BigEndian.Uint32(data[16:])),
 		HdrLen:   ihl,
 	}
 	if iph.Protocol != ProtoTCP {
@@ -221,7 +235,7 @@ func DecodeTCP4Into(iph *IPv4Header, tcph *TCPHeader, data []byte) ([]byte, erro
 	if dataOff < 20 || dataOff > len(seg) {
 		return nil, ErrTruncated
 	}
-	if Checksum(seg, pseudoHeaderSum(iph.Src, iph.Dst, len(seg))) != 0 {
+	if Checksum(seg, pseudoHeaderSum4(iph.Src.V4(), iph.Dst.V4(), len(seg))) != 0 {
 		return nil, ErrBadChecksum
 	}
 	*tcph = TCPHeader{
@@ -242,56 +256,80 @@ func DecodeTCP4Into(iph *IPv4Header, tcph *TCPHeader, data []byte) ([]byte, erro
 }
 
 // MakeSYN builds a SYN probe packet (the ZMap probe): MSS option included,
-// as real ZMap sends.
+// as real ZMap sends. The IP layer follows the address family; mixed
+// families panic (via V4) rather than emit a corrupt probe.
 func MakeSYN(src, dst ip.Addr, srcPort, dstPort uint16, seq uint32, ipID uint16) []byte {
 	return MakeSYNInto(nil, src, dst, srcPort, dstPort, seq, ipID)
 }
 
 // MakeSYNInto is MakeSYN reusing buf's storage (see SerializeTCP4Into).
 func MakeSYNInto(buf []byte, src, dst ip.Addr, srcPort, dstPort uint16, seq uint32, ipID uint16) []byte {
-	return SerializeTCP4Into(buf,
-		&IPv4Header{Src: src, Dst: dst, ID: ipID, TTL: 64},
-		&TCPHeader{
-			SrcPort: srcPort, DstPort: dstPort,
-			Seq: seq, Flags: FlagSYN,
-			Options: mssOption[:],
-		},
-		nil,
-	)
+	tcph := TCPHeader{
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Flags: FlagSYN,
+		Options: mssOption[:],
+	}
+	if dst.Is4() {
+		return SerializeTCP4Into(buf,
+			&IPv4Header{Src: src, Dst: dst, ID: ipID, TTL: 64}, &tcph, nil)
+	}
+	// IPv6 has no IP-level ID field; the probe index rides in FlowLabel so
+	// captures can still distinguish retransmissions.
+	return SerializeTCP6Into(buf,
+		&IPv6Header{Src: src, Dst: dst, FlowLabel: uint32(ipID), HopLimit: 64}, &tcph, nil)
 }
 
 // mssOption is the MSS 1460 TCP option every SYN carries; a package-level
 // array keeps MakeSYNInto allocation-free.
 var mssOption = [4]byte{2, 4, 0x05, 0xb4}
 
-// MakeSYNACK builds the SYN-ACK a listening host answers with.
+// MakeSYNACK builds the SYN-ACK a listening host answers with, in the
+// family of the addresses.
 func MakeSYNACK(src, dst ip.Addr, srcPort, dstPort uint16, seq, ack uint32) []byte {
-	return SerializeTCP4(
-		&IPv4Header{Src: src, Dst: dst, TTL: 64},
-		&TCPHeader{
-			SrcPort: srcPort, DstPort: dstPort,
-			Seq: seq, Ack: ack, Flags: FlagSYN | FlagACK,
-			Options: []byte{2, 4, 0x05, 0xb4},
-		},
-		nil,
-	)
+	tcph := TCPHeader{
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Ack: ack, Flags: FlagSYN | FlagACK,
+		Options: []byte{2, 4, 0x05, 0xb4},
+	}
+	if dst.Is4() {
+		return SerializeTCP4(&IPv4Header{Src: src, Dst: dst, TTL: 64}, &tcph, nil)
+	}
+	return SerializeTCP6(&IPv6Header{Src: src, Dst: dst, HopLimit: 64}, &tcph, nil)
 }
 
-// MakeRST builds the RST a closed port answers with.
+// MakeRST builds the RST a closed port answers with, in the family of the
+// addresses.
 func MakeRST(src, dst ip.Addr, srcPort, dstPort uint16, seq, ack uint32) []byte {
-	return SerializeTCP4(
-		&IPv4Header{Src: src, Dst: dst, TTL: 64},
-		&TCPHeader{
-			SrcPort: srcPort, DstPort: dstPort,
-			Seq: seq, Ack: ack, Flags: FlagRST | FlagACK,
-		},
-		nil,
-	)
+	tcph := TCPHeader{
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Ack: ack, Flags: FlagRST | FlagACK,
+	}
+	if dst.Is4() {
+		return SerializeTCP4(&IPv4Header{Src: src, Dst: dst, TTL: 64}, &tcph, nil)
+	}
+	return SerializeTCP6(&IPv6Header{Src: src, Dst: dst, HopLimit: 64}, &tcph, nil)
 }
 
-// Summary formats a one-line description for diagnostics.
+// Summary formats a one-line description for diagnostics, sniffing the IP
+// version to pick the decoder.
 func Summary(data []byte) string {
-	iph, tcph, payload, err := DecodeTCP4(data)
+	var src, dst ip.Addr
+	var tcph *TCPHeader
+	var payload []byte
+	var err error
+	if Version(data) == 6 {
+		var ip6 *IPv6Header
+		ip6, tcph, payload, err = DecodeTCP6(data)
+		if err == nil {
+			src, dst = ip6.Src, ip6.Dst
+		}
+	} else {
+		var iph *IPv4Header
+		iph, tcph, payload, err = DecodeTCP4(data)
+		if err == nil {
+			src, dst = iph.Src, iph.Dst
+		}
+	}
 	if err != nil {
 		return fmt.Sprintf("invalid packet: %v", err)
 	}
@@ -305,5 +343,5 @@ func Summary(data []byte) string {
 		}
 	}
 	return fmt.Sprintf("%v:%d > %v:%d [%s] seq=%d ack=%d len=%d",
-		iph.Src, tcph.SrcPort, iph.Dst, tcph.DstPort, flags, tcph.Seq, tcph.Ack, len(payload))
+		src, tcph.SrcPort, dst, tcph.DstPort, flags, tcph.Seq, tcph.Ack, len(payload))
 }

@@ -1,0 +1,155 @@
+package packet
+
+import (
+	"encoding/binary"
+
+	"repro/internal/ip"
+)
+
+// IPv6Header is a decoded IPv6 fixed header (RFC 8200). Extension headers
+// are not used by the scanner and are rejected on decode (NextHeader must
+// be TCP); IPv6 has no header checksum — integrity rides on the TCP
+// pseudo-header sum.
+type IPv6Header struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	PayloadLen   uint16
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     ip.Addr
+}
+
+// SerializeTCP6 builds a complete IPv6+TCP packet with a correct TCP
+// checksum, the v6 analog of SerializeTCP4.
+func SerializeTCP6(ip6 *IPv6Header, tcph *TCPHeader, payload []byte) []byte {
+	return SerializeTCP6Into(nil, ip6, tcph, payload)
+}
+
+// SerializeTCP6Into is SerializeTCP6 writing into buf's storage when it has
+// the capacity (see SerializeTCP4Into); the returned slice aliases buf.
+func SerializeTCP6Into(buf []byte, ip6 *IPv6Header, tcph *TCPHeader, payload []byte) []byte {
+	tcpLen := 20 + len(tcph.Options) + len(payload)
+	if len(tcph.Options)%4 != 0 {
+		panic("packet: TCP options must be padded to 4 bytes")
+	}
+	totalLen := 40 + tcpLen
+	if cap(buf) >= totalLen {
+		buf = buf[:totalLen]
+	} else {
+		buf = make([]byte, totalLen)
+	}
+
+	// IPv6 fixed header.
+	binary.BigEndian.PutUint32(buf[0:],
+		6<<28|uint32(ip6.TrafficClass)<<20|ip6.FlowLabel&0xfffff)
+	binary.BigEndian.PutUint16(buf[4:], uint16(tcpLen))
+	buf[6] = ProtoTCP
+	hop := ip6.HopLimit
+	if hop == 0 {
+		hop = 64
+	}
+	buf[7] = hop
+	binary.BigEndian.PutUint64(buf[8:], ip6.Src.Hi())
+	binary.BigEndian.PutUint64(buf[16:], ip6.Src.Lo())
+	binary.BigEndian.PutUint64(buf[24:], ip6.Dst.Hi())
+	binary.BigEndian.PutUint64(buf[32:], ip6.Dst.Lo())
+
+	// TCP header: identical layout to the v4 path, different pseudo-sum.
+	t := buf[40:]
+	binary.BigEndian.PutUint16(t[0:], tcph.SrcPort)
+	binary.BigEndian.PutUint16(t[2:], tcph.DstPort)
+	binary.BigEndian.PutUint32(t[4:], tcph.Seq)
+	binary.BigEndian.PutUint32(t[8:], tcph.Ack)
+	dataOff := (20 + len(tcph.Options)) / 4
+	t[12] = byte(dataOff << 4)
+	t[13] = tcph.Flags
+	win := tcph.Window
+	if win == 0 {
+		win = 65535
+	}
+	binary.BigEndian.PutUint16(t[14:], win)
+	binary.BigEndian.PutUint16(t[18:], tcph.Urgent)
+	copy(t[20:], tcph.Options)
+	copy(t[20+len(tcph.Options):], payload)
+	t[16], t[17] = 0, 0 // checksum field must be zero while summing
+	binary.BigEndian.PutUint16(t[16:], Checksum(t[:tcpLen], pseudoHeaderSum6(ip6.Src, ip6.Dst, tcpLen)))
+
+	return buf
+}
+
+// DecodeTCP6 parses and validates an IPv6+TCP packet, returning both
+// headers and the payload.
+func DecodeTCP6(data []byte) (*IPv6Header, *TCPHeader, []byte, error) {
+	ip6, tcph := new(IPv6Header), new(TCPHeader)
+	payload, err := DecodeTCP6Into(ip6, tcph, data)
+	if err != nil {
+		if ip6.NextHeader == 0 {
+			return nil, nil, nil, err
+		}
+		return ip6, nil, nil, err
+	}
+	return ip6, tcph, payload, nil
+}
+
+// DecodeTCP6Into is DecodeTCP6 decoding into caller-provided headers so the
+// hot reply-validation loop keeps both on the stack (see DecodeTCP4Into).
+// The payload and tcph.Options alias data.
+func DecodeTCP6Into(ip6 *IPv6Header, tcph *TCPHeader, data []byte) ([]byte, error) {
+	*ip6 = IPv6Header{}
+	*tcph = TCPHeader{}
+	if len(data) < 40 {
+		return nil, ErrTruncated
+	}
+	if data[0]>>4 != 6 {
+		return nil, ErrBadVersion
+	}
+	vtf := binary.BigEndian.Uint32(data[0:])
+	*ip6 = IPv6Header{
+		TrafficClass: uint8(vtf >> 20),
+		FlowLabel:    vtf & 0xfffff,
+		PayloadLen:   binary.BigEndian.Uint16(data[4:]),
+		NextHeader:   data[6],
+		HopLimit:     data[7],
+		Src:          ip.AddrFrom128(binary.BigEndian.Uint64(data[8:]), binary.BigEndian.Uint64(data[16:])),
+		Dst:          ip.AddrFrom128(binary.BigEndian.Uint64(data[24:]), binary.BigEndian.Uint64(data[32:])),
+	}
+	if ip6.NextHeader != ProtoTCP {
+		return nil, ErrNotTCP
+	}
+	if int(ip6.PayloadLen) > len(data)-40 || int(ip6.PayloadLen) < 20 {
+		return nil, ErrTruncated
+	}
+	seg := data[40 : 40+int(ip6.PayloadLen)]
+	dataOff := int(seg[12]>>4) * 4
+	if dataOff < 20 || dataOff > len(seg) {
+		return nil, ErrTruncated
+	}
+	if Checksum(seg, pseudoHeaderSum6(ip6.Src, ip6.Dst, len(seg))) != 0 {
+		return nil, ErrBadChecksum
+	}
+	*tcph = TCPHeader{
+		SrcPort:  binary.BigEndian.Uint16(seg[0:]),
+		DstPort:  binary.BigEndian.Uint16(seg[2:]),
+		Seq:      binary.BigEndian.Uint32(seg[4:]),
+		Ack:      binary.BigEndian.Uint32(seg[8:]),
+		DataOff:  dataOff,
+		Flags:    seg[13],
+		Window:   binary.BigEndian.Uint16(seg[14:]),
+		Checksum: binary.BigEndian.Uint16(seg[16:]),
+		Urgent:   binary.BigEndian.Uint16(seg[18:]),
+	}
+	if dataOff > 20 {
+		tcph.Options = seg[20:dataOff]
+	}
+	return seg[dataOff:], nil
+}
+
+// Version returns the IP version nibble of a raw packet (0 when data is
+// empty) — the one-byte sniff the fabric uses to route a frame to the
+// right decoder.
+func Version(data []byte) int {
+	if len(data) == 0 {
+		return 0
+	}
+	return int(data[0] >> 4)
+}

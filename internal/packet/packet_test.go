@@ -60,7 +60,7 @@ func TestSerializeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRejectsCorruptedIPChecksum(t *testing.T) {
-	pkt := MakeSYN(1, 2, 1000, 80, 42, 7)
+	pkt := MakeSYN(ip.AddrFrom4(1), ip.AddrFrom4(2), 1000, 80, 42, 7)
 	pkt[12] ^= 0xff // corrupt src address without fixing checksum
 	if _, _, _, err := DecodeTCP4(pkt); err != ErrBadChecksum {
 		t.Errorf("err = %v, want ErrBadChecksum", err)
@@ -68,7 +68,7 @@ func TestDecodeRejectsCorruptedIPChecksum(t *testing.T) {
 }
 
 func TestDecodeRejectsCorruptedTCPChecksum(t *testing.T) {
-	pkt := MakeSYN(1, 2, 1000, 80, 42, 7)
+	pkt := MakeSYN(ip.AddrFrom4(1), ip.AddrFrom4(2), 1000, 80, 42, 7)
 	pkt[len(pkt)-1] ^= 0xff // corrupt last TCP option byte
 	if _, _, _, err := DecodeTCP4(pkt); err != ErrBadChecksum {
 		t.Errorf("err = %v, want ErrBadChecksum", err)
@@ -76,7 +76,7 @@ func TestDecodeRejectsCorruptedTCPChecksum(t *testing.T) {
 }
 
 func TestDecodeRejectsTruncated(t *testing.T) {
-	pkt := MakeSYN(1, 2, 1000, 80, 42, 7)
+	pkt := MakeSYN(ip.AddrFrom4(1), ip.AddrFrom4(2), 1000, 80, 42, 7)
 	for _, n := range []int{0, 10, 19, 25, len(pkt) - 1} {
 		if _, _, _, err := DecodeTCP4(pkt[:n]); err == nil {
 			t.Errorf("decode of %d bytes succeeded", n)
@@ -85,7 +85,7 @@ func TestDecodeRejectsTruncated(t *testing.T) {
 }
 
 func TestDecodeRejectsNonIPv4(t *testing.T) {
-	pkt := MakeSYN(1, 2, 1000, 80, 42, 7)
+	pkt := MakeSYN(ip.AddrFrom4(1), ip.AddrFrom4(2), 1000, 80, 42, 7)
 	pkt[0] = 0x65 // version 6
 	if _, _, _, err := DecodeTCP4(pkt); err != ErrBadVersion {
 		t.Errorf("err = %v, want ErrBadVersion", err)
@@ -93,7 +93,7 @@ func TestDecodeRejectsNonIPv4(t *testing.T) {
 }
 
 func TestDecodeRejectsNonTCP(t *testing.T) {
-	pkt := MakeSYN(1, 2, 1000, 80, 42, 7)
+	pkt := MakeSYN(ip.AddrFrom4(1), ip.AddrFrom4(2), 1000, 80, 42, 7)
 	pkt[9] = 17 // UDP
 	// Fix the IP checksum so the protocol check is reached.
 	pkt[10], pkt[11] = 0, 0
@@ -130,9 +130,9 @@ func TestMakeSYNShape(t *testing.T) {
 }
 
 func TestMakeSYNACKAcksSeqPlusOne(t *testing.T) {
-	probe := MakeSYN(1, 2, 40000, 443, 1000, 0)
+	probe := MakeSYN(ip.AddrFrom4(1), ip.AddrFrom4(2), 40000, 443, 1000, 0)
 	_, p, _, _ := DecodeTCP4(probe)
-	resp := MakeSYNACK(2, 1, 443, 40000, 77, p.Seq+1)
+	resp := MakeSYNACK(ip.AddrFrom4(2), ip.AddrFrom4(1), 443, 40000, 77, p.Seq+1)
 	_, r, _, err := DecodeTCP4(resp)
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +146,7 @@ func TestMakeSYNACKAcksSeqPlusOne(t *testing.T) {
 }
 
 func TestMakeRSTFlags(t *testing.T) {
-	pkt := MakeRST(2, 1, 22, 40000, 0, 1001)
+	pkt := MakeRST(ip.AddrFrom4(2), ip.AddrFrom4(1), 22, 40000, 0, 1001)
 	_, tcph, _, err := DecodeTCP4(pkt)
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestMakeRSTFlags(t *testing.T) {
 func TestSerializeDecodePropertyRoundTrip(t *testing.T) {
 	f := func(src, dst uint32, sp, dp uint16, seq, ack uint32, flags uint8, payload []byte) bool {
 		pkt := SerializeTCP4(
-			&IPv4Header{Src: ip.Addr(src), Dst: ip.Addr(dst), TTL: 64},
+			&IPv4Header{Src: ip.AddrFrom4(src), Dst: ip.AddrFrom4(dst), TTL: 64},
 			&TCPHeader{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: flags},
 			payload,
 		)
@@ -167,7 +167,7 @@ func TestSerializeDecodePropertyRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return iph.Src == ip.Addr(src) && iph.Dst == ip.Addr(dst) &&
+		return iph.Src == ip.AddrFrom4(src) && iph.Dst == ip.AddrFrom4(dst) &&
 			tcph.SrcPort == sp && tcph.DstPort == dp &&
 			tcph.Seq == seq && tcph.Ack == ack && tcph.Flags == flags &&
 			string(pl) == string(payload)
@@ -196,20 +196,145 @@ func TestSerializePanicsOnUnpaddedOptions(t *testing.T) {
 			t.Fatal("unpadded options did not panic")
 		}
 	}()
-	SerializeTCP4(&IPv4Header{}, &TCPHeader{Options: []byte{1, 2, 3}}, nil)
+	SerializeTCP4(&IPv4Header{Src: ip.AddrFrom4(1), Dst: ip.AddrFrom4(2)}, &TCPHeader{Options: []byte{1, 2, 3}}, nil)
 }
 
 func BenchmarkMakeSYN(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		MakeSYN(ip.Addr(i), ip.Addr(i*7), 40000, 80, uint32(i), uint16(i))
+		MakeSYN(ip.AddrFrom4(uint32(i)), ip.AddrFrom4(uint32(i*7)), 40000, 80, uint32(i), uint16(i))
 	}
 }
 
 func BenchmarkDecodeTCP4(b *testing.B) {
-	pkt := MakeSYNACK(1, 2, 80, 40000, 5, 6)
+	pkt := MakeSYNACK(ip.AddrFrom4(1), ip.AddrFrom4(2), 80, 40000, 5, 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := DecodeTCP4(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- IPv6 tests ---
+
+func TestSerializeDecode6RoundTrip(t *testing.T) {
+	src, dst := ip.MustParseAddr("2001:db8::1"), ip.MustParseAddr("2001:db8:5::9")
+	pkt := SerializeTCP6(
+		&IPv6Header{Src: src, Dst: dst, FlowLabel: 0x2345, HopLimit: 64},
+		&TCPHeader{
+			SrcPort: 54321, DstPort: 443,
+			Seq: 0xdeadbeef, Ack: 0x12345678,
+			Flags: FlagSYN | FlagACK, Window: 29200,
+			Options: []byte{2, 4, 5, 180},
+		},
+		[]byte("hello"),
+	)
+	ip6, tcph, payload, err := DecodeTCP6(pkt)
+	if err != nil {
+		t.Fatalf("DecodeTCP6: %v", err)
+	}
+	if ip6.Src != src || ip6.Dst != dst || ip6.FlowLabel != 0x2345 {
+		t.Errorf("IPv6 header mismatch: %+v", ip6)
+	}
+	if tcph.SrcPort != 54321 || tcph.DstPort != 443 || tcph.Seq != 0xdeadbeef {
+		t.Errorf("TCP header mismatch: %+v", tcph)
+	}
+	if string(payload) != "hello" {
+		t.Errorf("payload = %q", payload)
+	}
+}
+
+func TestDecode6RejectsCorruptedTCPChecksum(t *testing.T) {
+	pkt := MakeSYN(ip.MustParseAddr("2001:db8::1"), ip.MustParseAddr("2001:db8::2"), 1000, 80, 42, 7)
+	pkt[len(pkt)-1] ^= 0xff
+	if _, _, _, err := DecodeTCP6(pkt); err != ErrBadChecksum {
+		t.Errorf("err = %v, want ErrBadChecksum", err)
+	}
+	// Corrupting an address breaks the pseudo-header sum even though IPv6
+	// has no IP-level checksum.
+	pkt2 := MakeSYN(ip.MustParseAddr("2001:db8::1"), ip.MustParseAddr("2001:db8::2"), 1000, 80, 42, 7)
+	pkt2[9] ^= 0xff
+	if _, _, _, err := DecodeTCP6(pkt2); err != ErrBadChecksum {
+		t.Errorf("addr corruption: err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecode6RejectsTruncatedAndVersion(t *testing.T) {
+	pkt := MakeSYN(ip.MustParseAddr("2001:db8::1"), ip.MustParseAddr("2001:db8::2"), 1000, 80, 42, 7)
+	for _, n := range []int{0, 10, 39, 45, len(pkt) - 1} {
+		if _, _, _, err := DecodeTCP6(pkt[:n]); err == nil {
+			t.Errorf("decode of %d bytes succeeded", n)
+		}
+	}
+	v4pkt := MakeSYN(ip.AddrFrom4(1), ip.AddrFrom4(2), 1000, 80, 42, 7)
+	if _, _, _, err := DecodeTCP6(v4pkt); err != ErrBadVersion {
+		t.Errorf("v4 into DecodeTCP6: err = %v, want ErrBadVersion", err)
+	}
+	if _, _, _, err := DecodeTCP4(pkt); err != ErrBadVersion {
+		t.Errorf("v6 into DecodeTCP4: err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestMakeSYN6FollowsFamily(t *testing.T) {
+	src, dst := ip.MustParseAddr("2001:db8::1"), ip.MustParseAddr("2001:db8::2")
+	pkt := MakeSYN(src, dst, 40000, 80, 0xcafebabe, 99)
+	if Version(pkt) != 6 {
+		t.Fatalf("Version = %d, want 6", Version(pkt))
+	}
+	ip6, tcph, _, err := DecodeTCP6(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip6.Src != src || ip6.Dst != dst || ip6.FlowLabel != 99 {
+		t.Errorf("header: %+v", ip6)
+	}
+	if !tcph.HasFlag(FlagSYN) || tcph.Seq != 0xcafebabe {
+		t.Errorf("tcp: %+v", tcph)
+	}
+	// SYN-ACK and RST follow the family too, and Summary sniffs it.
+	resp := MakeSYNACK(dst, src, 80, 40000, 7, tcph.Seq+1)
+	if Version(resp) != 6 {
+		t.Error("MakeSYNACK did not follow family")
+	}
+	if s := Summary(resp); !strings.Contains(s, "2001:db8::2:80") {
+		t.Errorf("Summary = %q", s)
+	}
+	rst := MakeRST(dst, src, 80, 40000, 7, tcph.Seq+1)
+	if _, r, _, err := DecodeTCP6(rst); err != nil || !r.HasFlag(FlagRST) {
+		t.Errorf("v6 RST: %v", err)
+	}
+}
+
+func TestSerializeDecode6PropertyRoundTrip(t *testing.T) {
+	f := func(hi1, lo1, hi2, lo2 uint64, sp, dp uint16, seq uint32, flags uint8, payload []byte) bool {
+		src, dst := ip.AddrFrom128(hi1, lo1), ip.AddrFrom128(hi2, lo2)
+		if src.Is4() || dst.Is4() {
+			return true // mapped range would serialize as v6 but compare as v4
+		}
+		pkt := SerializeTCP6(
+			&IPv6Header{Src: src, Dst: dst},
+			&TCPHeader{SrcPort: sp, DstPort: dp, Seq: seq, Flags: flags},
+			payload,
+		)
+		ip6, tcph, pl, err := DecodeTCP6(pkt)
+		if err != nil {
+			return false
+		}
+		return ip6.Src == src && ip6.Dst == dst &&
+			tcph.SrcPort == sp && tcph.DstPort == dp &&
+			tcph.Seq == seq && tcph.Flags == flags &&
+			string(pl) == string(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDecodeTCP6(b *testing.B) {
+	pkt := MakeSYNACK(ip.MustParseAddr("2001:db8::1"), ip.MustParseAddr("2001:db8::2"), 80, 40000, 5, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := DecodeTCP6(pkt); err != nil {
 			b.Fatal(err)
 		}
 	}

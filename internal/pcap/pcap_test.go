@@ -17,9 +17,9 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	pkts := [][]byte{
-		packet.MakeSYN(1, 2, 40000, 80, 7, 0),
-		packet.MakeSYNACK(2, 1, 80, 40000, 9, 8),
-		packet.MakeRST(2, 1, 80, 40000, 0, 8),
+		packet.MakeSYN(ip.AddrFrom4(1), ip.AddrFrom4(2), 40000, 80, 7, 0),
+		packet.MakeSYNACK(ip.AddrFrom4(2), ip.AddrFrom4(1), 80, 40000, 9, 8),
+		packet.MakeRST(ip.AddrFrom4(2), ip.AddrFrom4(1), 80, 40000, 0, 8),
 	}
 	for i, p := range pkts {
 		ts := time.Duration(i)*time.Hour + 123456*time.Microsecond
@@ -116,8 +116,8 @@ func TestSinkTee(t *testing.T) {
 	inner := &echoSink{}
 	sink := NewSink(inner, w)
 
-	probe := packet.MakeSYN(1, 2, 40000, 80, 5, 0)
-	resp := sink.Send(1, probe, time.Minute)
+	probe := packet.MakeSYN(ip.AddrFrom4(1), ip.AddrFrom4(2), 40000, 80, 5, 0)
+	resp := sink.Send(ip.AddrFrom4(1), probe, time.Minute)
 	if resp == nil {
 		t.Fatal("tee swallowed the response")
 	}

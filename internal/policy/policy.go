@@ -131,5 +131,5 @@ func (e *Engine) Rules() []Rule { return e.rules }
 // The same host is selected for every origin, trial, and probe, which is
 // what makes the resulting inaccessibility long-term.
 func hostFraction(key rng.Key, dst ip.Addr, frac float64) bool {
-	return key.Bool(frac, uint64(dst))
+	return key.Bool(frac, dst.Word64())
 }

@@ -79,7 +79,7 @@ func TestStaticBlockHostFraction(t *testing.T) {
 	const n = 20000
 	for i := 0; i < n; i++ {
 		q := baseQuery()
-		q.Dst = ip.Addr(0x0a000000 + uint32(i))
+		q.Dst = ip.AddrFrom4(0x0a000000 + uint32(i))
 		if _, ok := b.Evaluate(q); ok {
 			blocked++
 		}
@@ -114,7 +114,7 @@ func TestStaticBlockFractionByTrial(t *testing.T) {
 	q.Trial = 2
 	misses := 0
 	for i := 0; i < 1000; i++ {
-		q.Dst = ip.Addr(uint32(i) * 1000)
+		q.Dst = ip.AddrFrom4(uint32(i) * 1000)
 		if _, ok := b.Evaluate(q); !ok {
 			misses++
 		}
@@ -205,7 +205,7 @@ func TestReputationScatterScalesWithReputation(t *testing.T) {
 		for i := 0; i < 30000; i++ {
 			q := baseQuery()
 			q.Rep = rep
-			q.Dst = ip.Addr(uint32(i) << 8) // distinct /24s
+			q.Dst = ip.AddrFrom4(uint32(i) << 8) // distinct /24s
 			if _, ok := r.Evaluate(q); ok {
 				blocked++
 			}
@@ -291,7 +291,7 @@ func TestIDSPerSourceIP(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		q := baseQuery()
 		q.DstAS = 1
-		q.SrcIP = ip.Addr(uint32(0xC0000200) + uint32(i%64))
+		q.SrcIP = ip.AddrFrom4(uint32(0xC0000200) + uint32(i%64))
 		if d.RecordProbe(q) {
 			t.Fatal("64-IP origin should evade per-source threshold")
 		}
@@ -455,7 +455,7 @@ func TestMaxStartupsRetriesEventuallySucceed(t *testing.T) {
 	succWithin := func(maxAttempts int) int {
 		succ := 0
 		for h := 0; h < 2000; h++ {
-			q.Dst = ip.Addr(0x0b000000 + uint32(h))
+			q.Dst = ip.AddrFrom4(0x0b000000 + uint32(h))
 			for a := 0; a < maxAttempts; a++ {
 				q.Attempt = a
 				if _, refused := m.Evaluate(q); !refused {
@@ -488,7 +488,7 @@ func TestMaxStartupsConcurrencyIncreasesRefusal(t *testing.T) {
 	refusals := func(concurrent int) int {
 		n := 0
 		for h := 0; h < 5000; h++ {
-			q.Dst = ip.Addr(0x0c000000 + uint32(h))
+			q.Dst = ip.AddrFrom4(0x0c000000 + uint32(h))
 			q.ConcurrentOrigins = concurrent
 			if _, refused := m.Evaluate(q); refused {
 				n++

@@ -191,7 +191,7 @@ func (r *ReputationScatter) Evaluate(q *Query) (Verdict, bool) {
 	// Key by the origin and the destination /24: network-level blocking
 	// decisions, stable across trials and probes.
 	s24 := q.Dst.Slash24()
-	if !r.Key.Bool(frac, uint64(q.Origin), uint64(s24.Base)) {
+	if !r.Key.Bool(frac, uint64(q.Origin), s24.Base.Word64()) {
 		return 0, false
 	}
 	return r.Action, true

@@ -125,7 +125,7 @@ func (m *MaxStartups) Affected(q *Query) bool {
 // unauthenticated connection given the query's concurrency.
 func (m *MaxStartups) RefusalProbability(q *Query) float64 {
 	// Per-host stable background load.
-	load := m.Key.Derive("load").Float64(uint64(q.Dst)) * 2 * m.MeanLoad
+	load := m.Key.Derive("load").Float64(q.Dst.Word64()) * 2 * m.MeanLoad
 	pending := load + float64(maxInt(q.ConcurrentOrigins, 1))
 	if pending < float64(m.Start) {
 		return 0
@@ -150,7 +150,7 @@ func (m *MaxStartups) Evaluate(q *Query) (Verdict, bool) {
 		return 0, false
 	}
 	refuse := m.Key.Derive("draw").Bool(p,
-		uint64(q.Dst), uint64(q.Origin), uint64(q.Trial), uint64(q.Attempt))
+		q.Dst.Word64(), uint64(q.Origin), uint64(q.Trial), uint64(q.Attempt))
 	if !refuse {
 		return 0, false
 	}

@@ -31,7 +31,7 @@ func (m *mapModel) sorted() []HostRecord {
 	for _, r := range m.recs {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
 	return out
 }
 
@@ -39,7 +39,7 @@ func randRecord(rng *rand.Rand) HostRecord {
 	r := HostRecord{
 		// A small address pool forces duplicate Adds, exercising the
 		// replace-on-seal path.
-		Addr:      ip.Addr(rng.Intn(64)),
+		Addr:      ip.AddrFrom4(uint32(rng.Intn(64))),
 		ProbeMask: uint8(rng.Intn(4)),
 		RST:       rng.Intn(4) == 0,
 		L7:        rng.Intn(2) == 0,
@@ -67,7 +67,7 @@ func TestColumnarMatchesMapModel(t *testing.T) {
 			case 0: // explicit mid-stream Seal; Add after re-opens
 				s.Seal()
 			case 1, 2: // Get on a random address
-				a := ip.Addr(rng.Intn(64))
+				a := ip.AddrFrom4(uint32(rng.Intn(64)))
 				got, ok := s.Get(a)
 				want, wantOK := model.recs[a]
 				if ok != wantOK || got != want {
@@ -75,7 +75,7 @@ func TestColumnarMatchesMapModel(t *testing.T) {
 						trial, i, a, got, ok, want, wantOK)
 				}
 			case 3: // Success under both probe policies
-				a := ip.Addr(rng.Intn(64))
+				a := ip.AddrFrom4(uint32(rng.Intn(64)))
 				w := model.recs[a]
 				if got := s.Success(a, false); got != w.L7 {
 					t.Fatalf("trial %d op %d: Success(%v,false)=%v", trial, i, a, got)
@@ -142,15 +142,15 @@ func TestEachSealedDoesNotAllocate(t *testing.T) {
 // Adds for one address, the latest wins.
 func TestSealKeepsLastDuplicate(t *testing.T) {
 	s := NewScanResult(origin.AU, proto.HTTP, 0)
-	s.Add(HostRecord{Addr: 9, Attempts: 1})
-	s.Add(HostRecord{Addr: 5, Attempts: 1})
-	s.Add(HostRecord{Addr: 9, Attempts: 2, L7: true})
-	s.Add(HostRecord{Addr: 9, Attempts: 3})
+	s.Add(HostRecord{Addr: ip.AddrFrom4(9), Attempts: 1})
+	s.Add(HostRecord{Addr: ip.AddrFrom4(5), Attempts: 1})
+	s.Add(HostRecord{Addr: ip.AddrFrom4(9), Attempts: 2, L7: true})
+	s.Add(HostRecord{Addr: ip.AddrFrom4(9), Attempts: 3})
 	s.Seal()
 	if s.Len() != 2 {
 		t.Fatalf("Len=%d want 2", s.Len())
 	}
-	r, ok := s.Get(9)
+	r, ok := s.Get(ip.AddrFrom4(9))
 	if !ok || r.Attempts != 3 || r.L7 {
 		t.Fatalf("Get(9) = %+v, %v; want the last Add", r, ok)
 	}
@@ -165,8 +165,8 @@ func TestCountSuccessInMatchesPointLookups(t *testing.T) {
 		s.Add(randRecord(rng))
 	}
 	var gt []ip.Addr
-	for a := ip.Addr(0); a < 80; a += ip.Addr(1 + rng.Intn(3)) {
-		gt = append(gt, a)
+	for a := uint32(0); a < 80; a += uint32(1 + rng.Intn(3)) {
+		gt = append(gt, ip.AddrFrom4(a))
 	}
 	for _, single := range []bool{false, true} {
 		want := 0
@@ -189,13 +189,13 @@ func TestCountSuccessInMatchesPointLookups(t *testing.T) {
 // duplicate dropped across those re-seals.
 func TestGetBeforeSealIsSafe(t *testing.T) {
 	s := NewScanResult(origin.AU, proto.HTTP, 0)
-	s.Add(HostRecord{Addr: 9, Attempts: 1})
-	s.Add(HostRecord{Addr: 5, Attempts: 1})
-	s.Add(HostRecord{Addr: 9, Attempts: 2})
+	s.Add(HostRecord{Addr: ip.AddrFrom4(9), Attempts: 1})
+	s.Add(HostRecord{Addr: ip.AddrFrom4(5), Attempts: 1})
+	s.Add(HostRecord{Addr: ip.AddrFrom4(9), Attempts: 2})
 
 	// Misuse: no Seal call before reading. The read must behave exactly
 	// as if Seal had been called.
-	r, ok := s.Get(9)
+	r, ok := s.Get(ip.AddrFrom4(9))
 	if !ok || r.Attempts != 2 {
 		t.Fatalf("Get(9) before Seal = %+v, %v; want the last Add via lazy seal", r, ok)
 	}
@@ -204,8 +204,8 @@ func TestGetBeforeSealIsSafe(t *testing.T) {
 	}
 
 	// Writing after a read unseals; the next read sees the new record.
-	s.Add(HostRecord{Addr: 9, Attempts: 7})
-	r, ok = s.Get(9)
+	s.Add(HostRecord{Addr: ip.AddrFrom4(9), Attempts: 7})
+	r, ok = s.Get(ip.AddrFrom4(9))
 	if !ok || r.Attempts != 7 {
 		t.Fatalf("Get(9) after post-seal Add = %+v, %v; want the newest record", r, ok)
 	}

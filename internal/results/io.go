@@ -122,7 +122,16 @@ func (s *ScanResult) writeJSON(bw *bufio.Writer, num []byte) error {
 				bw.WriteByte(',')
 			}
 			bw.WriteByte('[')
-			num = strconv.AppendUint(num[:0], uint64(s.addrs[i]), 10)
+			// IPv4 addresses keep the historical bare-integer encoding
+			// (byte-identity with every pre-dual-stack file); IPv6 is a
+			// JSON string in canonical text form.
+			if a := s.addrs[i]; a.Is4() {
+				num = strconv.AppendUint(num[:0], uint64(a.V4()), 10)
+			} else {
+				num = append(num[:0], '"')
+				num = append(num, a.String()...)
+				num = append(num, '"')
+			}
 			num = append(num, ',')
 			num = strconv.AppendUint(num, uint64(s.probeMask[i]), 10)
 			num = append(num, ',')
@@ -309,9 +318,36 @@ func (s *ScanResult) readRecord(dec *json.Decoder) error {
 	if err := expectDelim(dec, '['); err != nil {
 		return err
 	}
+	var addr ip.Addr
 	var rec [6]uint64
 	n := 0
 	for dec.More() {
+		if n == 0 {
+			// The address element is a bare uint32 for IPv4 (historical
+			// encoding) or a canonical-text JSON string for IPv6.
+			tok, err := dec.Token()
+			if err != nil {
+				return err
+			}
+			switch v := tok.(type) {
+			case json.Number:
+				u, err := strconv.ParseUint(v.String(), 10, 32)
+				if err != nil {
+					return fmt.Errorf("bad address %q: %w", v, err)
+				}
+				addr = ip.AddrFrom4(uint32(u))
+			case string:
+				a, err := ip.ParseAddr(v)
+				if err != nil {
+					return err
+				}
+				addr = a
+			default:
+				return fmt.Errorf("expected address, got %v", tok)
+			}
+			n++
+			continue
+		}
 		u, err := readUint(dec, 64)
 		if err != nil {
 			return err
@@ -324,7 +360,7 @@ func (s *ScanResult) readRecord(dec *json.Decoder) error {
 	if _, err := dec.Token(); err != nil { // closing ']'
 		return err
 	}
-	s.addrs = append(s.addrs, ip.Addr(rec[0]))
+	s.addrs = append(s.addrs, addr)
 	s.probeMask = append(s.probeMask, uint8(rec[1]))
 	s.flags = append(s.flags, uint8(rec[2])&(flagRST|flagL7))
 	s.fail = append(s.fail, zgrab.FailMode(rec[3]))

@@ -223,7 +223,7 @@ func (s *ScanResult) seal() {
 type byAddr ScanResult
 
 func (s *byAddr) Len() int           { return len(s.addrs) }
-func (s *byAddr) Less(i, j int) bool { return s.addrs[i] < s.addrs[j] }
+func (s *byAddr) Less(i, j int) bool { return s.addrs[i].Less(s.addrs[j]) }
 func (s *byAddr) Swap(i, j int) {
 	s.addrs[i], s.addrs[j] = s.addrs[j], s.addrs[i]
 	s.probeMask[i], s.probeMask[j] = s.probeMask[j], s.probeMask[i]
@@ -366,7 +366,7 @@ func (s *ScanResult) CountSuccessIn(gt []ip.Addr, singleProbe bool) int {
 	s.seal()
 	n, j := 0, 0
 	for _, a := range gt {
-		for j < len(s.addrs) && s.addrs[j] < a {
+		for j < len(s.addrs) && s.addrs[j].Less(a) {
 			j++
 		}
 		if j < len(s.addrs) && s.addrs[j] == a && s.SuccessAt(j, singleProbe) {
@@ -601,7 +601,7 @@ func (d *Dataset) CoverageOfSet(origins origin.Set, p proto.Protocol, trial int,
 	for _, a := range gt {
 		for si, s := range scans {
 			j := cursors[si]
-			for j < len(s.addrs) && s.addrs[j] < a {
+			for j < len(s.addrs) && s.addrs[j].Less(a) {
 				j++
 			}
 			cursors[si] = j

@@ -20,9 +20,9 @@ func sample() *Dataset {
 		for t := 0; t < 2; t++ {
 			s := NewScanResult(o, proto.HTTP, t)
 			s.Targets, s.ProbesSent = 100, 200
-			s.Add(HostRecord{Addr: 10, ProbeMask: 0b11, L7: true, T: time.Hour})
-			s.Add(HostRecord{Addr: 20, ProbeMask: 0b01, L7: o == origin.AU, Fail: zgrab.FailTimeout, Attempts: 1, T: 2 * time.Hour})
-			s.Add(HostRecord{Addr: 30, RST: true})
+			s.Add(HostRecord{Addr: ip.AddrFrom4(10), ProbeMask: 0b11, L7: true, T: time.Hour})
+			s.Add(HostRecord{Addr: ip.AddrFrom4(20), ProbeMask: 0b01, L7: o == origin.AU, Fail: zgrab.FailTimeout, Attempts: 1, T: 2 * time.Hour})
+			s.Add(HostRecord{Addr: ip.AddrFrom4(30), RST: true})
 			ds.Put(s)
 		}
 	}
@@ -31,22 +31,22 @@ func sample() *Dataset {
 
 func TestScanResultBasics(t *testing.T) {
 	s := NewScanResult(origin.AU, proto.HTTP, 0)
-	s.Add(HostRecord{Addr: 5, ProbeMask: 0b10, L7: true})
+	s.Add(HostRecord{Addr: ip.AddrFrom4(5), ProbeMask: 0b10, L7: true})
 	if s.Len() != 1 || s.L7Count() != 1 {
 		t.Errorf("len=%d l7=%d", s.Len(), s.L7Count())
 	}
-	r, ok := s.Get(5)
+	r, ok := s.Get(ip.AddrFrom4(5))
 	if !ok || !r.L4() {
 		t.Error("Get/L4 wrong")
 	}
-	if !s.Success(5, false) {
+	if !s.Success(ip.AddrFrom4(5), false) {
 		t.Error("2-probe success wrong")
 	}
 	// Probe 0 was lost: single-probe simulation excludes this host.
-	if s.Success(5, true) {
+	if s.Success(ip.AddrFrom4(5), true) {
 		t.Error("1-probe success should require probe 0")
 	}
-	if s.Success(6, false) {
+	if s.Success(ip.AddrFrom4(6), false) {
 		t.Error("missing host reported successful")
 	}
 }
@@ -54,7 +54,7 @@ func TestScanResultBasics(t *testing.T) {
 func TestGroundTruthAndCoverage(t *testing.T) {
 	ds := sample()
 	gt := ds.GroundTruth(proto.HTTP, 0)
-	if len(gt) != 2 || gt[0] != 10 || gt[1] != 20 {
+	if len(gt) != 2 || gt[0] != ip.AddrFrom4(10) || gt[1] != ip.AddrFrom4(20) {
 		t.Fatalf("ground truth = %v", gt)
 	}
 	if got := ds.Coverage(origin.AU, proto.HTTP, 0, false); got != 1.0 {
@@ -73,12 +73,12 @@ func TestGroundTruthAndCoverage(t *testing.T) {
 
 func TestEachIsSorted(t *testing.T) {
 	s := NewScanResult(origin.AU, proto.HTTP, 0)
-	for _, a := range []ip.Addr{30, 10, 20} {
+	for _, a := range []ip.Addr{ip.AddrFrom4(30), ip.AddrFrom4(10), ip.AddrFrom4(20)} {
 		s.Add(HostRecord{Addr: a})
 	}
 	var order []ip.Addr
 	s.Each(func(r HostRecord) { order = append(order, r.Addr) })
-	if order[0] != 10 || order[1] != 20 || order[2] != 30 {
+	if order[0] != ip.AddrFrom4(10) || order[1] != ip.AddrFrom4(20) || order[2] != ip.AddrFrom4(30) {
 		t.Errorf("order = %v", order)
 	}
 }
@@ -141,7 +141,7 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 func TestGroundTruthCacheInvalidation(t *testing.T) {
 	ds := NewDataset(origin.Set{origin.AU}, 1)
 	s := NewScanResult(origin.AU, proto.HTTP, 0)
-	s.Add(HostRecord{Addr: 1, ProbeMask: 0b11, L7: true})
+	s.Add(HostRecord{Addr: ip.AddrFrom4(1), ProbeMask: 0b11, L7: true})
 	if err := ds.Put(s); err != nil {
 		t.Fatalf("Put into empty slot: %v", err)
 	}
@@ -153,8 +153,8 @@ func TestGroundTruthCacheInvalidation(t *testing.T) {
 		t.Fatalf("idempotent re-put: %v", err)
 	}
 	s2 := NewScanResult(origin.AU, proto.HTTP, 0)
-	s2.Add(HostRecord{Addr: 1, ProbeMask: 0b11, L7: true})
-	s2.Add(HostRecord{Addr: 2, ProbeMask: 0b11, L7: true})
+	s2.Add(HostRecord{Addr: ip.AddrFrom4(1), ProbeMask: 0b11, L7: true})
+	s2.Add(HostRecord{Addr: ip.AddrFrom4(2), ProbeMask: 0b11, L7: true})
 	// Putting a *different* scan at a sealed key must refuse with
 	// ErrSealConflict; Replace is the explicit overwrite.
 	if err := ds.Put(s2); !errors.Is(err, pipeline.ErrSealConflict) {

@@ -38,14 +38,23 @@ import (
 // sealed columns row for row — and the JSON encoder is a pure function of
 // the sealed columns and the scan stats.
 //
-// Segment file layout ("sorted binary columnar segment"): an 8-byte magic
-// followed by a sequence of frames until EOF. Each frame holds up to
-// spillFrameRows records as little-endian column sections:
+// Segment file layout ("sorted binary columnar segment"): an 8-byte magic,
+// a u8 address width (bytes per address; 16 since ORSEG002 — addresses are
+// the 128-bit dual-stack form), then a sequence of frames until EOF. Each
+// frame holds up to spillFrameRows records as little-endian column
+// sections:
 //
-//	magic   "ORSEG001"
+//	magic   "ORSEG002"
+//	width   u8 (= 16)
 //	frame:  u32 rows, u32 bannerBytes,
-//	        rows×u32 addr, rows×u8 probeMask, rows×u8 flags, rows×u8 fail,
+//	        rows×u64 addrHi, rows×u64 addrLo,
+//	        rows×u8 probeMask, rows×u8 flags, rows×u8 fail,
 //	        rows×u32 attempts, rows×u64 t, rows×u32 bannerLen, bannerData
+//
+// A reader refuses other magics — including the retired 32-bit ORSEG001 —
+// and other widths loudly: a spill directory can survive a binary upgrade,
+// and decoding a 4-byte address column as 16-byte keys would corrupt every
+// record past the first row, so a version mismatch must be an error, never a guess.
 //
 // Frames keep both ends streaming: the writer never seeks (a merge's row
 // count is unknown until it finishes), and a reader decodes one frame at a
@@ -53,7 +62,12 @@ import (
 // regardless of its size.
 
 const (
-	segMagic = "ORSEG001"
+	segMagic = "ORSEG002"
+	// segMagicV1 is the retired 32-bit-address format, recognized only to
+	// fail with a version error instead of a generic bad-magic one.
+	segMagicV1 = "ORSEG001"
+	// segAddrWidth is the bytes-per-address the current format encodes.
+	segAddrWidth = 16
 	// spillFrameRows caps rows per segment frame: the unit of reader
 	// memory and writer buffering.
 	spillFrameRows = 4096
@@ -446,7 +460,7 @@ func mergeRuns(readers []runReader, emit func(spillRow)) (dropped int, err error
 	for {
 		min := -1
 		for i := range readers {
-			if alive[i] && (min < 0 || rows[i].addr < rows[min].addr) {
+			if alive[i] && (min < 0 || rows[i].addr.Less(rows[min].addr)) {
 				min = i
 			}
 		}
@@ -528,6 +542,7 @@ func writeSegmentErr(path string, fill func(emit func(spillRow)) error) (rows in
 		frame: make([]spillRow, 0, spillFrameRows),
 	}
 	w.bw.WriteString(segMagic)
+	w.bw.WriteByte(segAddrWidth)
 	fillErr := fill(w.emit)
 	w.flushFrame()
 	if w.err == nil {
@@ -579,7 +594,10 @@ func (w *segmentWriter) flushFrame() {
 	u32(uint32(len(w.frame)))
 	u32(uint32(bannerBytes))
 	for i := range w.frame {
-		u32(uint32(w.frame[i].addr))
+		u64(w.frame[i].addr.Hi())
+	}
+	for i := range w.frame {
+		u64(w.frame[i].addr.Lo())
 	}
 	for i := range w.frame {
 		w.bw.WriteByte(w.frame[i].probeMask)
@@ -628,7 +646,19 @@ func openSegment(path string) (*segmentReader, error) {
 	magic := make([]byte, len(segMagic))
 	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
 		f.Close()
+		if err == nil && string(magic) == segMagicV1 {
+			return nil, fmt.Errorf("results: %s: segment version %s (32-bit addresses) is no longer readable; current format is %s", path, segMagicV1, segMagic)
+		}
 		return nil, fmt.Errorf("results: %s: bad segment magic", path)
+	}
+	width, err := br.ReadByte()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("results: %s: reading address width: %w", path, err)
+	}
+	if width != segAddrWidth {
+		f.Close()
+		return nil, fmt.Errorf("results: %s: segment address width %d, want %d", path, width, segAddrWidth)
 	}
 	return &segmentReader{f: f, br: br}, nil
 }
@@ -688,7 +718,21 @@ func (r *segmentReader) readFrame() (bool, error) {
 			dst(i, b[i])
 		}
 	}
-	readU32s(func(i int, v uint32) { r.buf[i].addr = ip.Addr(v) })
+	readAddrWord := func(dst func(i int, v uint64)) {
+		if err != nil {
+			return
+		}
+		b := make([]byte, 8*rows)
+		if _, err = io.ReadFull(r.br, b); err != nil {
+			return
+		}
+		for i := 0; i < rows; i++ {
+			dst(i, binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	}
+	his := make([]uint64, rows)
+	readAddrWord(func(i int, v uint64) { his[i] = v })
+	readAddrWord(func(i int, v uint64) { r.buf[i].addr = ip.AddrFrom128(his[i], v) })
 	readU8s(func(i int, v byte) { r.buf[i].probeMask = v })
 	readU8s(func(i int, v byte) { r.buf[i].flags = v })
 	readU8s(func(i int, v byte) { r.buf[i].fail = zgrab.FailMode(v) })

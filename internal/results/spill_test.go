@@ -72,9 +72,9 @@ func countFiles(t *testing.T, dir string) int {
 // tiny-budget thresholds so flush boundaries land inside banner-heavy rows.
 func spillRandRecord(rng *rand.Rand) HostRecord {
 	r := randRecord(rng)
-	r.Addr = ip.Addr(rng.Intn(2048))
+	r.Addr = ip.AddrFrom4(uint32(rng.Intn(2048)))
 	if rng.Intn(16) == 0 {
-		r.Addr = ip.Addr(rng.Intn(8)) // heavy-duplicate pocket
+		r.Addr = ip.AddrFrom4(uint32(rng.Intn(8))) // heavy-duplicate pocket
 	}
 	if r.L7 && rng.Intn(8) == 0 {
 		r.Banner = strings.Repeat("banner-", 1+rng.Intn(40))

@@ -83,8 +83,14 @@ func New(w *world.World, cfg Config) *Scenario {
 		Hosts: hostsim.NewServer(key.Derive("hosts")),
 		Churn: world.NewChurn(key.Derive("churn"), churnRate, cfg.Trials),
 	}
-	s.buildLoss(key.Derive("loss"), cfg)
-	s.buildPolicies(key.Derive("policy"), cfg)
+	if w.Family == world.FamilyIPv6 {
+		// v6 worlds have no calibrated profile ASes; see scenario6.go.
+		s.buildLoss6(key.Derive("loss"), cfg)
+		s.buildPolicies6(key.Derive("policy"), cfg)
+	} else {
+		s.buildLoss(key.Derive("loss"), cfg)
+		s.buildPolicies(key.Derive("policy"), cfg)
+	}
 	s.buildOutages(key.Derive("outage"), cfg)
 	// All Overrides are in: cache every path's Params so the per-packet
 	// hot path is lock-free. +1 trial covers the SSH retry sub-experiment,

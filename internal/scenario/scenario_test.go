@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ip"
 	"repro/internal/origin"
 	"repro/internal/policy"
 	"repro/internal/proto"
@@ -217,7 +218,7 @@ func TestOutageSchedulesPerProtocol(t *testing.T) {
 	nums, _ := s.World.ASWeights()
 	for _, n := range nums {
 		for dst := uint32(0); dst < 50; dst++ {
-			if s.Outages[proto.HTTPS].Affected(2, origin.BR, n, dst, 9*time.Hour+30*time.Minute) {
+			if s.Outages[proto.HTTPS].Affected(2, origin.BR, n, ip.AddrFrom4(dst), 9*time.Hour+30*time.Minute) {
 				affectedSomewhere = true
 				break
 			}

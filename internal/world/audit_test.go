@@ -76,7 +76,7 @@ func TestStreamingFullScaleAudit(t *testing.T) {
 	painted := make(map[uint64]struct{})
 	for _, a := range w.Routes.All() {
 		for _, pfx := range a.Prefixes {
-			for b := uint64(pfx.Base) >> 8; b <= uint64(pfx.Last())>>8; b++ {
+			for b := uint64(pfx.Base.V4()) >> 8; b <= uint64(pfx.Last().V4())>>8; b++ {
 				painted[b] = struct{}{}
 			}
 		}
@@ -90,12 +90,12 @@ func TestStreamingFullScaleAudit(t *testing.T) {
 	// edges against the radix reference structures.
 	stream := rng.NewKey(spec.Seed).Derive("audit-sample").Stream(0)
 	for i := 0; i < 1<<16; i++ {
-		addr := ip.Addr(stream.Uint64() % w.SpaceSize())
+		addr := ip.AddrFrom4(uint32(stream.Uint64() % w.SpaceSize()))
 		if err := w.FIB().ValidateAddr(w, addr); err != nil {
 			t.Fatal(err)
 		}
 	}
-	for _, a := range []ip.Addr{0, ip.Addr(w.SpaceSize() - 1)} {
+	for _, a := range []ip.Addr{ip.AddrFrom4(0), ip.AddrFrom4(uint32(w.SpaceSize() - 1))} {
 		if err := w.FIB().ValidateAddr(w, a); err != nil {
 			t.Fatal(err)
 		}

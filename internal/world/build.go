@@ -23,7 +23,11 @@ type Host struct {
 // World is the generated synthetic Internet.
 type World struct {
 	Spec Spec
-	Key  rng.Key
+	// V6Spec is set instead of Spec for IPv6 worlds (BuildV6).
+	V6Spec V6Spec
+	// Family is the world's address family (zero value: IPv4).
+	Family Family
+	Key    rng.Key
 
 	Countries *geo.Registry
 	Routes    *asn.Table
@@ -38,8 +42,12 @@ type World struct {
 	profileASN map[string]asn.ASN
 
 	// SpaceBits is the number of address bits covering every announced
-	// prefix and the scanner source block: the ZMap scan space.
+	// prefix and the scanner source block: the ZMap scan space. Zero for
+	// IPv6 worlds, which are scanned by hitlist, not by space sweep.
 	SpaceBits uint8
+
+	// hitlist is the v6 world's scan target list (see Hitlist).
+	hitlist []ip.Addr
 
 	counts [proto.N]int
 }
@@ -67,15 +75,15 @@ type hostBlockAccum struct {
 // order; placement guarantees this (the allocator hands out prefixes
 // bottom-up and each chunk is sorted before streaming).
 func (h *hostAccum) add(addr ip.Addr, m proto.Mask) {
-	if len(h.masks) > 0 && addr <= h.last {
+	if len(h.masks) > 0 && !h.last.Less(addr) {
 		panic(fmt.Sprintf("world: host %v placed out of order after %v", addr, h.last))
 	}
 	h.last = addr
-	b := uint32(addr) >> 8
+	b := addr.V4() >> 8
 	if len(h.blocks) == 0 || h.blocks[len(h.blocks)-1].block != b {
 		h.blocks = append(h.blocks, hostBlockAccum{block: b, maskOff: uint32(len(h.masks))})
 	}
-	lo := uint(addr) & 0xff
+	lo := uint(addr.V4()) & 0xff
 	h.blocks[len(h.blocks)-1].present[lo>>6] |= 1 << (lo & 63)
 	h.masks = append(h.masks, m)
 }
@@ -101,7 +109,7 @@ func (a *allocator) alloc(want uint64) (ip.Prefix, error) {
 		return ip.Prefix{}, fmt.Errorf("world: address space exhausted")
 	}
 	a.next = base + size
-	return ip.MakePrefix(ip.Addr(base), bits), nil
+	return ip.MakePrefix(ip.AddrFrom4(uint32(base)), bits), nil
 }
 
 // portion is one (AS, country) slice of hosts to place.
@@ -353,7 +361,7 @@ func (w *World) place(alloc *allocator, p *portion, acc *hostAccum) error {
 		// BEFORE the chunk is sorted, so each address keeps exactly the
 		// mask the unsorted generator gave it and worlds stay bit-identical
 		// across the streaming refactor.
-		stream := w.Key.Derive("scatter").Stream(uint64(p.as.Number), uint64(pfx.Base))
+		stream := w.Key.Derive("scatter").Stream(uint64(p.as.Number), uint64(pfx.Base.V4()))
 		offsets := samplePerm(stream, int(pfx.NumAddrs()), n)
 		chunk := make([]Host, 0, n)
 		for _, off := range offsets {
@@ -361,7 +369,7 @@ func (w *World) place(alloc *allocator, p *portion, acc *hostAccum) error {
 			chunk = append(chunk, Host{Addr: addr, Services: mask(placed)})
 			placed++
 		}
-		sort.Slice(chunk, func(i, j int) bool { return chunk[i].Addr < chunk[j].Addr })
+		sort.Slice(chunk, func(i, j int) bool { return chunk[i].Addr.Less(chunk[j].Addr) })
 		for _, h := range chunk {
 			acc.add(h.Addr, h.Services)
 			w.addHost(h.Addr, h.Services)

@@ -1,0 +1,133 @@
+package world
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func buildV6(t *testing.T, spec V6Spec) *World {
+	t.Helper()
+	w, err := BuildV6(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestBuildV6Deterministic pins that the same spec yields the same world:
+// hosts, hitlist order, and AS table.
+func TestBuildV6Deterministic(t *testing.T) {
+	a := buildV6(t, TestV6Spec(42))
+	b := buildV6(t, TestV6Spec(42))
+	if a.NumHosts() != b.NumHosts() {
+		t.Fatalf("host counts differ: %d vs %d", a.NumHosts(), b.NumHosts())
+	}
+	ha, hb := a.Hitlist(), b.Hitlist()
+	if len(ha) != len(hb) {
+		t.Fatalf("hitlist lengths differ: %d vs %d", len(ha), len(hb))
+	}
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatalf("hitlist diverges at %d: %v vs %v", i, ha[i], hb[i])
+		}
+	}
+	if a.Routes.Len() != b.Routes.Len() {
+		t.Fatalf("AS counts differ: %d vs %d", a.Routes.Len(), b.Routes.Len())
+	}
+}
+
+// TestBuildV6Shape checks the world's structure: the configured number of
+// providers and hosts, all-v6 addresses, and a hitlist holding every live
+// host plus the stale and unrouted tails.
+func TestBuildV6Shape(t *testing.T) {
+	spec := TestV6Spec(7)
+	w := buildV6(t, spec)
+	if w.Family != FamilyIPv6 {
+		t.Fatalf("family = %v, want ipv6", w.Family)
+	}
+	wantHosts := spec.Providers * spec.IslandsPerProvider * spec.HostsPerIsland
+	if w.NumHosts() != wantHosts {
+		t.Fatalf("%d hosts, want %d", w.NumHosts(), wantHosts)
+	}
+	if w.Routes.Len() != spec.Providers {
+		t.Fatalf("%d ASes, want %d", w.Routes.Len(), spec.Providers)
+	}
+	if n := w.HostCount(proto.HTTP); n == 0 || n > wantHosts {
+		t.Fatalf("HTTP host count %d out of range", n)
+	}
+
+	// Default stale/unrouted fractions: 15% + 10% on top of live hosts.
+	hl := w.Hitlist()
+	want := wantHosts + int(0.15*float64(wantHosts)) + int(0.10*float64(wantHosts))
+	if len(hl) != want {
+		t.Fatalf("hitlist has %d entries, want %d", len(hl), want)
+	}
+	onList := map[string]bool{}
+	for _, a := range hl {
+		if a.Is4() {
+			t.Fatalf("hitlist entry %v is IPv4", a)
+		}
+		onList[a.String()] = true
+	}
+	fib := w.FIB()
+	live, unrouted := 0, 0
+	for i := range w.hosts {
+		a := w.hosts[i].Addr
+		if !onList[a.String()] {
+			t.Fatalf("live host %v missing from hitlist", a)
+		}
+		if !fib.Routed(a) {
+			t.Fatalf("live host %v not routed", a)
+		}
+		live++
+	}
+	for _, a := range hl {
+		if !fib.Routed(a) {
+			unrouted++
+		}
+	}
+	if unrouted == 0 {
+		t.Fatal("no unrouted hitlist entries; want a dark-space tail")
+	}
+	if live != wantHosts {
+		t.Fatalf("checked %d live hosts, want %d", live, wantHosts)
+	}
+}
+
+// TestBuildV6SeedsDiffer checks different seeds give different worlds (the
+// hitlist shuffle and island placement must actually consume the seed).
+func TestBuildV6SeedsDiffer(t *testing.T) {
+	a := buildV6(t, TestV6Spec(1))
+	b := buildV6(t, TestV6Spec(2))
+	ha, hb := a.Hitlist(), b.Hitlist()
+	if len(ha) == len(hb) {
+		same := true
+		for i := range ha {
+			if ha[i] != hb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seeds 1 and 2 produced identical hitlists")
+		}
+	}
+}
+
+// TestParseFamily pins the -family flag values.
+func TestParseFamily(t *testing.T) {
+	for s, want := range map[string]Family{
+		"": FamilyIPv4, "ipv4": FamilyIPv4, "4": FamilyIPv4,
+		"ipv6": FamilyIPv6, "6": FamilyIPv6,
+	} {
+		got, err := ParseFamily(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFamily(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseFamily("ipv5"); err == nil {
+		t.Error("ParseFamily accepted ipv5")
+	}
+}

@@ -40,11 +40,11 @@ func (c *Churn) lifecycle(dst ip.Addr) (birth, death int) {
 	if c.Trials == 1 {
 		return 0, 0
 	}
-	if c.key.Bool(c.Rate, uint64(dst), 1) {
-		birth = 1 + int(c.key.Uint64(uint64(dst), 2)%uint64(c.Trials-1))
+	if c.key.Bool(c.Rate, dst.Word64(), 1) {
+		birth = 1 + int(c.key.Uint64(dst.Word64(), 2)%uint64(c.Trials-1))
 	}
-	if c.key.Bool(c.Rate, uint64(dst), 3) {
-		death = int(c.key.Uint64(uint64(dst), 4) % uint64(c.Trials-1))
+	if c.key.Bool(c.Rate, dst.Word64(), 3) {
+		death = int(c.key.Uint64(dst.Word64(), 4) % uint64(c.Trials-1))
 	}
 	if death < birth {
 		death = birth

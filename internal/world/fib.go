@@ -40,6 +40,14 @@ type FIB struct {
 	countries []geo.Country // interned country list, first-seen order
 	masks     []proto.Mask  // service masks of all hosts, in address order
 	spaceBits uint8
+
+	// IPv6 side: announced space is a handful of variable-length prefixes
+	// over a 2^128 universe, so instead of per-/24 blocks the v6 resolver
+	// binary-searches sorted disjoint spans and a sorted host column. See
+	// fib6.go.
+	spans6 []fib6Span
+	hosts6 ip.AddrSlice
+	masks6 []proto.Mask
 }
 
 // Sentinel values for fibBlock.asIdx.
@@ -108,7 +116,7 @@ func buildFIB(w *World, hosts *hostAccum) *FIB {
 	// Pass 1: directory bits for every block any prefix touches.
 	for _, a := range f.ases {
 		for _, pfx := range a.Prefixes {
-			for b := uint64(pfx.Base) >> 8; b <= uint64(pfx.Last())>>8; b++ {
+			for b := uint64(pfx.Base.V4()) >> 8; b <= uint64(pfx.Last().V4())>>8; b++ {
 				f.dir[b>>6] |= 1 << (b & 63)
 			}
 		}
@@ -149,14 +157,14 @@ func buildFIB(w *World, hosts *hostAccum) *FIB {
 		for _, pfx := range a.Prefixes {
 			ci := internCountry(w.Countries.Lookup(pfx.First()))
 			if pfx.Bits <= 24 {
-				for b := uint64(pfx.Base) >> 8; b <= uint64(pfx.Last())>>8; b++ {
+				for b := uint64(pfx.Base.V4()) >> 8; b <= uint64(pfx.Last().V4())>>8; b++ {
 					blk := &f.blocks[f.blockIndex(b)]
 					blk.asIdx = int32(ai)
 					blk.ctryIdx = ci
 				}
 				continue
 			}
-			bi := uint32(pfx.Base) >> 8
+			bi := pfx.Base.V4() >> 8
 			pa := fine[bi]
 			if pa == nil {
 				pa = new([256]fibAddr)
@@ -165,7 +173,7 @@ func buildFIB(w *World, hosts *hostAccum) *FIB {
 				}
 				fine[bi] = pa
 			}
-			lo := uint32(pfx.Base) & 0xff
+			lo := pfx.Base.V4() & 0xff
 			for off := uint64(0); off < pfx.NumAddrs(); off++ {
 				pa[lo+uint32(off)] = fibAddr{as: int32(ai), ctry: ci}
 			}
@@ -231,7 +239,10 @@ func (f *FIB) blockIndex(bi uint64) int32 {
 // host is present. Addresses outside the scan space — and inside it but in
 // unpainted blocks — resolve to the zero Dest.
 func (f *FIB) Resolve(a ip.Addr) Dest {
-	idx := f.blockIndex(uint64(a) >> 8)
+	if !a.Is4() {
+		return f.resolve6(a)
+	}
+	idx := f.blockIndex(uint64(a.V4()) >> 8)
 	if idx < 0 {
 		return Dest{}
 	}
@@ -243,7 +254,7 @@ func (f *FIB) resolveIn(blk *fibBlock, a ip.Addr) Dest {
 	var d Dest
 	ai, ci := blk.asIdx, blk.ctryIdx
 	if ai == fibMixed {
-		e := &f.mixed[uint32(blk.mixedOff)+uint32(a&0xff)]
+		e := &f.mixed[uint32(blk.mixedOff)+a.V4()&0xff]
 		ai, ci = e.as, e.ctry
 	}
 	if ai >= 0 {
@@ -253,7 +264,7 @@ func (f *FIB) resolveIn(blk *fibBlock, a ip.Addr) Dest {
 	if ci >= 0 {
 		d.Country = f.countries[ci]
 	}
-	lo := uint(a) & 0xff
+	lo := uint(a.V4()) & 0xff
 	word := lo >> 6
 	bit := uint64(1) << (lo & 63)
 	if blk.present[word]&bit != 0 {
@@ -275,7 +286,11 @@ func (f *FIB) ResolveBatch(dst []ip.Addr, out []Dest) {
 	lastBi := uint64(1) << 63 // sentinel: no block cached
 	var lastBlk *fibBlock
 	for i, a := range dst {
-		bi := uint64(a) >> 8
+		if !a.Is4() {
+			out[i] = f.resolve6(a)
+			continue
+		}
+		bi := uint64(a.V4()) >> 8
 		if bi != lastBi {
 			lastBi = bi
 			lastBlk = nil
@@ -295,13 +310,16 @@ func (f *FIB) ResolveBatch(dst []ip.Addr, out []Dest) {
 // bit the sweep's short-circuit consults before paying for a probe. An
 // unpainted block is unrouted by construction.
 func (f *FIB) Routed(a ip.Addr) bool {
-	idx := f.blockIndex(uint64(a) >> 8)
+	if !a.Is4() {
+		return f.routed6(a)
+	}
+	idx := f.blockIndex(uint64(a.V4()) >> 8)
 	if idx < 0 {
 		return false
 	}
 	blk := &f.blocks[idx]
 	if blk.asIdx == fibMixed {
-		return f.mixed[uint32(blk.mixedOff)+uint32(a&0xff)].as >= 0
+		return f.mixed[uint32(blk.mixedOff)+a.V4()&0xff].as >= 0
 	}
 	return blk.asIdx >= 0
 }
@@ -314,7 +332,11 @@ func (f *FIB) RoutedBatch(dst []ip.Addr, routed []bool) {
 	lastRouted := false
 	var lastBlk *fibBlock
 	for i, a := range dst {
-		bi := uint64(a) >> 8
+		if !a.Is4() {
+			routed[i] = f.routed6(a)
+			continue
+		}
+		bi := uint64(a.V4()) >> 8
 		if bi != lastBi {
 			lastBi = bi
 			lastBlk = nil
@@ -325,7 +347,7 @@ func (f *FIB) RoutedBatch(dst []ip.Addr, routed []bool) {
 			}
 		}
 		if lastBlk != nil && lastBlk.asIdx == fibMixed {
-			routed[i] = f.mixed[uint32(lastBlk.mixedOff)+uint32(a&0xff)].as >= 0
+			routed[i] = f.mixed[uint32(lastBlk.mixedOff)+a.V4()&0xff].as >= 0
 			continue
 		}
 		routed[i] = lastRouted
@@ -344,12 +366,16 @@ func (f *FIB) NumBlocks() int { return len(f.blocks) }
 // everything else scales with painted blocks, not with the space.
 func (f *FIB) MemFootprint() uint64 {
 	const blockBytes = 48 // [4]uint64 + 4×4-byte fields
+	const spanBytes = 40  // two 16-byte Addrs + 2×4-byte indices
 	return uint64(len(f.dir))*8 +
 		uint64(len(f.dirRank))*4 +
 		uint64(len(f.blocks))*blockBytes +
 		uint64(len(f.mixed))*8 +
 		uint64(len(f.ases))*8 +
-		uint64(len(f.masks))
+		uint64(len(f.masks)) +
+		uint64(len(f.spans6))*spanBytes +
+		uint64(len(f.hosts6))*16 +
+		uint64(len(f.masks6))
 }
 
 // Validate walks the whole scan space comparing the FIB against the radix
@@ -358,7 +384,7 @@ func (f *FIB) MemFootprint() uint64 {
 // masks. Any disagreement is a world-construction bug.
 func (f *FIB) Validate(w *World) error {
 	for a := uint64(0); a < w.SpaceSize(); a++ {
-		if err := f.ValidateAddr(w, ip.Addr(a)); err != nil {
+		if err := f.ValidateAddr(w, ip.AddrFrom4(uint32(a))); err != nil {
 			return err
 		}
 	}
@@ -386,7 +412,7 @@ func (f *FIB) ValidateAddr(w *World, addr ip.Addr) error {
 		// to differ from.
 		return nil
 	}
-	i := sort.Search(len(w.hosts), func(i int) bool { return w.hosts[i].Addr >= addr })
+	i := sort.Search(len(w.hosts), func(i int) bool { return !w.hosts[i].Addr.Less(addr) })
 	isHost := i < len(w.hosts) && w.hosts[i].Addr == addr
 	if d.Host != isHost {
 		return fmt.Errorf("world: fib %v host=%v, index host=%v", addr, d.Host, isHost)

@@ -46,7 +46,7 @@ func TestFIBDifferentialLargeSpaceSampled(t *testing.T) {
 	}
 	stream := rng.NewKey(99).Derive("fib-sample").Stream(0, 0)
 	for i := 0; i < 200000; i++ {
-		check(ip.Addr(stream.Uint64() & (w.SpaceSize() - 1)))
+		check(ip.AddrFrom4(uint32(stream.Uint64() & (w.SpaceSize() - 1))))
 	}
 	for _, h := range w.Hosts() {
 		check(h.Addr)
@@ -55,8 +55,8 @@ func TestFIBDifferentialLargeSpaceSampled(t *testing.T) {
 		for _, pfx := range as.Prefixes {
 			check(pfx.First())
 			check(pfx.Last())
-			check(pfx.First() - 1) // the unrouted (or neighbouring) edge
-			check(pfx.Last() + 1)
+			check(pfx.First().Sub(1)) // the unrouted (or neighbouring) edge
+			check(pfx.Last().Add(1))
 		}
 	}
 }
@@ -67,13 +67,13 @@ func TestFIBRoutedMatchesResolve(t *testing.T) {
 	w := buildTest(t, 5)
 	f := w.FIB()
 	for a := uint64(0); a < w.SpaceSize(); a++ {
-		addr := ip.Addr(a)
+		addr := ip.AddrFrom4(uint32(a))
 		if got, want := f.Routed(addr), f.Resolve(addr).Routed; got != want {
 			t.Fatalf("Routed(%v) = %v, Resolve.Routed = %v", addr, got, want)
 		}
 	}
 	// Outside the space: never routed, zero Dest.
-	outside := ip.Addr(w.SpaceSize() + 12345)
+	outside := ip.AddrFrom4(uint32(w.SpaceSize() + 12345))
 	if f.Routed(outside) {
 		t.Error("address outside the space reported routed")
 	}

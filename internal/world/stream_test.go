@@ -25,12 +25,12 @@ func TestFIBResolveBatchMatchesResolve(t *testing.T) {
 	var addrs []ip.Addr
 	// Sequential span crossing many /24s: exercises the cache-hit path.
 	for a := uint64(0); a < w.SpaceSize() && a < 1<<14; a++ {
-		addrs = append(addrs, ip.Addr(a))
+		addrs = append(addrs, ip.AddrFrom4(uint32(a)))
 	}
 	// Pseudorandom addresses, some outside the space.
 	stream := rng.NewKey(7).Derive("batch-sample").Stream(0)
 	for i := 0; i < 1<<14; i++ {
-		addrs = append(addrs, ip.Addr(stream.Uint64()&(2*w.SpaceSize()-1)))
+		addrs = append(addrs, ip.AddrFrom4(uint32(stream.Uint64()&(2*w.SpaceSize()-1))))
 	}
 	out := make([]Dest, len(addrs))
 	f.ResolveBatch(addrs, out)
@@ -72,7 +72,7 @@ func TestWorldForcedSpaceBits(t *testing.T) {
 	}
 	stream := rng.NewKey(9).Derive("dark").Stream(0)
 	for i := 0; i < 1000; i++ {
-		a := ip.Addr(base.SpaceSize() + stream.Uint64()%(w.SpaceSize()-base.SpaceSize()))
+		a := ip.AddrFrom4(uint32(base.SpaceSize() + stream.Uint64()%(w.SpaceSize()-base.SpaceSize())))
 		if w.FIB().Routed(a) {
 			t.Fatalf("address %v in the forced-dark region reported routed", a)
 		}
@@ -115,7 +115,7 @@ func TestWorldStreamingMatchesRetained(t *testing.T) {
 		t.Fatalf("SpaceBits: streaming %d, retained %d", streaming.SpaceBits, retained.SpaceBits)
 	}
 	for a := uint64(0); a < retained.SpaceSize(); a++ {
-		addr := ip.Addr(a)
+		addr := ip.AddrFrom4(uint32(a))
 		if got, want := streaming.Resolve(addr), retained.Resolve(addr); got.Routed != want.Routed ||
 			got.Country != want.Country || got.Services != want.Services || got.Host != want.Host ||
 			(got.AS == nil) != (want.AS == nil) || (got.AS != nil && got.AS.Number != want.AS.Number) {

@@ -77,7 +77,7 @@ func TestHostsSortedAndUnique(t *testing.T) {
 	w := buildTest(t, 4)
 	hosts := w.Hosts()
 	for i := 1; i < len(hosts); i++ {
-		if hosts[i-1].Addr >= hosts[i].Addr {
+		if !hosts[i-1].Addr.Less(hosts[i].Addr) {
 			t.Fatalf("hosts not sorted/unique at %d: %v >= %v", i, hosts[i-1].Addr, hosts[i].Addr)
 		}
 	}
@@ -106,7 +106,7 @@ func TestLookupMatchesHostList(t *testing.T) {
 			t.Fatalf("Lookup(%v) = %v,%v want %v", h.Addr, m, ok, h.Services)
 		}
 	}
-	if _, ok := w.Lookup(0xFFFFFFFF); ok {
+	if _, ok := w.Lookup(ip.AddrFrom4(0xFFFFFFFF)); ok {
 		t.Error("Lookup found a host outside the world")
 	}
 }
@@ -193,7 +193,7 @@ func TestSourceIPsOutsideAnnouncedSpace(t *testing.T) {
 			if _, ok := w.ASOf(src); ok {
 				t.Fatalf("source IP %v of %v is inside an announced prefix", src, o.ID)
 			}
-			if uint64(src) >= w.SpaceSize() {
+			if uint64(src.V4()) >= w.SpaceSize() {
 				t.Fatalf("source IP %v outside scan space 2^%d", src, w.SpaceBits)
 			}
 		}
@@ -203,7 +203,7 @@ func TestSourceIPsOutsideAnnouncedSpace(t *testing.T) {
 func TestSpaceCoversAllHosts(t *testing.T) {
 	w := buildTest(t, 11)
 	for _, h := range w.Hosts() {
-		if uint64(h.Addr) >= w.SpaceSize() {
+		if uint64(h.Addr.V4()) >= w.SpaceSize() {
 			t.Fatalf("host %v outside scan space 2^%d", h.Addr, w.SpaceBits)
 		}
 	}
@@ -211,16 +211,16 @@ func TestSpaceCoversAllHosts(t *testing.T) {
 	// announced prefixes is implied by density; just check the space is
 	// within 2 doublings of the last host.
 	last := w.Hosts()[w.NumHosts()-1].Addr
-	if w.SpaceSize() > 8*uint64(last) {
+	if w.SpaceSize() > 8*uint64(last.V4()) {
 		t.Errorf("space 2^%d much larger than last host %v", w.SpaceBits, last)
 	}
 }
 
 func TestSlash24sHaveMultipleHosts(t *testing.T) {
 	w := buildTest(t, 12)
-	by24 := map[ipPrefixKey]int{}
+	by24 := map[ip.Prefix]int{}
 	for _, h := range w.Hosts() {
-		by24[ipPrefixKey(h.Addr&^0xff)]++
+		by24[h.Addr.Slash24()]++
 	}
 	multi, single := 0, 0
 	for _, n := range by24 {
@@ -235,7 +235,6 @@ func TestSlash24sHaveMultipleHosts(t *testing.T) {
 	}
 }
 
-type ipPrefixKey uint32
 
 func TestCountryPopulationsFollowWeights(t *testing.T) {
 	w, err := Build(context.Background(), Spec{Seed: 1, Scale: 0.0002})
@@ -311,7 +310,7 @@ func TestChurnLifecycle(t *testing.T) {
 	const n = 50000
 	var never, single, full, partial int
 	for i := 0; i < n; i++ {
-		addr := ip.Addr(uint32(i) * 977)
+		addr := ip.AddrFrom4(uint32(i) * 977)
 		live := 0
 		prevOff := false
 		gap := false
@@ -351,19 +350,19 @@ func TestChurnLifecycle(t *testing.T) {
 		t.Errorf("only %d/%d hosts live all trials at rate 0.10", full, n)
 	}
 	// Stability: repeated queries agree.
-	if c.Offline(977, 1) != c.Offline(977, 1) {
+	if c.Offline(ip.AddrFrom4(977), 1) != c.Offline(ip.AddrFrom4(977), 1) {
 		t.Error("churn not deterministic")
 	}
 }
 
 func TestChurnDisabled(t *testing.T) {
 	var c *Churn
-	if c.Offline(5, 0) {
+	if c.Offline(ip.AddrFrom4(5), 0) {
 		t.Error("nil churn marked a host offline")
 	}
 	c = NewChurn(rngKeyForTest(), 0, 3)
 	for trial := 0; trial < 3; trial++ {
-		if c.Offline(5, trial) {
+		if c.Offline(ip.AddrFrom4(5), trial) {
 			t.Error("zero-rate churn marked a host offline")
 		}
 	}

@@ -244,7 +244,7 @@ func grabHTTP(conn net.Conn, dst ip.Addr, res *Result) {
 // grabTLS sends a Chrome-shaped ClientHello and requires a parseable
 // ServerHello (the paper's handshake capture).
 func grabTLS(conn net.Conn, dst ip.Addr, key rng.Key, res *Result) {
-	ch := tlslite.NewClientHello(key.DeriveN("ch", uint64(dst)), dst.String())
+	ch := tlslite.NewClientHello(key.DeriveN("ch", dst.Word64()), dst.String())
 	if err := ch.Write(conn); err != nil {
 		res.Fail = classifyIOError(err, false)
 		return

@@ -105,7 +105,7 @@ func TestBannerVariesByHost(t *testing.T) {
 	g := newGrabber(d)
 	banners := map[string]bool{}
 	for i := 0; i < 30; i++ {
-		res := g.Grab(context.Background(), proto.SSH, ip.Addr(0x0a000000+uint32(i)), 0)
+		res := g.Grab(context.Background(), proto.SSH, ip.AddrFrom4(0x0a000000+uint32(i)), 0)
 		if res.Success {
 			banners[res.Banner] = true
 		}

@@ -60,10 +60,10 @@ func batchDiffConfigs() map[string]Config {
 
 	listed := testConfig()
 	al := ip.NewSet()
-	al.Add(ip.MakePrefix(0, 23)) // allow first two /24s...
+	al.Add(ip.MakePrefix(ip.AddrFrom4(0), 23)) // allow first two /24s...
 	listed.Allowlist = al
 	bl := ip.NewSet()
-	bl.Add(ip.MakePrefix(256, 25)) // ...but block half of the second
+	bl.Add(ip.MakePrefix(ip.AddrFrom4(256), 25)) // ...but block half of the second
 	listed.Blocklist = bl
 
 	multi := testConfig()
@@ -76,12 +76,12 @@ func batchDiffConfigs() map[string]Config {
 func diffSink() *routedSink {
 	return &routedSink{
 		fakeSink: fakeSink{
-			live:      map[ip.Addr]bool{5: true, 100: true, 300: true, 700: true},
-			closed:    map[ip.Addr]bool{7: true},
-			garbage:   map[ip.Addr]bool{9: true},
-			dropProbe: map[ip.Addr]uint8{100: 1 << 1},
+			live:      map[ip.Addr]bool{a4(5): true, a4(100): true, a4(300): true, a4(700): true},
+			closed:    map[ip.Addr]bool{a4(7): true},
+			garbage:   map[ip.Addr]bool{a4(9): true},
+			dropProbe: map[ip.Addr]uint8{a4(100): 1 << 1},
 		},
-		limit: 768, // upper quarter of the 2^10 space unrouted
+		limit: a4(768), // upper quarter of the 2^10 space unrouted
 	}
 }
 
@@ -132,14 +132,14 @@ func TestShardedBatchedMatchesSerialReference(t *testing.T) {
 		// The concurrency-safe sharded sink answers SYN-ACKs for live hosts
 		// only (no closed/garbage/drop modes), so the serial reference runs
 		// against an equivalently-behaving single-goroutine sink.
-		refSink := &routedSink{fakeSink: fakeSink{live: diffSink().live}, limit: 768}
+		refSink := &routedSink{fakeSink: fakeSink{live: diffSink().live}, limit: a4(768)}
 		var repRef []Reply
 		stRef, err := referenceRun(context.Background(), s, refSink, func(r Reply) { repRef = append(repRef, r) })
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, n := range []int{2, 4, 7} {
-			sink := &shardedRoutedSink{live: diffSink().live, limit: 768}
+			sink := &shardedRoutedSink{live: diffSink().live, limit: a4(768)}
 			var repGot []Reply
 			stGot, err := s.RunSharded(context.Background(), sink, func(r Reply) { repGot = append(repGot, r) }, n)
 			if err != nil {

@@ -1,0 +1,50 @@
+package zmap
+
+import (
+	"repro/internal/ip"
+)
+
+// HitlistIterator walks an explicit target list in the permutation's
+// pseudorandom order: the scan strategy for address spaces where a full
+// sweep is meaningless (IPv6's 2^128), implementing the same batched
+// iterator seam the space sweep drives. The permutation is built over the
+// list length (NewPermutationN), so every list entry is visited exactly
+// once, order is seed-determined, and sharding/position-recovery work
+// unchanged — a shard's walk values are list indices instead of v4
+// addresses.
+type HitlistIterator struct {
+	it   *Iterator
+	list []ip.Addr
+}
+
+// IterateHitlist returns an iterator over list in this permutation's walk
+// order. The permutation's space must equal len(list) (NewPermutationN
+// over the list length); the list is not copied.
+func (pm *Permutation) IterateHitlist(list []ip.Addr) *HitlistIterator {
+	if pm.space != uint64(len(list)) {
+		panic("zmap: hitlist length does not match permutation space")
+	}
+	return &HitlistIterator{it: pm.Iterate(), list: list}
+}
+
+// NextBatch fills dsts with the next targets of the walk and returns how
+// many it wrote (0 when exhausted). idxs is caller-owned scratch of the
+// same length receiving the raw list indices.
+func (h *HitlistIterator) NextBatch(dsts []ip.Addr, idxs []uint64) int {
+	n := h.it.NextBatch64(idxs[:len(dsts)])
+	for i := 0; i < n; i++ {
+		dsts[i] = h.list[idxs[i]]
+	}
+	return n
+}
+
+// NextIndexedBatch is NextBatch also recording each target's element index
+// within this shard's walk in elems — what sharded hitlist scans use to
+// recover serial scan positions, exactly as the space sweep does.
+func (h *HitlistIterator) NextIndexedBatch(dsts []ip.Addr, idxs, elems []uint64) int {
+	n := h.it.NextIndexedBatch64(idxs[:len(dsts)], elems[:len(dsts)])
+	for i := 0; i < n; i++ {
+		dsts[i] = h.list[idxs[i]]
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+package zmap
+
+import (
+	"testing"
+
+	"repro/internal/ip"
+	"repro/internal/rng"
+)
+
+// testHitlist builds a deterministic mixed v6 target list of length n.
+func testHitlist(n int) []ip.Addr {
+	list := make([]ip.Addr, n)
+	for i := range list {
+		list[i] = ip.AddrFrom128(0x2a00_0000_0000_0000|uint64(i>>4), uint64(i&15)+1)
+	}
+	return list
+}
+
+// TestHitlistIteratorCoversList checks the walk visits every list entry
+// exactly once, in an order that differs from list order.
+func TestHitlistIteratorCoversList(t *testing.T) {
+	const n = 1543 // deliberately not a power of two
+	list := testHitlist(n)
+	pm, err := NewPermutationN(rng.NewKey(7).Derive("scan"), uint64(n), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pm.IterateHitlist(list)
+	seen := map[ip.Addr]int{}
+	var walk []ip.Addr
+	dsts := make([]ip.Addr, 64)
+	idxs := make([]uint64, 64)
+	for {
+		k := h.NextBatch(dsts, idxs)
+		if k == 0 {
+			break
+		}
+		for _, a := range dsts[:k] {
+			seen[a]++
+			walk = append(walk, a)
+		}
+	}
+	if len(walk) != n {
+		t.Fatalf("walk emitted %d targets, want %d", len(walk), n)
+	}
+	for _, a := range list {
+		if seen[a] != 1 {
+			t.Fatalf("target %v visited %d times, want exactly once", a, seen[a])
+		}
+	}
+	inOrder := true
+	for i := range walk {
+		if walk[i] != list[i] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("walk visited the hitlist in list order; want a permuted order")
+	}
+}
+
+// TestHitlistIteratorDeterministic pins that the walk order is a pure
+// function of the key.
+func TestHitlistIteratorDeterministic(t *testing.T) {
+	const n = 257
+	list := testHitlist(n)
+	walk := func() []ip.Addr {
+		pm, err := NewPermutationN(rng.NewKey(99), uint64(n), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := pm.IterateHitlist(list)
+		var out []ip.Addr
+		dsts := make([]ip.Addr, 32)
+		idxs := make([]uint64, 32)
+		for {
+			k := h.NextBatch(dsts, idxs)
+			if k == 0 {
+				break
+			}
+			out = append(out, dsts[:k]...)
+		}
+		return out
+	}
+	a, b := walk(), walk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walk diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHitlistShardsPartitionList checks sharded walks partition the list:
+// disjoint shards whose union is the whole hitlist, with NextIndexedBatch
+// element indices recovering each target's serial scan position.
+func TestHitlistShardsPartitionList(t *testing.T) {
+	const n, shards = 1111, 4
+	list := testHitlist(n)
+	key := rng.NewKey(3).Derive("scan")
+
+	seen := map[ip.Addr]int{}
+	total := 0
+	for s := 0; s < shards; s++ {
+		pm, err := NewPermutationN(key, uint64(n), s, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := pm.IterateHitlist(list)
+		dsts := make([]ip.Addr, 48)
+		idxs := make([]uint64, 48)
+		elems := make([]uint64, 48)
+		last := -1
+		for {
+			k := h.NextIndexedBatch(dsts, idxs, elems)
+			if k == 0 {
+				break
+			}
+			for i := 0; i < k; i++ {
+				seen[dsts[i]]++
+				// Element indices count the shard's walk over the
+				// group (skips included): strictly increasing.
+				if int(elems[i]) <= last {
+					t.Fatalf("shard %d element index %d not increasing (last %d)", s, elems[i], last)
+				}
+				last = int(elems[i])
+			}
+			total += k
+		}
+	}
+	if total != n {
+		t.Fatalf("shards emitted %d targets, want %d", total, n)
+	}
+	for _, a := range list {
+		if seen[a] != 1 {
+			t.Fatalf("target %v appeared in %d shards, want exactly one", a, seen[a])
+		}
+	}
+}
+
+// TestHitlistLengthMismatchPanics pins the guard against pairing a
+// permutation with the wrong list.
+func TestHitlistLengthMismatchPanics(t *testing.T) {
+	pm, err := NewPermutationN(rng.NewKey(1), 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IterateHitlist accepted a list shorter than the permutation space")
+		}
+	}()
+	pm.IterateHitlist(testHitlist(9))
+}

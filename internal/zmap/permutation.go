@@ -49,10 +49,23 @@ func NewPermutation(key rng.Key, spaceBits uint8, shard, shards int) (*Permutati
 	if spaceBits == 0 || spaceBits > 32 {
 		return nil, fmt.Errorf("zmap: space bits %d out of range", spaceBits)
 	}
+	return NewPermutationN(key, uint64(1)<<spaceBits, shard, shards)
+}
+
+// NewPermutationN is NewPermutation over an arbitrary space of n values
+// [0, n) — the form hitlist scans use, where n is a target-list length
+// rather than a power of two. The walk indices are uint64 throughout; n may
+// be anything up to 2^62 (the modulus must stay below 2^63 for the Shoup
+// reduction), though real uses are a 2^32 sweep space or a far smaller
+// hitlist.
+func NewPermutationN(key rng.Key, n uint64, shard, shards int) (*Permutation, error) {
+	if n == 0 || n > 1<<62 {
+		return nil, fmt.Errorf("zmap: space size %d out of range", n)
+	}
 	if shards <= 0 || shard < 0 || shard >= shards {
 		return nil, fmt.Errorf("zmap: bad shard %d/%d", shard, shards)
 	}
-	space := uint64(1) << spaceBits
+	space := n
 	p := nextPrime(space + 1)
 	g, err := findGenerator(key, p)
 	if err != nil {
@@ -137,6 +150,49 @@ func (it *Iterator) NextBatch(buf []uint32) int {
 		emitted++
 		if a := v - 1; a < space {
 			buf[n] = uint32(a)
+			n++
+		}
+	}
+	it.current, it.emitted = cur, emitted
+	return n
+}
+
+// NextBatch64 is NextBatch emitting full-width walk values — the form
+// hitlist iteration uses, where a value is an index into a target list
+// rather than an IPv4 address.
+func (it *Iterator) NextBatch64(buf []uint64) int {
+	pm := it.pm
+	cur, emitted := it.current, it.emitted
+	step, shoup, p, space, max := pm.step, pm.stepShoup, pm.p, pm.space, it.max
+	n := 0
+	for n < len(buf) && emitted < max {
+		v := cur
+		cur = mulmodShoup(cur, step, shoup, p)
+		emitted++
+		if a := v - 1; a < space {
+			buf[n] = a
+			n++
+		}
+	}
+	it.current, it.emitted = cur, emitted
+	return n
+}
+
+// NextIndexedBatch64 is NextIndexedBatch with full-width walk values (see
+// NextBatch64). vals and elems must be the same length.
+func (it *Iterator) NextIndexedBatch64(vals, elems []uint64) int {
+	pm := it.pm
+	cur, emitted := it.current, it.emitted
+	step, shoup, p, space, max := pm.step, pm.stepShoup, pm.p, pm.space, it.max
+	n := 0
+	for n < len(vals) && emitted < max {
+		v := cur
+		cur = mulmodShoup(cur, step, shoup, p)
+		e := emitted
+		emitted++
+		if a := v - 1; a < space {
+			vals[n] = a
+			elems[n] = e
 			n++
 		}
 	}

@@ -82,7 +82,16 @@ type Config struct {
 	// (after Bano et al.) because consecutive probes share loss fate.
 	ProbeDelay time.Duration
 	// SpaceBits sizes the scanned address space (2^SpaceBits addresses).
+	// Ignored when Hitlist is set.
 	SpaceBits uint8
+	// Hitlist, when non-empty, switches the scan from a space sweep to a
+	// hitlist scan: the targets are exactly the listed addresses (any
+	// family), visited in a seed-determined permuted order, with the
+	// virtual clock spread over the list instead of the space. This is
+	// the IPv6 scan strategy — a 2^128 permutation sweep is meaningless,
+	// so v6 scanning is driven by externally gathered target lists. The
+	// slice is not copied; callers must not modify it during the scan.
+	Hitlist []ip.Addr
 	// Seed drives the permutation and validation cookies. Synchronized
 	// scans share the seed so all origins probe the same target at the
 	// same scan position.
@@ -198,6 +207,7 @@ func (s *Stats) add(o Stats) {
 type Scanner struct {
 	cfg      Config
 	perm     *Permutation
+	hitlist  []ip.Addr // non-nil for hitlist scans
 	key      rng.Key
 	validate rng.SipKey // cookie key, derived once (hot path)
 }
@@ -208,19 +218,33 @@ func NewScanner(cfg Config) (*Scanner, error) {
 		return nil, err
 	}
 	key := rng.NewKey(cfg.Seed).Derive("zmap")
-	perm, err := NewPermutation(key, cfg.SpaceBits, cfg.Shard, cfg.Shards)
+	var perm *Permutation
+	var err error
+	if len(cfg.Hitlist) > 0 {
+		perm, err = NewPermutationN(key, uint64(len(cfg.Hitlist)), cfg.Shard, cfg.Shards)
+	} else {
+		perm, err = NewPermutation(key, cfg.SpaceBits, cfg.Shard, cfg.Shards)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Scanner{cfg: cfg, perm: perm, key: key, validate: key.Derive("validate").Sip()}, nil
+	return &Scanner{cfg: cfg, perm: perm, hitlist: cfg.Hitlist, key: key,
+		validate: key.Derive("validate").Sip()}, nil
 }
 
 // cookie computes the validation value embedded in the probe's sequence
 // number: a keyed hash of the flow 4-tuple, so responses can be validated
 // statelessly (ZMap's core trick).
 func (s *Scanner) cookie(src, dst ip.Addr, srcPort uint16) uint32 {
+	if dst.Is4() {
+		// The v4 flow word is the historical layout; changing it would
+		// change every probe's sequence number and break byte-identity.
+		return uint32(rng.SipHash24Words(s.validate,
+			uint64(src.V4())<<32|uint64(dst.V4()), uint64(srcPort)<<16|uint64(s.cfg.TargetPort)))
+	}
 	return uint32(rng.SipHash24Words(s.validate,
-		uint64(src)<<32|uint64(dst), uint64(srcPort)<<16|uint64(s.cfg.TargetPort)))
+		src.Hi()^dst.Lo(), src.Lo()^dst.Hi(), dst.Lo(),
+		uint64(srcPort)<<16|uint64(s.cfg.TargetPort)))
 }
 
 // srcFor picks the source IP for a target.
@@ -237,7 +261,7 @@ func (s *Scanner) srcFor(dst ip.Addr) ip.Addr {
 // here and in filterBatch must stay textually identical: float64 rounding
 // is part of the schedule's bit-identity contract.
 func (s *Scanner) emitTarget(a uint32, position uint64, st *Stats, emit func(ip.Addr, time.Duration)) {
-	dst := ip.Addr(a)
+	dst := ip.AddrFrom4(a)
 	if s.cfg.Allowlist != nil && !s.cfg.Allowlist.Contains(dst) {
 		st.Blocked++
 		return
@@ -258,6 +282,8 @@ func (s *Scanner) emitTarget(a uint32, position uint64, st *Stats, emit func(ip.
 // sweep, so the per-address cost is array writes — no per-batch allocation,
 // no interface calls inside the batch.
 type sweepKernel struct {
+	idxs   [sweepBatch]uint64
+	raw    [sweepBatch]ip.Addr
 	addrs  [sweepBatch]uint32
 	elems  [sweepBatch]uint64
 	pos    [sweepBatch]uint64
@@ -277,7 +303,33 @@ func (s *Scanner) filterBatch(addrs []uint32, pos []uint64, st *Stats, k *sweepK
 	space, dur := float64(s.perm.Space()), float64(s.cfg.ScanDuration)
 	kept := 0
 	for i, a := range addrs {
-		dst := ip.Addr(a)
+		dst := ip.AddrFrom4(a)
+		if allow != nil && !allow.Contains(dst) {
+			st.Blocked++
+			continue
+		}
+		if block != nil && block.Contains(dst) {
+			st.Blocked++
+			continue
+		}
+		st.Targets++
+		k.dsts[kept] = dst
+		k.times[kept] = time.Duration(float64(pos[i]) / space * dur)
+		kept++
+	}
+	return kept
+}
+
+// filterAddrBatch is filterBatch over targets that are already full
+// addresses — the hitlist path, where the iterator hands out list entries
+// instead of v4 space offsets. Checks, counters, and the virtual-clock
+// expression are exactly filterBatch's; for a hitlist scan perm.Space() is
+// the list length, so the clock spreads the scan over the list.
+func (s *Scanner) filterAddrBatch(dsts []ip.Addr, pos []uint64, st *Stats, k *sweepKernel) int {
+	allow, block := s.cfg.Allowlist, s.cfg.Blocklist
+	space, dur := float64(s.perm.Space()), float64(s.cfg.ScanDuration)
+	kept := 0
+	for i, dst := range dsts {
 		if allow != nil && !allow.Contains(dst) {
 			st.Blocked++
 			continue
@@ -320,6 +372,9 @@ func routedBatch(brt BatchRoutability, rt Routability, k *sweepKernel, kept int)
 // boundaries the old per-address loop checked at, so cancellation is
 // observably identical.
 func (s *Scanner) sweep(ctx context.Context, st *Stats, fl *statsFlusher, k *sweepKernel, emit func(dsts []ip.Addr, times []time.Duration)) error {
+	if s.hitlist != nil {
+		return s.sweepHitlist(ctx, st, fl, k, emit)
+	}
 	it := s.perm.Iterate()
 	var position uint64
 	for {
@@ -344,6 +399,37 @@ func (s *Scanner) sweep(ctx context.Context, st *Stats, fl *statsFlusher, k *swe
 			// Partial batch: the walk is exhausted. The per-address loop
 			// only re-checked ctx at exact sweepBatch boundaries, so finish
 			// without another check to keep cancellation bit-identical.
+			fl.flush(st)
+			return nil
+		}
+	}
+}
+
+// sweepHitlist is sweep over a hitlist: identical batching, positions,
+// cancellation, and telemetry cadence, with the permutation walking list
+// indices instead of space offsets.
+func (s *Scanner) sweepHitlist(ctx context.Context, st *Stats, fl *statsFlusher, k *sweepKernel, emit func(dsts []ip.Addr, times []time.Duration)) error {
+	it := s.perm.IterateHitlist(s.hitlist)
+	var position uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			fl.flush(st)
+			return pipeline.Canceled(err)
+		}
+		fl.flush(st)
+		n := it.NextBatch(k.raw[:], k.idxs[:])
+		if n == 0 {
+			fl.flush(st)
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			k.pos[i] = position + uint64(i) + 1
+		}
+		position += uint64(n)
+		if kept := s.filterAddrBatch(k.raw[:n], k.pos[:n], st, k); kept > 0 {
+			emit(k.dsts[:kept], k.times[:kept])
+		}
+		if n < sweepBatch {
 			fl.flush(st)
 			return nil
 		}
@@ -454,7 +540,7 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 	skips := s.perm.SkipIndices()
 	subs := make([]*Permutation, n)
 	for j := range subs {
-		sub, err := NewPermutation(s.key, s.cfg.SpaceBits, s.cfg.Shard+s.cfg.Shards*j, s.cfg.Shards*n)
+		sub, err := NewPermutationN(s.key, s.perm.Space(), s.cfg.Shard+s.cfg.Shards*j, s.cfg.Shards*n)
 		if err != nil {
 			return Stats{}, fmt.Errorf("zmap: sub-shard %d/%d: %w", j, n, err)
 		}
@@ -486,6 +572,10 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 			}
 			k := new(sweepKernel)
 			it := subs[j].Iterate()
+			var hit *HitlistIterator
+			if s.hitlist != nil {
+				hit = subs[j].IterateHitlist(s.hitlist)
+			}
 			// Parent walk indices increase strictly within a sub-shard, so
 			// a linear cursor into the sorted skip table replaces the
 			// per-address binary search of skipsBefore.
@@ -495,7 +585,12 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 					return
 				}
 				fl.flush(&o.st)
-				bn := it.NextIndexedBatch(k.addrs[:], k.elems[:])
+				var bn int
+				if hit != nil {
+					bn = hit.NextIndexedBatch(k.raw[:], k.idxs[:], k.elems[:])
+				} else {
+					bn = it.NextIndexedBatch(k.addrs[:], k.elems[:])
+				}
 				if bn == 0 {
 					return
 				}
@@ -509,7 +604,12 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 					}
 					k.pos[i] = parent + 1 - skipCur
 				}
-				kept := s.filterBatch(k.addrs[:bn], k.pos[:bn], &o.st, k)
+				var kept int
+				if hit != nil {
+					kept = s.filterAddrBatch(k.raw[:bn], k.pos[:bn], &o.st, k)
+				} else {
+					kept = s.filterBatch(k.addrs[:bn], k.pos[:bn], &o.st, k)
+				}
 				routedBatch(brt, rt, k, kept)
 				for i := 0; i < kept; i++ {
 					if !k.routed[i] {
@@ -552,7 +652,7 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 		if merged[i].T != merged[j].T {
 			return merged[i].T < merged[j].T
 		}
-		return merged[i].Dst < merged[j].Dst
+		return merged[i].Dst.Less(merged[j].Dst)
 	})
 	for _, r := range merged {
 		handler(r)
@@ -564,8 +664,40 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 // as ZMap validates: correct 4-tuple and ack == seq+1 for SYN-ACKs; RSTs
 // may ack either seq+0 or seq+1 (stacks differ).
 func (s *Scanner) validateResp(resp []byte, src, dst ip.Addr, srcPort uint16, seq uint32) (ok, rst bool) {
+	if !dst.Is4() {
+		return s.validateResp6(resp, src, dst, srcPort, seq)
+	}
 	iph, tcph, _, err := packet.DecodeTCP4(resp)
 	if err != nil {
+		return false, false
+	}
+	if iph.Src != dst || iph.Dst != src {
+		return false, false
+	}
+	if tcph.SrcPort != s.cfg.TargetPort || tcph.DstPort != srcPort {
+		return false, false
+	}
+	if tcph.HasFlag(packet.FlagRST) {
+		if tcph.Ack != seq && tcph.Ack != seq+1 {
+			return false, false
+		}
+		return true, true
+	}
+	if !tcph.HasFlag(packet.FlagSYN | packet.FlagACK) {
+		return false, false
+	}
+	if tcph.Ack != seq+1 {
+		return false, false
+	}
+	return true, false
+}
+
+// validateResp6 is validateResp for IPv6 probes: stack-decoded headers (the
+// zero-alloc v6 decode path), then the same flow and cookie checks.
+func (s *Scanner) validateResp6(resp []byte, src, dst ip.Addr, srcPort uint16, seq uint32) (ok, rst bool) {
+	var iph packet.IPv6Header
+	var tcph packet.TCPHeader
+	if _, err := packet.DecodeTCP6Into(&iph, &tcph, resp); err != nil {
 		return false, false
 	}
 	if iph.Src != dst || iph.Dst != src {

@@ -43,10 +43,10 @@ func TestSweepTelemetryCountersMatchStats(t *testing.T) {
 	cfg := testConfig()
 	cfg.Telemetry = m
 	sink := &fakeSink{
-		live:      map[ip.Addr]bool{5: true, 100: true, 1023: true},
-		closed:    map[ip.Addr]bool{7: true},
-		garbage:   map[ip.Addr]bool{9: true},
-		dropProbe: map[ip.Addr]uint8{100: 1 << 1},
+		live:      map[ip.Addr]bool{a4(5): true, a4(100): true, a4(1023): true},
+		closed:    map[ip.Addr]bool{a4(7): true},
+		garbage:   map[ip.Addr]bool{a4(9): true},
+		dropProbe: map[ip.Addr]uint8{a4(100): 1 << 1},
 	}
 	s, err := NewScanner(cfg)
 	if err != nil {
@@ -71,7 +71,7 @@ func TestShardedSweepTelemetryCountersMatchStats(t *testing.T) {
 	cfg := testConfig()
 	cfg.SpaceBits = 14 // several batches per shard
 	cfg.Telemetry = m
-	sink := &lockedSink{s: &fakeSink{live: map[ip.Addr]bool{5: true, 300: true, 9000: true}}}
+	sink := &lockedSink{s: &fakeSink{live: map[ip.Addr]bool{a4(5): true, a4(300): true, a4(9000): true}}}
 	s, err := NewScanner(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -92,8 +92,8 @@ func TestTelemetryIsPureObserver(t *testing.T) {
 		cfg := testConfig()
 		cfg.Telemetry = m
 		sink := &fakeSink{
-			live:   map[ip.Addr]bool{5: true, 100: true, 1023: true},
-			closed: map[ip.Addr]bool{7: true},
+			live:   map[ip.Addr]bool{a4(5): true, a4(100): true, a4(1023): true},
+			closed: map[ip.Addr]bool{a4(7): true},
 		}
 		s, err := NewScanner(cfg)
 		if err != nil {

@@ -14,6 +14,9 @@ import (
 	"repro/internal/rng"
 )
 
+// a4 abbreviates v4 test addresses.
+func a4(v uint32) ip.Addr { return ip.AddrFrom4(v) }
+
 func TestPermutationCoversSpaceExactlyOnce(t *testing.T) {
 	key := rng.NewKey(42)
 	pm, err := NewPermutation(key, 12, 0, 1)
@@ -397,7 +400,7 @@ func testConfig() Config {
 
 func TestScannerFindsLiveHosts(t *testing.T) {
 	sink := &fakeSink{
-		live: map[ip.Addr]bool{5: true, 100: true, 1023: true},
+		live: map[ip.Addr]bool{a4(5): true, a4(100): true, a4(1023): true},
 	}
 	s, err := NewScanner(testConfig())
 	if err != nil {
@@ -429,25 +432,25 @@ func TestScannerFindsLiveHosts(t *testing.T) {
 
 func TestScannerDistinguishesProbeLoss(t *testing.T) {
 	sink := &fakeSink{
-		live:      map[ip.Addr]bool{7: true, 8: true, 9: true},
-		dropProbe: map[ip.Addr]uint8{7: 0b01, 8: 0b10, 9: 0b11},
+		live:      map[ip.Addr]bool{a4(7): true, a4(8): true, a4(9): true},
+		dropProbe: map[ip.Addr]uint8{a4(7): 0b01, a4(8): 0b10, a4(9): 0b11},
 	}
 	s, _ := NewScanner(testConfig())
 	got := map[ip.Addr]uint8{}
 	s.Run(context.Background(), sink, func(r Reply) { got[r.Dst] = r.ProbeMask })
-	if got[7] != 0b10 {
-		t.Errorf("host 7 mask %#b, want 0b10", got[7])
+	if got[a4(7)] != 0b10 {
+		t.Errorf("host 7 mask %#b, want 0b10", got[a4(7)])
 	}
-	if got[8] != 0b01 {
-		t.Errorf("host 8 mask %#b, want 0b01", got[8])
+	if got[a4(8)] != 0b01 {
+		t.Errorf("host 8 mask %#b, want 0b01", got[a4(8)])
 	}
-	if _, ok := got[9]; ok {
+	if _, ok := got[a4(9)]; ok {
 		t.Error("host 9 reported despite both probes dropped")
 	}
 }
 
 func TestScannerReportsRSTs(t *testing.T) {
-	sink := &fakeSink{closed: map[ip.Addr]bool{50: true}}
+	sink := &fakeSink{closed: map[ip.Addr]bool{a4(50): true}}
 	s, _ := NewScanner(testConfig())
 	var replies []Reply
 	st, err := s.Run(context.Background(), sink, func(r Reply) { replies = append(replies, r) })
@@ -464,8 +467,8 @@ func TestScannerReportsRSTs(t *testing.T) {
 
 func TestScannerRejectsInvalidResponses(t *testing.T) {
 	sink := &fakeSink{
-		garbage:  map[ip.Addr]bool{3: true},
-		wrongAck: map[ip.Addr]bool{4: true},
+		garbage:  map[ip.Addr]bool{a4(3): true},
+		wrongAck: map[ip.Addr]bool{a4(4): true},
 	}
 	s, _ := NewScanner(testConfig())
 	count := 0
@@ -483,20 +486,20 @@ func TestScannerRejectsInvalidResponses(t *testing.T) {
 
 func TestScannerBlocklist(t *testing.T) {
 	bl := ip.NewSet()
-	bl.Add(ip.MakePrefix(0, 24)) // block first /24 of the space
+	bl.Add(ip.MakePrefix(ip.AddrFrom4(0), 24)) // block first /24 of the space
 	cfg := testConfig()
 	cfg.Blocklist = bl
-	sink := &fakeSink{live: map[ip.Addr]bool{5: true, 300: true}}
+	sink := &fakeSink{live: map[ip.Addr]bool{a4(5): true, a4(300): true}}
 	s, _ := NewScanner(cfg)
 	got := map[ip.Addr]bool{}
 	st, err := s.Run(context.Background(), sink, func(r Reply) { got[r.Dst] = true })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got[5] {
+	if got[a4(5)] {
 		t.Error("blocklisted host was probed")
 	}
-	if !got[300] {
+	if !got[a4(300)] {
 		t.Error("unblocked host missed")
 	}
 	if st.Blocked != 256 {
@@ -506,17 +509,17 @@ func TestScannerBlocklist(t *testing.T) {
 
 func TestScannerAllowlist(t *testing.T) {
 	al := ip.NewSet()
-	al.Add(ip.MakePrefix(256, 24)) // allow only second /24
+	al.Add(ip.MakePrefix(ip.AddrFrom4(256), 24)) // allow only second /24
 	cfg := testConfig()
 	cfg.Allowlist = al
-	sink := &fakeSink{live: map[ip.Addr]bool{5: true, 300: true}}
+	sink := &fakeSink{live: map[ip.Addr]bool{a4(5): true, a4(300): true}}
 	s, _ := NewScanner(cfg)
 	got := map[ip.Addr]bool{}
 	st, err := s.Run(context.Background(), sink, func(r Reply) { got[r.Dst] = true })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got[5] || !got[300] {
+	if got[a4(5)] || !got[a4(300)] {
 		t.Errorf("allowlist: got %v", got)
 	}
 	if st.Targets != 256 {
@@ -528,7 +531,7 @@ func TestScannerMultiSourceRotation(t *testing.T) {
 	cfg := testConfig()
 	cfg.SourceIPs = nil
 	for i := 0; i < 64; i++ {
-		cfg.SourceIPs = append(cfg.SourceIPs, ip.Addr(0x63000000+uint32(i)))
+		cfg.SourceIPs = append(cfg.SourceIPs, ip.AddrFrom4(0x63000000+uint32(i)))
 	}
 	srcSeen := map[ip.Addr]int{}
 	sink := sinkFunc(func(src ip.Addr, pkt []byte, t time.Duration) []byte {
@@ -607,7 +610,7 @@ func TestScannerSynchronizedOriginsShareSchedule(t *testing.T) {
 func TestScannerRunCanceledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	sink := &fakeSink{live: map[ip.Addr]bool{5: true}}
+	sink := &fakeSink{live: map[ip.Addr]bool{a4(5): true}}
 	s, err := NewScanner(testConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -657,7 +660,7 @@ func TestScannerRunShardedCanceled(t *testing.T) {
 	cfg.SpaceBits = 14
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	sink := &fakeSink{live: map[ip.Addr]bool{5: true}}
+	sink := &fakeSink{live: map[ip.Addr]bool{a4(5): true}}
 	s, err := NewScanner(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -683,7 +686,7 @@ type routedSink struct {
 	unroutedSends int     // Sends the short-circuit should have skipped
 }
 
-func (r *routedSink) Routed(dst ip.Addr) bool { return dst < r.limit }
+func (r *routedSink) Routed(dst ip.Addr) bool { return dst.Less(r.limit) }
 
 func (r *routedSink) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
 	if iph, _, _, err := packet.DecodeTCP4(pkt); err == nil && !r.Routed(iph.Dst) {
@@ -698,8 +701,8 @@ func (r *routedSink) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
 // loss accounting is unchanged), while Send is never invoked for unrouted
 // destinations.
 func TestScannerRoutabilityShortCircuit(t *testing.T) {
-	live := map[ip.Addr]bool{5: true, 100: true, 499: true}
-	closed := map[ip.Addr]bool{50: true}
+	live := map[ip.Addr]bool{a4(5): true, a4(100): true, a4(499): true}
+	closed := map[ip.Addr]bool{a4(50): true}
 	const limit = 512 // half the 2^10 space is unrouted
 
 	run := func(sink PacketSink) (Stats, map[ip.Addr]Reply) {
@@ -718,7 +721,7 @@ func TestScannerRoutabilityShortCircuit(t *testing.T) {
 	plain := &fakeSink{live: live, closed: closed}
 	plainStats, plainReplies := run(plain)
 
-	fast := &routedSink{fakeSink: fakeSink{live: live, closed: closed}, limit: limit}
+	fast := &routedSink{fakeSink: fakeSink{live: live, closed: closed}, limit: a4(limit)}
 	fastStats, fastReplies := run(fast)
 
 	if fastStats != plainStats {
@@ -745,7 +748,7 @@ func TestScannerRoutabilityShortCircuit(t *testing.T) {
 // TestScannerRoutabilityShortCircuitSharded is the same invariant for the
 // sharded sweep, where shard goroutines consult Routability concurrently.
 func TestScannerRoutabilityShortCircuitSharded(t *testing.T) {
-	live := map[ip.Addr]bool{5: true, 100: true, 499: true}
+	live := map[ip.Addr]bool{a4(5): true, a4(100): true, a4(499): true}
 	const limit = 512
 
 	s, err := NewScanner(testConfig())
@@ -759,7 +762,7 @@ func TestScannerRoutabilityShortCircuitSharded(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fast := &shardedRoutedSink{live: live, limit: limit}
+	fast := &shardedRoutedSink{live: live, limit: a4(limit)}
 	fastGot := map[ip.Addr]uint8{}
 	var mu sync.Mutex
 	fastStats, err := s.RunSharded(context.Background(), fast, func(r Reply) {
@@ -794,7 +797,7 @@ type shardedRoutedSink struct {
 	unroutedSends atomic.Int64
 }
 
-func (r *shardedRoutedSink) Routed(dst ip.Addr) bool { return dst < r.limit }
+func (r *shardedRoutedSink) Routed(dst ip.Addr) bool { return dst.Less(r.limit) }
 
 func (r *shardedRoutedSink) Send(src ip.Addr, pkt []byte, t time.Duration) []byte {
 	iph, tcph, _, err := packet.DecodeTCP4(pkt)
