@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race test-v6 bench bench-telemetry bench-sweep bench-fullspace bench-parallel bench-scale1 bench-v6
+.PHONY: all ci vet build test race test-v6 bench bench-telemetry bench-trace bench-sweep bench-fullspace bench-parallel bench-scale1 bench-v6
 
 all: ci
 
@@ -43,6 +43,20 @@ bench-telemetry:
 	        -command "go test -run xxx -bench BenchmarkSweepTelemetry -benchtime 2s ./internal/zmap/" \
 	        -note "Full 2^14-address sweep against a null sink. Nil = telemetry disabled (one pointer check per 4096-target batch); Enabled = live registry receiving batched delta flushes. Overhead budget: enabled <= 5% over nil." \
 	        -out BENCH_telemetry.json
+
+# Hierarchical tracing overhead on the sweep hot path: the same full sweep
+# with tracing disabled (nil registry → inert spans) vs enabled (scan span,
+# bounded batch exemplars, span commit). benchjson's ratio gate fails the
+# target when the enabled run exceeds nil by more than 5% — the observability
+# tentpole's overhead contract, enforced by CI's trace job. Results land in
+# BENCH_trace.json.
+bench-trace:
+	$(GO) test -run xxx -bench 'BenchmarkSweepTrace' -benchtime 2s -count 3 -benchmem ./internal/zmap/ | \
+	    $(GO) run ./cmd/benchjson \
+	        -command "go test -run xxx -bench BenchmarkSweepTrace -benchtime 2s -count 3 ./internal/zmap/" \
+	        -note "Full 2^14-address sweep against a null sink, min of 3 runs per variant. Nil = tracing disabled (nil registry: inert span, inert batch tracer); Enabled = live registry with a scan span and bounded sweep_batch exemplar sampling (first 32 + every 1024th batch). Gate: enabled/nil ns/op <= 1.05." \
+	        -gate-num BenchmarkSweepTraceEnabled -gate-den BenchmarkSweepTraceNil -gate-max 1.05 \
+	        -out BENCH_trace.json
 
 # Sweep fast path: the flat-FIB destination index, routed-space
 # short-circuit, and zero-alloc probe evaluation. BENCH_sweepfast.before.txt

@@ -10,7 +10,7 @@
 //	           [-parallelism N] [-scan-shards N] [-skip-followup]
 //	           [-spill-dir DIR] [-mem-budget SIZE]
 //	           [-family ipv4|ipv6] [-hitlist FILE]
-//	           [-telemetry-addr host:port] [-quiet]
+//	           [-telemetry-addr host:port] [-trace-dir DIR] [-quiet]
 //
 // The default scale (0.001) generates ≈58k HTTP hosts, mirroring the
 // paper's 58M at 1/1000; a full run takes a few minutes on one core.
@@ -32,7 +32,15 @@
 // rate, ETA) refreshes on stderr every 2 seconds; -quiet suppresses it for
 // scripted runs. -telemetry-addr serves live metrics over HTTP for the
 // duration of the process: /metrics (Prometheus text), /metrics.json,
-// /spans, /debug/pprof/, and /debug/vars.
+// /spans, /trace (Chrome trace_event JSON of recent spans),
+// /debug/pprof/, and /debug/vars.
+//
+// -trace-dir DIR turns on the flight recorder: every finished span (the
+// study→scan→stage→batch trace tree) streams to DIR/journal.jsonl as it
+// ends, and on exit — normal, failed, or interrupted — the journal is
+// sealed with a final metrics snapshot and a Chrome trace_event file is
+// written to DIR/trace.json (load it in chrome://tracing or Perfetto).
+// Analyze the journal offline with cmd/tracestat.
 //
 // SIGINT/SIGTERM cancel the run: scans stop at the next shard batch, every
 // scan completed before the interruption is flushed to -dataset (when set),
@@ -48,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -85,6 +94,7 @@ func main() {
 		spillDir     = flag.String("spill-dir", "", "spill scan results to segment files in this directory")
 		memBudget    = flag.String("mem-budget", "", "live result memory cap, e.g. 256MiB or 2GiB (requires -spill-dir)")
 		telemAddr    = flag.String("telemetry-addr", "", "serve live metrics, pprof, and expvar on this address")
+		traceDir     = flag.String("trace-dir", "", "write a span journal and Chrome trace into this directory")
 		quiet        = flag.Bool("quiet", false, "suppress the periodic stderr progress line")
 		familyStr    = flag.String("family", "ipv4", "address family to study: ipv4 (space sweep) or ipv6 (hitlist walk)")
 		hitlistPath  = flag.String("hitlist", "", "scan targets from this file (one address per line; requires -family ipv6)")
@@ -108,6 +118,17 @@ func main() {
 	// (the golden-dataset test pins that), so it is always on and the flags
 	// only choose where it surfaces.
 	reg := core.NewTelemetry()
+	if *traceDir != "" {
+		rec, err := core.NewRecorder(filepath.Join(*traceDir, core.JournalFile))
+		if err != nil {
+			fatalf("opening trace journal: %v", err)
+		}
+		reg.AttachRecorder(rec)
+		setTraceFlush(reg, *traceDir)
+		// exitf runs the flush before os.Exit; the defer covers main's
+		// normal returns (including the IPv6 report's early return).
+		defer traceFlush()
+	}
 	if *telemAddr != "" {
 		ln, err := net.Listen("tcp", *telemAddr)
 		if err != nil {
@@ -439,11 +460,45 @@ func parseByteSize(s string) (int64, error) {
 	return v, nil
 }
 
+// traceFlush seals the -trace-dir flight recorder: the journal gets its
+// final metrics snapshot and the Chrome trace is written next to it. It is
+// a no-op until -trace-dir installs the real closure, and idempotent after
+// (both the deferred call and exitf run it — exitf skips defers via
+// os.Exit, and a multi-hour study should never lose its trace to the exit
+// path).
+var traceFlush = func() {}
+
+func setTraceFlush(reg *core.Telemetry, dir string) {
+	traceFlush = func() {
+		traceFlush = func() {}
+		if err := reg.CloseRecorder(); err != nil {
+			fmt.Fprintf(os.Stderr, "originscan: sealing trace journal: %v\n", err)
+		}
+		path := filepath.Join(dir, "trace.json")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "originscan: creating Chrome trace: %v\n", err)
+			return
+		}
+		if err := reg.WriteChrome(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "originscan: writing Chrome trace: %v\n", err)
+			return
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "originscan: closing Chrome trace: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "originscan: trace journal and %s written\n", path)
+	}
+}
+
 func fatalf(format string, args ...any) {
 	exitf(exitFailure, format, args...)
 }
 
 func exitf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "originscan: "+format+"\n", args...)
+	traceFlush()
 	os.Exit(code)
 }

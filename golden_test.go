@@ -14,6 +14,7 @@ import (
 	"context"
 	"io"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
@@ -58,7 +59,21 @@ func TestGoldenDatasetBytes(t *testing.T) {
 	}
 	want := readGolden(t)
 
-	s, err := core.New(context.Background(), goldenConfig())
+	// The flight recorder streams every span to disk while the study runs;
+	// the golden bytes must not notice (tracing is a pure observer).
+	cfg := goldenConfig()
+	rec, err := core.NewRecorder(filepath.Join(t.TempDir(), core.JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Telemetry.AttachRecorder(rec)
+	defer func() {
+		if err := cfg.Telemetry.CloseRecorder(); err != nil {
+			t.Errorf("closing flight recorder: %v", err)
+		}
+	}()
+
+	s, err := core.New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,3 +18,17 @@ type Progress = telemetry.Progress
 // StartProgress launches the periodic one-line status report; see
 // telemetry.StartProgress.
 var StartProgress = telemetry.StartProgress
+
+// Recorder is the on-disk flight recorder: attach one to a registry with
+// Telemetry.AttachRecorder and every finished span (plus a final metrics
+// snapshot) streams to an append-only JSONL journal that cmd/tracestat
+// and telemetry.ReadJournal consume.
+type Recorder = telemetry.Recorder
+
+// NewRecorder opens a flight-recorder journal at path, creating parent
+// directories as needed.
+var NewRecorder = telemetry.NewRecorder
+
+// JournalFile is the conventional journal filename inside a trace
+// directory.
+const JournalFile = telemetry.JournalFile

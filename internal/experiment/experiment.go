@@ -201,6 +201,19 @@ func NewStudy(ctx context.Context, cfg Config) (*Study, error) {
 // pipeline.ErrScanFailed and joins a *pipeline.ScanError per failed
 // (origin, protocol, trial) tuple — all of them, not just the first.
 func (st *Study) Run(ctx context.Context) (*results.Dataset, error) {
+	// The study span is the trace tree's root: every scan span is its
+	// child, so a flight-recorder journal reconstructs the whole run from
+	// one root. Nil registry → nil span → the tree stays disabled.
+	span := st.Config.Telemetry.StartSpan("study",
+		telemetry.L("family", st.World.Family.String()))
+	ds, err := st.run(ctx, span)
+	span.End(err)
+	return ds, err
+}
+
+// run is Study.Run's body, with the study-level trace span threaded to
+// every scan.
+func (st *Study) run(ctx context.Context, studySpan *telemetry.Span) (*results.Dataset, error) {
 	cfg := st.Config
 	origins := cfg.Origins
 	dsOrigins := origins
@@ -249,7 +262,7 @@ func (st *Study) Run(ctx context.Context) (*results.Dataset, error) {
 						continue
 					}
 					queueDepth.Add(-1)
-					res, err := st.ScanOne(ctx, o, p, trial)
+					res, err := st.scanOne(ctx, o, p, trial, policy.Detectors(st.Scenario.IDSes), 1, studySpan)
 					if err != nil {
 						serr := &pipeline.ScanError{Origin: o, Proto: p, Trial: trial, Err: err}
 						if errors.Is(err, pipeline.ErrCanceled) {
@@ -312,7 +325,7 @@ func (st *Study) Run(ctx context.Context) (*results.Dataset, error) {
 				}
 				t := tasks[i]
 				begin := time.Now()
-				res, err := st.scanOne(ctx, t.o, t.p, t.trial, plan.detectors(t), shards)
+				res, err := st.scanOne(ctx, t.o, t.p, t.trial, plan.detectors(t), shards, studySpan)
 				busyNS.Add(uint64(time.Since(begin).Nanoseconds()))
 				workerScans.Inc()
 				if err != nil {
@@ -437,7 +450,16 @@ func (st *Study) originRecord(o origin.ID) *origin.Origin {
 // trial: the building block of the study. The live IDSes observe the scan's
 // probes directly (the serial reference behaviour).
 func (st *Study) ScanOne(ctx context.Context, o origin.ID, p proto.Protocol, trial int) (*results.ScanResult, error) {
-	return st.scanOne(ctx, o, p, trial, policy.Detectors(st.Scenario.IDSes), 1)
+	return st.scanOne(ctx, o, p, trial, policy.Detectors(st.Scenario.IDSes), 1, nil)
+}
+
+// spanUnder starts a child of parent, or a root span when the scan runs
+// without a study-level parent (ScanOne, sub-experiments).
+func spanUnder(reg *telemetry.Registry, parent *telemetry.Span, name string, labels ...telemetry.Label) *telemetry.Span {
+	if parent != nil {
+		return parent.StartChild(name, labels...)
+	}
+	return reg.StartSpan(name, labels...)
 }
 
 // scanOne runs one scan with the given IDS views (live or scheduled) and
@@ -448,7 +470,7 @@ func (st *Study) ScanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 // interruption reports its stage. A canceled scan returns nil (the partial
 // result is not well-defined mid-stage); the fabric is always drained
 // before return so no connection goroutine outlives the scan.
-func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, trial int, detectors []policy.Detector, shards int) (*results.ScanResult, error) {
+func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, trial int, detectors []policy.Detector, shards int, studySpan *telemetry.Span) (res *results.ScanResult, err error) {
 	cfg := st.Config
 	org := st.originRecord(o)
 	// Per-scan telemetry: metric children are resolved once here, labeled
@@ -458,11 +480,17 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 	labels := scanLabels(st.World.Family, o, p, trial)
 	sweepM := telemetry.NewSweepMetrics(cfg.Telemetry, labels...)
 	grabM := telemetry.NewGrabMetrics(cfg.Telemetry, labels...)
+	poolM := telemetry.NewGrabPoolMetrics(cfg.Telemetry, cfg.GrabWorkers, labels...)
 	sealM := telemetry.NewSealMetrics(cfg.Telemetry, labels...)
 	var spillM *telemetry.SpillMetrics
 	if cfg.SpillDir != "" {
 		spillM = telemetry.NewSpillMetrics(cfg.Telemetry, labels...)
 	}
+	// One scan = one span under the study root; its children are the
+	// stage spans, which in turn own the sweep-batch and grab-window
+	// exemplars.
+	scanSpan := spanUnder(cfg.Telemetry, studySpan, "scan", labels...)
+	defer func() { scanSpan.End(err) }()
 	fab := fabric.New(&fabric.Config{
 		World:      st.World,
 		Engine:     st.Scenario.Engine,
@@ -518,13 +546,15 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 	// State threaded between stages.
 	replies := make([]zmap.Reply, 0, numHosts)
 	var stats zmap.Stats
-	var res *results.ScanResult
 
-	runner := pipeline.Runner{Hooks: telemetry.ScanHooks(cfg.Telemetry, cfg.Hooks, labels...)}
+	tr := telemetry.NewStageTrace(cfg.Telemetry, scanSpan, labels...)
+	runner := pipeline.Runner{Hooks: tr.Hooks(cfg.Hooks)}
 	err = runner.Run(ctx,
 		pipeline.StageFunc{Stage: pipeline.StageSweep, Run: func(ctx context.Context) error {
 			// L4 sweep: collect replies. Only hosts reply, so the
-			// world's host count bounds the reply slice.
+			// world's host count bounds the reply slice. The stage span
+			// receives the sweep's batch exemplars and target totals.
+			sc.SetTraceSpan(tr.Span(pipeline.StageSweep))
 			var err error
 			stats, err = sc.RunSharded(ctx, sink, func(r zmap.Reply) { replies = append(replies, r) }, shards)
 			return err
@@ -555,6 +585,15 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 				IOTimeout: 10 * time.Second,
 				Metrics:   grabM,
 			}
+			gspan := tr.Span(pipeline.StageGrab)
+			gspan.SetAttr("hosts", int64(len(replies)))
+			if poolM != nil {
+				poolM.Hosts.Set(int64(len(replies)))
+			}
+			// The window tracer records per-window exemplars (bounded
+			// sampling) under the grab stage span; Hooks run the stage in
+			// this goroutine, so the tracer's state is single-owner.
+			wt := gspan.ChildTracer("grab_window")
 			size := grabWindow
 			if size > len(replies) {
 				size = len(replies)
@@ -570,16 +609,31 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 				if workers > n {
 					workers = n
 				}
+				wt.Begin()
+				// windowStart anchors the queue-wait measurement: how long
+				// a reply sat in the window before a worker claimed it.
+				// Clock reads are gated on a live pool bundle, so disabled
+				// telemetry costs one nil check per window and per claim.
+				var windowStart time.Time
+				if poolM != nil {
+					windowStart = time.Now()
+				}
 				var next atomic.Int64
 				var wg sync.WaitGroup
 				for w := 0; w < workers; w++ {
 					wg.Add(1)
-					go func() {
+					go func(w int) {
 						defer wg.Done()
+						var busyNS int64
 						for ctx.Err() == nil {
 							i := int(next.Add(1)) - 1
 							if i >= n {
-								return
+								break
+							}
+							var claimed time.Time
+							if poolM != nil {
+								claimed = time.Now()
+								poolM.QueueWait.Observe(claimed.Sub(windowStart).Seconds())
 							}
 							r := replies[base+i]
 							rec := results.HostRecord{
@@ -593,14 +647,34 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 								rec.Banner = g.Banner
 							}
 							win[i] = rec
+							if poolM != nil {
+								service := time.Since(claimed)
+								poolM.Service.Observe(service.Seconds())
+								busyNS += service.Nanoseconds()
+								poolM.HostsDone.Inc()
+							}
 						}
-					}()
+						if poolM != nil {
+							poolM.WorkerBusyNS[w].Add(uint64(busyNS))
+						}
+					}(w)
 				}
 				wg.Wait()
 				if err := ctx.Err(); err != nil {
 					return err
 				}
+				// The window hand-off: AddBatch may sort, dedup, and spill
+				// — WindowAppend is where result-store back-pressure on
+				// the grab path becomes visible.
+				var appendStart time.Time
+				if poolM != nil {
+					appendStart = time.Now()
+				}
 				sink.AddBatch(win)
+				if poolM != nil {
+					poolM.WindowAppend.ObserveDuration(time.Since(appendStart))
+				}
+				wt.End(telemetry.A("hosts", int64(n)), telemetry.A("workers", int64(workers)))
 			}
 			return ctx.Err()
 		}},
@@ -621,17 +695,40 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 			if err := res.SealErr(); err != nil {
 				return err
 			}
+			sspan := tr.Span(pipeline.StageSeal)
 			if sealM != nil {
 				rows, deduped := res.SealStats()
 				sealM.Rows.Add(uint64(rows))
 				sealM.Deduped.Add(uint64(deduped))
+			}
+			if sspan != nil {
+				rows, deduped := res.SealStats()
+				sspan.SetAttr("rows", int64(rows))
+				sspan.SetAttr("deduped", int64(deduped))
 			}
 			if spillM != nil {
 				sst := res.SpillStats()
 				spillM.Segments.Add(uint64(sst.Segments))
 				spillM.Bytes.Add(uint64(sst.SpilledBytes))
 				spillM.FanIn.Set(int64(sst.MergeFanIn))
+				spillM.Passes.Set(int64(sst.MergePasses))
 				spillM.Merge.ObserveDuration(sst.MergeDuration)
+				spillM.Flush.ObserveDuration(sst.FlushDuration)
+				if sspan != nil {
+					sspan.SetAttr("spill_segments", int64(sst.Segments))
+					sspan.SetAttr("spill_bytes", sst.SpilledBytes)
+					sspan.SetAttr("merge_fanin", int64(sst.MergeFanIn))
+					sspan.SetAttr("merge_passes", int64(sst.MergePasses))
+					sspan.SetAttr("merge_ns", sst.MergeDuration.Nanoseconds())
+					sspan.SetAttr("flush_ns", sst.FlushDuration.Nanoseconds())
+				}
+			}
+			// Fabric connection totals land on the seal span (with the
+			// still-active count before the drain): the routed/unrouted
+			// split lives on the sweep span, the L7 connection volume here.
+			if sspan != nil {
+				sspan.SetAttr("conns_opened", int64(fab.ConnsOpened()))
+				sspan.SetAttr("conns_active_predrain", int64(fab.ActiveConns()))
 			}
 			return fab.Drain(ctx)
 		}},

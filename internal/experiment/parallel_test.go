@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/origin"
@@ -19,6 +20,20 @@ import (
 // covers instrumented scans: telemetry must not perturb any result.
 func equivalenceStudy(t *testing.T, par, shards int) (*Study, *results.Dataset) {
 	t.Helper()
+	// Tracing runs at full tilt — hierarchy, batch exemplars, and a live
+	// flight recorder streaming spans to disk — so the equivalence also
+	// proves the whole observability stack is a pure observer.
+	reg := telemetry.New()
+	rec, err := telemetry.NewRecorder(filepath.Join(t.TempDir(), telemetry.JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.AttachRecorder(rec)
+	t.Cleanup(func() {
+		if err := reg.CloseRecorder(); err != nil {
+			t.Errorf("closing flight recorder: %v", err)
+		}
+	})
 	st, err := NewStudy(context.Background(), Config{
 		WorldSpec:      world.Spec{Seed: 11, Scale: 0.00005},
 		Trials:         2,
@@ -27,7 +42,7 @@ func equivalenceStudy(t *testing.T, par, shards int) (*Study, *results.Dataset) 
 		IncludeCarinet: true,
 		Parallelism:    par,
 		ScanShards:     shards,
-		Telemetry:      telemetry.New(),
+		Telemetry:      reg,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -70,6 +70,9 @@ type Fabric struct {
 	// spawned, so a scan can Drain them before sealing results.
 	conns  sync.WaitGroup
 	active atomic.Int64
+	// opened counts served connections over the fabric's lifetime (the
+	// grab stage's span attribute; active is the instantaneous view).
+	opened atomic.Uint64
 }
 
 // New returns a fabric for one (origin, trial) scan.
@@ -276,6 +279,7 @@ func (f *Fabric) Dial(ctx context.Context, dst ip.Addr, port uint16, t time.Dura
 	default:
 		f.conns.Add(1)
 		f.active.Add(1)
+		f.opened.Add(1)
 		go func() {
 			defer f.active.Add(-1)
 			defer f.conns.Done()
@@ -304,3 +308,8 @@ func (f *Fabric) Drain(ctx context.Context) error {
 
 // ActiveConns reports how many per-connection server goroutines are live.
 func (f *Fabric) ActiveConns() int { return int(f.active.Load()) }
+
+// ConnsOpened reports how many served connections the fabric has opened in
+// total (connections refused, reset, or half-closed before serving are not
+// counted — they never spawned a server goroutine).
+func (f *Fabric) ConnsOpened() uint64 { return f.opened.Load() }

@@ -132,6 +132,10 @@ type SpillStats struct {
 	MergePasses int
 	// MergeDuration is the wall time of the Seal merge.
 	MergeDuration time.Duration
+	// FlushDuration is the cumulative wall time spent writing segment
+	// files (run flushes; merge passes are in MergeDuration). With
+	// MergeDuration it attributes spill cost: wide merges vs slow disk.
+	FlushDuration time.Duration
 }
 
 // spillState is the spill store's bookkeeping hung off a ScanResult.
@@ -283,6 +287,7 @@ func (s *ScanResult) flushRun() error {
 		s.dedup()
 	}
 	path := filepath.Join(sp.dir, fmt.Sprintf("run-%06d.seg", sp.stats.Segments))
+	flushBegin := time.Now()
 	n, bytes, err := writeSegment(path, func(emit func(spillRow)) {
 		for i := range s.addrs {
 			emit(s.rowAt(i))
@@ -295,6 +300,7 @@ func (s *ScanResult) flushRun() error {
 	sp.segments = append(sp.segments, spillSegment{path: path, rows: n})
 	sp.stats.Segments++
 	sp.stats.SpilledBytes += bytes
+	sp.stats.FlushDuration += time.Since(flushBegin)
 	s.resetColumns()
 	sp.liveBytes = 0
 	return nil

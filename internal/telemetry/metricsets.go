@@ -6,14 +6,21 @@
 // branches.
 package telemetry
 
+import "strconv"
+
 // Metric family names shared between the instrumentation sites and the
 // sinks/progress line. Keeping them in one place is what lets the progress
 // line aggregate across scans without the experiment layer threading
 // totals around.
 const (
-	// L4 sweep (internal/zmap), labeled origin/proto/trial.
+	// L4 sweep (internal/zmap), labeled origin/proto/trial. Unrouted
+	// counts targets the FIB short-circuited as unrouted space (their
+	// probes are sent-and-lost on the wire but never individually
+	// evaluated); Targets-Unrouted is the routed share, the
+	// routed/unrouted split tracestat and the sweep span attrs surface.
 	MetricProbesSent = "zmap_probes_sent_total"
 	MetricTargets    = "zmap_targets_total"
+	MetricUnrouted   = "zmap_targets_unrouted_total"
 	MetricBlocked    = "zmap_blocked_total"
 	MetricSynAcks    = "zmap_synacks_total"
 	MetricRsts       = "zmap_rsts_total"
@@ -27,6 +34,25 @@ const (
 	MetricGrabRetries    = "zgrab_retries_total"
 	MetricGrabFails      = "zgrab_failures_total" // + mode label
 
+	// L7 latency split (internal/zgrab): where one grab's wall time goes
+	// — TCP dial vs application handshake vs retry back-off attempts.
+	MetricGrabDialSeconds      = "zgrab_dial_seconds"
+	MetricGrabHandshakeSeconds = "zgrab_handshake_seconds"
+	MetricGrabRetrySeconds     = "zgrab_retry_seconds"
+
+	// Grab worker pool (internal/experiment), labeled origin/proto/trial.
+	// QueueWait is how long a host's reply sat in the window before a
+	// worker claimed it; Service is the worker's grab wall time; the
+	// split tells batching work whether the pool is starved (service-
+	// bound) or clogged (queue-bound). WorkerBusyNS carries a worker
+	// label; WindowAppend times the sink's window hand-off.
+	MetricGrabQueueWait    = "zgrab_queue_wait_seconds"
+	MetricGrabService      = "zgrab_service_seconds"
+	MetricGrabWorkerBusyNS = "zgrab_worker_busy_ns_total"
+	MetricGrabHosts        = "zgrab_hosts_total"
+	MetricGrabHostsDone    = "zgrab_hosts_done_total"
+	MetricWindowAppend     = "results_window_append_seconds"
+
 	// IDS detection (internal/policy), labeled ids/origin/proto/trial.
 	MetricIDSActivations = "ids_activations_total"
 	MetricIDSDrops       = "ids_dropped_probes_total"
@@ -39,10 +65,12 @@ const (
 	// origin/proto/trial. Fan-in is a gauge — the final merge's input run
 	// count for that scan; the duration histogram aggregates merge wall
 	// time across scans.
-	MetricSpillSegments = "results_spill_segments_total"
-	MetricSpillBytes    = "results_spill_bytes_total"
-	MetricMergeFanIn    = "results_merge_fanin"
-	MetricMergeSeconds  = "results_merge_duration_seconds"
+	MetricSpillSegments     = "results_spill_segments_total"
+	MetricSpillBytes        = "results_spill_bytes_total"
+	MetricSpillFlushSeconds = "results_spill_flush_seconds"
+	MetricMergeFanIn        = "results_merge_fanin"
+	MetricMergePasses       = "results_merge_passes"
+	MetricMergeSeconds      = "results_merge_duration_seconds"
 
 	// Study orchestration (internal/experiment).
 	MetricScansTotal   = "experiment_scans_total"
@@ -69,6 +97,11 @@ type SweepMetrics struct {
 	// scanner-visible loss class (policy drop, path loss, dead address,
 	// and IDS block are indistinguishable on the wire).
 	Lost *Counter
+	// Unrouted counts targets short-circuited by the FIB's routability
+	// check. It is not a zmap.Stats field — the reference per-address
+	// path never computes it — so the scanner flushes it separately
+	// from the Stats deltas.
+	Unrouted *Counter
 }
 
 // NewSweepMetrics resolves the sweep counter children for one scan's
@@ -86,8 +119,14 @@ func NewSweepMetrics(r *Registry, labels ...Label) *SweepMetrics {
 		Invalid:    r.Counter(MetricInvalid, labels...),
 		Duplicates: r.Counter(MetricDuplicates, labels...),
 		Lost:       r.Counter(MetricLost, labels...),
+		Unrouted:   r.Counter(MetricUnrouted, labels...),
 	}
 }
+
+// LatencyBuckets are the histogram bounds for per-event latencies (dial,
+// handshake, queue wait), in seconds: finer than DurationBuckets at the
+// microsecond end, where a simulated in-process dial lands.
+var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5, 30}
 
 // GrabMetrics are one scan's L7 handshake counters. The grab path is
 // per-host (not per-probe), so it updates these directly.
@@ -105,6 +144,13 @@ type GrabMetrics struct {
 	Timeouts  *Counter
 	Closed    *Counter
 	ProtoErrs *Counter
+	// Latency split: DialSeconds times the TCP connect alone,
+	// HandshakeSeconds the application exchange on an established
+	// connection, RetrySeconds whole failed attempts that led to a
+	// retry. Together they attribute a grab's service time.
+	DialSeconds      *Histogram
+	HandshakeSeconds *Histogram
+	RetrySeconds     *Histogram
 }
 
 // NewGrabMetrics resolves the grab counter children for one scan's labels.
@@ -126,7 +172,47 @@ func NewGrabMetrics(r *Registry, labels ...Label) *GrabMetrics {
 		Timeouts:   mode("timeout"),
 		Closed:     mode("closed"),
 		ProtoErrs:  mode("proto"),
+
+		DialSeconds:      r.Histogram(MetricGrabDialSeconds, LatencyBuckets, labels...),
+		HandshakeSeconds: r.Histogram(MetricGrabHandshakeSeconds, LatencyBuckets, labels...),
+		RetrySeconds:     r.Histogram(MetricGrabRetrySeconds, LatencyBuckets, labels...),
 	}
+}
+
+// GrabPoolMetrics observe one scan's grab worker pool: the queue-wait vs
+// service-time split, the window hand-off to the result sink, per-worker
+// busy time, and host progress (the progress line's grab-phase rate
+// source). Resolved once per scan; nil when telemetry is off.
+type GrabPoolMetrics struct {
+	QueueWait    *Histogram
+	Service      *Histogram
+	WindowAppend *Histogram
+	Hosts        *Gauge
+	HostsDone    *Counter
+	// WorkerBusyNS is indexed by worker id; each child carries a worker
+	// label so utilization is visible per worker in the exposition.
+	WorkerBusyNS []*Counter
+}
+
+// NewGrabPoolMetrics resolves the grab-pool instruments for one scan's
+// labels and worker count. Returns nil (a no-op bundle) when r is nil.
+func NewGrabPoolMetrics(r *Registry, workers int, labels ...Label) *GrabPoolMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &GrabPoolMetrics{
+		QueueWait:    r.Histogram(MetricGrabQueueWait, LatencyBuckets, labels...),
+		Service:      r.Histogram(MetricGrabService, LatencyBuckets, labels...),
+		WindowAppend: r.Histogram(MetricWindowAppend, LatencyBuckets, labels...),
+		Hosts:        r.Gauge(MetricGrabHosts, labels...),
+		HostsDone:    r.Counter(MetricGrabHostsDone, labels...),
+		WorkerBusyNS: make([]*Counter, workers),
+	}
+	for w := range m.WorkerBusyNS {
+		ls := append(append(make([]Label, 0, len(labels)+1), labels...), L("worker", strconv.Itoa(w)))
+		m.WorkerBusyNS[w] = r.Counter(MetricGrabWorkerBusyNS, ls...)
+	}
+	return m
 }
 
 // IDSMetrics count one scan's IDS treatment: Activations is the number of
@@ -176,7 +262,13 @@ type SpillMetrics struct {
 	Segments *Counter
 	Bytes    *Counter
 	FanIn    *Gauge
+	Passes   *Gauge
 	Merge    *Histogram
+	// Flush aggregates segment-write wall time (the spill store's
+	// cumulative FlushDuration), distinguishing runs that are slow
+	// because they merge wide from runs that are slow because the disk
+	// is slow.
+	Flush *Histogram
 }
 
 // NewSpillMetrics resolves the spill instruments for one scan's labels.
@@ -189,6 +281,8 @@ func NewSpillMetrics(r *Registry, labels ...Label) *SpillMetrics {
 		Segments: r.Counter(MetricSpillSegments, labels...),
 		Bytes:    r.Counter(MetricSpillBytes, labels...),
 		FanIn:    r.Gauge(MetricMergeFanIn, labels...),
+		Passes:   r.Gauge(MetricMergePasses, labels...),
 		Merge:    r.Histogram(MetricMergeSeconds, DurationBuckets, labels...),
+		Flush:    r.Histogram(MetricSpillFlushSeconds, DurationBuckets, labels...),
 	}
 }

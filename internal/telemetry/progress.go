@@ -1,8 +1,13 @@
 // The progress sink: a periodic single-line status report on stderr (or
 // any writer) summarizing a running study — scans done/total, cumulative
-// probes, current probe rate, and an ETA extrapolated from scan completion.
-// It reads only the registry's aggregate counters, so it works for serial
-// and parallel runs alike, and `-quiet` simply never starts it.
+// probes, the current rate and an ETA, plus peak RSS and (when any) the
+// count of spans the ring dropped. While a sweep is driving the probe
+// counters the rate/ETA read out in probes; once the sweep completes and
+// the grab stage takes over (probe rate zero, grab completions rising)
+// the readout switches to grab-host completions, which is what actually
+// bounds the remaining wall time. It reads only the registry's aggregate
+// counters, so it works for serial and parallel runs alike, and `-quiet`
+// simply never starts it.
 package telemetry
 
 import (
@@ -22,6 +27,8 @@ type Progress struct {
 	mu        sync.Mutex
 	lastT     time.Time
 	lastSent  uint64
+	lastGrabs uint64
+	maxLen    int
 	stop      chan struct{}
 	done      chan struct{}
 	wroteLine bool
@@ -68,35 +75,63 @@ func (p *Progress) emit(now time.Time) {
 	defer p.mu.Unlock()
 	line := p.line(now)
 	// Carriage return keeps the live status to one terminal line; each
-	// emission overwrites the last (padded so a shorter line leaves no
-	// residue).
-	fmt.Fprintf(p.w, "\r%-78s", line)
+	// emission overwrites the last, padded to the longest line written so
+	// far so a shorter line leaves no residue.
+	if len(line) > p.maxLen {
+		p.maxLen = len(line)
+	}
+	fmt.Fprintf(p.w, "\r%-*s", p.maxLen, line)
 	p.wroteLine = true
 }
 
 // line renders the status for the given instant, updating the rate window.
-// Exposed to tests through progress_test.go's direct calls.
+// Exposed to tests through direct calls in telemetry_test.go.
 func (p *Progress) line(now time.Time) string {
 	sent := p.reg.CounterSum(MetricProbesSent)
-	rate := float64(0)
+	grabs := p.reg.CounterSum(MetricGrabHostsDone)
+	rate, grabRate := float64(0), float64(0)
 	if dt := now.Sub(p.lastT).Seconds(); dt > 0 {
 		rate = float64(sent-p.lastSent) / dt
+		grabRate = float64(grabs-p.lastGrabs) / dt
 	}
-	p.lastT, p.lastSent = now, sent
+	p.lastT, p.lastSent, p.lastGrabs = now, sent, grabs
 
 	done := p.reg.CounterSum(MetricScansDone)
 	total := p.reg.GaugeSum(MetricScansTotal)
 	elapsed := now.Sub(p.reg.Start())
 
+	// The sweep went quiet while grab completions are still climbing: the
+	// grab stage owns the remaining wall time, so rate and ETA read out in
+	// grab-host completions instead of probes.
+	grabPhase := rate == 0 && grabRate > 0
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "scans %d/%d", done, total)
 	fmt.Fprintf(&b, " · %s probes", siCount(sent))
-	fmt.Fprintf(&b, " · %s probes/s", siCount(uint64(rate)))
-	if total > 0 && done > 0 && int64(done) < total {
+	if grabPhase {
+		grabTotal := p.reg.GaugeSum(MetricGrabHosts)
+		fmt.Fprintf(&b, " · grabs %s/%s · %s grabs/s",
+			siCount(grabs), siCount(uint64(grabTotal)), siCount(uint64(grabRate)))
+	} else {
+		fmt.Fprintf(&b, " · %s probes/s", siCount(uint64(rate)))
+	}
+	switch {
+	case grabPhase:
+		if backlog := p.reg.GaugeSum(MetricGrabHosts) - int64(grabs); backlog > 0 {
+			remaining := time.Duration(float64(backlog) / grabRate * float64(time.Second))
+			fmt.Fprintf(&b, " · ETA %s", remaining.Round(time.Second))
+		}
+	case total > 0 && done > 0 && int64(done) < total:
 		remaining := time.Duration(float64(elapsed) * float64(total-int64(done)) / float64(done))
 		fmt.Fprintf(&b, " · ETA %s", remaining.Round(time.Second))
-	} else if total > 0 && int64(done) >= total {
+	case total > 0 && int64(done) >= total:
 		b.WriteString(" · done")
+	}
+	if rss, ok := PeakRSSBytes(); ok {
+		fmt.Fprintf(&b, " · rss %s", siBytes(rss))
+	}
+	if d := p.reg.SpanDrops(); d > 0 {
+		fmt.Fprintf(&b, " · %d spans dropped", d)
 	}
 	return b.String()
 }
@@ -128,5 +163,20 @@ func siCount(n uint64) string {
 		return fmt.Sprintf("%.1fk", float64(n)/1e3)
 	default:
 		return fmt.Sprintf("%d", n)
+	}
+}
+
+// siBytes renders a byte count with a binary suffix (123.4MiB), matching
+// the -mem-budget flag's units.
+func siBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }

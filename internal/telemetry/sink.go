@@ -86,10 +86,16 @@ func formatFloat(v float64) string {
 // their current values, plus the retained spans. Families and children are
 // sorted, so two snapshots of identical state encode identically.
 type Snapshot struct {
-	Counters   []SampleJSON    `json:"counters"`
-	Gauges     []SampleJSON    `json:"gauges"`
-	Histograms []HistogramJSON `json:"histograms"`
-	Spans      []SpanRecord    `json:"spans"`
+	// PeakRSSBytes is the process's peak resident set (VmHWM) at snapshot
+	// time, 0 where unavailable; SpanDrops counts spans the bounded ring
+	// overwrote. Both make memory pressure and trace truncation visible
+	// in a scrape without a separate endpoint.
+	PeakRSSBytes int64           `json:"peak_rss_bytes,omitempty"`
+	SpanDrops    uint64          `json:"span_drops,omitempty"`
+	Counters     []SampleJSON    `json:"counters"`
+	Gauges       []SampleJSON    `json:"gauges"`
+	Histograms   []HistogramJSON `json:"histograms"`
+	Spans        []SpanRecord    `json:"spans"`
 }
 
 // SampleJSON is one counter or gauge child.
@@ -117,6 +123,10 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
+	if b, ok := PeakRSSBytes(); ok {
+		snap.PeakRSSBytes = b
+	}
+	snap.SpanDrops = r.SpanDrops()
 	for _, f := range r.sortedFamilies() {
 		for _, ch := range f.children() {
 			switch f.kind {
@@ -151,6 +161,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 //	/metrics       Prometheus text exposition
 //	/metrics.json  JSON snapshot (counters, gauges, histograms, spans)
 //	/spans         completed-span trace, newest last
+//	/trace         retained spans as Chrome trace_event JSON
 //	/debug/vars    expvar
 //	/debug/pprof/  pprof index (profile, heap, goroutine, trace, ...)
 //
@@ -170,6 +181,10 @@ func (r *Registry) ServeMux() *http.ServeMux {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Spans())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteChrome(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

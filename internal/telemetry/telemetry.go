@@ -244,8 +244,10 @@ type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
 
-	spans spanRing
-	start time.Time
+	spans    spanRing
+	spanIDs  atomic.Uint64
+	recorder atomic.Pointer[Recorder]
+	start    time.Time
 }
 
 // New returns an empty registry.

@@ -128,6 +128,10 @@ func (g *Grabber) count(res *Result, attempt int) {
 func (g *Grabber) Grab(ctx context.Context, p proto.Protocol, dst ip.Addr, t time.Duration) Result {
 	var last Result
 	for attempt := 0; attempt <= g.Retries; attempt++ {
+		var began time.Time
+		if g.Metrics != nil {
+			began = time.Now()
+		}
 		last = g.grabOnce(ctx, p, dst, t, attempt)
 		last.Attempts = attempt + 1
 		g.count(&last, attempt)
@@ -136,14 +140,27 @@ func (g *Grabber) Grab(ctx context.Context, p proto.Protocol, dst ip.Addr, t tim
 		}
 		// Refused and timed-out connections are retried like any
 		// other failure: §6 shows immediate retries recover
-		// MaxStartups hosts.
+		// MaxStartups hosts. RetrySeconds attributes the wall time
+		// those extra attempts cost a grab worker.
+		if g.Metrics != nil && attempt < g.Retries {
+			g.Metrics.RetrySeconds.ObserveDuration(time.Since(began))
+		}
 	}
 	return last
 }
 
 func (g *Grabber) grabOnce(ctx context.Context, p proto.Protocol, dst ip.Addr, t time.Duration, attempt int) Result {
 	res := Result{Proto: p}
+	// The dial vs handshake latency split reads the clock only with a
+	// live bundle: a disabled grabber pays two nil checks per attempt.
+	var dialStart time.Time
+	if g.Metrics != nil {
+		dialStart = time.Now()
+	}
 	conn, err := g.Dialer.Dial(ctx, dst, p.Port(), t, attempt)
+	if g.Metrics != nil {
+		g.Metrics.DialSeconds.ObserveDuration(time.Since(dialStart))
+	}
 	if err != nil {
 		res.Fail = classifyDialError(err)
 		return res
@@ -152,6 +169,10 @@ func (g *Grabber) grabOnce(ctx context.Context, p proto.Protocol, dst ip.Addr, t
 	if g.IOTimeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(g.IOTimeout))
 	}
+	var hsStart time.Time
+	if g.Metrics != nil {
+		hsStart = time.Now()
+	}
 	switch p {
 	case proto.HTTP:
 		grabHTTP(conn, dst, &res)
@@ -159,6 +180,9 @@ func (g *Grabber) grabOnce(ctx context.Context, p proto.Protocol, dst ip.Addr, t
 		grabTLS(conn, dst, g.Key, &res)
 	case proto.SSH:
 		grabSSH(conn, &res)
+	}
+	if g.Metrics != nil {
+		g.Metrics.HandshakeSeconds.ObserveDuration(time.Since(hsStart))
 	}
 	return res
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -210,7 +211,15 @@ type Scanner struct {
 	hitlist  []ip.Addr // non-nil for hitlist scans
 	key      rng.Key
 	validate rng.SipKey // cookie key, derived once (hot path)
+	trace    *telemetry.Span
 }
+
+// SetTraceSpan attaches the sweep-stage trace span the next Run/RunSharded
+// reports into: per-batch "sweep_batch" exemplars become its children
+// (bounded sampling) and the sweep's target/unrouted totals its
+// attributes. A nil span (tracing off) keeps the sweep untraced at the
+// cost of nil checks at batch granularity. Not safe to call mid-Run.
+func (s *Scanner) SetTraceSpan(sp *telemetry.Span) { s.trace = sp }
 
 // NewScanner validates the config and prepares the permutation.
 func NewScanner(cfg Config) (*Scanner, error) {
@@ -503,21 +512,37 @@ func (s *Scanner) Run(ctx context.Context, sink PacketSink, handler func(Reply))
 	brt, _ := sink.(BatchRoutability)
 	k := new(sweepKernel)
 	probes := uint64(s.cfg.Probes)
+	var unrouted uint64
+	bt := s.trace.ChildTracer("sweep_batch")
 	err := s.sweep(ctx, &st, fl, k, func(dsts []ip.Addr, times []time.Duration) {
+		bt.Begin()
 		routedBatch(brt, rt, k, len(dsts))
+		var u uint64
 		for i := range dsts {
 			if !k.routed[i] {
 				// Unrouted space: count the probes as sent and lost
 				// without the encode/Send round trip — exactly what
 				// sending them would have produced.
 				st.ProbesSent += probes
+				u++
 				continue
 			}
 			if r, ok := s.probeTarget(sink, dsts[i], times[i], &st, &synBuf); ok {
 				handler(r)
 			}
 		}
+		if u > 0 {
+			unrouted += u
+			if s.cfg.Telemetry != nil {
+				s.cfg.Telemetry.Unrouted.Add(u)
+			}
+		}
+		bt.End(telemetry.A("targets", int64(len(dsts))), telemetry.A("unrouted", int64(u)))
 	})
+	if s.trace != nil {
+		s.trace.SetAttr("targets", int64(st.Targets))
+		s.trace.SetAttr("unrouted", int64(unrouted))
+	}
 	return st, err
 }
 
@@ -547,8 +572,9 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 		subs[j] = sub
 	}
 	type shardOut struct {
-		st      Stats
-		replies []Reply
+		st       Stats
+		unrouted uint64
+		replies  []Reply
 	}
 	outs := make([]shardOut, n)
 	hint := s.cfg.ExpectedReplies/n + 64
@@ -570,6 +596,9 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 				fl = &statsFlusher{m: s.cfg.Telemetry}
 				defer func() { fl.flush(&o.st) }()
 			}
+			// Per-shard exemplar tracer (single-goroutine state, like the
+			// flusher); the shard label keeps shard timelines apart.
+			bt := s.trace.ChildTracer("sweep_batch", telemetry.L("shard", strconv.Itoa(j)))
 			k := new(sweepKernel)
 			it := subs[j].Iterate()
 			var hit *HitlistIterator
@@ -610,16 +639,26 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 				} else {
 					kept = s.filterBatch(k.addrs[:bn], k.pos[:bn], &o.st, k)
 				}
+				bt.Begin()
 				routedBatch(brt, rt, k, kept)
+				var u uint64
 				for i := 0; i < kept; i++ {
 					if !k.routed[i] {
 						o.st.ProbesSent += probes
+						u++
 						continue
 					}
 					if r, ok := s.probeTarget(sink, k.dsts[i], k.times[i], &o.st, &synBuf); ok {
 						o.replies = append(o.replies, r)
 					}
 				}
+				if u > 0 {
+					o.unrouted += u
+					if s.cfg.Telemetry != nil {
+						s.cfg.Telemetry.Unrouted.Add(u)
+					}
+				}
+				bt.End(telemetry.A("targets", int64(kept)), telemetry.A("unrouted", int64(u)))
 				if bn < sweepBatch {
 					// Partial batch: walk exhausted; match the per-address
 					// loop, which only re-checked ctx at exact boundaries.
@@ -632,9 +671,16 @@ func (s *Scanner) RunSharded(ctx context.Context, sink PacketSink, handler func(
 
 	var st Stats
 	total := 0
+	var unrouted uint64
 	for i := range outs {
 		st.add(outs[i].st)
+		unrouted += outs[i].unrouted
 		total += len(outs[i].replies)
+	}
+	if s.trace != nil {
+		s.trace.SetAttr("targets", int64(st.Targets))
+		s.trace.SetAttr("unrouted", int64(unrouted))
+		s.trace.SetAttr("shards", int64(n))
 	}
 	if err := ctx.Err(); err != nil {
 		// The shards stopped at different positions; a partial merge would

@@ -181,3 +181,41 @@ func BenchmarkSweepTelemetryNil(b *testing.B) {
 func BenchmarkSweepTelemetryEnabled(b *testing.B) {
 	benchSweep(b, telemetry.NewSweepMetrics(telemetry.New()))
 }
+
+// benchSweepTrace measures the hierarchical tracing overhead on top of the
+// counters: scan span, batch exemplar sampling, and span commit. The
+// Nil/Enabled pair feeds `make bench-trace`, whose gate fails the build
+// when the enabled run costs more than 5% over nil — the contract that
+// tracing stays off the sweep's hot path.
+func benchSweepTrace(b *testing.B, enabled bool) {
+	sink := sinkFunc(func(src ip.Addr, pkt []byte, tm time.Duration) []byte { return nil })
+	cfg := testConfig()
+	cfg.SpaceBits = 14
+	var reg *telemetry.Registry
+	if enabled {
+		reg = telemetry.New()
+		cfg.Telemetry = telemetry.NewSweepMetrics(reg)
+	}
+	s, err := NewScanner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := reg.StartSpan("scan") // nil (inert) in the disabled variant
+		s.SetTraceSpan(sp)
+		if _, err := s.Run(context.Background(), sink, func(Reply) {}); err != nil {
+			b.Fatal(err)
+		}
+		sp.End(nil)
+	}
+}
+
+func BenchmarkSweepTraceNil(b *testing.B) {
+	benchSweepTrace(b, false)
+}
+
+func BenchmarkSweepTraceEnabled(b *testing.B) {
+	benchSweepTrace(b, true)
+}
