@@ -11,8 +11,10 @@
 // prior run (e.g. the pre-optimisation tree); when given, each benchmark is
 // emitted as {"before": ..., "after": ...} so a BENCH file records the
 // perf delta the way BENCH_columnar.json does. Without -before the legacy
-// flat results_ns_per_op map is emitted, keeping older targets' output
-// format unchanged.
+// flat results_ns_per_op map is emitted — unless a benchmark line carries
+// b.ReportMetric columns (peak-rss-MiB, rows, spill counters …), in which
+// case the rich per-benchmark form is used so the proof metrics land in
+// the JSON instead of being dropped with the flat map.
 package main
 
 import (
@@ -118,9 +120,23 @@ func main() {
 			rec.Results[name] = d
 		}
 	} else {
-		rec.Flat = map[string]float64{}
-		for name, m := range after {
-			rec.Flat[name] = m.NsPerOp
+		hasExtra := false
+		for _, m := range after {
+			if len(m.Extra) > 0 {
+				hasExtra = true
+				break
+			}
+		}
+		if hasExtra {
+			rec.Results = map[string]diff{}
+			for name, m := range after {
+				rec.Results[name] = diff{After: m}
+			}
+		} else {
+			rec.Flat = map[string]float64{}
+			for name, m := range after {
+				rec.Flat[name] = m.NsPerOp
+			}
 		}
 	}
 

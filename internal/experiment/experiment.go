@@ -77,8 +77,15 @@ type Config struct {
 	SinkWrapper func(zmap.PacketSink) zmap.PacketSink
 	// DialWrapper, when set, wraps the L7 dialer of every scan — the grab
 	// counterpart of SinkWrapper. A wrapper must be safe for concurrent
-	// Dials (the grab worker pool dials concurrently).
+	// Dials (the grab worker pool dials concurrently). Wrapped dialers
+	// automatically take the reference grab path: the wrapper sees every
+	// Dial.
 	DialWrapper func(zgrab.Dialer) zgrab.Dialer
+	// GrabReference forces the goroutine-per-connection reference grab
+	// path even when the scan's dialer supports the batched fast path
+	// (zgrab.FastDialer). The fast path is bit-identical — this knob
+	// exists for the differential tests and benchmarks that prove it.
+	GrabReference bool
 	// Hooks observe lifecycle stage transitions of every scan and of
 	// world generation (instrumentation, progress reporting, tests).
 	Hooks pipeline.Hooks
@@ -599,12 +606,63 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 				size = len(replies)
 			}
 			window := make([]results.HostRecord, size)
+			// The fast path: a dialer that supports batched pre-dial
+			// evaluation gets its verdicts computed per window, up
+			// front, so the workers' grabs never touch connection setup
+			// for L4 failures and serve accepted exchanges inline (zero
+			// goroutines). Wrapped dialers (DialWrapper) don't satisfy
+			// the interface and fall back to the reference path, as
+			// does Config.GrabReference. preIdx maps a window slot to
+			// its verdict (-1: no L4 response, never grabbed).
+			fd, fastPath := dialer.(zgrab.FastDialer)
+			if cfg.GrabReference {
+				fastPath = false
+			}
+			var (
+				preDst []ip.Addr
+				preT   []time.Duration
+				pre    []zgrab.DialVerdict
+				preIdx []int32
+			)
+			if fastPath {
+				preDst = make([]ip.Addr, size)
+				preT = make([]time.Duration, size)
+				pre = make([]zgrab.DialVerdict, size)
+				preIdx = make([]int32, size)
+			}
+			var fastAttr int64
+			if fastPath {
+				fastAttr = 1
+			}
+			gspan.SetAttr("fast_path", fastAttr)
 			for base := 0; base < len(replies); base += size {
 				n := len(replies) - base
 				if n > size {
 					n = size
 				}
 				win := window[:n]
+				if fastPath {
+					m := 0
+					for i := 0; i < n; i++ {
+						r := &replies[base+i]
+						if r.ProbeMask == 0 {
+							preIdx[i] = -1
+							continue
+						}
+						preDst[m] = r.Dst
+						preT[m] = r.T
+						preIdx[i] = int32(m)
+						m++
+					}
+					var predialStart time.Time
+					if poolM != nil {
+						predialStart = time.Now()
+					}
+					fd.PredialBatch(preDst[:m], preT[:m], p.Port(), pre[:m])
+					if poolM != nil {
+						poolM.Predial.ObserveDuration(time.Since(predialStart))
+					}
+				}
 				workers := cfg.GrabWorkers
 				if workers > n {
 					workers = n
@@ -640,7 +698,12 @@ func (st *Study) scanOne(ctx context.Context, o origin.ID, p proto.Protocol, tri
 								Addr: r.Dst, ProbeMask: r.ProbeMask, RST: r.RST, T: r.T,
 							}
 							if r.ProbeMask != 0 {
-								g := grabber.Grab(ctx, p, r.Dst, r.T)
+								var g zgrab.Result
+								if fastPath {
+									g = grabber.GrabFast(ctx, p, r.Dst, r.T, pre[preIdx[i]])
+								} else {
+									g = grabber.Grab(ctx, p, r.Dst, r.T)
+								}
 								rec.L7 = g.Success
 								rec.Fail = g.Fail
 								rec.Attempts = g.Attempts

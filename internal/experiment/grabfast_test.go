@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/origin"
+	"repro/internal/proto"
+	"repro/internal/results"
+	"repro/internal/world"
+	"repro/internal/zgrab"
+)
+
+// grabPathStudy runs the equivalence-shaped study (mixed IDS-relevant
+// origins, HTTP+SSH so both banner families and the MaxStartups retry path
+// are exercised, Carinet's trial-0 edge) with the grab path and execution
+// mode under test. Retries > 0 makes the per-attempt Predial re-evaluation
+// load-bearing.
+func grabPathStudy(t *testing.T, reference bool, par, shards int) *results.Dataset {
+	t.Helper()
+	st, err := NewStudy(context.Background(), Config{
+		WorldSpec:      world.Spec{Seed: 11, Scale: 0.00005},
+		Trials:         2,
+		Protocols:      []proto.Protocol{proto.HTTP, proto.SSH},
+		Origins:        origin.Set{origin.US1, origin.US64, origin.CEN},
+		IncludeCarinet: true,
+		Retries:        2,
+		Parallelism:    par,
+		ScanShards:     shards,
+		GrabReference:  reference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := st.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestGrabFastStudyMatchesReference is the sealed-dataset differential for
+// the grab fast path: the same study run through the goroutine+vconn
+// reference path and through the batched/inline fast path — serial and
+// parallel+sharded — must seal bit-identical datasets.
+func TestGrabFastStudyMatchesReference(t *testing.T) {
+	ref := grabPathStudy(t, true, 1, 1)
+	if ref.Len() == 0 {
+		t.Fatal("reference study produced no scans")
+	}
+	fast := grabPathStudy(t, false, 1, 1)
+	if diff := ref.Diff(fast); diff != "" {
+		t.Errorf("fast path differs from reference (serial): %s", diff)
+	}
+	fastPar := grabPathStudy(t, false, 8, 4)
+	if diff := ref.Diff(fastPar); diff != "" {
+		t.Errorf("fast path differs from reference (parallel+sharded): %s", diff)
+	}
+}
+
+// TestDialWrapperForcesReferencePath pins the fallback rule: a wrapped
+// dialer does not satisfy zgrab.FastDialer, so every grab goes through the
+// wrapper's Dial — wrappers observe the complete dial stream, and the
+// wrapped run still seals the identical dataset.
+func TestDialWrapperForcesReferencePath(t *testing.T) {
+	var dials atomic.Int64
+	st, err := NewStudy(context.Background(), Config{
+		WorldSpec: world.Spec{Seed: 11, Scale: 0.00005},
+		Trials:    1,
+		Protocols: []proto.Protocol{proto.HTTP},
+		Origins:   origin.Set{origin.US1},
+		DialWrapper: func(d zgrab.Dialer) zgrab.Dialer {
+			return countingDialer{inner: d, n: &dials}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := st.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dials.Load() == 0 {
+		t.Error("wrapped dialer saw no Dials: fast path bypassed the wrapper")
+	}
+	st2, err := NewStudy(context.Background(), Config{
+		WorldSpec: world.Spec{Seed: 11, Scale: 0.00005},
+		Trials:    1,
+		Protocols: []proto.Protocol{proto.HTTP},
+		Origins:   origin.Set{origin.US1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := st2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ds.Diff(ds2); diff != "" {
+		t.Errorf("wrapped (reference-path) run differs from fast-path run: %s", diff)
+	}
+}
+
+type countingDialer struct {
+	inner zgrab.Dialer
+	n     *atomic.Int64
+}
+
+func (c countingDialer) Dial(ctx context.Context, dst ip.Addr, port uint16, t time.Duration, attempt int) (net.Conn, error) {
+	c.n.Add(1)
+	return c.inner.Dial(ctx, dst, port, t, attempt)
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rng"
 	"repro/internal/world"
+	"repro/internal/zgrab"
 )
 
 // benchFabric builds a quiet fabric over a small world plus one probe packet
@@ -83,5 +84,96 @@ func BenchmarkFabricSend(b *testing.B) {
 				fab.Send(src, bc.pkt, time.Hour)
 			}
 		})
+	}
+}
+
+// benchGrabFabric builds the grab-stage benchmark fixture: a quiet fabric
+// plus the world's full host list. Grabbing every host with every protocol
+// walks the mix a real grab stage sees — accepted handshakes on hosts
+// running the service, refused dials on hosts that don't.
+func benchGrabFabric(b *testing.B) (*Fabric, *zgrab.Grabber, []ip.Addr) {
+	b.Helper()
+	w, err := world.Build(context.Background(), world.Spec{Seed: 5, Scale: 0.00002})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := &Config{
+		World:  w,
+		Engine: policy.NewEngine(),
+		Loss: loss.NewMatrix(rng.NewKey(1).Derive("t"), loss.Config{
+			BasePacketDrop: 1e-9, VolatileMax: 1e-9,
+			VolatileSpreadFrac: 1e-9, VolatileModerateFrac: 1e-9,
+		}),
+		NumOrigins: 1,
+		Hosts:      hostsim.NewServer(rng.NewKey(2)),
+	}
+	fab := New(cfg, w.Origins.Get(origin.US1), 0)
+	hosts := make([]ip.Addr, len(w.Hosts()))
+	for i, h := range w.Hosts() {
+		hosts[i] = h.Addr
+	}
+	g := &zgrab.Grabber{Dialer: fab, Key: rng.NewKey(3), IOTimeout: 5 * time.Second}
+	return fab, g, hosts
+}
+
+// grabBenchWindow mirrors the experiment layer's grab window size so both
+// grab benchmarks walk identical per-window target sequences.
+const grabBenchWindow = 4096
+
+// BenchmarkGrabReference measures ns/grab on the reference path: per-dial
+// policy evaluation, a vconn pipe and a dedicated server goroutine per
+// accepted connection. This is the "before" of the grab fast-path gate.
+func BenchmarkGrabReference(b *testing.B) {
+	fab, g, hosts := benchGrabFabric(b)
+	ps := proto.All()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for base := 0; base < b.N; base += grabBenchWindow {
+		n := grabBenchWindow
+		if base+n > b.N {
+			n = b.N - base
+		}
+		p := ps[(base/grabBenchWindow)%len(ps)]
+		for i := 0; i < n; i++ {
+			g.Grab(ctx, p, hosts[(base+i)%len(hosts)], time.Hour)
+		}
+	}
+	b.StopTimer()
+	if err := fab.Drain(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkGrabFast measures ns/grab on the fast path: batched pre-dial
+// verdicts per 4096-target window, pooled inline-served connections, zero
+// goroutines. The bench-grab gate requires fast/reference <= 0.5 (>= 2x).
+func BenchmarkGrabFast(b *testing.B) {
+	fab, g, hosts := benchGrabFabric(b)
+	ps := proto.All()
+	ctx := context.Background()
+	dsts := make([]ip.Addr, grabBenchWindow)
+	ts := make([]time.Duration, grabBenchWindow)
+	vs := make([]zgrab.DialVerdict, grabBenchWindow)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for base := 0; base < b.N; base += grabBenchWindow {
+		n := grabBenchWindow
+		if base+n > b.N {
+			n = b.N - base
+		}
+		p := ps[(base/grabBenchWindow)%len(ps)]
+		for i := 0; i < n; i++ {
+			dsts[i] = hosts[(base+i)%len(hosts)]
+			ts[i] = time.Hour
+		}
+		fab.PredialBatch(dsts[:n], ts[:n], p.Port(), vs[:n])
+		for i := 0; i < n; i++ {
+			g.GrabFast(ctx, p, dsts[i], ts[i], vs[i])
+		}
+	}
+	b.StopTimer()
+	if n := fab.ActiveConns(); n != 0 {
+		b.Fatalf("fast path spawned %d goroutines", n)
 	}
 }

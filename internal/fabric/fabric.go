@@ -66,6 +66,11 @@ type Fabric struct {
 	// because sharded sweeps call Send concurrently.
 	queries sync.Pool
 
+	// preDests is PredialBatch's FIB resolution scratch. PredialBatch is
+	// single-caller by contract (the grab stage's window loop owns it),
+	// so one slice per fabric suffices.
+	preDests []world.Dest
+
 	// conns tracks the per-connection server goroutines this fabric
 	// spawned, so a scan can Drain them before sealing results.
 	conns  sync.WaitGroup
@@ -265,7 +270,7 @@ func (f *Fabric) Dial(ctx context.Context, dst ip.Addr, port uint16, t time.Dura
 		return nil, zgrab.ErrTimeout
 	}
 
-	client, server := vconn.Pipe(src.String(), dst.String())
+	client, server := vconn.Pipe(src, dst)
 	switch verdict {
 	// Reset/close-after-accept tear down synchronously, before the client
 	// sees the conn: spawned teardown raced the grabber's first write

@@ -6,8 +6,10 @@
 package hostsim
 
 import (
+	"bytes"
 	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/httpwire"
@@ -43,6 +45,57 @@ func (s *Server) Serve(conn net.Conn, host ip.Addr, p proto.Protocol) {
 		s.serveSSH(conn, host)
 	}
 }
+
+// ServeInline handles one connection's exchange synchronously in the
+// caller's goroutine: in holds every byte the client has written so far,
+// and the server's whole response flight is appended to out. All three
+// protocols are turn-based single-flight exchanges — the client writes its
+// complete opening flight before reading, and the server's flight depends
+// only on that flight (SSH's server ID/KEXINIT not even on that) — so
+// reads past the client bytes see io.EOF exactly where a Serve goroutine
+// would see the client's half-close, and the bytes appended to out are
+// identical to what Serve would have streamed through a vconn pipe. This
+// is the grab fast path's server side: zero goroutines, zero
+// synchronization, no per-connection allocation beyond out's growth.
+func (s *Server) ServeInline(out *bytes.Buffer, in []byte, host ip.Addr, p proto.Protocol) {
+	var conn inlineConn
+	conn.in.Reset(in)
+	conn.out = out
+	switch p {
+	case proto.HTTP:
+		s.serveHTTP(&conn, host)
+	case proto.HTTPS:
+		s.serveTLS(&conn, host)
+	case proto.SSH:
+		s.serveSSH(&conn, host)
+	}
+}
+
+// inlineConn adapts a fully-buffered exchange to net.Conn for the serve
+// functions: reads drain the client's flight (then io.EOF, the half-close
+// a goroutine server sees once the client stops writing), writes append
+// to the response buffer. Stack-allocatable: ServeInline's conn never
+// escapes the serve call.
+type inlineConn struct {
+	in  bytes.Reader
+	out *bytes.Buffer
+}
+
+func (c *inlineConn) Read(p []byte) (int, error)       { return c.in.Read(p) }
+func (c *inlineConn) Write(p []byte) (int, error)      { return c.out.Write(p) }
+func (c *inlineConn) Close() error                     { return nil }
+func (c *inlineConn) LocalAddr() net.Addr              { return inlineAddr{} }
+func (c *inlineConn) RemoteAddr() net.Addr             { return inlineAddr{} }
+func (c *inlineConn) SetDeadline(time.Time) error      { return nil }
+func (c *inlineConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *inlineConn) SetWriteDeadline(time.Time) error { return nil }
+
+// inlineAddr is the placeholder endpoint for inline exchanges; the serve
+// functions never read connection addresses.
+type inlineAddr struct{}
+
+func (inlineAddr) Network() string { return "inline" }
+func (inlineAddr) String() string  { return "inline" }
 
 var httpServers = []string{
 	"nginx", "nginx/1.14.0", "Apache", "Apache/2.4.29 (Ubuntu)",

@@ -2,6 +2,8 @@ package hostsim
 
 import (
 	"bufio"
+	"bytes"
+	"io"
 	"sync"
 	"testing"
 
@@ -17,7 +19,7 @@ import (
 // serve runs the host end of a pipe and returns the client side plus a
 // waiter for server completion.
 func serve(s *Server, host ip.Addr, p proto.Protocol) (client *vconn.Conn, wait func()) {
-	client, server := vconn.Pipe("client", host.String())
+	client, server := vconn.PipeLabeled("client", host.String())
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -184,5 +186,88 @@ func TestCertBlobStablePerHost(t *testing.T) {
 	}
 	if len(a) < 500 {
 		t.Errorf("cert suspiciously small: %d bytes", len(a))
+	}
+}
+
+// TestServeInlineMatchesGoroutineServe is the inline-serve byte proof: for
+// each protocol, the response flight ServeInline appends for a complete
+// client opening flight must be byte-identical to what a goroutine Serve
+// streams through a vconn pipe for the same flight. (The grab fast path
+// rides on this equivalence; the grabbers' parsers are insensitive to
+// chunking, so identical bytes mean identical zgrab.Results.)
+func TestServeInlineMatchesGoroutineServe(t *testing.T) {
+	s := NewServer(rng.NewKey(77))
+	for _, host := range []ip.Addr{
+		ip.MustParseAddr("10.1.2.3"),
+		ip.MustParseAddr("172.16.9.200"),
+		ip.MustParseAddr("192.0.2.41"),
+	} {
+		httpFlight := &bytes.Buffer{}
+		if err := httpwire.WriteRequest(httpFlight, "GET", "/", host.String(), "Mozilla/5.0 zgrab/0.x"); err != nil {
+			t.Fatal(err)
+		}
+		tlsFlight := &bytes.Buffer{}
+		ch := tlslite.NewClientHello(rng.NewKey(5).DeriveN("ch", host.Word64()), host.String())
+		if err := ch.Write(tlsFlight); err != nil {
+			t.Fatal(err)
+		}
+		sshFlight := &bytes.Buffer{}
+		if err := sshwire.WriteID(sshFlight, sshwire.ID{ProtoVersion: "2.0", SoftwareVersion: "zgrab_ssh_0.x"}); err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			p      proto.Protocol
+			flight []byte
+		}{
+			{proto.HTTP, httpFlight.Bytes()},
+			{proto.HTTPS, tlsFlight.Bytes()},
+			{proto.SSH, sshFlight.Bytes()},
+		} {
+			t.Run(host.String()+"/"+tc.p.String(), func(t *testing.T) {
+				client, wait := serve(s, host, tc.p)
+				if _, err := client.Write(tc.flight); err != nil {
+					t.Fatal(err)
+				}
+				client.CloseWrite()
+				ref, err := io.ReadAll(client)
+				if err != nil {
+					t.Fatalf("reading reference flight: %v", err)
+				}
+				wait()
+				client.Close()
+
+				var out bytes.Buffer
+				s.ServeInline(&out, tc.flight, host, tc.p)
+				if !bytes.Equal(out.Bytes(), ref) {
+					t.Errorf("inline flight (%d bytes) differs from goroutine flight (%d bytes)",
+						out.Len(), len(ref))
+				}
+				if len(ref) == 0 {
+					t.Error("reference server sent nothing")
+				}
+			})
+		}
+	}
+}
+
+// TestServeInlineGarbage: a non-protocol flight must leave the inline
+// server silent for HTTP/TLS parse failures without hanging or panicking,
+// like the goroutine server.
+func TestServeInlineGarbage(t *testing.T) {
+	s := NewServer(rng.NewKey(78))
+	host := ip.MustParseAddr("10.9.9.9")
+	for _, p := range []proto.Protocol{proto.HTTP, proto.HTTPS, proto.SSH} {
+		client, wait := serve(s, host, p)
+		client.Write([]byte("NONSENSE\r\n\r\n"))
+		client.CloseWrite()
+		ref, _ := io.ReadAll(client)
+		wait()
+		client.Close()
+		var out bytes.Buffer
+		s.ServeInline(&out, []byte("NONSENSE\r\n\r\n"), host, p)
+		if !bytes.Equal(out.Bytes(), ref) {
+			t.Errorf("%v: inline garbage response (%d bytes) differs from goroutine (%d bytes)",
+				p, out.Len(), len(ref))
+		}
 	}
 }

@@ -46,6 +46,9 @@ const (
 	// split tells batching work whether the pool is starved (service-
 	// bound) or clogged (queue-bound). WorkerBusyNS carries a worker
 	// label; WindowAppend times the sink's window hand-off.
+	// Predial times the fast path's batched pre-dial evaluation — one
+	// observation per grab window, covering every destination's verdict.
+	MetricGrabPredial      = "zgrab_predial_seconds"
 	MetricGrabQueueWait    = "zgrab_queue_wait_seconds"
 	MetricGrabService      = "zgrab_service_seconds"
 	MetricGrabWorkerBusyNS = "zgrab_worker_busy_ns_total"
@@ -187,8 +190,12 @@ type GrabPoolMetrics struct {
 	QueueWait    *Histogram
 	Service      *Histogram
 	WindowAppend *Histogram
-	Hosts        *Gauge
-	HostsDone    *Counter
+	// Predial times the fast path's per-window batched verdict
+	// evaluation, so the dial work moved out of the workers stays
+	// attributable.
+	Predial   *Histogram
+	Hosts     *Gauge
+	HostsDone *Counter
 	// WorkerBusyNS is indexed by worker id; each child carries a worker
 	// label so utilization is visible per worker in the exposition.
 	WorkerBusyNS []*Counter
@@ -204,6 +211,7 @@ func NewGrabPoolMetrics(r *Registry, workers int, labels ...Label) *GrabPoolMetr
 		QueueWait:    r.Histogram(MetricGrabQueueWait, LatencyBuckets, labels...),
 		Service:      r.Histogram(MetricGrabService, LatencyBuckets, labels...),
 		WindowAppend: r.Histogram(MetricWindowAppend, LatencyBuckets, labels...),
+		Predial:      r.Histogram(MetricGrabPredial, LatencyBuckets, labels...),
 		Hosts:        r.Gauge(MetricGrabHosts, labels...),
 		HostsDone:    r.Counter(MetricGrabHostsDone, labels...),
 		WorkerBusyNS: make([]*Counter, workers),

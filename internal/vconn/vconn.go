@@ -13,6 +13,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/ip"
 )
 
 // Errors surfaced by aborted connections.
@@ -22,34 +24,58 @@ var (
 	ErrReset = errors.New("vconn: connection reset by peer")
 )
 
-// Addr is the net.Addr implementation for virtual connections.
+// Addr is the net.Addr implementation for virtual connections. It stores
+// the endpoint's address value and formats it only when String is called:
+// net.Conn requires addresses, but the grab path never reads them, so a
+// dial must not pay for two ip.Addr → string conversions up front.
 type Addr struct {
+	// IP is the endpoint address; String formats it lazily.
+	IP ip.Addr
+	// Label, when non-empty, overrides IP as the displayed endpoint
+	// (tests and tools that don't model addresses).
 	Label string
 }
 
 // Network returns the virtual network name.
 func (a Addr) Network() string { return "vtcp" }
 
-// String returns the endpoint label.
-func (a Addr) String() string { return a.Label }
+// String returns the endpoint label, formatting the address on demand.
+func (a Addr) String() string {
+	if a.Label != "" {
+		return a.Label
+	}
+	return a.IP.String()
+}
 
 const defaultWindow = 64 * 1024
 
-// Pipe returns a connected pair of virtual connections. Data written to one
-// side becomes readable on the other. Each direction buffers up to a window
-// of bytes; writes beyond the window block until the reader drains.
-func Pipe(clientLabel, serverLabel string) (client, server *Conn) {
+// Pipe returns a connected pair of virtual connections between the two
+// endpoint addresses. Data written to one side becomes readable on the
+// other. Each direction buffers up to a window of bytes; writes beyond the
+// window block until the reader drains. Endpoint labels are formatted
+// lazily by Addr.String, so creating a pipe does no string work.
+func Pipe(client, server ip.Addr) (clientConn, serverConn *Conn) {
+	return pipe(Addr{IP: client}, Addr{IP: server})
+}
+
+// PipeLabeled is Pipe with explicit endpoint labels instead of addresses,
+// for tests and tools that don't model IP endpoints.
+func PipeLabeled(clientLabel, serverLabel string) (client, server *Conn) {
+	return pipe(Addr{Label: clientLabel}, Addr{Label: serverLabel})
+}
+
+func pipe(clientAddr, serverAddr Addr) (client, server *Conn) {
 	ab := newBuffer()
 	ba := newBuffer()
 	client = &Conn{
 		read: ba, write: ab,
-		local:  Addr{Label: clientLabel},
-		remote: Addr{Label: serverLabel},
+		local:  clientAddr,
+		remote: serverAddr,
 	}
 	server = &Conn{
 		read: ab, write: ba,
-		local:  Addr{Label: serverLabel},
-		remote: Addr{Label: clientLabel},
+		local:  serverAddr,
+		remote: clientAddr,
 	}
 	client.peer, server.peer = server, client
 	return client, server

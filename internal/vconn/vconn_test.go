@@ -7,10 +7,12 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"repro/internal/ip"
 )
 
 func TestBasicExchange(t *testing.T) {
-	c, s := Pipe("client", "server")
+	c, s := PipeLabeled("client", "server")
 	defer c.Close()
 	defer s.Close()
 
@@ -34,7 +36,7 @@ func TestBasicExchange(t *testing.T) {
 }
 
 func TestCloseDeliversEOFAfterDrain(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	c.Write([]byte("tail"))
 	c.Close()
 
@@ -49,7 +51,7 @@ func TestCloseDeliversEOFAfterDrain(t *testing.T) {
 }
 
 func TestAbortDeliversReset(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	c.Write([]byte("data you never see"))
 	c.Abort()
 
@@ -63,7 +65,7 @@ func TestAbortDeliversReset(t *testing.T) {
 }
 
 func TestAbortUnblocksPendingRead(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	errCh := make(chan error, 1)
 	go func() {
 		buf := make([]byte, 8)
@@ -83,7 +85,7 @@ func TestAbortUnblocksPendingRead(t *testing.T) {
 }
 
 func TestReadDeadline(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	defer c.Close()
 	defer s.Close()
 	s.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
@@ -100,7 +102,7 @@ func TestReadDeadline(t *testing.T) {
 }
 
 func TestWriteDeadlineOnFullWindow(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	defer c.Close()
 	defer s.Close()
 	c.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
@@ -114,7 +116,7 @@ func TestWriteDeadlineOnFullWindow(t *testing.T) {
 }
 
 func TestExpiredDeadlineFailsImmediately(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	defer c.Close()
 	defer s.Close()
 	s.SetReadDeadline(time.Now().Add(-time.Second))
@@ -124,7 +126,7 @@ func TestExpiredDeadlineFailsImmediately(t *testing.T) {
 }
 
 func TestWriteAfterPeerCloseFails(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	s.Close()
 	// The peer's reader is gone; our writes should fail (EPIPE/RST).
 	// Note data may be accepted into the buffer before the close is
@@ -139,7 +141,7 @@ func TestWriteAfterPeerCloseFails(t *testing.T) {
 }
 
 func TestCloseWriteHalfClose(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	defer c.Close()
 	defer s.Close()
 	s.Write([]byte("tail"))
@@ -164,7 +166,7 @@ func TestCloseWriteHalfClose(t *testing.T) {
 }
 
 func TestLocalCloseFailsLocalIO(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	defer s.Close()
 	c.Close()
 	if _, err := c.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
@@ -179,7 +181,7 @@ func TestLocalCloseFailsLocalIO(t *testing.T) {
 }
 
 func TestAddrs(t *testing.T) {
-	c, s := Pipe("10.0.0.1:40000", "192.0.2.7:443")
+	c, s := PipeLabeled("10.0.0.1:40000", "192.0.2.7:443")
 	defer c.Close()
 	defer s.Close()
 	if c.LocalAddr().String() != "10.0.0.1:40000" || c.RemoteAddr().String() != "192.0.2.7:443" {
@@ -194,7 +196,7 @@ func TestAddrs(t *testing.T) {
 }
 
 func TestLargeTransfer(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	payload := make([]byte, 1<<20)
 	for i := range payload {
 		payload[i] = byte(i * 31)
@@ -213,7 +215,7 @@ func TestLargeTransfer(t *testing.T) {
 }
 
 func TestConcurrentBidirectional(t *testing.T) {
-	c, s := Pipe("c", "s")
+	c, s := PipeLabeled("c", "s")
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -234,4 +236,34 @@ func TestConcurrentBidirectional(t *testing.T) {
 		c.Write(buf)
 	}
 	<-done
+}
+
+// TestAddrLazyFormatting pins the lazy-label contract: a Pipe built from
+// ip.Addr endpoints formats addresses only when String is called (the grab
+// fast path never calls it), and PipeLabeled labels win over addresses.
+func TestAddrLazyFormatting(t *testing.T) {
+	c, s := Pipe(ip.MustParseAddr("10.0.0.1"), ip.MustParseAddr("192.0.2.7"))
+	defer c.Close()
+	defer s.Close()
+	if got := c.LocalAddr().String(); got != "10.0.0.1" {
+		t.Errorf("client local = %q", got)
+	}
+	if got := c.RemoteAddr().String(); got != "192.0.2.7" {
+		t.Errorf("client remote = %q", got)
+	}
+	if got := s.LocalAddr().String(); got != "192.0.2.7" {
+		t.Errorf("server local = %q", got)
+	}
+	if got := c.LocalAddr().Network(); got != "vtcp" {
+		t.Errorf("network = %q", got)
+	}
+	lc, ls := PipeLabeled("client", "server")
+	defer lc.Close()
+	defer ls.Close()
+	if got := lc.RemoteAddr().String(); got != "server" {
+		t.Errorf("labeled remote = %q", got)
+	}
+	if got := (Addr{IP: ip.MustParseAddr("10.0.0.1"), Label: "override"}).String(); got != "override" {
+		t.Errorf("label should override IP, got %q", got)
+	}
 }

@@ -73,6 +73,50 @@ var (
 	ErrRefused = errors.New("zgrab: connection refused")
 )
 
+// DialVerdict is a dial decision computed without opening a connection:
+// the batched fast path evaluates a whole grab window's routing, churn,
+// policy/IDS, path, and handshake-loss checks up front, so the ~80% of
+// attempts that die at L4 never touch connection setup.
+type DialVerdict uint8
+
+const (
+	// DialTimeout: the connection would hang (unrouted, offline, silent
+	// policy, IDS block, path down, or handshake loss).
+	DialTimeout DialVerdict = iota
+	// DialRefused: the SYN would draw an RST (refusing policy or closed
+	// port on a live host).
+	DialRefused
+	// DialReset: accepted, then reset before the application speaks
+	// (policy.ResetAfterAccept — the Alibaba SSH signature).
+	DialReset
+	// DialHalfClose: accepted, then FIN before the application speaks
+	// (policy.CloseAfterAccept — the MaxStartups signature).
+	DialHalfClose
+	// DialConnect: accepted and served.
+	DialConnect
+)
+
+// FastDialer is the batched fast path a Dialer may additionally support:
+// verdicts are precomputed per window (PredialBatch) or per retry attempt
+// (Predial), and ConnectFast turns a would-accept verdict into a pooled,
+// inline-served connection with no goroutine behind it. Implementations
+// must guarantee Predial+ConnectFast observe exactly the decision sequence
+// Dial observes, so GrabFast results are bit-identical to Grab.
+type FastDialer interface {
+	Dialer
+	// Predial evaluates one dial without connecting. Safe for concurrent
+	// use (the grab worker pool retries concurrently).
+	Predial(dst ip.Addr, port uint16, t time.Duration, attempt int) DialVerdict
+	// PredialBatch evaluates attempt 0 for a whole window of
+	// destinations into out (len(out) == len(dsts) == len(ts)). Batching
+	// lets the implementation resolve routing in bulk. NOT safe for
+	// concurrent use with itself — one caller owns the window.
+	PredialBatch(dsts []ip.Addr, ts []time.Duration, port uint16, out []DialVerdict)
+	// ConnectFast materializes a connection for an accepting verdict
+	// (DialReset, DialHalfClose, or DialConnect).
+	ConnectFast(dst ip.Addr, port uint16, v DialVerdict) net.Conn
+}
+
 // Grabber runs grabs through a Dialer with a retry budget.
 type Grabber struct {
 	Dialer Dialer
@@ -169,21 +213,96 @@ func (g *Grabber) grabOnce(ctx context.Context, p proto.Protocol, dst ip.Addr, t
 	if g.IOTimeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(g.IOTimeout))
 	}
+	g.exchange(conn, p, dst, &res)
+	return res
+}
+
+// exchange runs the application-layer handshake on an established
+// connection, shared by the reference and fast grab paths.
+func (g *Grabber) exchange(conn net.Conn, p proto.Protocol, dst ip.Addr, res *Result) {
 	var hsStart time.Time
 	if g.Metrics != nil {
 		hsStart = time.Now()
 	}
 	switch p {
 	case proto.HTTP:
-		grabHTTP(conn, dst, &res)
+		grabHTTP(conn, dst, res)
 	case proto.HTTPS:
-		grabTLS(conn, dst, g.Key, &res)
+		grabTLS(conn, dst, g.Key, res)
 	case proto.SSH:
-		grabSSH(conn, &res)
+		grabSSH(conn, res)
 	}
 	if g.Metrics != nil {
 		g.Metrics.HandshakeSeconds.ObserveDuration(time.Since(hsStart))
 	}
+}
+
+// GrabFast performs the grab for p against dst on the batched fast path:
+// v is attempt 0's verdict, precomputed by PredialBatch over the grab
+// window; retry attempts re-evaluate through Predial (verdicts depend on
+// the attempt number — MaxStartups hosts admit immediate retries). The
+// retry loop, metric accounting, and failure classification mirror Grab
+// exactly; the Dialer must implement FastDialer. Results are bit-identical
+// to Grab (enforced by the fabric and experiment differential tests).
+func (g *Grabber) GrabFast(ctx context.Context, p proto.Protocol, dst ip.Addr, t time.Duration, v DialVerdict) Result {
+	fd := g.Dialer.(FastDialer)
+	var last Result
+	for attempt := 0; attempt <= g.Retries; attempt++ {
+		var began time.Time
+		if g.Metrics != nil {
+			began = time.Now()
+		}
+		last = g.grabOnceFast(ctx, fd, p, dst, t, attempt, v)
+		last.Attempts = attempt + 1
+		g.count(&last, attempt)
+		if last.Success || ctx.Err() != nil {
+			return last
+		}
+		if g.Metrics != nil && attempt < g.Retries {
+			g.Metrics.RetrySeconds.ObserveDuration(time.Since(began))
+		}
+	}
+	return last
+}
+
+func (g *Grabber) grabOnceFast(ctx context.Context, fd FastDialer, p proto.Protocol, dst ip.Addr, t time.Duration, attempt int, v DialVerdict) Result {
+	res := Result{Proto: p}
+	var dialStart time.Time
+	if g.Metrics != nil {
+		dialStart = time.Now()
+	}
+	// The reference dial fails a canceled context immediately, classified
+	// as a timeout; re-checked per attempt, like Dial is called per
+	// attempt.
+	if ctx.Err() != nil {
+		res.Fail = FailTimeout
+		if g.Metrics != nil {
+			g.Metrics.DialSeconds.ObserveDuration(time.Since(dialStart))
+		}
+		return res
+	}
+	if attempt > 0 {
+		v = fd.Predial(dst, p.Port(), t, attempt)
+	}
+	if v == DialTimeout || v == DialRefused {
+		if v == DialTimeout {
+			res.Fail = FailTimeout
+		} else {
+			res.Fail = FailRefused
+		}
+		if g.Metrics != nil {
+			g.Metrics.DialSeconds.ObserveDuration(time.Since(dialStart))
+		}
+		return res
+	}
+	conn := fd.ConnectFast(dst, p.Port(), v)
+	if g.Metrics != nil {
+		g.Metrics.DialSeconds.ObserveDuration(time.Since(dialStart))
+	}
+	defer conn.Close()
+	// No deadline: fast-path connections are fully in-memory, reads never
+	// block, so the IOTimeout clock reads would be pure overhead.
+	g.exchange(conn, p, dst, &res)
 	return res
 }
 

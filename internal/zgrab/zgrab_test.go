@@ -41,7 +41,7 @@ func (d *pipeDialer) Dial(ctx context.Context, dst ip.Addr, port uint16, t time.
 	case d.silent:
 		return nil, ErrTimeout
 	}
-	client, server := vconn.Pipe("scanner", dst.String())
+	client, server := vconn.PipeLabeled("scanner", dst.String())
 	switch {
 	case d.abortAfter:
 		go server.Abort()
